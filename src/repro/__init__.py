@@ -1,0 +1,42 @@
+"""repro — reproduction of the DATE 2005 FPGA sensor-fusion paper.
+
+"Exploiting real-time FPGA based adaptive systems technology for
+real-time Sensor Fusion in next generation automotive safety systems"
+(Chappell, Macarthur, Preston, Olmstead, Flint, Sullivan — Celoxica /
+Medius / BAE SYSTEMS).
+
+The paper boresights a video camera against a vehicle-fixed IMU with a
+Kalman-filter sensor-fusion algorithm running on an FPGA soft core, and
+corrects the video with a fixed-point affine pipeline.  This library
+rebuilds the complete system in Python:
+
+>>> from repro import BoresightTestRig, EulerAngles
+>>> from repro.vehicle import static_tilt_profile
+>>> rig = BoresightTestRig()
+>>> run = rig.run(EulerAngles.from_degrees(2, -1.5, 3),
+...               static_tilt_profile(duration=200.0))
+>>> bool(abs(run.error_vs_laser_deg()).max() < 0.5)
+True
+
+Subpackages: :mod:`repro.geometry`, :mod:`repro.vehicle`,
+:mod:`repro.sensors`, :mod:`repro.comm`, :mod:`repro.fusion` (the core
+algorithm), :mod:`repro.video`, :mod:`repro.fpga`, :mod:`repro.sabre`,
+:mod:`repro.system`, :mod:`repro.analysis`, :mod:`repro.experiments`.
+"""
+
+from repro.experiments.protocol import BoresightTestRig, RigConfig, TestRun
+from repro.fusion import BoresightConfig, BoresightEstimator, BoresightResult
+from repro.geometry import EulerAngles
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "EulerAngles",
+    "BoresightConfig",
+    "BoresightEstimator",
+    "BoresightResult",
+    "BoresightTestRig",
+    "RigConfig",
+    "TestRun",
+]

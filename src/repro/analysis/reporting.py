@@ -1,0 +1,32 @@
+"""Plain-text/markdown report formatting."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a GitHub-style markdown table."""
+    if not headers:
+        raise ConfigurationError("need at least one header")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = [
+        "| " + " | ".join(_fmt(cell) for cell in row) + " |" for row in rows
+    ]
+    return "\n".join([head, sep] + body)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

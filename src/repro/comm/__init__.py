@@ -1,0 +1,48 @@
+"""Communication substrate: CAN, RS232, and the bridge between them.
+
+The paper's wiring (Figure 2): the DMU speaks CAN; the ACC speaks
+serial; a CAN-to-serial converter lets the RC200E receive both over its
+two RS232 ports, "limiting any customisation of the COTS hardware to
+incorporating a second serial interface".
+
+- :mod:`repro.comm.bits` — CRC-15 (CAN) and checksum helpers.
+- :mod:`repro.comm.can` — CAN 2.0A data frames: encode/decode with bit
+  stuffing, a multi-node bus with priority arbitration.
+- :mod:`repro.comm.uart` — 8N1 byte framing at configurable baud.
+- :mod:`repro.comm.converter` — the CAN→RS232 bridge.
+- :mod:`repro.comm.protocol` — the DMU and ACC application packets.
+- :mod:`repro.comm.link` — message-level channel with latency/jitter/
+  drop injection for robustness testing.
+"""
+
+from repro.comm.bits import crc15_can, xor_checksum
+from repro.comm.can import CanBus, CanFrame, CanNode
+from repro.comm.converter import CanSerialBridge
+from repro.comm.link import LossyLink
+from repro.comm.protocol import (
+    AccPacket,
+    DmuPacket,
+    decode_acc_packet,
+    decode_dmu_packet,
+    encode_acc_packet,
+    encode_dmu_packet,
+)
+from repro.comm.uart import UartConfig, UartFramer
+
+__all__ = [
+    "crc15_can",
+    "xor_checksum",
+    "CanFrame",
+    "CanBus",
+    "CanNode",
+    "UartConfig",
+    "UartFramer",
+    "CanSerialBridge",
+    "LossyLink",
+    "DmuPacket",
+    "AccPacket",
+    "encode_dmu_packet",
+    "decode_dmu_packet",
+    "encode_acc_packet",
+    "decode_acc_packet",
+]

@@ -1,0 +1,55 @@
+"""Bit-level helpers: CAN CRC-15 and simple checksums."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: CAN 2.0 CRC polynomial x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1.
+CAN_CRC15_POLY = 0x4599
+
+
+def crc15_can(bits: Sequence[int]) -> int:
+    """CRC-15 over a bit sequence, per the CAN 2.0 specification."""
+    crc = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {bit!r}")
+        crc_next = ((crc >> 14) & 1) ^ bit
+        crc = (crc << 1) & 0x7FFF
+        if crc_next:
+            crc ^= CAN_CRC15_POLY
+    return crc
+
+
+def xor_checksum(data: Iterable[int]) -> int:
+    """Single-byte XOR checksum (the ACC's serial packet check)."""
+    total = 0
+    for byte in data:
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"byte out of range: {byte!r}")
+        total ^= byte
+    return total
+
+
+def bytes_to_bits(data: bytes) -> list[int]:
+    """Expand bytes MSB-first into a bit list."""
+    bits: list[int] = []
+    for byte in data:
+        for k in range(7, -1, -1):
+            bits.append((byte >> k) & 1)
+    return bits
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Interpret a bit sequence MSB-first as an unsigned integer."""
+    value = 0
+    for bit in bits:
+        value = (value << 1) | (bit & 1)
+    return value
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Unsigned integer to a fixed-width MSB-first bit list."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return [(value >> k) & 1 for k in range(width - 1, -1, -1)]

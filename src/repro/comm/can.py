@@ -1,0 +1,204 @@
+"""CAN 2.0A data frames and a multi-node bus model.
+
+Implements the parts of CAN that matter to the system: standard-ID data
+frames with CRC-15, the 5-bit stuffing rule over the stuffed region
+(SOF..CRC), and priority arbitration (lowest ID wins) on a shared bus
+with per-node transmit queues.  Error frames are modelled as CRC
+verification failures raising :class:`BusError` at the receiver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.comm.bits import bits_to_int, crc15_can, int_to_bits
+from repro.errors import BusError, ProtocolError
+
+#: Number of equal consecutive bits that triggers stuffing.
+STUFF_LIMIT = 5
+
+
+@dataclass(frozen=True)
+class CanFrame:
+    """A CAN 2.0A (11-bit identifier) data frame."""
+
+    can_id: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.can_id <= 0x7FF:
+            raise ProtocolError(f"standard CAN id out of range: {self.can_id:#x}")
+        if len(self.data) > 8:
+            raise ProtocolError(f"CAN payload limited to 8 bytes, got {len(self.data)}")
+
+    @property
+    def dlc(self) -> int:
+        """Data length code."""
+        return len(self.data)
+
+    def unstuffed_bits(self) -> list[int]:
+        """Frame bits before stuffing: SOF, ID, RTR, IDE, r0, DLC, data, CRC.
+
+        (CRC delimiter, ACK and EOF are fixed-form and excluded from
+        stuffing per the spec; the model appends them implicitly.)
+        """
+        bits: list[int] = [0]  # SOF (dominant)
+        bits += int_to_bits(self.can_id, 11)
+        bits += [0, 0, 0]  # RTR=0 (data), IDE=0 (standard), r0
+        bits += int_to_bits(self.dlc, 4)
+        for byte in self.data:
+            bits += int_to_bits(byte, 8)
+        bits += int_to_bits(crc15_can(bits), 15)
+        return bits
+
+    def to_bits(self) -> list[int]:
+        """Frame bits on the wire, with stuffing applied."""
+        return stuff_bits(self.unstuffed_bits())
+
+
+def stuff_bits(bits: list[int]) -> list[int]:
+    """Insert a complement bit after every run of five equal bits."""
+    out: list[int] = []
+    run_value = None
+    run_length = 0
+    for bit in bits:
+        out.append(bit)
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        if run_length == STUFF_LIMIT:
+            out.append(1 - bit)
+            run_value = 1 - bit
+            run_length = 1
+    return out
+
+
+def unstuff_bits(bits: list[int]) -> list[int]:
+    """Remove stuffing; raises :class:`BusError` on a stuff violation."""
+    out: list[int] = []
+    run_value = None
+    run_length = 0
+    i = 0
+    while i < len(bits):
+        bit = bits[i]
+        out.append(bit)
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        if run_length == STUFF_LIMIT:
+            i += 1
+            if i >= len(bits):
+                break
+            if bits[i] == bit:
+                raise BusError("stuff error: six equal consecutive bits")
+            run_value = bits[i]
+            run_length = 1
+        i += 1
+    return out
+
+
+def frame_from_bits(stuffed: list[int]) -> CanFrame:
+    """Decode a stuffed bit stream back into a frame, checking CRC."""
+    bits = unstuff_bits(stuffed)
+    if len(bits) < 1 + 11 + 3 + 4 + 15:
+        raise BusError(f"frame too short: {len(bits)} bits")
+    if bits[0] != 0:
+        raise BusError("missing SOF")
+    can_id = bits_to_int(bits[1:12])
+    rtr, ide = bits[12], bits[13]
+    if rtr != 0 or ide != 0:
+        raise BusError("only standard data frames are modelled")
+    dlc = bits_to_int(bits[15:19])
+    if dlc > 8:
+        raise BusError(f"invalid DLC {dlc}")
+    need = 19 + dlc * 8 + 15
+    if len(bits) < need:
+        raise BusError("frame truncated")
+    data = bytes(
+        bits_to_int(bits[19 + k * 8 : 27 + k * 8]) for k in range(dlc)
+    )
+    crc_received = bits_to_int(bits[19 + dlc * 8 : need])
+    crc_computed = crc15_can(bits[: 19 + dlc * 8])
+    if crc_received != crc_computed:
+        raise BusError(
+            f"CRC mismatch: got {crc_received:#06x}, want {crc_computed:#06x}"
+        )
+    return CanFrame(can_id=can_id, data=data)
+
+
+@dataclass
+class CanNode:
+    """A device on the bus with a transmit queue and receive filters."""
+
+    name: str
+    #: Accept-list of CAN ids; empty means accept everything.
+    accept_ids: frozenset[int] = frozenset()
+    tx_queue: deque = field(default_factory=deque)
+    rx_queue: deque = field(default_factory=deque)
+
+    def send(self, frame: CanFrame) -> None:
+        """Queue a frame for transmission."""
+        self.tx_queue.append(frame)
+
+    def deliver(self, frame: CanFrame) -> None:
+        """Bus-side delivery respecting the acceptance filter."""
+        if not self.accept_ids or frame.can_id in self.accept_ids:
+            self.rx_queue.append(frame)
+
+    def receive(self) -> CanFrame | None:
+        """Pop the oldest received frame, or ``None``."""
+        if self.rx_queue:
+            return self.rx_queue.popleft()
+        return None
+
+
+class CanBus:
+    """A shared bus running arbitration rounds.
+
+    Each :meth:`arbitrate` round, every node with pending traffic
+    presents its head-of-queue frame; the lowest CAN id (dominant bits
+    win) is transmitted and broadcast to all other nodes.  This mirrors
+    CSMA/CR behaviour at message granularity.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: list[CanNode] = []
+
+    def attach(self, node: CanNode) -> None:
+        """Connect a node to the bus."""
+        if any(existing.name == node.name for existing in self._nodes):
+            raise BusError(f"duplicate node name {node.name!r}")
+        self._nodes.append(node)
+
+    @property
+    def nodes(self) -> tuple[CanNode, ...]:
+        """Attached nodes."""
+        return tuple(self._nodes)
+
+    def arbitrate(self) -> CanFrame | None:
+        """Run one arbitration round; returns the transmitted frame."""
+        contenders = [node for node in self._nodes if node.tx_queue]
+        if not contenders:
+            return None
+        winner = min(contenders, key=lambda node: node.tx_queue[0].can_id)
+        frame = winner.tx_queue.popleft()
+        # Wire-level round trip: encode with stuffing, decode, CRC-check.
+        decoded = frame_from_bits(frame.to_bits())
+        for node in self._nodes:
+            if node is not winner:
+                node.deliver(decoded)
+        return decoded
+
+    def flush(self, max_rounds: int = 10000) -> int:
+        """Arbitrate until all queues drain; returns frames moved."""
+        moved = 0
+        for _ in range(max_rounds):
+            if self.arbitrate() is None:
+                return moved
+            moved += 1
+        raise BusError("bus flush did not terminate")

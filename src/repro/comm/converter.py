@@ -1,0 +1,88 @@
+"""The CAN-to-serial converter box.
+
+Paper §7: "The IMU interfaces to CAN.  The ACC interfaces to Serial.
+By using a CAN to Serial converter we limit any customisation of the
+COTS hardware to incorporating a second serial interface onto the
+chosen platform."
+
+The bridge tunnels CAN frames over RS232 with a simple envelope:
+
+    [0xC5] [id_lo] [id_hi] [dlc] [data...] [xor checksum]
+
+and exposes the reverse decode for the Sabre-side driver.
+"""
+
+from __future__ import annotations
+
+from repro.comm.bits import xor_checksum
+from repro.comm.can import CanFrame
+from repro.errors import ProtocolError
+
+#: Envelope start-of-frame byte.
+BRIDGE_SOF = 0xC5
+
+
+class CanSerialBridge:
+    """Stateless frame↔bytes converter plus a streaming decoder."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @staticmethod
+    def frame_to_bytes(frame: CanFrame) -> bytes:
+        """Wrap a CAN frame in the serial envelope."""
+        body = bytes(
+            [frame.can_id & 0xFF, (frame.can_id >> 8) & 0x07, frame.dlc]
+        ) + frame.data
+        return bytes([BRIDGE_SOF]) + body + bytes([xor_checksum(body)])
+
+    @staticmethod
+    def bytes_to_frame(packet: bytes) -> CanFrame:
+        """Unwrap one complete envelope back into a CAN frame."""
+        if len(packet) < 5:
+            raise ProtocolError(f"envelope too short: {len(packet)} bytes")
+        if packet[0] != BRIDGE_SOF:
+            raise ProtocolError(f"bad SOF byte {packet[0]:#x}")
+        dlc = packet[3]
+        expected = 5 + dlc
+        if len(packet) != expected:
+            raise ProtocolError(
+                f"envelope length {len(packet)} != expected {expected}"
+            )
+        body = packet[1:-1]
+        if xor_checksum(body) != packet[-1]:
+            raise ProtocolError("envelope checksum mismatch")
+        can_id = packet[1] | (packet[2] << 8)
+        return CanFrame(can_id=can_id, data=bytes(packet[4 : 4 + dlc]))
+
+    def feed(self, data: bytes) -> list[CanFrame]:
+        """Streaming decode: push received bytes, get completed frames.
+
+        Resynchronises on the next SOF after any corrupt envelope.
+        """
+        self._buffer.extend(data)
+        frames: list[CanFrame] = []
+        while True:
+            # Drop garbage before the next SOF.
+            while self._buffer and self._buffer[0] != BRIDGE_SOF:
+                self._buffer.pop(0)
+            if len(self._buffer) < 5:
+                return frames
+            dlc = self._buffer[3]
+            if dlc > 8:
+                self._buffer.pop(0)
+                continue
+            total = 5 + dlc
+            if len(self._buffer) < total:
+                return frames
+            candidate = bytes(self._buffer[:total])
+            try:
+                frames.append(self.bytes_to_frame(candidate))
+                del self._buffer[:total]
+            except ProtocolError:
+                self._buffer.pop(0)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting a complete envelope."""
+        return len(self._buffer)

@@ -1,0 +1,87 @@
+"""Message-level link with loss, latency and jitter injection.
+
+Used by robustness tests: the fusion pipeline must tolerate dropped
+ACC packets and CAN frames (a real car harness does drop them) without
+diverging — the reconstruction stage simply sees gaps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class LossyLink:
+    """A unidirectional message pipe with drop/latency/jitter.
+
+    Parameters
+    ----------
+    drop_probability:
+        Independent per-message loss probability.
+    latency:
+        Fixed transport delay, seconds.
+    jitter:
+        Uniform extra delay in [0, jitter] seconds.  Messages are
+        released in timestamp order, so jitter can reorder only if the
+        caller allows it via ``allow_reordering``.
+    """
+
+    rng: np.random.Generator
+    drop_probability: float = 0.0
+    latency: float = 0.0
+    jitter: float = 0.0
+    allow_reordering: bool = False
+    _queue: list = field(default_factory=list, init=False)
+    _sent: int = field(default=0, init=False)
+    _dropped: int = field(default=0, init=False)
+    _sequence: int = field(default=0, init=False)
+    _last_scheduled: float = field(default=float("-inf"), init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ConfigurationError("drop probability must be in [0, 1]")
+        if self.latency < 0.0 or self.jitter < 0.0:
+            raise ConfigurationError("latency and jitter must be >= 0")
+
+    def send(self, time: float, message: Any) -> None:
+        """Offer a message to the link at transmit time ``time``."""
+        self._sent += 1
+        if self.drop_probability > 0.0 and self.rng.uniform() < self.drop_probability:
+            self._dropped += 1
+            return
+        delay = self.latency
+        if self.jitter > 0.0:
+            delay += float(self.rng.uniform(0.0, self.jitter))
+        arrival = time + delay
+        if not self.allow_reordering:
+            # A FIFO pipe: nothing overtakes an earlier message.
+            arrival = max(arrival, self._last_scheduled)
+        self._last_scheduled = max(self._last_scheduled, arrival)
+        self._sequence += 1
+        heapq.heappush(self._queue, (arrival, self._sequence, message))
+
+    def receive_until(self, time: float) -> list[tuple[float, Any]]:
+        """Pop all messages that have arrived by ``time``."""
+        out: list[tuple[float, Any]] = []
+        while self._queue and self._queue[0][0] <= time:
+            arrival, _, message = heapq.heappop(self._queue)
+            out.append((arrival, message))
+        return out
+
+    @property
+    def loss_fraction(self) -> float:
+        """Observed loss rate so far."""
+        if self._sent == 0:
+            return 0.0
+        return self._dropped / self._sent
+
+    @property
+    def in_flight(self) -> int:
+        """Messages queued inside the link."""
+        return len(self._queue)

@@ -1,0 +1,162 @@
+"""Application-level sensor packets.
+
+Wire formats for the two instruments, designed after the conventions of
+the era's sensor buses:
+
+**DMU packet** (over CAN, so ≤ 8 bytes per frame): the six channels are
+split across two frames — rates on ``DMU_RATE_ID``, accelerations on
+``DMU_ACCEL_ID``.  Each channel is a 16-bit signed integer, little
+endian, scaled to the channel full scale; frames carry a 2-byte
+sequence counter for loss detection.
+
+**ACC packet** (over RS232): ``[SYNC0 SYNC1 seq lo(x) hi(x) lo(y) hi(y)
+checksum]`` where x/y are 16-bit signed counts and the checksum is the
+XOR of the payload bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.comm.bits import xor_checksum
+from repro.comm.can import CanFrame
+from repro.errors import ProtocolError
+from repro.units import STANDARD_GRAVITY, dps_to_radps
+
+#: CAN identifiers of the DMU's two frame types (rates win arbitration).
+DMU_RATE_ID = 0x100
+DMU_ACCEL_ID = 0x101
+
+#: DMU channel scaling: full scale mapped onto int16.
+DMU_RATE_FULL_SCALE = dps_to_radps(100.0)  # rad/s
+DMU_ACCEL_FULL_SCALE = 4.0 * STANDARD_GRAVITY  # m/s²
+
+#: ACC channel scaling (ADXL202 ±2 g onto int16).
+ACC_FULL_SCALE = 2.0 * STANDARD_GRAVITY
+
+#: ACC serial sync bytes.
+ACC_SYNC = (0xA5, 0x5A)
+ACC_PACKET_SIZE = 8
+
+
+def _to_counts(value: float, full_scale: float) -> int:
+    """Scale a physical value onto int16 with saturation."""
+    counts = int(round(value / full_scale * 32767.0))
+    return max(-32768, min(32767, counts))
+
+
+def _from_counts(counts: int, full_scale: float) -> float:
+    """Inverse of :func:`_to_counts`."""
+    return counts / 32767.0 * full_scale
+
+
+@dataclass(frozen=True)
+class DmuPacket:
+    """One decoded DMU sample (rates rad/s, accelerations m/s²)."""
+
+    sequence: int
+    rates: tuple[float, float, float]
+    accels: tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class AccPacket:
+    """One decoded ACC sample (x', y' specific force, m/s²)."""
+
+    sequence: int
+    xy: tuple[float, float]
+
+
+def encode_dmu_packet(packet: DmuPacket) -> tuple[CanFrame, CanFrame]:
+    """Encode a DMU sample into its rate and acceleration CAN frames."""
+    seq = packet.sequence & 0xFFFF
+    rate_counts = [_to_counts(v, DMU_RATE_FULL_SCALE) for v in packet.rates]
+    accel_counts = [_to_counts(v, DMU_ACCEL_FULL_SCALE) for v in packet.accels]
+    rate_frame = CanFrame(
+        DMU_RATE_ID, struct.pack("<3hH", *rate_counts, seq)
+    )
+    accel_frame = CanFrame(
+        DMU_ACCEL_ID, struct.pack("<3hH", *accel_counts, seq)
+    )
+    return rate_frame, accel_frame
+
+
+def decode_dmu_frames(
+    rate_frame: CanFrame, accel_frame: CanFrame
+) -> DmuPacket:
+    """Pair the two CAN frames of one DMU sample back together."""
+    if rate_frame.can_id != DMU_RATE_ID or accel_frame.can_id != DMU_ACCEL_ID:
+        raise ProtocolError(
+            f"unexpected CAN ids {rate_frame.can_id:#x}/{accel_frame.can_id:#x}"
+        )
+    if len(rate_frame.data) != 8 or len(accel_frame.data) != 8:
+        raise ProtocolError("DMU frames must carry 8 bytes")
+    r0, r1, r2, rate_seq = struct.unpack("<3hH", rate_frame.data)
+    a0, a1, a2, accel_seq = struct.unpack("<3hH", accel_frame.data)
+    if rate_seq != accel_seq:
+        raise ProtocolError(
+            f"sequence mismatch between DMU frames: {rate_seq} vs {accel_seq}"
+        )
+    return DmuPacket(
+        sequence=rate_seq,
+        rates=tuple(_from_counts(v, DMU_RATE_FULL_SCALE) for v in (r0, r1, r2)),
+        accels=tuple(
+            _from_counts(v, DMU_ACCEL_FULL_SCALE) for v in (a0, a1, a2)
+        ),
+    )
+
+
+def decode_dmu_packet(frames: tuple[CanFrame, CanFrame]) -> DmuPacket:
+    """Convenience wrapper over :func:`decode_dmu_frames`."""
+    return decode_dmu_frames(frames[0], frames[1])
+
+
+def encode_acc_packet(packet: AccPacket) -> bytes:
+    """Encode an ACC sample into its 8-byte serial packet."""
+    counts = [_to_counts(v, ACC_FULL_SCALE) for v in packet.xy]
+    payload = struct.pack("<B2h", packet.sequence & 0xFF, *counts)
+    return bytes(ACC_SYNC) + payload + bytes([xor_checksum(payload)])
+
+
+def decode_acc_packet(data: bytes) -> AccPacket:
+    """Decode one 8-byte ACC packet; raises on sync/checksum errors."""
+    if len(data) != ACC_PACKET_SIZE:
+        raise ProtocolError(
+            f"ACC packet must be {ACC_PACKET_SIZE} bytes, got {len(data)}"
+        )
+    if tuple(data[:2]) != ACC_SYNC:
+        raise ProtocolError(f"bad sync bytes {data[0]:#x} {data[1]:#x}")
+    payload = data[2:7]
+    if xor_checksum(payload) != data[7]:
+        raise ProtocolError("ACC checksum mismatch")
+    seq, x_counts, y_counts = struct.unpack("<B2h", payload)
+    return AccPacket(
+        sequence=seq,
+        xy=(
+            _from_counts(x_counts, ACC_FULL_SCALE),
+            _from_counts(y_counts, ACC_FULL_SCALE),
+        ),
+    )
+
+
+def find_acc_packets(stream: bytes) -> tuple[list[AccPacket], bytes]:
+    """Scan a byte stream for valid ACC packets.
+
+    Returns (decoded packets, unconsumed tail).  Corrupt candidates are
+    skipped by re-synchronising on the next sync byte — the standard
+    receive loop the Sabre firmware also implements.
+    """
+    packets: list[AccPacket] = []
+    i = 0
+    n = len(stream)
+    while i + ACC_PACKET_SIZE <= n:
+        if stream[i] == ACC_SYNC[0] and stream[i + 1] == ACC_SYNC[1]:
+            try:
+                packets.append(decode_acc_packet(stream[i : i + ACC_PACKET_SIZE]))
+                i += ACC_PACKET_SIZE
+                continue
+            except ProtocolError:
+                pass
+        i += 1
+    return packets, stream[i:]

@@ -1,0 +1,96 @@
+"""RS232/UART 8N1 byte framing.
+
+Models the two serial links into the RC200E: start bit, eight data
+bits LSB-first, one stop bit.  The framer converts byte streams to
+line-level bit streams and back, detecting framing errors — the same
+behaviour as the PSL serial components the paper's FPGA design uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, ProtocolError
+
+#: Line idle level (RS232 mark).
+IDLE = 1
+
+
+@dataclass(frozen=True)
+class UartConfig:
+    """Serial line parameters (8N1 only, as in the prototype)."""
+
+    baud_rate: int = 115200
+
+    def __post_init__(self) -> None:
+        if self.baud_rate <= 0:
+            raise ConfigurationError("baud rate must be positive")
+
+    @property
+    def bit_time(self) -> float:
+        """Seconds per bit."""
+        return 1.0 / self.baud_rate
+
+    @property
+    def byte_time(self) -> float:
+        """Seconds per framed byte (start + 8 data + stop)."""
+        return 10.0 * self.bit_time
+
+    def throughput_bytes_per_s(self) -> float:
+        """Sustained payload throughput."""
+        return self.baud_rate / 10.0
+
+
+class UartFramer:
+    """Stateless encode / stateful decode of the 8N1 line discipline."""
+
+    def __init__(self, config: UartConfig | None = None) -> None:
+        self.config = config if config is not None else UartConfig()
+
+    @staticmethod
+    def encode_byte(byte: int) -> list[int]:
+        """Byte → [start, d0..d7 (LSB first), stop]."""
+        if not 0 <= byte <= 0xFF:
+            raise ProtocolError(f"byte out of range: {byte!r}")
+        bits = [0]  # start bit (space)
+        bits += [(byte >> k) & 1 for k in range(8)]
+        bits.append(1)  # stop bit (mark)
+        return bits
+
+    def encode(self, data: bytes) -> list[int]:
+        """Frame a byte string into a line-level bit stream."""
+        bits: list[int] = []
+        for byte in data:
+            bits += self.encode_byte(byte)
+        return bits
+
+    def decode(self, bits: list[int]) -> bytes:
+        """Decode a bit stream back into bytes.
+
+        Leading idle (mark) bits are skipped; a missing stop bit raises
+        :class:`ProtocolError` (framing error).  Trailing partial bytes
+        also raise — the caller owns re-synchronisation policy.
+        """
+        out = bytearray()
+        i = 0
+        n = len(bits)
+        while i < n:
+            if bits[i] == IDLE:
+                i += 1
+                continue
+            if i + 10 > n:
+                raise ProtocolError("truncated UART frame")
+            byte = 0
+            for k in range(8):
+                byte |= (bits[i + 1 + k] & 1) << k
+            if bits[i + 9] != 1:
+                raise ProtocolError(f"framing error at bit {i + 9}: no stop bit")
+            out.append(byte)
+            i += 10
+        return bytes(out)
+
+    def transfer_time(self, payload_bytes: int) -> float:
+        """Seconds to move ``payload_bytes`` over the line."""
+        if payload_bytes < 0:
+            raise ProtocolError("payload size must be >= 0")
+        return payload_bytes * self.config.byte_time

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without masking genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class GeometryError(ReproError):
+    """Invalid rotation, frame, or angle operation."""
+
+
+class SensorError(ReproError):
+    """A sensor model was driven outside its operating envelope."""
+
+
+class ProtocolError(ReproError):
+    """A communication frame or packet failed to encode or decode."""
+
+
+class BusError(ProtocolError):
+    """A bus-level failure (arbitration, framing, CRC)."""
+
+
+class FusionError(ReproError):
+    """The sensor-fusion algorithm was fed inconsistent data."""
+
+
+class FilterDivergenceError(FusionError):
+    """The Kalman filter covariance lost positive-definiteness."""
+
+
+class FpgaError(ReproError):
+    """Errors from the FPGA fabric simulation."""
+
+
+class FixedPointError(FpgaError):
+    """Fixed-point overflow or invalid format."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event or cycle simulator reached an invalid state."""
+
+
+class SabreError(ReproError):
+    """Errors from the Sabre soft-core subsystem."""
+
+
+class AssemblerError(SabreError):
+    """Sabre assembly source failed to assemble."""
+
+
+class CpuFault(SabreError):
+    """The Sabre CPU hit an illegal instruction or memory fault."""
+
+
+class SoftFloatError(SabreError):
+    """Invalid use of the softfloat emulation library."""

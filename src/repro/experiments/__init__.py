@@ -1,0 +1,31 @@
+"""Reproduction harnesses for the paper's evaluation artifacts.
+
+One module per artifact (see DESIGN.md §4 for the experiment index):
+
+- :mod:`repro.experiments.protocol` — the shared §11 test procedure:
+  calibrate level → introduce misalignment → run 300 s → compare the
+  Kalman estimate against the laser-boresight truth.
+- :mod:`repro.experiments.table1` — static & dynamic alignment results.
+- :mod:`repro.experiments.figure8` — X-axis residuals vs 3-sigma.
+- :mod:`repro.experiments.figure9` — dynamic convergence traces.
+- :mod:`repro.experiments.ablations` — measurement-noise sweep, LUT
+  resolution sweep, arithmetic-backend sweep.
+"""
+
+from repro.experiments.protocol import BoresightTestRig, RigConfig, TestRun
+from repro.experiments.table1 import (
+    Table1Row,
+    format_table1,
+    run_dynamic_table,
+    run_static_table,
+)
+
+__all__ = [
+    "BoresightTestRig",
+    "RigConfig",
+    "TestRun",
+    "Table1Row",
+    "run_static_table",
+    "run_dynamic_table",
+    "format_table1",
+]

@@ -1,0 +1,202 @@
+"""Ablation studies for the design choices called out in the paper.
+
+- :func:`measurement_noise_sweep` — §11's manual R tuning as a sweep
+  (static vs dynamic consistency across candidate sigmas).
+- :func:`lut_resolution_sweep` — why a 1024-entry trig LUT (§9): pixel
+  error at the image corner vs table size.
+- :func:`backend_sweep` — §12's proposed float→fixed conversion: the
+  same filter over float64/float32/softfloat/fixed-point arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.figure8 import run_figure8_dynamic, run_figure8_static
+from repro.fpga.fixedpoint import TRIG_FORMAT
+from repro.fpga.pipeline import PipelineInput, RotateCoordinatesPipeline
+from repro.fpga.trig_lut import SinCosLut
+from repro.fusion.backend import Backend, get_backend
+from repro.fusion.portable import PortableBoresightFilter
+from repro.rng import make_rng
+from repro.units import STANDARD_GRAVITY, TWO_PI
+
+
+@dataclass(frozen=True)
+class NoiseSweepRow:
+    """Consistency of static and dynamic runs at one sigma."""
+
+    sigma: float
+    static_exceedance: float
+    dynamic_exceedance: float
+
+
+def measurement_noise_sweep(
+    sigmas: tuple[float, ...] = (0.003, 0.006, 0.015, 0.030),
+    duration: float = 160.0,
+    seed: int = 7,
+) -> list[NoiseSweepRow]:
+    """Sweep R over static and dynamic runs (the §11 tuning loop)."""
+    rows = []
+    for sigma in sigmas:
+        static = run_figure8_static(
+            duration=duration, seed=seed, measurement_sigma=sigma
+        )
+        dynamic = run_figure8_dynamic(
+            duration=duration, seed=seed, measurement_sigma=sigma
+        )
+        rows.append(
+            NoiseSweepRow(
+                sigma=sigma,
+                static_exceedance=static.exceedance_fraction,
+                dynamic_exceedance=dynamic.exceedance_fraction,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class LutSweepRow:
+    """Worst-case coordinate error for one LUT size."""
+
+    lut_size: int
+    worst_corner_error_px: float
+
+
+def lut_resolution_sweep(
+    sizes: tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096),
+    width: int = 320,
+    height: int = 240,
+    angles_deg: tuple[float, ...] = (-5.0, -2.0, -0.5, 0.5, 2.0, 5.0),
+) -> list[LutSweepRow]:
+    """Pixel error at the frame corners vs trig LUT size.
+
+    The error combines phase quantization (2π/size) and the 16-bit
+    value quantization; the paper's 1024 entries hold the corner error
+    around one pixel at this geometry.
+    """
+    center = (width // 2, height // 2)
+    corners = [
+        (0, 0),
+        (width - 1, 0),
+        (0, height - 1),
+        (width - 1, height - 1),
+    ]
+    rows = []
+    for size in sizes:
+        lut = SinCosLut(size=size, value_format=TRIG_FORMAT)
+        pipeline = RotateCoordinatesPipeline(center=center, lut=lut)
+        worst = 0.0
+        for angle_deg in angles_deg:
+            theta = math.radians(angle_deg)
+            phase = lut.phase_from_angle(theta)
+            inputs = [
+                PipelineInput(in_x=x, in_y=y, phase=phase, tag=(x, y))
+                for x, y in corners
+            ]
+            outputs, _ = pipeline.rotate_block(inputs)
+            for out in outputs:
+                x, y = out.tag
+                dx, dy = x - center[0], y - center[1]
+                true_x = (
+                    math.cos(theta) * dx - math.sin(theta) * dy + center[0]
+                )
+                true_y = (
+                    math.sin(theta) * dx + math.cos(theta) * dy + center[1]
+                )
+                worst = max(
+                    worst, math.hypot(out.out_x - true_x, out.out_y - true_y)
+                )
+        rows.append(LutSweepRow(lut_size=size, worst_corner_error_px=worst))
+    return rows
+
+
+@dataclass(frozen=True)
+class BackendSweepRow:
+    """Final-angle agreement of one arithmetic backend with float64.
+
+    ``failed`` marks arithmetic breakdown: the Q6.25 fixed-point filter
+    underflows the innovation determinant once the covariance shrinks —
+    the concrete version of the paper's §10 note that "as a result of
+    the dynamic range of the Kalman filter, it was necessary to use
+    floating-point values for all intermediate stages".
+    """
+
+    backend: str
+    final_angles_deg: tuple[float, float, float]
+    max_divergence_deg: float
+    failed: bool = False
+    failure: str = ""
+
+
+def _synthetic_static_series(
+    samples: int, seed: int, misalignment_rad: tuple[float, float, float]
+) -> tuple[list[list[float]], list[list[float]]]:
+    """Gravity-only measurement series with a known misalignment."""
+    rng = make_rng(seed)
+    g = STANDARD_GRAVITY
+    mx, my, mz = misalignment_rad
+    force, acc = [], []
+    for _ in range(samples):
+        f = [0.0, 0.0, -g]
+        # First-order misaligned reading + white noise.
+        zx = f[0] - my * f[2] + rng.normal(0.0, 0.005)
+        zy = f[1] + mx * f[2] + rng.normal(0.0, 0.005)
+        force.append(f)
+        acc.append([zx, zy])
+    return force, acc
+
+
+def backend_sweep(
+    samples: int = 300,
+    seed: int = 5,
+    backends: tuple[str, ...] = ("float64", "float32", "softfloat", "fixed"),
+) -> list[BackendSweepRow]:
+    """Run the portable filter over each arithmetic backend.
+
+    The paper kept the filter in (emulated) floating point because of
+    its dynamic range; the fixed-point rows quantify what the proposed
+    conversion would cost.
+    """
+    truth = (math.radians(1.5), math.radians(-1.0), 0.0)
+    force, acc = _synthetic_static_series(samples, seed, truth)
+
+    reference: list[float] | None = None
+    rows = []
+    for name in backends:
+        backend: Backend = get_backend(name)
+        filt = PortableBoresightFilter(backend=backend)
+        try:
+            filt.run(force, acc)
+        except Exception as exc:  # arithmetic breakdown is a *result*
+            rows.append(
+                BackendSweepRow(
+                    backend=name,
+                    final_angles_deg=(
+                        float("nan"),
+                        float("nan"),
+                        float("nan"),
+                    ),
+                    max_divergence_deg=float("inf"),
+                    failed=True,
+                    failure=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        angles = filt.state
+        if reference is None:
+            reference = angles
+        divergence = max(
+            abs(a - b) for a, b in zip(angles, reference)
+        )
+        rows.append(
+            BackendSweepRow(
+                backend=name,
+                final_angles_deg=tuple(math.degrees(a) for a in angles),
+                max_divergence_deg=math.degrees(divergence),
+            )
+        )
+    return rows

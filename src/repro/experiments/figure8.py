@@ -1,0 +1,172 @@
+"""Figure 8 — X-axis residuals and their 3-sigma envelope.
+
+Paper §11: "Figure 8 shows the X-axes residuals and it's 3-sigma value
+plotted together for a static run and a moving run.  The static run
+shows the residuals well within the 3-sigma values while the moving
+tests show that the residuals do exceed the 3-sigma values.  Since the
+residuals should only exceed the 3-sigma value about once every 100
+samples, the Filter noise was increased."
+
+Reproduced claims:
+
+- static, R in the paper's 0.003–0.01 band → exceedance ≈ the Gaussian
+  ~1 % level;
+- moving with the *static* R → exceedance far above 1 %;
+- raising R ("0.015 or higher") restores consistency — the
+  :func:`tune_dynamic_noise` sweep automates the authors' manual loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.protocol import BoresightTestRig, RigConfig
+from repro.experiments.table1 import (
+    DEFAULT_MISALIGNMENT,
+    dynamic_estimator_config,
+    static_estimator_config,
+)
+from repro.geometry import EulerAngles
+from repro.rng import make_rng
+from repro.vehicle.profiles import city_drive_profile, static_tilt_profile
+
+
+@dataclass
+class Figure8Trace:
+    """The data behind one panel of Figure 8 (X-axis channel)."""
+
+    label: str
+    measurement_sigma: float
+    time: np.ndarray
+    residual_x: np.ndarray
+    three_sigma_x: np.ndarray
+    exceedance_fraction: float
+
+    @property
+    def consistent(self) -> bool:
+        """Paper criterion: exceedances ≈ once per 100 samples or less."""
+        return self.exceedance_fraction <= 0.02
+
+    def exceed_count(self) -> int:
+        """Number of samples where |residual| > 3 sigma."""
+        return int(np.sum(np.abs(self.residual_x) > self.three_sigma_x))
+
+
+def _trace_from_run(label: str, sigma: float, run) -> Figure8Trace:
+    history = run.result.history
+    valid = ~np.isnan(history.residual[:, 0])
+    residual = history.residual[valid, 0]
+    envelope = 3.0 * history.residual_sigma[valid, 0]
+    exceed = float(np.mean(np.abs(residual) > envelope))
+    return Figure8Trace(
+        label=label,
+        measurement_sigma=sigma,
+        time=history.time[valid],
+        residual_x=residual,
+        three_sigma_x=envelope,
+        exceedance_fraction=exceed,
+    )
+
+
+def run_figure8_static(
+    duration: float = 300.0,
+    seed: int = 7,
+    measurement_sigma: float = 0.006,
+    misalignment: EulerAngles = DEFAULT_MISALIGNMENT,
+    dwell_time: float = 16.0,
+    slew_time: float = 4.0,
+) -> Figure8Trace:
+    """Top panel: static run, bench-tuned measurement noise.
+
+    ``dwell_time``/``slew_time`` compress the tilt schedule for short
+    test runs (the full schedule needs ~180 s per cycle).
+    """
+    rig = BoresightTestRig(RigConfig(seed=seed))
+    run = rig.run(
+        misalignment,
+        static_tilt_profile(
+            duration=duration, dwell_time=dwell_time, slew_time=slew_time
+        ),
+        estimator_config=static_estimator_config(measurement_sigma),
+        moving=False,
+    )
+    return _trace_from_run("static", measurement_sigma, run)
+
+
+def run_figure8_dynamic(
+    duration: float = 300.0,
+    seed: int = 7,
+    measurement_sigma: float = 0.006,
+    misalignment: EulerAngles = DEFAULT_MISALIGNMENT,
+) -> Figure8Trace:
+    """Bottom panel: moving run.
+
+    Call with the *static* sigma to reproduce the paper's observation
+    (residuals blowing through 3-sigma), or with a retuned 0.015+ value
+    to reproduce the fixed filter.
+    """
+    rig = BoresightTestRig(RigConfig(seed=seed))
+    run = rig.run(
+        misalignment,
+        city_drive_profile(duration=duration, rng=make_rng(seed + 50)),
+        estimator_config=dynamic_estimator_config(measurement_sigma),
+        moving=True,
+    )
+    return _trace_from_run("dynamic", measurement_sigma, run)
+
+
+def tune_dynamic_noise(
+    sigmas: tuple[float, ...] = (0.006, 0.010, 0.015, 0.025, 0.040),
+    duration: float = 300.0,
+    seed: int = 7,
+) -> list[Figure8Trace]:
+    """The authors' manual retuning loop, swept automatically.
+
+    Returns one dynamic trace per candidate sigma; the first consistent
+    one is the tuned filter.
+    """
+    return [
+        run_figure8_dynamic(
+            duration=duration, seed=seed, measurement_sigma=sigma
+        )
+        for sigma in sigmas
+    ]
+
+
+def render_ascii(trace: Figure8Trace, width: int = 72, rows: int = 12) -> str:
+    """ASCII rendering of a Figure 8 panel (residual vs ±3-sigma).
+
+    ``*`` marks residual samples, ``-`` the ±3-sigma envelope; samples
+    outside the envelope render as ``X``.
+    """
+    n = trace.time.shape[0]
+    if n == 0:
+        return "(no samples)"
+    cols = min(width, n)
+    idx = np.linspace(0, n - 1, cols).astype(int)
+    res = trace.residual_x[idx]
+    env = trace.three_sigma_x[idx]
+    limit = max(float(np.max(np.abs(res))), float(np.max(env))) * 1.1 or 1.0
+
+    grid = [[" "] * cols for _ in range(rows)]
+
+    def to_row(value: float) -> int:
+        frac = (value + limit) / (2.0 * limit)
+        return min(rows - 1, max(0, int(round((1.0 - frac) * (rows - 1)))))
+
+    for c in range(cols):
+        grid[to_row(env[c])][c] = "-"
+        grid[to_row(-env[c])][c] = "-"
+    for c in range(cols):
+        marker = "X" if abs(res[c]) > env[c] else "*"
+        grid[to_row(res[c])][c] = marker
+
+    lines = ["".join(row) for row in grid]
+    header = (
+        f"Figure 8 ({trace.label}): residual_x vs ±3σ   "
+        f"R σ={trace.measurement_sigma:.3f} m/s², "
+        f"exceedance={100 * trace.exceedance_fraction:.1f}%"
+    )
+    return "\n".join([header] + lines)

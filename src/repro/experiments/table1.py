@@ -1,0 +1,179 @@
+"""Table 1 — results from static (top) and dynamic (bottom) tests.
+
+The original table is an image; the prose defines its content: for each
+test, the misalignment introduced (measured by laser), the filter's
+estimate, and the 3-sigma confidence.  Claims we check as *shape*:
+
+- static estimates accurate in all three axes ("very accurate"),
+  meeting the automotive alignment requirement with margin — "in some
+  cases ... exceeded the requirements by an order of magnitude";
+- dynamic tests: two distinct drives show "very close agreement ...
+  with a high confidence level result";
+- measurement noise 0.003–0.01 m/s² (static), 0.015+ (dynamic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.protocol import BoresightTestRig, RigConfig, TestRun
+from repro.fusion import BoresightConfig
+from repro.geometry import EulerAngles
+from repro.rng import make_rng
+from repro.vehicle.profiles import city_drive_profile, static_tilt_profile
+
+#: A representative automotive sensor-alignment requirement (degrees).
+#: ADAS integration specs of the era put camera/radar boresight
+#: tolerances at roughly half a degree.
+AUTOMOTIVE_REQUIREMENT_DEG = 0.5
+
+#: The misalignment set introduced in the tests ("a few degrees").
+DEFAULT_MISALIGNMENT = EulerAngles.from_degrees(2.0, -1.5, 3.0)
+
+
+def static_estimator_config(
+    measurement_sigma: float = 0.006, lever_arm: tuple | None = (0.8, 0.2, -0.3)
+) -> BoresightConfig:
+    """Estimator tuning for bench tests (paper: R ≈ 0.003–0.01).
+
+    Bias states stay off: the paper calibrates immediately before the
+    test, and on a tilt table the bias/misalignment separation has weak
+    leverage (≈ g·(1−cosθ)), so online bias estimation amplifies
+    scale-factor systematics instead of helping.
+    """
+    return BoresightConfig(
+        measurement_sigma=measurement_sigma,
+        angle_process_noise=2e-5,
+        estimate_biases=False,
+        lever_arm=np.array(lever_arm) if lever_arm is not None else None,
+    )
+
+
+def dynamic_estimator_config(
+    measurement_sigma: float = 0.03, lever_arm: tuple | None = (0.8, 0.2, -0.3)
+) -> BoresightConfig:
+    """Estimator tuning for driving tests (paper: R ≥ 0.015)."""
+    return BoresightConfig(
+        measurement_sigma=measurement_sigma,
+        angle_process_noise=2e-5,
+        estimate_biases=True,
+        initial_bias_sigma=0.01,
+        lever_arm=np.array(lever_arm) if lever_arm is not None else None,
+    )
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One axis of one test in the reproduced Table 1."""
+
+    test: str
+    axis: str
+    introduced_deg: float
+    laser_deg: float
+    estimated_deg: float
+    error_deg: float
+    three_sigma_deg: float
+
+    @property
+    def within_requirement(self) -> bool:
+        """|error| below the automotive alignment requirement."""
+        return abs(self.error_deg) < AUTOMOTIVE_REQUIREMENT_DEG
+
+
+def rows_from_run(test_name: str, run: TestRun) -> list[Table1Row]:
+    """Expand a :class:`TestRun` into per-axis table rows."""
+    introduced = run.introduced.to_degrees()
+    laser = run.laser_truth.to_degrees()
+    estimated = run.result.misalignment.to_degrees()
+    three_sigma = run.result.three_sigma_deg()
+    rows = []
+    for k, axis in enumerate(("roll", "pitch", "yaw")):
+        rows.append(
+            Table1Row(
+                test=test_name,
+                axis=axis,
+                introduced_deg=introduced[k],
+                laser_deg=laser[k],
+                estimated_deg=estimated[k],
+                error_deg=estimated[k] - laser[k],
+                three_sigma_deg=float(three_sigma[k]),
+            )
+        )
+    return rows
+
+
+def run_static_table(
+    duration: float = 300.0,
+    seed: int = 7,
+    misalignment: EulerAngles = DEFAULT_MISALIGNMENT,
+    measurement_sigma: float = 0.006,
+) -> tuple[list[Table1Row], TestRun]:
+    """Reproduce the static (top) half of Table 1."""
+    rig = BoresightTestRig(RigConfig(seed=seed))
+    trajectory = static_tilt_profile(duration=duration)
+    run = rig.run(
+        misalignment,
+        trajectory,
+        estimator_config=static_estimator_config(measurement_sigma),
+        moving=False,
+    )
+    return rows_from_run("static", run), run
+
+
+def run_dynamic_table(
+    duration: float = 300.0,
+    seed: int = 7,
+    misalignment: EulerAngles = DEFAULT_MISALIGNMENT,
+    measurement_sigma: float = 0.03,
+    drives: int = 2,
+) -> tuple[list[Table1Row], list[TestRun]]:
+    """Reproduce the dynamic (bottom) half of Table 1: two drives.
+
+    Each drive uses a different randomized route (the paper: "it is
+    difficult to run precisely the same test profile using a moving
+    vehicle") but the same vehicle and instruments.
+    """
+    rows: list[Table1Row] = []
+    runs: list[TestRun] = []
+    for i in range(drives):
+        rig = BoresightTestRig(RigConfig(seed=seed + i))
+        trajectory = city_drive_profile(duration=duration, rng=make_rng(seed + 50 + i))
+        run = rig.run(
+            misalignment,
+            trajectory,
+            estimator_config=dynamic_estimator_config(measurement_sigma),
+            moving=True,
+        )
+        rows.extend(rows_from_run(f"dynamic-{i + 1}", run))
+        runs.append(run)
+    return rows, runs
+
+
+def drive_agreement_deg(runs: list[TestRun]) -> np.ndarray:
+    """Max per-axis spread between the drives' estimates, degrees.
+
+    The paper's claim: "very close agreement between the tests".
+    """
+    estimates = np.array(
+        [run.result.misalignment.as_array() for run in runs]
+    )
+    return np.degrees(estimates.max(axis=0) - estimates.min(axis=0))
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render rows in the shape of the paper's Table 1."""
+    header = (
+        f"{'test':<10} {'axis':<6} {'introduced':>10} {'laser':>9} "
+        f"{'estimate':>9} {'error':>8} {'3-sigma':>8}  req?"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.test:<10} {row.axis:<6} {row.introduced_deg:>10.4f} "
+            f"{row.laser_deg:>9.4f} {row.estimated_deg:>9.4f} "
+            f"{row.error_deg:>8.4f} {row.three_sigma_deg:>8.4f}  "
+            f"{'PASS' if row.within_requirement else 'FAIL'}"
+        )
+    return "\n".join(lines)

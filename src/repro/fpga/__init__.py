@@ -1,0 +1,49 @@
+"""FPGA fabric simulation — the RC200E side of the system.
+
+The paper implements the video path directly in programmable logic,
+described in Handel-C (an ANSI-C superset with ``par``/``seq`` parallel
+composition) and compiled with the DK Design Suite.  This package
+models that fabric at cycle granularity:
+
+- :mod:`repro.fpga.hdl` — a small Handel-C-like cycle simulation
+  kernel: processes, ``par``/``seq`` composition, channels, registers.
+- :mod:`repro.fpga.fixedpoint` — Q-format fixed-point arithmetic (the
+  pipeline's "16-bit precision fixed point values").
+- :mod:`repro.fpga.trig_lut` — the 1024-element sine/cosine table.
+- :mod:`repro.fpga.pipeline` — the five-stage ``RotateCoordinates``
+  pipeline of Figure 5, cycle-accurate.
+- :mod:`repro.fpga.sram` / :mod:`repro.fpga.framebuffer` — the two
+  2-MByte ZBT SRAM banks and the double-buffering scheme of §9.
+- :mod:`repro.fpga.video_io` — ``VideoInProcess`` / ``VideoOutProcess``.
+- :mod:`repro.fpga.affine_hw` — the full hardware affine engine.
+- :mod:`repro.fpga.rc200` — the board model tying it together.
+"""
+
+from repro.fpga.affine_hw import AffineEngine, AffineJobStats
+from repro.fpga.fixedpoint import FixedFormat, VIDEO_FORMAT
+from repro.fpga.framebuffer import DoubleBuffer
+from repro.fpga.hdl import Channel, Register, Simulator, par, seq
+from repro.fpga.pipeline import PipelineInput, PipelineOutput, RotateCoordinatesPipeline
+from repro.fpga.rc200 import RC200Board, RC200Config
+from repro.fpga.sram import ZbtSram
+from repro.fpga.trig_lut import SinCosLut
+
+__all__ = [
+    "Simulator",
+    "Channel",
+    "Register",
+    "par",
+    "seq",
+    "FixedFormat",
+    "VIDEO_FORMAT",
+    "SinCosLut",
+    "RotateCoordinatesPipeline",
+    "PipelineInput",
+    "PipelineOutput",
+    "ZbtSram",
+    "DoubleBuffer",
+    "AffineEngine",
+    "AffineJobStats",
+    "RC200Board",
+    "RC200Config",
+]

@@ -1,0 +1,115 @@
+"""The hardware affine engine: pipeline + framebuffer + angle registers.
+
+This is the fabric block behind ``VideoOutProcess`` (paper §9): for
+every output pixel it computes the source coordinate on the framebuffer
+through the rotation pipeline (inverse mapping with phase −theta), adds
+the translation correction ``B``, and copies the addressed pixel to the
+output stream.  Fully fixed-point; validated against the float
+reference :func:`repro.video.affine.apply_affine` in tests and in the
+pipeline benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FpgaError
+from repro.fpga.framebuffer import DoubleBuffer
+from repro.fpga.pipeline import (
+    PIPELINE_DEPTH,
+    PipelineInput,
+    RotateCoordinatesPipeline,
+)
+from repro.fpga.trig_lut import SinCosLut
+from repro.video.affine import AffineParams, invert
+from repro.video.frame import Frame
+
+
+@dataclass
+class AffineJobStats:
+    """Cycle accounting for one output frame."""
+
+    pixels: int
+    cycles: int
+
+    @property
+    def cycles_per_pixel(self) -> float:
+        """Sustained throughput (→ 1.0 once the fill is amortized)."""
+        return self.cycles / self.pixels
+
+    def frame_time(self, clock_hz: float) -> float:
+        """Seconds per frame at a given fabric clock."""
+        return self.cycles / clock_hz
+
+    def achievable_fps(self, clock_hz: float) -> float:
+        """Frames per second the engine sustains at ``clock_hz``."""
+        return clock_hz / self.cycles
+
+
+class AffineEngine:
+    """Fixed-point affine video corrector."""
+
+    def __init__(
+        self,
+        buffer: DoubleBuffer,
+        lut: SinCosLut | None = None,
+        fill_level: int = 0,
+    ) -> None:
+        self.buffer = buffer
+        center = (buffer.width // 2, buffer.height // 2)
+        self.pipeline = RotateCoordinatesPipeline(center=center, lut=lut)
+        if not 0 <= fill_level <= 255:
+            raise FpgaError(f"fill level out of range: {fill_level}")
+        self.fill_level = fill_level
+
+    def transform_frame(self, params: AffineParams) -> tuple[Frame, AffineJobStats]:
+        """Produce one corrected output frame from the front buffer.
+
+        ``params`` is the *forward* distortion estimate; the engine
+        applies its inverse, like the reference ``apply_affine``.
+        """
+        inv = invert(params)
+        phase = self.pipeline.lut.phase_from_angle(inv.theta)
+        # The translation is applied in integer pixels after rotation —
+        # the "B" registers of the paper's §6.
+        bx = int(round(inv.bx))
+        by = int(round(inv.by))
+
+        width, height = self.buffer.width, self.buffer.height
+        source = self.buffer.read_frame().pixels
+        out = np.full((height, width), self.fill_level, dtype=np.uint8)
+
+        self.pipeline.flush()
+        start_cycles = self.pipeline.cycles
+
+        def handle(output) -> None:
+            dest_x, dest_y = output.tag
+            src_x = output.out_x + bx
+            src_y = output.out_y + by
+            if 0 <= src_x < width and 0 <= src_y < height:
+                out[dest_y, dest_x] = source[src_y, src_x]
+
+        for dest_y in range(height):
+            for dest_x in range(width):
+                result = self.pipeline.tick(
+                    PipelineInput(
+                        in_x=dest_x, in_y=dest_y, phase=phase, tag=(dest_x, dest_y)
+                    )
+                )
+                if result is not None:
+                    handle(result)
+        while self.pipeline.busy:
+            result = self.pipeline.tick(None)
+            if result is not None:
+                handle(result)
+
+        cycles = self.pipeline.cycles - start_cycles
+        stats = AffineJobStats(pixels=width * height, cycles=cycles)
+        if cycles != width * height + PIPELINE_DEPTH:
+            raise FpgaError(
+                f"pipeline throughput broke: {cycles} cycles for "
+                f"{width * height} pixels"
+            )
+        return Frame(out), stats

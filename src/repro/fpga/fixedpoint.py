@@ -1,0 +1,190 @@
+"""Q-format fixed-point arithmetic.
+
+The video pipeline "operates on 16-bit precision fixed point values"
+(paper §9).  :class:`FixedFormat` models two's-complement Q formats of
+any width with explicit overflow behaviour: ``wrap`` (what raw FPGA
+adders do) or ``saturate`` (what a careful designer instantiates).
+
+Values are stored as plain Python ints holding the raw (scaled) bits,
+exactly as they would sit in fabric registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FixedPointError
+
+
+@dataclass(frozen=True)
+class FixedFormat:
+    """A two's-complement fixed-point format Q(integer).(fraction).
+
+    ``integer_bits`` excludes the sign bit: a signed Q8.8 value spans
+    [-256, 256) with 1/256 resolution and occupies 17 bits? — no: by
+    the convention used here (and in DK), total width = 1 (sign if
+    signed) + integer_bits + fraction_bits.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise FixedPointError("bit counts must be >= 0")
+        if self.width < 1:
+            raise FixedPointError("format must have at least one bit")
+
+    @property
+    def width(self) -> int:
+        """Total register width in bits."""
+        return self.integer_bits + self.fraction_bits + (1 if self.signed else 0)
+
+    @property
+    def scale(self) -> int:
+        """Raw units per 1.0."""
+        return 1 << self.fraction_bits
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw value."""
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest representable raw value."""
+        if self.signed:
+            return -(1 << (self.width - 1))
+        return 0
+
+    @property
+    def resolution(self) -> float:
+        """Value of one LSB."""
+        return 1.0 / self.scale
+
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_raw / self.scale
+
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_raw / self.scale
+
+    def _fit(self, raw: int, saturate: bool) -> int:
+        if self.min_raw <= raw <= self.max_raw:
+            return raw
+        if saturate:
+            return self.max_raw if raw > self.max_raw else self.min_raw
+        # Two's-complement wrap.
+        mask = (1 << self.width) - 1
+        raw &= mask
+        if self.signed and raw > self.max_raw:
+            raw -= 1 << self.width
+        return raw
+
+    def from_float(self, value: float, saturate: bool = False) -> int:
+        """Quantize a real value (round-to-nearest) into raw bits."""
+        if value != value:  # NaN
+            raise FixedPointError("cannot convert NaN to fixed point")
+        raw = int(round(value * self.scale))
+        return self._fit(raw, saturate)
+
+    def to_float(self, raw: int) -> float:
+        """Raw bits back to a real value."""
+        self._check(raw)
+        return raw / self.scale
+
+    def from_int(self, value: int, saturate: bool = False) -> int:
+        """The paper's ``Int2fixed``: integer → fixed raw."""
+        return self._fit(value << self.fraction_bits, saturate)
+
+    def to_int(self, raw: int) -> int:
+        """The paper's ``fixed2Int``: truncate toward negative infinity."""
+        self._check(raw)
+        return raw >> self.fraction_bits
+
+    def add(self, a: int, b: int, saturate: bool = False) -> int:
+        """Fixed-point addition."""
+        self._check(a)
+        self._check(b)
+        return self._fit(a + b, saturate)
+
+    def sub(self, a: int, b: int, saturate: bool = False) -> int:
+        """Fixed-point subtraction."""
+        self._check(a)
+        self._check(b)
+        return self._fit(a - b, saturate)
+
+    def mul(self, a: int, b: int, saturate: bool = False) -> int:
+        """The paper's ``FixedMult``: full product, then rescale.
+
+        The hardware keeps the full-width product and shifts right by
+        the fraction width with round-to-nearest (adding the half LSB
+        before the shift — one extra adder in fabric).
+        """
+        self._check(a)
+        self._check(b)
+        product = a * b
+        half = 1 << (self.fraction_bits - 1) if self.fraction_bits > 0 else 0
+        raw = (product + half) >> self.fraction_bits
+        return self._fit(raw, saturate)
+
+    def div(self, a: int, b: int, saturate: bool = False) -> int:
+        """Fixed-point division (round toward zero)."""
+        self._check(a)
+        self._check(b)
+        if b == 0:
+            raise FixedPointError("fixed-point division by zero")
+        scaled = a << self.fraction_bits
+        quotient = abs(scaled) // abs(b)
+        if (a < 0) != (b < 0):
+            quotient = -quotient
+        return self._fit(quotient, saturate)
+
+    def _check(self, raw: int) -> None:
+        if not isinstance(raw, int):
+            raise FixedPointError(f"raw value must be int, got {type(raw)!r}")
+        if raw < self.min_raw or raw > self.max_raw:
+            raise FixedPointError(
+                f"raw value {raw} outside Q{self.integer_bits}.{self.fraction_bits}"
+            )
+
+
+def fixed_mul(
+    a: int,
+    a_format: FixedFormat,
+    b: int,
+    b_format: FixedFormat,
+    out_format: FixedFormat,
+    saturate: bool = False,
+) -> int:
+    """Mixed-format multiply: coordinates × trig values.
+
+    The full product has ``a.fraction + b.fraction`` fraction bits; it
+    is rounded to ``out_format`` — one DSP multiply plus a shift in
+    fabric, exactly the pipeline's ``FixedMult``.
+    """
+    a_format._check(a)
+    b_format._check(b)
+    shift = a_format.fraction_bits + b_format.fraction_bits - out_format.fraction_bits
+    product = a * b
+    if shift > 0:
+        half = 1 << (shift - 1)
+        raw = (product + half) >> shift
+    else:
+        raw = product << (-shift)
+    return out_format._fit(raw, saturate)
+
+
+#: The video pipeline's 16-bit coordinate format: sign + 10 integer +
+#: 5 fraction bits.  Center-relative coordinates of a 640x480 frame
+#: span ±320, and 1/32-pixel resolution keeps the rounding error well
+#: under a pixel — the paper's "16-bit precision fixed point values".
+VIDEO_FORMAT = FixedFormat(integer_bits=10, fraction_bits=5, signed=True)
+
+#: Format of the sine/cosine table entries: sign + 1.14 fraction —
+#: full ±1.0 range with 6e-5 resolution in 16 bits.
+TRIG_FORMAT = FixedFormat(integer_bits=1, fraction_bits=14, signed=True)

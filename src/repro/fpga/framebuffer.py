@@ -1,0 +1,71 @@
+"""Double-buffered framebuffer over the two ZBT banks.
+
+Paper §9: "The video processing makes use of both RC200 RAMS in a
+double-buffering scheme" — VideoIn writes frame N+1 into one bank
+while VideoOut reads frame N from the other; :meth:`swap` exchanges
+the roles at frame boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FpgaError
+from repro.fpga.sram import ZbtSram
+from repro.video.frame import Frame
+
+
+class DoubleBuffer:
+    """Two SRAM banks alternating between capture and display roles."""
+
+    def __init__(
+        self, width: int, height: int, bank_a: ZbtSram, bank_b: ZbtSram
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise FpgaError("framebuffer dimensions must be positive")
+        needed = width * height
+        for bank in (bank_a, bank_b):
+            if bank.size < needed:
+                raise FpgaError(
+                    f"bank {bank.name} too small: {bank.size} < {needed}"
+                )
+        self.width = width
+        self.height = height
+        self._banks = [bank_a, bank_b]
+        self._front = 0  # bank index VideoOut reads from
+        self.swaps = 0
+
+    @property
+    def front(self) -> ZbtSram:
+        """The display-side bank."""
+        return self._banks[self._front]
+
+    @property
+    def back(self) -> ZbtSram:
+        """The capture-side bank."""
+        return self._banks[1 - self._front]
+
+    def address_of(self, x: int, y: int) -> int:
+        """Linear byte address of pixel (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise FpgaError(f"pixel ({x}, {y}) outside {self.width}x{self.height}")
+        return y * self.width + x
+
+    def swap(self) -> None:
+        """Exchange capture/display roles (frame boundary)."""
+        self._front = 1 - self._front
+        self.swaps += 1
+
+    def store_frame(self, frame: Frame) -> None:
+        """Burst a whole frame into the back buffer (VideoIn fast path)."""
+        if frame.width != self.width or frame.height != self.height:
+            raise FpgaError(
+                f"frame {frame.width}x{frame.height} does not match buffer "
+                f"{self.width}x{self.height}"
+            )
+        self.back.load_array(0, frame.pixels)
+
+    def read_frame(self) -> Frame:
+        """Burst the front buffer out as a frame."""
+        flat = self.front.dump_array(0, self.width * self.height)
+        return Frame(flat.reshape(self.height, self.width))

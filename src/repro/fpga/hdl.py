@@ -1,0 +1,223 @@
+"""A small Handel-C-like cycle simulation kernel.
+
+Handel-C programs (paper Figures 4/7) compose hardware processes with
+``par { }`` (run concurrently, one statement per clock cycle) and
+``seq { }`` (run in order).  This kernel reproduces those semantics in
+Python: a *process* is a generator that yields once per clock cycle;
+:func:`par` runs children in lockstep until all finish; :func:`seq`
+chains them.  :class:`Channel` provides the blocking rendezvous used
+for inter-process communication, and :class:`Register` models a
+clocked signal with read-old/write-new semantics.
+
+This is a behavioural-cycle model (not an RTL simulator): enough to
+reproduce the paper's architecture — pipelines, double buffering,
+producer/consumer video processes — with honest cycle counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.errors import SimulationError
+
+#: Type alias: a process is a generator yielding None each clock cycle.
+Process = Generator[None, None, Any]
+
+
+class Register:
+    """A clocked register: reads see the value latched last cycle.
+
+    Writes take effect at the next clock edge (when the simulator calls
+    :meth:`tick`).  Multiple writes in one cycle raise, like multiple
+    drivers on a signal.
+    """
+
+    def __init__(self, initial: Any = 0, name: str = "reg") -> None:
+        self.name = name
+        self._current = initial
+        self._pending: Any = _NO_WRITE
+
+    @property
+    def value(self) -> Any:
+        """The currently latched value."""
+        return self._current
+
+    def write(self, value: Any) -> None:
+        """Schedule a new value for the next clock edge."""
+        if self._pending is not _NO_WRITE:
+            raise SimulationError(f"register {self.name!r}: multiple drivers")
+        self._pending = value
+
+    def tick(self) -> None:
+        """Clock edge: latch the pending write, if any."""
+        if self._pending is not _NO_WRITE:
+            self._current = self._pending
+            self._pending = _NO_WRITE
+
+
+class _NoWrite:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<no-write>"
+
+
+_NO_WRITE = _NoWrite()
+
+
+class Channel:
+    """Capacity-one synchronous channel.
+
+    Handel-C channels are rendezvous points; this model is the standard
+    capacity-1 relaxation: ``send`` blocks while the slot is full,
+    ``recv`` blocks while it is empty.  Both are generator helpers used
+    as ``yield from chan.send(v)`` / ``v = yield from chan.recv()``.
+    """
+
+    def __init__(self, name: str = "chan") -> None:
+        self.name = name
+        self._slot: Any = _NO_WRITE
+
+    @property
+    def full(self) -> bool:
+        """Whether a value is waiting to be received."""
+        return self._slot is not _NO_WRITE
+
+    def send(self, value: Any) -> Process:
+        """Blocking send (one cycle minimum)."""
+        while self.full:
+            yield
+        self._slot = value
+        yield
+
+    def try_send(self, value: Any) -> bool:
+        """Non-blocking send; returns success."""
+        if self.full:
+            return False
+        self._slot = value
+        return True
+
+    def recv(self) -> Process:
+        """Blocking receive (one cycle minimum); returns the value."""
+        while not self.full:
+            yield
+        value = self._slot
+        self._slot = _NO_WRITE
+        yield
+        return value
+
+    def try_recv(self) -> tuple[bool, Any]:
+        """Non-blocking receive; returns (ok, value)."""
+        if not self.full:
+            return (False, None)
+        value = self._slot
+        self._slot = _NO_WRITE
+        return (True, value)
+
+
+def delay(cycles: int) -> Process:
+    """A process that idles for ``cycles`` clock cycles."""
+    if cycles < 0:
+        raise SimulationError(f"delay must be >= 0, got {cycles}")
+    for _ in range(cycles):
+        yield
+
+
+def par(*processes: Process) -> Process:
+    """Run child processes in lockstep; finishes when all finish.
+
+    Mirrors Handel-C ``par { }``: each cycle, every still-running child
+    advances exactly one cycle.
+    """
+    active = list(processes)
+    returns: list[Any] = [None] * len(active)
+    done = [False] * len(active)
+    while not all(done):
+        for i, proc in enumerate(active):
+            if done[i]:
+                continue
+            try:
+                next(proc)
+            except StopIteration as stop:
+                done[i] = True
+                returns[i] = stop.value
+        if not all(done):
+            yield
+    return returns
+
+
+def seq(*processes: Process) -> Process:
+    """Run child processes one after another (Handel-C ``seq { }``)."""
+    returns: list[Any] = []
+    for proc in processes:
+        result = yield from proc
+        returns.append(result)
+    return returns
+
+
+class Simulator:
+    """Drives processes and registers with a shared clock."""
+
+    def __init__(self) -> None:
+        self._processes: list[Process] = []
+        self._registers: list[Register] = []
+        self.cycle = 0
+
+    def add_process(self, process: Process) -> None:
+        """Attach a top-level process."""
+        self._processes.append(process)
+
+    def add_register(self, register: Register) -> Register:
+        """Attach a register so it is clocked by :meth:`step`."""
+        self._registers.append(register)
+        return register
+
+    def make_register(self, initial: Any = 0, name: str = "reg") -> Register:
+        """Create and attach a register."""
+        return self.add_register(Register(initial, name))
+
+    @property
+    def running(self) -> bool:
+        """Whether any process is still active."""
+        return bool(self._processes)
+
+    def step(self) -> None:
+        """Advance the whole design by one clock cycle."""
+        still_running: list[Process] = []
+        for proc in self._processes:
+            try:
+                next(proc)
+                still_running.append(proc)
+            except StopIteration:
+                pass
+        self._processes = still_running
+        for register in self._registers:
+            register.tick()
+        self.cycle += 1
+
+    def run(self, max_cycles: int = 1_000_000) -> int:
+        """Step until all processes finish; returns cycles consumed.
+
+        Raises :class:`SimulationError` at ``max_cycles`` — a deadlock
+        guard for rendezvous mistakes.
+        """
+        start = self.cycle
+        while self.running:
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"design did not settle within {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle - start
+
+
+def run_process(process: Process, max_cycles: int = 1_000_000) -> Any:
+    """Convenience: run a single process to completion, return its value."""
+    sim = Simulator()
+    result_box: list[Any] = []
+
+    def wrapper() -> Process:
+        result = yield from process
+        result_box.append(result)
+
+    sim.add_process(wrapper())
+    sim.run(max_cycles=max_cycles)
+    return result_box[0] if result_box else None

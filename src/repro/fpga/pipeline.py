@@ -1,0 +1,176 @@
+"""The five-stage ``RotateCoordinates`` pipeline of Figure 5.
+
+Paper §9: "This is a five-stage pipeline which, once loaded, computes
+the rotated output location (OutX, OutY) of each input pixel
+(InX, InY) on each clock cycle."
+
+Stage map (one register bank between each, exactly as in the paper's
+``par`` block):
+
+1. ``GenerateSine``/``GenerateCos`` — trig LUT lookup for theta;
+2. subtract the center of rotation, ``Int2fixed``;
+3. four ``FixedMult`` products (x·cos, x·sin, y·cos, −y·sin);
+4. pair-wise adds, ``fixed2Int``;
+5. add the center of rotation back.
+
+The model is cycle-accurate: :meth:`tick` advances one clock, accepting
+one input coordinate and (after the 5-cycle fill) emitting one output
+coordinate per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FpgaError
+from repro.fpga.fixedpoint import (
+    TRIG_FORMAT,
+    VIDEO_FORMAT,
+    FixedFormat,
+    fixed_mul,
+)
+from repro.fpga.trig_lut import SinCosLut
+
+#: Pipeline depth, per the paper.
+PIPELINE_DEPTH = 5
+
+
+@dataclass(frozen=True)
+class PipelineInput:
+    """One coordinate entering the pipeline."""
+
+    in_x: int
+    in_y: int
+    #: Phase index into the trig LUT (theta quantized by the caller).
+    phase: int
+    #: Opaque tag carried alongside (e.g. the destination address).
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class PipelineOutput:
+    """One rotated coordinate leaving the pipeline."""
+
+    out_x: int
+    out_y: int
+    tag: object = None
+
+
+class RotateCoordinatesPipeline:
+    """Cycle-accurate model of the Figure-5 rotation pipeline."""
+
+    def __init__(
+        self,
+        center: tuple[int, int],
+        lut: SinCosLut | None = None,
+        coord_format: FixedFormat = VIDEO_FORMAT,
+        trig_format: FixedFormat = TRIG_FORMAT,
+    ) -> None:
+        self.center = (int(center[0]), int(center[1]))
+        self.lut = lut if lut is not None else SinCosLut(value_format=trig_format)
+        if self.lut.value_format != trig_format:
+            raise FpgaError("LUT format does not match the pipeline trig format")
+        self.coord_format = coord_format
+        self.trig_format = trig_format
+        # One slot per stage boundary; None = bubble.
+        self._stages: list[object | None] = [None] * PIPELINE_DEPTH
+        self.cycles = 0
+        self.outputs_produced = 0
+
+    def flush(self) -> None:
+        """Drop all in-flight work (video blanking interval)."""
+        self._stages = [None] * PIPELINE_DEPTH
+
+    @property
+    def busy(self) -> bool:
+        """Whether any stage holds in-flight work."""
+        return any(slot is not None for slot in self._stages)
+
+    def tick(self, pixel: PipelineInput | None = None) -> PipelineOutput | None:
+        """One clock: accept ``pixel`` (or a bubble), maybe emit.
+
+        Returns the coordinate completing stage 5 this cycle, if any.
+        """
+        self.cycles += 1
+        fmt = self.coord_format
+
+        # Stage 5: add the center of rotation back.
+        emitted: PipelineOutput | None = None
+        stage5 = self._stages[4]
+        if stage5 is not None:
+            map_x_back, map_y_back, tag = stage5
+            emitted = PipelineOutput(
+                out_x=map_x_back + self.center[0],
+                out_y=map_y_back + self.center[1],
+                tag=tag,
+            )
+            self.outputs_produced += 1
+
+        # Stage 4: sum the products, fixed2Int.
+        stage4 = self._stages[3]
+        result4 = None
+        if stage4 is not None:
+            t2, t3, t4, t5, tag = stage4
+            map_x_back = fmt.to_int(fmt.add(t2, t3, saturate=True))
+            map_y_back = fmt.to_int(fmt.add(t4, t5, saturate=True))
+            result4 = (map_x_back, map_y_back, tag)
+
+        # Stage 3: the four FixedMult products.
+        stage3 = self._stages[2]
+        result3 = None
+        if stage3 is not None:
+            fx, fy, sin_raw, cos_raw, tag = stage3
+            neg_sin = -sin_raw
+            t2 = fixed_mul(fy, fmt, neg_sin, self.trig_format, fmt, saturate=True)
+            t3 = fixed_mul(fx, fmt, cos_raw, self.trig_format, fmt, saturate=True)
+            t4 = fixed_mul(fx, fmt, sin_raw, self.trig_format, fmt, saturate=True)
+            t5 = fixed_mul(fy, fmt, cos_raw, self.trig_format, fmt, saturate=True)
+            result3 = (t2, t3, t4, t5, tag)
+
+        # Stage 2: subtract the center, Int2fixed.
+        stage2 = self._stages[1]
+        result2 = None
+        if stage2 is not None:
+            in_x, in_y, sin_raw, cos_raw, tag = stage2
+            map_x = in_x - self.center[0]
+            map_y = in_y - self.center[1]
+            fx = fmt.from_int(map_x, saturate=True)
+            fy = fmt.from_int(map_y, saturate=True)
+            result2 = (fx, fy, sin_raw, cos_raw, tag)
+
+        # Stage 1: trig lookups.
+        stage1 = self._stages[0]
+        result1 = None
+        if stage1 is not None:
+            pixel_in: PipelineInput = stage1  # type: ignore[assignment]
+            result1 = (
+                pixel_in.in_x,
+                pixel_in.in_y,
+                self.lut.sin_raw(pixel_in.phase),
+                self.lut.cos_raw(pixel_in.phase),
+                pixel_in.tag,
+            )
+
+        # Advance the register banks (all at the same clock edge).
+        self._stages = [pixel, result1, result2, result3, result4]
+        return emitted
+
+    def rotate_block(
+        self, pixels: list[PipelineInput]
+    ) -> tuple[list[PipelineOutput], int]:
+        """Stream a block of coordinates; returns (outputs, cycles).
+
+        Demonstrates the headline property: ``cycles == len(pixels) +
+        PIPELINE_DEPTH`` — one result per clock after the fill.
+        """
+        outputs: list[PipelineOutput] = []
+        start_cycles = self.cycles
+        for pixel in pixels:
+            out = self.tick(pixel)
+            if out is not None:
+                outputs.append(out)
+        while self.busy:
+            out = self.tick(None)
+            if out is not None:
+                outputs.append(out)
+        return outputs, self.cycles - start_cycles

@@ -1,0 +1,73 @@
+"""ZBT SRAM bank model.
+
+The RC200E carries "two banks of 2 Mbyte ZBT RAM" (paper §7).  ZBT
+(zero bus turnaround) parts accept a read or write every cycle with no
+dead cycles between them — which is what makes the single-cycle video
+pipeline possible.  The model enforces the one-port discipline: one
+access per cycle, counted, with bounds checking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FpgaError
+
+
+class ZbtSram:
+    """One 2-MByte ZBT SRAM bank, byte-addressed for video use."""
+
+    def __init__(self, size_bytes: int = 2 * 1024 * 1024, name: str = "sram") -> None:
+        if size_bytes <= 0:
+            raise FpgaError("SRAM size must be positive")
+        self.name = name
+        self.size = size_bytes
+        self._data = np.zeros(size_bytes, dtype=np.uint8)
+        self.reads = 0
+        self.writes = 0
+        self._accessed_this_cycle = False
+
+    def begin_cycle(self) -> None:
+        """Open a new cycle (clears the one-access guard)."""
+        self._accessed_this_cycle = False
+
+    def _guard(self, address: int) -> None:
+        if not 0 <= address < self.size:
+            raise FpgaError(
+                f"{self.name}: address {address:#x} outside {self.size:#x}"
+            )
+        if self._accessed_this_cycle:
+            raise FpgaError(f"{self.name}: second access in one cycle")
+        self._accessed_this_cycle = True
+
+    def read(self, address: int) -> int:
+        """Single-cycle read of one byte."""
+        self._guard(address)
+        self.reads += 1
+        return int(self._data[address])
+
+    def write(self, address: int, value: int) -> None:
+        """Single-cycle write of one byte."""
+        self._guard(address)
+        if not 0 <= value <= 0xFF:
+            raise FpgaError(f"{self.name}: byte value out of range: {value}")
+        self.writes += 1
+        self._data[address] = value
+
+    # Bulk (DMA-style) helpers used by the frame-level fast path; these
+    # model back-to-back ZBT bursts and count accesses accordingly.
+
+    def load_array(self, address: int, values: np.ndarray) -> None:
+        """Burst-write a uint8 array starting at ``address``."""
+        flat = np.asarray(values, dtype=np.uint8).reshape(-1)
+        if address < 0 or address + flat.size > self.size:
+            raise FpgaError(f"{self.name}: burst write out of range")
+        self._data[address : address + flat.size] = flat
+        self.writes += int(flat.size)
+
+    def dump_array(self, address: int, count: int) -> np.ndarray:
+        """Burst-read ``count`` bytes starting at ``address``."""
+        if address < 0 or address + count > self.size:
+            raise FpgaError(f"{self.name}: burst read out of range")
+        self.reads += int(count)
+        return self._data[address : address + count].copy()

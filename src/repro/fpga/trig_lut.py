@@ -1,0 +1,70 @@
+"""The pipeline's sine/cosine lookup table.
+
+Paper §9: "sine and cosine angles stored in a 1024-element lookup
+table".  The table maps a phase index (0..size-1 covering one full
+turn) to fixed-point sine values; cosine reads the same table with a
+quarter-turn offset, exactly as the ``GenerateSine``/``GenerateCos``
+macros would share one ROM.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import FpgaError
+from repro.fpga.fixedpoint import TRIG_FORMAT, FixedFormat
+from repro.units import TWO_PI
+
+
+class SinCosLut:
+    """A shared sine ROM with cosine phase offset."""
+
+    def __init__(
+        self, size: int = 1024, value_format: FixedFormat = TRIG_FORMAT
+    ) -> None:
+        if size < 4 or size % 4 != 0:
+            raise FpgaError(f"LUT size must be a multiple of 4 >= 4, got {size}")
+        self.size = size
+        self.value_format = value_format
+        self._rom = [
+            value_format.from_float(math.sin(TWO_PI * k / size), saturate=True)
+            for k in range(size)
+        ]
+
+    def phase_from_angle(self, theta: float) -> int:
+        """Quantize an angle (radians) onto the table index."""
+        index = int(round(theta / TWO_PI * self.size)) % self.size
+        return index
+
+    def angle_from_phase(self, phase: int) -> float:
+        """Center angle of a table entry."""
+        return TWO_PI * (phase % self.size) / self.size
+
+    def sin_raw(self, phase: int) -> int:
+        """Fixed-point sine at a phase index."""
+        return self._rom[phase % self.size]
+
+    def cos_raw(self, phase: int) -> int:
+        """Fixed-point cosine via the quarter-turn offset."""
+        return self._rom[(phase + self.size // 4) % self.size]
+
+    def sin(self, phase: int) -> float:
+        """Sine as a float (for checks and metrics)."""
+        return self.value_format.to_float(self.sin_raw(phase))
+
+    def cos(self, phase: int) -> float:
+        """Cosine as a float."""
+        return self.value_format.to_float(self.cos_raw(phase))
+
+    def worst_case_error(self) -> float:
+        """Max |LUT sine − true sine| over all entries.
+
+        Bounded by quantization (LSB/2) plus phase granularity when the
+        caller quantizes angles; this reports the value-quantization
+        part only.
+        """
+        worst = 0.0
+        for k in range(self.size):
+            true = math.sin(TWO_PI * k / self.size)
+            worst = max(worst, abs(self.sin(k) - true))
+        return worst

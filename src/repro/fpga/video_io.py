@@ -1,0 +1,94 @@
+"""``VideoInProcess`` / ``VideoOutProcess`` as HDL kernel processes.
+
+Paper §9: "VideoInProcess() ... takes data from the relevant video
+input device and writes successive frames of data to RAM.
+VideoOutProcess() computes the Affine transformation of coordinates on
+the RAM framebuffer, copying the relevant pixels to output".
+
+These processes run on the :mod:`repro.fpga.hdl` kernel, one pixel per
+clock cycle, with the double-buffer swap at frame boundaries — the
+cycle-level version of the frame-level fast path in
+:class:`repro.fpga.affine_hw.AffineEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import FpgaError
+from repro.fpga.framebuffer import DoubleBuffer
+from repro.fpga.hdl import Process
+from repro.fpga.pipeline import PipelineInput, RotateCoordinatesPipeline
+from repro.video.frame import Frame
+
+
+def video_in_process(buffer: DoubleBuffer, frame: Frame) -> Process:
+    """Stream one camera frame into the back buffer, 1 pixel/cycle."""
+    if frame.width != buffer.width or frame.height != buffer.height:
+        raise FpgaError("frame size does not match the framebuffer")
+    pixels = frame.pixels
+    bank = buffer.back
+    for y in range(buffer.height):
+        for x in range(buffer.width):
+            bank.begin_cycle()
+            bank.write(buffer.address_of(x, y), int(pixels[y, x]))
+            yield
+
+
+def video_out_process(
+    buffer: DoubleBuffer,
+    pipeline: RotateCoordinatesPipeline,
+    phase: int,
+    translation: tuple[int, int],
+    emit: Callable[[int, int, int], None],
+    fill_level: int = 0,
+) -> Process:
+    """Transform the front buffer through the pipeline, 1 pixel/cycle.
+
+    ``emit(x, y, value)`` receives each output pixel.  The SRAM read
+    happens in the cycle after the pipeline produces the source
+    coordinate, overlapping with the next coordinate's arithmetic —
+    ZBT RAM allows that with zero turnaround.
+    """
+    width, height = buffer.width, buffer.height
+    bank = buffer.front
+    bx, by = translation
+    pipeline.flush()
+
+    def handle(result) -> None:
+        dest_x, dest_y = result.tag
+        src_x = result.out_x + bx
+        src_y = result.out_y + by
+        if 0 <= src_x < width and 0 <= src_y < height:
+            bank.begin_cycle()
+            value = bank.read(buffer.address_of(src_x, src_y))
+        else:
+            value = fill_level
+        emit(dest_x, dest_y, value)
+
+    for dest_y in range(height):
+        for dest_x in range(width):
+            result = pipeline.tick(
+                PipelineInput(in_x=dest_x, in_y=dest_y, phase=phase,
+                              tag=(dest_x, dest_y))
+            )
+            if result is not None:
+                handle(result)
+            yield
+    while pipeline.busy:
+        result = pipeline.tick(None)
+        if result is not None:
+            handle(result)
+        yield
+
+
+def collect_output_frame(width: int, height: int, fill_level: int = 0):
+    """Helper making an ``emit`` callback plus its backing array."""
+    out = np.full((height, width), fill_level, dtype=np.uint8)
+
+    def emit(x: int, y: int, value: int) -> None:
+        out[y, x] = value
+
+    return out, emit

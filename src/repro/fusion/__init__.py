@@ -1,0 +1,80 @@
+"""The Sensor Fusion Algorithm — the paper's core contribution.
+
+Pipeline (paper §5): "After data reconstruction and subsequent data
+fusion, the data is passed through a Kalman Filter that tracks the
+sampled data and provides a confidence level of the tracking quality.
+The resultant values ... are roll, pitch and yaw of the boresighted
+sensor with respect to the IMU axes, with associated covariance values."
+
+- :mod:`repro.fusion.reconstruction` — aligns the CAN/serial sensor
+  streams onto a common fusion time base ("data reconstruction").
+- :mod:`repro.fusion.kalman` — general linear/extended Kalman filter
+  with Joseph-form updates and innovation statistics.
+- :mod:`repro.fusion.models` — the misalignment measurement model.
+- :mod:`repro.fusion.boresight` — :class:`BoresightEstimator`, the
+  end-to-end estimator producing angles + covariance + confidence.
+- :mod:`repro.fusion.calibration` — the "system was calibrated first"
+  step of §11.
+- :mod:`repro.fusion.confidence` — residual/3-sigma monitoring
+  (Figure 8) and convergence detection.
+- :mod:`repro.fusion.adaptive` — automated version of the manual
+  measurement-noise tuning described in §11.
+- :mod:`repro.fusion.portable` / :mod:`repro.fusion.backend` — the
+  filter re-expressed over pluggable scalar arithmetic (float64,
+  float32, softfloat, fixed point) for the embedded/ablation studies.
+- :mod:`repro.fusion.steady_state` — fixed-gain variant executed by the
+  Sabre firmware.
+"""
+
+from repro.fusion.adaptive import InnovationAdaptiveNoise
+from repro.fusion.backend import (
+    Backend,
+    FixedPointBackend,
+    Float32Backend,
+    Float64Backend,
+    SoftFloatBackend,
+    get_backend,
+)
+from repro.fusion.boresight import (
+    BoresightConfig,
+    BoresightEstimator,
+    BoresightHistory,
+    BoresightResult,
+)
+from repro.fusion.calibration import SensorCalibration, calibrate_static
+from repro.fusion.confidence import ConvergenceDetector, ResidualMonitor
+from repro.fusion.kalman import Innovation, KalmanFilter
+from repro.fusion.models import MisalignmentModel
+from repro.fusion.multisensor import MultiSensorAligner, MultiSensorResult
+from repro.fusion.portable import PortableBoresightFilter
+from repro.fusion.reconstruction import FusedSamples, block_average, reconstruct
+from repro.fusion.steady_state import SteadyStateFilter, solve_steady_state_gain
+
+__all__ = [
+    "KalmanFilter",
+    "Innovation",
+    "MisalignmentModel",
+    "BoresightConfig",
+    "BoresightEstimator",
+    "BoresightHistory",
+    "BoresightResult",
+    "SensorCalibration",
+    "calibrate_static",
+    "FusedSamples",
+    "reconstruct",
+    "block_average",
+    "ResidualMonitor",
+    "ConvergenceDetector",
+    "InnovationAdaptiveNoise",
+    "MultiSensorAligner",
+    "MultiSensorResult",
+    "Backend",
+    "Float64Backend",
+    "Float32Backend",
+    "SoftFloatBackend",
+    "FixedPointBackend",
+    "get_backend",
+    "PortableBoresightFilter",
+    "SteadyStateFilter",
+    "solve_steady_state_gain",
+]

@@ -1,0 +1,77 @@
+"""Static sensor calibration — the "calibrated first" step of §11.
+
+Protocol reproduced from the paper: with the platform level and still
+(and the sensor not yet misaligned), average both instruments long
+enough that white noise is negligible.  The gyro means are rate biases;
+the IMU accelerometer means minus gravity are force biases; the ACC
+means are its channel biases (a level platform puts zero true specific
+force in the sensor x'/y' plane).
+
+What calibration cannot remove — bias *drift* after the calibration
+window, leveling error of the table — is what ultimately bounds the
+accuracy in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FusionError
+from repro.sensors.acc2 import AccSamples
+from repro.sensors.imu import ImuSamples
+from repro.units import STANDARD_GRAVITY
+
+
+@dataclass(frozen=True)
+class SensorCalibration:
+    """Biases estimated during the static calibration window."""
+
+    gyro_bias: np.ndarray
+    imu_accel_bias: np.ndarray
+    acc_bias: np.ndarray
+    #: Length of the calibration window actually used, seconds.
+    window: float
+
+    def apply(
+        self, imu: ImuSamples, acc: AccSamples
+    ) -> tuple[ImuSamples, AccSamples]:
+        """Return de-biased copies of both streams."""
+        return (
+            imu.debias(self.gyro_bias, self.imu_accel_bias),
+            acc.debias(self.acc_bias),
+        )
+
+
+def calibrate_static(
+    imu: ImuSamples,
+    acc: AccSamples,
+    window: float = 30.0,
+) -> SensorCalibration:
+    """Estimate sensor biases from the first ``window`` seconds.
+
+    The platform is assumed level and stationary over the window (the
+    paper's level test platform / parked car).  Raises
+    :class:`FusionError` if either stream is shorter than the window.
+    """
+    if window <= 0.0:
+        raise FusionError(f"calibration window must be > 0, got {window}")
+    imu_mask = imu.time <= imu.time[0] + window
+    acc_mask = acc.time <= acc.time[0] + window
+    if imu.time[-1] - imu.time[0] < window or acc.time[-1] - acc.time[0] < window:
+        raise FusionError(
+            f"streams shorter than the {window:.0f} s calibration window"
+        )
+
+    gyro_bias = imu.body_rate[imu_mask].mean(axis=0)
+    gravity_level = np.array([0.0, 0.0, -STANDARD_GRAVITY])
+    imu_accel_bias = imu.specific_force[imu_mask].mean(axis=0) - gravity_level
+    acc_bias = acc.specific_force[acc_mask].mean(axis=0)
+
+    return SensorCalibration(
+        gyro_bias=gyro_bias,
+        imu_accel_bias=imu_accel_bias,
+        acc_bias=acc_bias,
+        window=float(window),
+    )

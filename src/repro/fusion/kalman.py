@@ -1,0 +1,183 @@
+"""General Kalman filter with innovation statistics.
+
+A deliberately small, well-tested discrete Kalman filter core:
+time-varying H and R, Joseph-form covariance update for numerical
+robustness (the paper's dynamic range concerns are why Sabre needed
+floating point at all), and first-class innovation statistics, because
+the paper's confidence outputs and Figure 8 are innovation plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FilterDivergenceError, FusionError
+
+
+@dataclass(frozen=True)
+class Innovation:
+    """Statistics of one measurement update.
+
+    Attributes
+    ----------
+    residual:
+        Innovation ``z - z_hat`` (measurement space).
+    covariance:
+        Innovation covariance ``S = H P H' + R``.
+    sigma:
+        Per-component innovation standard deviations ``sqrt(diag(S))``.
+    nis:
+        Normalized innovation squared ``r' S^-1 r`` — chi-square with
+        ``len(residual)`` degrees of freedom when the filter is
+        consistent.
+    gain:
+        The Kalman gain used for the update.
+    """
+
+    residual: np.ndarray
+    covariance: np.ndarray
+    sigma: np.ndarray
+    nis: float
+    gain: np.ndarray
+
+    def three_sigma(self) -> np.ndarray:
+        """The 3-sigma envelope for each residual component (Figure 8)."""
+        return 3.0 * self.sigma
+
+    def exceeds_three_sigma(self) -> np.ndarray:
+        """Boolean per-component flags ``|residual| > 3 sigma``."""
+        return np.abs(self.residual) > self.three_sigma()
+
+
+class KalmanFilter:
+    """Discrete Kalman filter over a random-walk / linear process.
+
+    Parameters
+    ----------
+    initial_state:
+        State estimate at t0, shape (n,).
+    initial_covariance:
+        State covariance at t0, shape (n, n).
+    """
+
+    def __init__(
+        self, initial_state: np.ndarray, initial_covariance: np.ndarray
+    ) -> None:
+        x = np.asarray(initial_state, dtype=np.float64).reshape(-1)
+        p = np.asarray(initial_covariance, dtype=np.float64)
+        if p.shape != (x.shape[0], x.shape[0]):
+            raise FusionError(
+                f"covariance shape {p.shape} does not match state dim {x.shape[0]}"
+            )
+        self._x = x.copy()
+        self._p = 0.5 * (p + p.T)
+        self._check_covariance()
+
+    @property
+    def state(self) -> np.ndarray:
+        """Current state estimate (copy)."""
+        return self._x.copy()
+
+    @state.setter
+    def state(self, value: np.ndarray) -> None:
+        v = np.asarray(value, dtype=np.float64).reshape(-1)
+        if v.shape != self._x.shape:
+            raise FusionError(f"state shape {v.shape} != {self._x.shape}")
+        self._x = v.copy()
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Current state covariance (copy)."""
+        return self._p.copy()
+
+    @property
+    def sigma(self) -> np.ndarray:
+        """Per-state standard deviations ``sqrt(diag(P))``."""
+        return np.sqrt(np.diag(self._p))
+
+    def predict(
+        self,
+        transition: np.ndarray | None = None,
+        process_noise: np.ndarray | None = None,
+    ) -> None:
+        """Time update: ``x = F x``, ``P = F P F' + Q``.
+
+        Both arguments default to identity/zero, the random-walk model
+        used by the misalignment filter (the mounting does not move
+        between measurements; only uncertainty grows).
+        """
+        n = self._x.shape[0]
+        if transition is not None:
+            f = np.asarray(transition, dtype=np.float64)
+            if f.shape != (n, n):
+                raise FusionError(f"transition shape {f.shape} != ({n}, {n})")
+            self._x = f @ self._x
+            self._p = f @ self._p @ f.T
+        if process_noise is not None:
+            q = np.asarray(process_noise, dtype=np.float64)
+            if q.shape != (n, n):
+                raise FusionError(f"process noise shape {q.shape} != ({n}, {n})")
+            self._p = self._p + q
+        self._p = 0.5 * (self._p + self._p.T)
+
+    def update(
+        self,
+        measurement: np.ndarray,
+        h_matrix: np.ndarray,
+        r_matrix: np.ndarray,
+        predicted_measurement: np.ndarray | None = None,
+    ) -> Innovation:
+        """Measurement update; returns the innovation statistics.
+
+        ``predicted_measurement`` allows extended-filter use: the
+        caller supplies the full nonlinear ``h(x)`` while ``h_matrix``
+        is the Jacobian.  When omitted, ``H x`` is used (linear KF).
+        """
+        z = np.asarray(measurement, dtype=np.float64).reshape(-1)
+        h = np.asarray(h_matrix, dtype=np.float64)
+        r = np.asarray(r_matrix, dtype=np.float64)
+        n = self._x.shape[0]
+        m = z.shape[0]
+        if h.shape != (m, n):
+            raise FusionError(f"H shape {h.shape} != ({m}, {n})")
+        if r.shape != (m, m):
+            raise FusionError(f"R shape {r.shape} != ({m}, {m})")
+
+        if predicted_measurement is None:
+            z_hat = h @ self._x
+        else:
+            z_hat = np.asarray(predicted_measurement, dtype=np.float64).reshape(-1)
+            if z_hat.shape != z.shape:
+                raise FusionError(
+                    f"predicted measurement shape {z_hat.shape} != {z.shape}"
+                )
+
+        residual = z - z_hat
+        s = h @ self._p @ h.T + r
+        try:
+            s_inv = np.linalg.inv(s)
+        except np.linalg.LinAlgError as exc:
+            raise FilterDivergenceError("innovation covariance singular") from exc
+        gain = self._p @ h.T @ s_inv
+
+        self._x = self._x + gain @ residual
+        identity = np.eye(n)
+        joseph = identity - gain @ h
+        self._p = joseph @ self._p @ joseph.T + gain @ r @ gain.T
+        self._p = 0.5 * (self._p + self._p.T)
+        self._check_covariance()
+
+        sigma = np.sqrt(np.clip(np.diag(s), 0.0, None))
+        nis = float(residual @ s_inv @ residual)
+        return Innovation(
+            residual=residual, covariance=s, sigma=sigma, nis=nis, gain=gain
+        )
+
+    def _check_covariance(self) -> None:
+        diag = np.diag(self._p)
+        if np.any(~np.isfinite(diag)) or np.any(diag < 0.0):
+            raise FilterDivergenceError(
+                f"covariance diagonal invalid: {diag}"
+            )

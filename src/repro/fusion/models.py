@@ -1,0 +1,155 @@
+"""Misalignment measurement model.
+
+The physics (paper §3): "As the vehicle accelerates, the common
+acceleration vector will be sensed by both the IMU and the ACC.  Any
+differences in acceleration components along the sensor axes are a
+result of the misalignment between the two and individual instrument
+errors."
+
+Model: the ACC reading is
+
+    z = P · C_sb(m) · f_b  +  b  +  v
+
+where ``f_b`` is the body-frame specific force (from the IMU, plus
+lever-arm correction), ``C_sb(m)`` the body→sensor DCM of the
+misalignment ``m``, ``P`` the projector onto the sensor x'/y' axes,
+``b`` the ACC bias and ``v`` white noise.  Linearizing about the
+current estimate with a left-composed small rotation ``δ``
+(``C_sb = (I - [δ×]) Ĉ_sb``) gives
+
+    z ≈ ẑ + P [ŷ×] δ + ...,   ŷ = Ĉ_sb f_b,
+
+so the misalignment block of the Jacobian is ``P [ŷ×]`` — the skew
+matrix of the *predicted sensor-frame specific force*.  Gravity makes
+roll/pitch observable at rest; yaw needs horizontal specific force
+(driving, or tilting the static platform), which is exactly the
+observability structure reported in §11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FusionError
+from repro.geometry import EulerAngles, dcm_from_euler, dcm_to_euler, orthonormalize, skew
+
+#: Projector onto the sensor x'/y' axes (the ACC is two-axis).
+PROJECT_XY = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+
+
+@dataclass
+class MisalignmentModel:
+    """State layout and measurement maths of the boresight filter.
+
+    State: ``[rotation correction (3)] (+ [ACC bias (2)] if
+    ``estimate_biases``)``.  The rotation is *not* stored in the state
+    vector — the filter is multiplicative (MEKF-style): the state holds
+    the small correction ``δ`` which is folded into the reference DCM
+    after every update, keeping the linearization point exact.
+
+    ``yaw_threshold`` (m/s²) gates yaw observability: the yaw column of
+    H is built from the *measured* horizontal specific force, so below
+    the noise floor it contains only noise (errors-in-variables), and a
+    large-P yaw state would random-walk on it.  When the predicted
+    horizontal force magnitude is under the threshold the yaw column is
+    zeroed — the filter honestly reports "no yaw information", exactly
+    the paper's observation that yaw needs generated acceleration
+    components.
+    """
+
+    estimate_biases: bool = False
+    yaw_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        self._dcm = np.eye(3)
+        self._bias = np.zeros(2)
+
+    @property
+    def state_dim(self) -> int:
+        """Dimension of the error-state vector."""
+        return 5 if self.estimate_biases else 3
+
+    @property
+    def dcm(self) -> np.ndarray:
+        """Current body→sensor misalignment DCM estimate."""
+        return self._dcm.copy()
+
+    @property
+    def bias(self) -> np.ndarray:
+        """Current ACC bias estimate (x', y'), m/s²."""
+        return self._bias.copy()
+
+    def reset(
+        self,
+        misalignment: EulerAngles | None = None,
+        bias: np.ndarray | None = None,
+    ) -> None:
+        """Re-initialize the reference point."""
+        self._dcm = (
+            np.eye(3) if misalignment is None else dcm_from_euler(misalignment)
+        )
+        self._bias = (
+            np.zeros(2)
+            if bias is None
+            else np.asarray(bias, dtype=np.float64).reshape(2).copy()
+        )
+
+    def misalignment(self) -> EulerAngles:
+        """Current misalignment estimate as Euler angles."""
+        return dcm_to_euler(self._dcm)
+
+    def predict_measurement(self, specific_force_body: np.ndarray) -> np.ndarray:
+        """Expected ACC reading ``P C f + b`` for the current estimate."""
+        f = np.asarray(specific_force_body, dtype=np.float64).reshape(3)
+        return PROJECT_XY @ (self._dcm @ f) + self._bias
+
+    def h_matrix(self, specific_force_body: np.ndarray) -> np.ndarray:
+        """Measurement Jacobian for the error state.
+
+        ``H = [P [ŷ×] | I₂]`` with ``ŷ = Ĉ f`` the predicted
+        sensor-frame specific force.
+        """
+        f = np.asarray(specific_force_body, dtype=np.float64).reshape(3)
+        y_hat = self._dcm @ f
+        h_rot = PROJECT_XY @ skew(y_hat)
+        if float(np.hypot(y_hat[0], y_hat[1])) < self.yaw_threshold:
+            h_rot[:, 2] = 0.0
+        if not self.estimate_biases:
+            return h_rot
+        return np.hstack([h_rot, np.eye(2)])
+
+    def apply_correction(self, delta: np.ndarray) -> None:
+        """Fold an error-state correction into the reference estimate.
+
+        ``delta[:3]`` is the small rotation (sensor-frame axes) that
+        left-composes onto the DCM; ``delta[3:5]`` increments the bias.
+        """
+        d = np.asarray(delta, dtype=np.float64).reshape(-1)
+        if d.shape != (self.state_dim,):
+            raise FusionError(
+                f"correction dim {d.shape} != state dim {self.state_dim}"
+            )
+        correction = np.eye(3) - skew(d[:3])
+        self._dcm = orthonormalize(correction @ self._dcm)
+        if self.estimate_biases:
+            self._bias = self._bias + d[3:5]
+
+    def observability_grammian(
+        self, specific_force_series: np.ndarray
+    ) -> np.ndarray:
+        """Accumulated ``sum(Hᵀ H)`` over a force series.
+
+        A diagnostic: near-zero eigenvalues identify the unobservable
+        directions (yaw when the force stays vertical).  Uses the
+        current estimate as the linearization point.
+        """
+        f = np.asarray(specific_force_series, dtype=np.float64)
+        if f.ndim != 2 or f.shape[1] != 3:
+            raise FusionError(f"expected (N, 3) series, got {f.shape}")
+        gram = np.zeros((self.state_dim, self.state_dim))
+        for row in f:
+            h = self.h_matrix(row)
+            gram += h.T @ h
+        return gram

@@ -1,0 +1,177 @@
+"""The boresight filter re-expressed over backend scalar arithmetic.
+
+This is the embedded-style implementation: a 3-state small-angle
+Kalman filter written as explicit scalar operations, the way the C
+code on the Sabre soft core computes it through SoftFloat calls.  It
+deliberately avoids numpy so that each add/mul maps 1:1 onto a backend
+operation (and, through the softfloat backend, onto the exact sequence
+of operations the Sabre firmware performs — enabling bit-for-bit
+equivalence tests).
+
+Model: state m (3 small angles), random-walk process, measurement
+z = P (I - [m×]) f + v — the first-order version of the full model in
+:mod:`repro.fusion.models`, adequate for the "few degrees" of the
+paper's tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import FusionError
+from repro.fusion.backend import Backend, Float64Backend
+
+Matrix = list[list[Any]]
+Vector = list[Any]
+
+
+class PortableBoresightFilter:
+    """3-state misalignment KF over pluggable scalar arithmetic.
+
+    Parameters
+    ----------
+    backend:
+        Scalar arithmetic implementation.
+    measurement_sigma:
+        Per-axis ACC measurement sigma, m/s².
+    process_noise:
+        Angle random-walk density, rad/sqrt(s).
+    initial_sigma:
+        Initial per-angle 1-sigma, rad.
+    fusion_dt:
+        Fixed fusion step, seconds (embedded loop runs at a fixed rate).
+    """
+
+    def __init__(
+        self,
+        backend: Backend | None = None,
+        measurement_sigma: float = 0.005,
+        process_noise: float = 2e-6,
+        initial_sigma: float = 0.1,
+        fusion_dt: float = 0.2,
+    ) -> None:
+        if measurement_sigma <= 0.0 or initial_sigma <= 0.0 or fusion_dt <= 0.0:
+            raise FusionError("sigmas and dt must be positive")
+        self.backend = backend if backend is not None else Float64Backend()
+        b = self.backend
+        self._r = b.from_float(measurement_sigma**2)
+        self._q = b.from_float((process_noise**2) * fusion_dt)
+        self._x: Vector = [b.zero(), b.zero(), b.zero()]
+        p0 = initial_sigma**2
+        self._p: Matrix = [
+            [b.from_float(p0 if i == j else 0.0) for j in range(3)]
+            for i in range(3)
+        ]
+
+    @property
+    def state(self) -> list[float]:
+        """Misalignment estimate [roll, pitch, yaw], radians."""
+        return [self.backend.to_float(v) for v in self._x]
+
+    @property
+    def covariance(self) -> list[list[float]]:
+        """State covariance as Python floats."""
+        return [[self.backend.to_float(v) for v in row] for row in self._p]
+
+    @property
+    def sigma(self) -> list[float]:
+        """Per-angle standard deviations (computed in float64)."""
+        return [max(0.0, self.backend.to_float(self._p[i][i])) ** 0.5 for i in range(3)]
+
+    def update(
+        self, specific_force: Sequence[float], acc_xy: Sequence[float]
+    ) -> list[float]:
+        """One predict+update step; returns the 2-axis residual.
+
+        ``specific_force`` is the body-frame IMU force (3,), ``acc_xy``
+        the ACC measurement (2,).  All arithmetic — including the 2x2
+        innovation inverse — runs on the backend.
+        """
+        b = self.backend
+        fx = b.from_float(float(specific_force[0]))
+        fy = b.from_float(float(specific_force[1]))
+        fz = b.from_float(float(specific_force[2]))
+        z0 = b.from_float(float(acc_xy[0]))
+        z1 = b.from_float(float(acc_xy[1]))
+
+        # Predict: random walk — P += Q on the diagonal.
+        for i in range(3):
+            self._p[i][i] = b.add(self._p[i][i], self._q)
+
+        # H = P_xy [f×]: rows  [0, -fz, fy] and [fz, 0, -fx].
+        h: Matrix = [
+            [b.zero(), b.neg(fz), fy],
+            [fz, b.zero(), b.neg(fx)],
+        ]
+
+        # z_hat = f_xy + H m   (first-order C(m) f).
+        def dot3(row: Vector, vec: Vector) -> Any:
+            acc = b.mul(row[0], vec[0])
+            acc = b.add(acc, b.mul(row[1], vec[1]))
+            return b.add(acc, b.mul(row[2], vec[2]))
+
+        z_hat0 = b.add(fx, dot3(h[0], self._x))
+        z_hat1 = b.add(fy, dot3(h[1], self._x))
+        r0 = b.sub(z0, z_hat0)
+        r1 = b.sub(z1, z_hat1)
+
+        # PHt (3x2) and S = H PHt + R (2x2).
+        pht: Matrix = [
+            [dot3(self._p[i], h[0]), dot3(self._p[i], h[1])] for i in range(3)
+        ]
+        s00 = b.add(dot3(h[0], [pht[0][0], pht[1][0], pht[2][0]]), self._r)
+        s01 = dot3(h[0], [pht[0][1], pht[1][1], pht[2][1]])
+        s10 = dot3(h[1], [pht[0][0], pht[1][0], pht[2][0]])
+        s11 = b.add(dot3(h[1], [pht[0][1], pht[1][1], pht[2][1]]), self._r)
+
+        # 2x2 inverse.
+        det = b.sub(b.mul(s00, s11), b.mul(s01, s10))
+        if b.to_float(det) == 0.0:
+            raise FusionError("singular innovation covariance")
+        inv00 = b.div(s11, det)
+        inv01 = b.neg(b.div(s01, det))
+        inv10 = b.neg(b.div(s10, det))
+        inv11 = b.div(s00, det)
+
+        # K = PHt S^-1 (3x2).
+        k: Matrix = []
+        for i in range(3):
+            k0 = b.add(b.mul(pht[i][0], inv00), b.mul(pht[i][1], inv10))
+            k1 = b.add(b.mul(pht[i][0], inv01), b.mul(pht[i][1], inv11))
+            k.append([k0, k1])
+
+        # x += K r.
+        for i in range(3):
+            self._x[i] = b.add(
+                self._x[i], b.add(b.mul(k[i][0], r0), b.mul(k[i][1], r1))
+            )
+
+        # P -= K (PHt)'.  (Standard form; adequate for the well-
+        # conditioned 3-state problem, and what 2005 embedded code did.)
+        for i in range(3):
+            for j in range(3):
+                delta = b.add(
+                    b.mul(k[i][0], pht[j][0]), b.mul(k[i][1], pht[j][1])
+                )
+                self._p[i][j] = b.sub(self._p[i][j], delta)
+        # Re-symmetrize to fight rounding drift in narrow arithmetic.
+        for i in range(3):
+            for j in range(i + 1, 3):
+                half = b.from_float(0.5)
+                avg = b.mul(half, b.add(self._p[i][j], self._p[j][i]))
+                self._p[i][j] = avg
+                self._p[j][i] = avg
+
+        return [b.to_float(r0), b.to_float(r1)]
+
+    def run(
+        self,
+        force_series: Sequence[Sequence[float]],
+        acc_series: Sequence[Sequence[float]],
+    ) -> list[list[float]]:
+        """Process paired series; returns the residual history."""
+        if len(force_series) != len(acc_series):
+            raise FusionError("series lengths differ")
+        return [
+            self.update(f, z) for f, z in zip(force_series, acc_series)
+        ]

@@ -1,0 +1,98 @@
+"""Fixed-gain (steady-state) filter for the embedded main loop.
+
+For the static, level case the measurement geometry is constant
+(H built from f ≈ (0, 0, -g)), so the Kalman gain converges.  The Sabre
+firmware runs this fixed-gain update — a handful of multiply-adds per
+step — which is cheap enough for a SoftFloat-only soft core, while the
+full covariance filter runs host-side.  The firmware's numbers are
+validated bit-for-bit against :class:`~repro.fusion.portable.
+PortableBoresightFilter` with the softfloat backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FusionError
+from repro.units import STANDARD_GRAVITY
+
+
+def solve_steady_state_gain(
+    measurement_sigma: float,
+    process_noise: float,
+    fusion_dt: float,
+    gravity: float = STANDARD_GRAVITY,
+    iterations: int = 10000,
+    tolerance: float = 1e-15,
+) -> np.ndarray:
+    """Iterate the Riccati recursion to the steady-state gain.
+
+    Model: 2 decoupled scalar channels (roll via z_y with H=-g, pitch
+    via z_x with H=+g), random-walk process.  Returns the 2-vector of
+    converged gains [k_pitch, k_roll] mapping residual (m/s²) to angle
+    correction (rad).
+    """
+    if measurement_sigma <= 0.0 or fusion_dt <= 0.0:
+        raise FusionError("sigma and dt must be positive")
+    r = measurement_sigma**2
+    q = (process_noise**2) * fusion_dt
+    gains = []
+    for h in (gravity, -gravity):
+        p = 1.0  # start large; converges regardless
+        k = 0.0
+        for _ in range(iterations):
+            p_pred = p + q
+            s = h * p_pred * h + r
+            k_new = p_pred * h / s
+            p_new = (1.0 - k_new * h) * p_pred
+            if abs(k_new - k) < tolerance:
+                k = k_new
+                p = p_new
+                break
+            k, p = k_new, p_new
+        gains.append(k)
+    return np.array(gains)
+
+
+@dataclass
+class SteadyStateFilter:
+    """Fixed-gain misalignment tracker (static/level geometry).
+
+    Channels: pitch from the ACC x' residual, roll from the ACC y'
+    residual.  Yaw is unobservable in this geometry and not tracked —
+    matching what the firmware can honestly estimate while parked.
+    """
+
+    gain_pitch: float
+    gain_roll: float
+    gravity: float = STANDARD_GRAVITY
+
+    @classmethod
+    def design(
+        cls,
+        measurement_sigma: float = 0.005,
+        process_noise: float = 2e-6,
+        fusion_dt: float = 0.2,
+    ) -> "SteadyStateFilter":
+        """Build with gains from :func:`solve_steady_state_gain`."""
+        k = solve_steady_state_gain(measurement_sigma, process_noise, fusion_dt)
+        return cls(gain_pitch=float(k[0]), gain_roll=float(k[1]))
+
+    def __post_init__(self) -> None:
+        self.pitch = 0.0
+        self.roll = 0.0
+
+    def update(self, acc_x: float, acc_y: float) -> tuple[float, float]:
+        """One update from the two ACC channels; returns the residuals.
+
+        Static geometry: predicted x' reading = +g·pitch, predicted y'
+        reading = −g·roll (gravity (0,0,−g) leaking into the tilted
+        sensor plane, first order).
+        """
+        residual_x = acc_x - self.gravity * self.pitch
+        residual_y = acc_y - (-self.gravity * self.roll)
+        self.pitch += self.gain_pitch * residual_x
+        self.roll += self.gain_roll * residual_y
+        return (residual_x, residual_y)

@@ -1,0 +1,45 @@
+"""Rotation and reference-frame mathematics.
+
+The boresighting problem of the paper is a problem about rotations: the
+misalignment between the sensor frame (x', y', z') and the vehicle body
+frame (x, y, z) is a small rotation, estimated as roll/pitch/yaw.  This
+package provides the rotation algebra everything else is built on:
+
+- :class:`EulerAngles` — roll/pitch/yaw containers with the aerospace
+  Z-Y-X (yaw-pitch-roll) convention used by the paper's Figure 1.
+- DCM helpers in :mod:`repro.geometry.dcm` — direction cosine matrices,
+  skew-symmetric matrices, small-angle approximations.
+- :class:`Quaternion` — unit quaternions for the vehicle attitude
+  propagation in the trajectory simulator.
+- :class:`Frame` / :class:`FrameTransform` — named reference frames.
+"""
+
+from repro.geometry.angles import EulerAngles
+from repro.geometry.dcm import (
+    dcm_from_euler,
+    dcm_from_small_angles,
+    dcm_to_euler,
+    is_rotation_matrix,
+    orthonormalize,
+    skew,
+    unskew,
+)
+from repro.geometry.frames import BODY_FRAME, NED_FRAME, SENSOR_FRAME, Frame, FrameTransform
+from repro.geometry.quaternion import Quaternion
+
+__all__ = [
+    "EulerAngles",
+    "Quaternion",
+    "Frame",
+    "FrameTransform",
+    "BODY_FRAME",
+    "NED_FRAME",
+    "SENSOR_FRAME",
+    "dcm_from_euler",
+    "dcm_from_small_angles",
+    "dcm_to_euler",
+    "skew",
+    "unskew",
+    "is_rotation_matrix",
+    "orthonormalize",
+]

@@ -1,0 +1,103 @@
+"""Euler angle containers.
+
+Convention: aerospace Z-Y-X ("3-2-1").  Starting from the reference
+frame, yaw about z, then pitch about the new y, then roll about the new
+x.  This matches the paper's Figure 1, where the vehicle axes carry
+roll/pitch/yaw arrows about x/y/z respectively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.units import RAD_PER_DEG, rad_to_deg, wrap_angle
+
+
+@dataclass(frozen=True)
+class EulerAngles:
+    """Roll, pitch, yaw in radians (Z-Y-X convention).
+
+    Instances are immutable; arithmetic helpers return new objects.
+    ``pitch`` must stay strictly inside (-pi/2, pi/2) for the Euler
+    parameterization to be free of gimbal lock; the constructor enforces
+    a slightly looser bound and conversion code checks the strict one.
+    """
+
+    roll: float
+    pitch: float
+    yaw: float
+
+    def __post_init__(self) -> None:
+        for name in ("roll", "pitch", "yaw"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise GeometryError(f"{name} must be finite, got {value!r}")
+        if abs(self.pitch) > math.pi / 2 + 1e-12:
+            raise GeometryError(
+                f"pitch {self.pitch!r} outside [-pi/2, pi/2]; "
+                "Z-Y-X Euler angles are singular there"
+            )
+
+    @classmethod
+    def zero(cls) -> "EulerAngles":
+        """The identity rotation."""
+        return cls(0.0, 0.0, 0.0)
+
+    @classmethod
+    def from_degrees(cls, roll: float, pitch: float, yaw: float) -> "EulerAngles":
+        """Build from angles given in degrees."""
+        return cls(roll * RAD_PER_DEG, pitch * RAD_PER_DEG, yaw * RAD_PER_DEG)
+
+    def to_degrees(self) -> tuple[float, float, float]:
+        """Return (roll, pitch, yaw) in degrees."""
+        return (rad_to_deg(self.roll), rad_to_deg(self.pitch), rad_to_deg(self.yaw))
+
+    def as_array(self) -> np.ndarray:
+        """Return the angles as a float64 array [roll, pitch, yaw]."""
+        return np.array([self.roll, self.pitch, self.yaw], dtype=np.float64)
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "EulerAngles":
+        """Build from a 3-element array-like [roll, pitch, yaw]."""
+        arr = np.asarray(values, dtype=np.float64).reshape(-1)
+        if arr.shape != (3,):
+            raise GeometryError(f"expected 3 angles, got shape {arr.shape}")
+        return cls(float(arr[0]), float(arr[1]), float(arr[2]))
+
+    def wrapped(self) -> "EulerAngles":
+        """Wrap roll and yaw into (-pi, pi]; pitch is left untouched."""
+        return EulerAngles(wrap_angle(self.roll), self.pitch, wrap_angle(self.yaw))
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.roll
+        yield self.pitch
+        yield self.yaw
+
+    def __add__(self, other: "EulerAngles") -> "EulerAngles":
+        """Component-wise sum — only meaningful for small angles."""
+        return EulerAngles(
+            self.roll + other.roll, self.pitch + other.pitch, self.yaw + other.yaw
+        )
+
+    def __sub__(self, other: "EulerAngles") -> "EulerAngles":
+        """Component-wise difference — only meaningful for small angles."""
+        return EulerAngles(
+            self.roll - other.roll, self.pitch - other.pitch, self.yaw - other.yaw
+        )
+
+    def scaled(self, factor: float) -> "EulerAngles":
+        """Scale each component by ``factor``."""
+        return EulerAngles(self.roll * factor, self.pitch * factor, self.yaw * factor)
+
+    def max_abs(self) -> float:
+        """Largest absolute component, in radians."""
+        return max(abs(self.roll), abs(self.pitch), abs(self.yaw))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        roll_deg, pitch_deg, yaw_deg = self.to_degrees()
+        return f"(roll={roll_deg:+.4f}°, pitch={pitch_deg:+.4f}°, yaw={yaw_deg:+.4f}°)"

@@ -1,0 +1,105 @@
+"""Named reference frames and transforms between them.
+
+Three frames matter to the paper (Figure 1):
+
+- ``NED`` — local-level navigation frame (north, east, down).  Gravity
+  is +z (down) here, i.e. the *specific force* of a body at rest is
+  -gravity = (0, 0, -g) expressed as "up".
+- ``BODY`` — vehicle frame defined by the IMU (x forward, y right,
+  z down).
+- ``SENSOR`` — camera frame defined by the ACC (x', y', z'); related to
+  BODY by the unknown mounting misalignment the system estimates.
+
+A :class:`FrameTransform` couples a rotation with explicit source and
+destination frames so that accidental frame mixups raise instead of
+silently producing wrong physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.angles import EulerAngles
+from repro.geometry.dcm import dcm_from_euler, is_rotation_matrix
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A named coordinate frame."""
+
+    name: str
+    description: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: Local-level navigation frame (north, east, down).
+NED_FRAME = Frame("NED", "local-level navigation frame, z down")
+
+#: Vehicle body frame defined by the IMU (x forward, y right, z down).
+BODY_FRAME = Frame("BODY", "vehicle frame defined by the IMU")
+
+#: Sensor frame defined by the ACC attached to the boresighted sensor.
+SENSOR_FRAME = Frame("SENSOR", "camera/ACC frame to be boresighted")
+
+
+@dataclass(frozen=True)
+class FrameTransform:
+    """A rotation from ``source`` frame into ``destination`` frame.
+
+    ``transform.apply(v)`` requires ``v`` expressed in ``source`` and
+    returns it expressed in ``destination``.
+    """
+
+    source: Frame
+    destination: Frame
+    dcm: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not is_rotation_matrix(self.dcm, tolerance=1e-6):
+            raise GeometryError(
+                f"transform {self.source}->{self.destination}: not a rotation matrix"
+            )
+        # Freeze the array so the dataclass is genuinely immutable.
+        self.dcm.setflags(write=False)
+
+    @classmethod
+    def from_euler(
+        cls, source: Frame, destination: Frame, angles: EulerAngles
+    ) -> "FrameTransform":
+        """Build a transform whose destination frame is reached by
+        rotating ``source`` through Z-Y-X Euler ``angles``."""
+        return cls(source, destination, dcm_from_euler(angles))
+
+    @classmethod
+    def identity(cls, source: Frame, destination: Frame) -> "FrameTransform":
+        """A transform between nominally-aligned frames."""
+        return cls(source, destination, np.eye(3))
+
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """Rotate a source-frame vector into the destination frame."""
+        v = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if v.shape != (3,):
+            raise GeometryError(f"expected a 3-vector, got shape {v.shape}")
+        return self.dcm @ v
+
+    def inverse(self) -> "FrameTransform":
+        """The destination→source transform."""
+        return FrameTransform(self.destination, self.source, self.dcm.T.copy())
+
+    def compose(self, inner: "FrameTransform") -> "FrameTransform":
+        """Chain transforms: ``outer.compose(inner)`` maps
+        ``inner.source`` → ``outer.destination``.
+
+        Raises :class:`GeometryError` when the frames do not chain.
+        """
+        if inner.destination != self.source:
+            raise GeometryError(
+                f"cannot compose {inner.source}->{inner.destination} "
+                f"with {self.source}->{self.destination}"
+            )
+        return FrameTransform(inner.source, self.destination, self.dcm @ inner.dcm)

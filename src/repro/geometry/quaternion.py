@@ -1,0 +1,162 @@
+"""Unit quaternions for attitude propagation.
+
+The trajectory simulator integrates vehicle attitude with quaternions
+(no gimbal lock, cheap renormalization) and converts to DCMs / Euler
+angles at the sensor interfaces.  Scalar-first convention:
+``q = (w, x, y, z)`` with ``q`` rotating reference-frame vectors into
+the body frame, consistent with :func:`repro.geometry.dcm.dcm_from_euler`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.angles import EulerAngles
+from repro.geometry.dcm import dcm_from_euler, dcm_to_euler
+
+
+@dataclass(frozen=True)
+class Quaternion:
+    """Immutable unit quaternion, scalar-first (w, x, y, z)."""
+
+    w: float
+    x: float
+    y: float
+    z: float
+
+    @classmethod
+    def identity(cls) -> "Quaternion":
+        """The no-rotation quaternion."""
+        return cls(1.0, 0.0, 0.0, 0.0)
+
+    @classmethod
+    def from_axis_angle(cls, axis: np.ndarray, angle: float) -> "Quaternion":
+        """Quaternion for a rotation of ``angle`` radians about ``axis``."""
+        a = np.asarray(axis, dtype=np.float64).reshape(-1)
+        if a.shape != (3,):
+            raise GeometryError(f"axis must be a 3-vector, got shape {a.shape}")
+        norm = float(np.linalg.norm(a))
+        if norm == 0.0:
+            raise GeometryError("axis must be non-zero")
+        a = a / norm
+        half = 0.5 * angle
+        s = math.sin(half)
+        return cls(math.cos(half), a[0] * s, a[1] * s, a[2] * s)
+
+    @classmethod
+    def from_euler(cls, angles: EulerAngles) -> "Quaternion":
+        """Quaternion equivalent of Z-Y-X Euler angles."""
+        return cls.from_dcm(dcm_from_euler(angles))
+
+    @classmethod
+    def from_dcm(cls, dcm: np.ndarray) -> "Quaternion":
+        """Quaternion from a DCM (Shepperd's method, numerically robust)."""
+        c = np.asarray(dcm, dtype=np.float64)
+        if c.shape != (3, 3):
+            raise GeometryError(f"expected 3x3 DCM, got shape {c.shape}")
+        trace = float(np.trace(c))
+        candidates = [trace, c[0, 0], c[1, 1], c[2, 2]]
+        best = int(np.argmax(candidates))
+        if best == 0:
+            s = math.sqrt(max(trace + 1.0, 0.0)) * 2.0
+            w = 0.25 * s
+            x = (c[1, 2] - c[2, 1]) / s
+            y = (c[2, 0] - c[0, 2]) / s
+            z = (c[0, 1] - c[1, 0]) / s
+        elif best == 1:
+            s = math.sqrt(max(1.0 + c[0, 0] - c[1, 1] - c[2, 2], 0.0)) * 2.0
+            w = (c[1, 2] - c[2, 1]) / s
+            x = 0.25 * s
+            y = (c[0, 1] + c[1, 0]) / s
+            z = (c[2, 0] + c[0, 2]) / s
+        elif best == 2:
+            s = math.sqrt(max(1.0 + c[1, 1] - c[0, 0] - c[2, 2], 0.0)) * 2.0
+            w = (c[2, 0] - c[0, 2]) / s
+            x = (c[0, 1] + c[1, 0]) / s
+            y = 0.25 * s
+            z = (c[1, 2] + c[2, 1]) / s
+        else:
+            s = math.sqrt(max(1.0 + c[2, 2] - c[0, 0] - c[1, 1], 0.0)) * 2.0
+            w = (c[0, 1] - c[1, 0]) / s
+            x = (c[2, 0] + c[0, 2]) / s
+            y = (c[1, 2] + c[2, 1]) / s
+            z = 0.25 * s
+        return cls(w, x, y, z).normalized()
+
+    def normalized(self) -> "Quaternion":
+        """Return the unit-norm version of this quaternion."""
+        norm = math.sqrt(self.w**2 + self.x**2 + self.y**2 + self.z**2)
+        if norm == 0.0:
+            raise GeometryError("cannot normalize a zero quaternion")
+        return Quaternion(self.w / norm, self.x / norm, self.y / norm, self.z / norm)
+
+    def conjugate(self) -> "Quaternion":
+        """Return the conjugate (inverse rotation for unit quaternions)."""
+        return Quaternion(self.w, -self.x, -self.y, -self.z)
+
+    def __mul__(self, other: "Quaternion") -> "Quaternion":
+        """Hamilton product; ``(a * b)`` applies b first, then a."""
+        w1, x1, y1, z1 = self.w, self.x, self.y, self.z
+        w2, x2, y2, z2 = other.w, other.x, other.y, other.z
+        return Quaternion(
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+        )
+
+    def to_dcm(self) -> np.ndarray:
+        """Reference→body DCM equivalent of this quaternion."""
+        q = self.normalized()
+        w, x, y, z = q.w, q.x, q.y, q.z
+        return np.array(
+            [
+                [1 - 2 * (y * y + z * z), 2 * (x * y + w * z), 2 * (x * z - w * y)],
+                [2 * (x * y - w * z), 1 - 2 * (x * x + z * z), 2 * (y * z + w * x)],
+                [2 * (x * z + w * y), 2 * (y * z - w * x), 1 - 2 * (x * x + y * y)],
+            ],
+            dtype=np.float64,
+        )
+
+    def to_euler(self) -> EulerAngles:
+        """Z-Y-X Euler angles equivalent of this quaternion."""
+        return dcm_to_euler(self.to_dcm())
+
+    def rotate(self, vector: np.ndarray) -> np.ndarray:
+        """Rotate a reference-frame vector into the body frame."""
+        return self.to_dcm() @ np.asarray(vector, dtype=np.float64).reshape(3)
+
+    def integrated(self, body_rate: np.ndarray, dt: float) -> "Quaternion":
+        """Propagate attitude by body angular rate over a step ``dt``.
+
+        Uses the exact exponential for a constant rate across the step,
+        which is what a trajectory generator with piecewise-constant
+        rates needs.
+        """
+        omega = np.asarray(body_rate, dtype=np.float64).reshape(-1)
+        if omega.shape != (3,):
+            raise GeometryError(f"body rate must be a 3-vector, got {omega.shape}")
+        angle = float(np.linalg.norm(omega)) * dt
+        if angle < 1e-14:
+            return self
+        axis = omega / float(np.linalg.norm(omega))
+        # With to_dcm() returning reference→body matrices, the Hamilton
+        # product satisfies to_dcm(a*b) == to_dcm(b) @ to_dcm(a), so a
+        # body-frame increment must right-multiply:
+        #   C(t+dt) = expm(-skew(omega)*dt) @ C(t) = to_dcm(q * inc).
+        increment = Quaternion.from_axis_angle(axis, angle)
+        return (self * increment).normalized()
+
+    def angle_to(self, other: "Quaternion") -> float:
+        """Total rotation angle (radians) between two attitudes."""
+        rel = self.conjugate() * other
+        w = min(1.0, max(-1.0, abs(rel.w)))
+        return 2.0 * math.acos(w)
+
+    def as_array(self) -> np.ndarray:
+        """Return (w, x, y, z) as a float64 array."""
+        return np.array([self.w, self.x, self.y, self.z], dtype=np.float64)

@@ -1,0 +1,43 @@
+"""The Sabre soft-core processor subsystem.
+
+Paper §10: "Sabre is a 32-bit RISC, designed in Handel-C, and
+programmed into the FPGA as a soft-core.  It has a Harvard
+architecture, with expandable data and program memories ...  Peripherals
+are simply connected via another 32-bit bus into the processor memory
+space ...  We therefore emulated IEEE floating point operations using
+the 'Softfloat' library."
+
+This package reproduces that stack at the ISA level:
+
+- :mod:`repro.sabre.softfloat` — bit-accurate IEEE-754 binary32
+  arithmetic in pure Python (the SoftFloat substitute).
+- :mod:`repro.sabre.isa` — the 32-bit Harvard RISC instruction set.
+- :mod:`repro.sabre.assembler` — two-pass assembler.
+- :mod:`repro.sabre.memory` — BlockRAM program/data stores (8 KB
+  program / 64 KB data, as on the XC2V1000).
+- :mod:`repro.sabre.bus` + :mod:`repro.sabre.peripherals` — the
+  memory-mapped peripheral bus of Figures 6/7.
+- :mod:`repro.sabre.cpu` — the cycle-counting CPU simulator.
+- :mod:`repro.sabre.firmware` — assembly programs (UART echo, packet
+  decoding, the fixed-gain boresight loop).
+- :mod:`repro.sabre.loader` — the "merge program into the FPGA
+  configuration" flow of §10.
+"""
+
+from repro.sabre.assembler import assemble
+from repro.sabre.cpu import SabreCpu
+from repro.sabre.isa import Instruction, Opcode, decode, encode
+from repro.sabre.loader import SystemImage, link_system
+from repro.sabre.memory import BlockRam
+
+__all__ = [
+    "assemble",
+    "SabreCpu",
+    "Opcode",
+    "Instruction",
+    "encode",
+    "decode",
+    "BlockRam",
+    "SystemImage",
+    "link_system",
+]

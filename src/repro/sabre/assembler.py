@@ -1,0 +1,324 @@
+"""Two-pass assembler for the Sabre ISA.
+
+Syntax (one statement per line, ``;`` or ``#`` comments)::
+
+    .equ   GRAVITY_BITS, 0x411CE80A     ; named constant
+    .org   0x40                         ; set location (bytes)
+    .word  0x12345678                   ; literal data word
+
+    start:                              ; label
+        ldi   r1, 0x12345678            ; pseudo: lui+ori as needed
+        addi  r2, r1, -5
+        ldw   r3, r2, 8                 ; rd, base, offset
+        stw   r3, r2, 12                ; src, base, offset
+        beq   r1, r2, start
+        jal   r14, subroutine
+        jr    r14                       ; pseudo: jalr r0, rX, 0
+        nop                             ; pseudo: addi r0, r0, 0
+        mov   r4, r1                    ; pseudo: addi rd, rs, 0
+        halt
+
+Registers are ``r0``..``r15``; ``lr`` and ``sp`` alias r14/r15.
+Branch/JAL targets may be labels (word-relative offsets are computed)
+or literal offsets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.sabre.isa import (
+    B_TYPE,
+    I_TYPE,
+    LINK_REGISTER,
+    R_TYPE,
+    Instruction,
+    Opcode,
+    encode,
+)
+
+_REGISTER_ALIASES = {"lr": LINK_REGISTER, "sp": 15, "zero": 0}
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass
+class Program:
+    """Assembler output: words plus symbol/debug info."""
+
+    words: list[int]
+    symbols: dict[str, int] = field(default_factory=dict)
+    #: line number of each emitted word (for error reporting/tests).
+    lines: list[int] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        """Program footprint in bytes."""
+        return 4 * len(self.words)
+
+
+def _parse_register(token: str, line: int) -> int:
+    token = token.strip().lower()
+    if token in _REGISTER_ALIASES:
+        return _REGISTER_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        index = int(token[1:])
+        if 0 <= index <= 15:
+            return index
+    raise AssemblerError(f"line {line}: bad register {token!r}")
+
+
+def _parse_int(token: str, symbols: dict[str, int], line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    if token in symbols:
+        return symbols[token]
+    raise AssemblerError(f"line {line}: cannot evaluate {token!r}")
+
+
+def _split_statement(line: str) -> str:
+    for marker in (";", "#"):
+        if marker in line:
+            line = line.split(marker, 1)[0]
+    return line.strip()
+
+
+@dataclass
+class _Statement:
+    line: int
+    address: int
+    mnemonic: str
+    operands: list[str]
+
+
+def assemble(source: str, origin: int = 0) -> Program:
+    """Assemble Sabre source into a :class:`Program`.
+
+    ``origin`` sets the byte address of the first instruction (the
+    reset vector is 0).
+    """
+    symbols: dict[str, int] = {}
+    statements: list[_Statement] = []
+    address = origin
+
+    # Pass 1: resolve labels and directives, collect statements.
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        text = _split_statement(raw)
+        if not text:
+            continue
+        while ":" in text:
+            label, text = text.split(":", 1)
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblerError(f"line {line_no}: bad label {label!r}")
+            if label in symbols:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            symbols[label] = address
+            text = text.strip()
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = (
+            [op.strip() for op in parts[1].split(",")] if len(parts) > 1 else []
+        )
+        if mnemonic == ".equ":
+            if len(operands) != 2:
+                raise AssemblerError(f"line {line_no}: .equ needs name, value")
+            symbols[operands[0]] = _parse_int(operands[1], symbols, line_no)
+            continue
+        if mnemonic == ".org":
+            if len(operands) != 1:
+                raise AssemblerError(f"line {line_no}: .org needs an address")
+            new_address = _parse_int(operands[0], symbols, line_no)
+            if new_address < address:
+                raise AssemblerError(f"line {line_no}: .org moves backwards")
+            address = new_address
+            continue
+        statements.append(_Statement(line_no, address, mnemonic, operands))
+        address += 4 * _statement_words(mnemonic, operands, line_no)
+
+    # Pass 2: emit.
+    words: dict[int, tuple[int, int]] = {}
+    for stmt in statements:
+        for offset, word in enumerate(_emit(stmt, symbols)):
+            words[stmt.address + 4 * offset] = (word, stmt.line)
+
+    if not words:
+        raise AssemblerError("no instructions emitted")
+    top = max(words) + 4
+    out = Program(words=[0] * (top // 4), symbols=symbols)
+    out.lines = [0] * (top // 4)
+    for addr, (word, line_no) in words.items():
+        out.words[addr // 4] = word
+        out.lines[addr // 4] = line_no
+    return out
+
+
+def _statement_words(mnemonic: str, operands: list[str], line: int) -> int:
+    if mnemonic == ".word":
+        return max(1, len(operands))
+    if mnemonic == "ldi":
+        return 2  # always lui+ori for deterministic layout
+    return 1
+
+
+def _emit(stmt: _Statement, symbols: dict[str, int]) -> list[int]:
+    m, ops, line = stmt.mnemonic, stmt.operands, stmt.line
+
+    if m == ".word":
+        values = [
+            _parse_int(op, symbols, line) & 0xFFFFFFFF for op in (ops or ["0"])
+        ]
+        return values
+
+    if m == "nop":
+        return [encode(Instruction(Opcode.ADDI, rd=0, rs1=0, imm=0))]
+    if m == "halt":
+        return [encode(Instruction(Opcode.HALT))]
+    if m == "mov":
+        rd = _parse_register(ops[0], line)
+        rs = _parse_register(ops[1], line)
+        return [encode(Instruction(Opcode.ADDI, rd=rd, rs1=rs, imm=0))]
+    if m == "jr":
+        rs = _parse_register(ops[0], line)
+        return [encode(Instruction(Opcode.JALR, rd=0, rs1=rs, imm=0))]
+    if m == "ldi":
+        rd = _parse_register(ops[0], line)
+        value = _parse_int(ops[1], symbols, line) & 0xFFFFFFFF
+        # LUI fills bits [31:14] from imm18; ORI provides bits [13:0].
+        upper = (value >> 14) & 0x3FFFF
+        lower = value & 0x3FFF
+        return [
+            encode(Instruction(Opcode.LUI, rd=rd, imm=_to_signed18(upper))),
+            encode(Instruction(Opcode.ORI, rd=rd, rs1=rd, imm=lower)),
+        ]
+
+    try:
+        op = Opcode[m.upper()]
+    except KeyError as exc:
+        raise AssemblerError(f"line {line}: unknown mnemonic {m!r}") from exc
+
+    if op in R_TYPE:
+        if len(ops) != 3:
+            raise AssemblerError(f"line {line}: {m} needs rd, rs1, rs2")
+        return [
+            encode(
+                Instruction(
+                    op,
+                    rd=_parse_register(ops[0], line),
+                    rs1=_parse_register(ops[1], line),
+                    rs2=_parse_register(ops[2], line),
+                )
+            )
+        ]
+
+    if op in B_TYPE:
+        if len(ops) != 3:
+            raise AssemblerError(f"line {line}: {m} needs rs1, rs2, target")
+        target = ops[2]
+        if target in symbols:
+            offset = (symbols[target] - (stmt.address + 4)) // 4
+        else:
+            offset = _parse_int(target, symbols, line)
+        return [
+            encode(
+                Instruction(
+                    op,
+                    rs1=_parse_register(ops[0], line),
+                    rs2=_parse_register(ops[1], line),
+                    imm=offset,
+                )
+            )
+        ]
+
+    if op == Opcode.JAL:
+        if len(ops) != 2:
+            raise AssemblerError(f"line {line}: jal needs rd, target")
+        rd = _parse_register(ops[0], line)
+        target = ops[1]
+        if target in symbols:
+            offset = (symbols[target] - (stmt.address + 4)) // 4
+        else:
+            offset = _parse_int(target, symbols, line)
+        return [encode(Instruction(op, rd=rd, imm=offset))]
+
+    if op == Opcode.JALR:
+        if len(ops) != 3:
+            raise AssemblerError(f"line {line}: jalr needs rd, rs1, imm")
+        return [
+            encode(
+                Instruction(
+                    op,
+                    rd=_parse_register(ops[0], line),
+                    rs1=_parse_register(ops[1], line),
+                    imm=_parse_int(ops[2], symbols, line),
+                )
+            )
+        ]
+
+    if op in (Opcode.LDW, Opcode.LDB):
+        if len(ops) != 3:
+            raise AssemblerError(f"line {line}: {m} needs rd, base, offset")
+        return [
+            encode(
+                Instruction(
+                    op,
+                    rd=_parse_register(ops[0], line),
+                    rs1=_parse_register(ops[1], line),
+                    imm=_parse_int(ops[2], symbols, line),
+                )
+            )
+        ]
+    if op in (Opcode.STW, Opcode.STB):
+        if len(ops) != 3:
+            raise AssemblerError(f"line {line}: {m} needs src, base, offset")
+        return [
+            encode(
+                Instruction(
+                    op,
+                    rd=_parse_register(ops[0], line),  # source register
+                    rs1=_parse_register(ops[1], line),
+                    imm=_parse_int(ops[2], symbols, line),
+                )
+            )
+        ]
+
+    if op == Opcode.LUI:
+        if len(ops) != 2:
+            raise AssemblerError(f"line {line}: lui needs rd, imm")
+        return [
+            encode(
+                Instruction(
+                    op,
+                    rd=_parse_register(ops[0], line),
+                    imm=_parse_int(ops[1], symbols, line),
+                )
+            )
+        ]
+
+    # Remaining I-type ALU ops: rd, rs1, imm.
+    if len(ops) != 3:
+        raise AssemblerError(f"line {line}: {m} needs rd, rs1, imm")
+    return [
+        encode(
+            Instruction(
+                op,
+                rd=_parse_register(ops[0], line),
+                rs1=_parse_register(ops[1], line),
+                imm=_parse_int(ops[2], symbols, line),
+            )
+        )
+    ]
+
+
+def _to_signed18(value: int) -> int:
+    value &= 0x3FFFF
+    if value & 0x20000:
+        value -= 1 << 18
+    return value

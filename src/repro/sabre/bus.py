@@ -1,0 +1,123 @@
+"""The Sabre memory-mapped peripheral bus.
+
+Paper §10: "Peripherals are simply connected via another 32-bit bus
+into the processor memory space ... where the Sabre acts as the bus
+master."  Data RAM occupies the bottom of the address space; the
+peripheral window starts at :data:`PERIPHERAL_BASE`.  Base addresses
+follow the ``*_BASE_ADDRESS`` constants of the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import CpuFault, SabreError
+from repro.sabre.memory import DATA_BYTES, BlockRam
+
+#: Start of the peripheral address window.
+PERIPHERAL_BASE = 0x8000_0000
+
+#: Figure-7 style base addresses.
+LEDS_BASE_ADDRESS = 0x8000_0000
+SWITCHES_BASE_ADDRESS = 0x8000_0100
+TSCREEN_BASE_ADDRESS = 0x8000_0200
+LINE_BASE_ADDRESS = 0x8000_0300  # GUI
+SERIAL1_BASE_ADDRESS = 0x8000_0400  # DMU via CAN bridge
+SERIAL2_BASE_ADDRESS = 0x8000_0500  # ACC
+ANGLES_BASE_ADDRESS = 0x8000_0600  # affine-transform control block
+FPU_BASE_ADDRESS = 0x8000_0700  # softfloat unit
+TIMER_BASE_ADDRESS = 0x8000_0800
+
+
+class Peripheral(ABC):
+    """A word-addressed bus slave."""
+
+    #: Window size in bytes (multiple of 4).
+    size: int = 0x100
+
+    @abstractmethod
+    def read(self, offset: int) -> int:
+        """Read the 32-bit register at byte ``offset``."""
+
+    @abstractmethod
+    def write(self, offset: int, value: int) -> None:
+        """Write the 32-bit register at byte ``offset``."""
+
+    def tick(self, cycles: int) -> None:
+        """Advance internal time (default: stateless)."""
+
+
+@dataclass
+class _Mapping:
+    base: int
+    peripheral: Peripheral
+
+
+class SabreBus:
+    """Routes CPU accesses to data RAM or peripherals."""
+
+    def __init__(self, data_ram: BlockRam | None = None) -> None:
+        self.data_ram = (
+            data_ram if data_ram is not None else BlockRam(DATA_BYTES, "data")
+        )
+        self._mappings: list[_Mapping] = []
+
+    def attach(self, base: int, peripheral: Peripheral) -> None:
+        """Map a peripheral window at ``base``."""
+        if base < PERIPHERAL_BASE:
+            raise SabreError(f"peripheral base {base:#x} below the window")
+        if base % 4 != 0 or peripheral.size % 4 != 0:
+            raise SabreError("peripheral windows must be word aligned")
+        for mapping in self._mappings:
+            if (
+                base < mapping.base + mapping.peripheral.size
+                and mapping.base < base + peripheral.size
+            ):
+                raise SabreError(
+                    f"peripheral window at {base:#x} overlaps {mapping.base:#x}"
+                )
+        self._mappings.append(_Mapping(base, peripheral))
+
+    def _find(self, address: int) -> tuple[Peripheral, int]:
+        for mapping in self._mappings:
+            if mapping.base <= address < mapping.base + mapping.peripheral.size:
+                return mapping.peripheral, address - mapping.base
+        raise CpuFault(f"bus fault: no peripheral at {address:#x}")
+
+    def read_word(self, address: int) -> int:
+        """32-bit read from RAM or a peripheral register."""
+        if address < PERIPHERAL_BASE:
+            return self.data_ram.read_word(address)
+        if address % 4 != 0:
+            raise CpuFault(f"unaligned peripheral access at {address:#x}")
+        peripheral, offset = self._find(address)
+        return peripheral.read(offset) & 0xFFFFFFFF
+
+    def write_word(self, address: int, value: int) -> None:
+        """32-bit write to RAM or a peripheral register."""
+        if address < PERIPHERAL_BASE:
+            self.data_ram.write_word(address, value)
+            return
+        if address % 4 != 0:
+            raise CpuFault(f"unaligned peripheral access at {address:#x}")
+        peripheral, offset = self._find(address)
+        peripheral.write(offset, value & 0xFFFFFFFF)
+
+    def read_byte(self, address: int) -> int:
+        """Byte read (RAM only; peripherals are word-addressed)."""
+        if address < PERIPHERAL_BASE:
+            return self.data_ram.read_byte(address)
+        raise CpuFault(f"byte access to peripheral space at {address:#x}")
+
+    def write_byte(self, address: int, value: int) -> None:
+        """Byte write (RAM only)."""
+        if address < PERIPHERAL_BASE:
+            self.data_ram.write_byte(address, value)
+            return
+        raise CpuFault(f"byte access to peripheral space at {address:#x}")
+
+    def tick(self, cycles: int) -> None:
+        """Advance all peripherals by ``cycles``."""
+        for mapping in self._mappings:
+            mapping.peripheral.tick(cycles)

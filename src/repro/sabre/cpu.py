@@ -1,0 +1,229 @@
+"""The Sabre CPU simulator.
+
+Executes the ISA of :mod:`repro.sabre.isa` against a program BlockRAM
+and the peripheral bus, with a simple deterministic cost model:
+
+==============  ======
+instruction     cycles
+==============  ======
+ALU             1
+load/store      2
+branch taken    2 (not taken: 1)
+jal/jalr        2
+==============  ======
+
+Not a pipeline model — the paper's performance argument rests on the
+fabric video path, not processor IPC; what matters here is ISA-exact
+execution and honest relative cost (e.g. softfloat ops per second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CpuFault
+from repro.sabre.bus import SabreBus
+from repro.sabre.isa import (
+    Opcode,
+    REGISTER_COUNT,
+    decode,
+)
+from repro.sabre.memory import PROGRAM_BYTES, BlockRam
+
+_U32 = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    value &= _U32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+@dataclass
+class CpuState:
+    """Snapshot of the architectural state."""
+
+    pc: int
+    registers: tuple[int, ...]
+    cycles: int
+    instructions: int
+    halted: bool
+
+
+class SabreCpu:
+    """ISA-level Sabre model."""
+
+    def __init__(
+        self,
+        program: BlockRam | None = None,
+        bus: SabreBus | None = None,
+    ) -> None:
+        self.program = (
+            program if program is not None else BlockRam(PROGRAM_BYTES, "program")
+        )
+        self.bus = bus if bus is not None else SabreBus()
+        self.registers = [0] * REGISTER_COUNT
+        self.pc = 0
+        self.cycles = 0
+        self.instructions = 0
+        self.halted = False
+
+    def load_program(self, words: list[int]) -> None:
+        """Initialize the program BlockRAM and reset the CPU."""
+        self.program.load_words(words)
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the reset vector with cleared registers."""
+        self.registers = [0] * REGISTER_COUNT
+        self.pc = 0
+        self.cycles = 0
+        self.instructions = 0
+        self.halted = False
+
+    def state(self) -> CpuState:
+        """Capture the current architectural state."""
+        return CpuState(
+            pc=self.pc,
+            registers=tuple(self.registers),
+            cycles=self.cycles,
+            instructions=self.instructions,
+            halted=self.halted,
+        )
+
+    def _write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.registers[index] = value & _U32
+
+    def step(self) -> None:
+        """Execute one instruction."""
+        if self.halted:
+            raise CpuFault("CPU is halted")
+        word = self.program.read_word(self.pc)
+        inst = decode(word)
+        op = inst.opcode
+        next_pc = self.pc + 4
+        cost = 1
+
+        rs1 = self.registers[inst.rs1]
+        rs2 = self.registers[inst.rs2]
+
+        if op == Opcode.ADD:
+            self._write_reg(inst.rd, rs1 + rs2)
+        elif op == Opcode.SUB:
+            self._write_reg(inst.rd, rs1 - rs2)
+        elif op == Opcode.AND:
+            self._write_reg(inst.rd, rs1 & rs2)
+        elif op == Opcode.OR:
+            self._write_reg(inst.rd, rs1 | rs2)
+        elif op == Opcode.XOR:
+            self._write_reg(inst.rd, rs1 ^ rs2)
+        elif op == Opcode.SLL:
+            self._write_reg(inst.rd, rs1 << (rs2 & 31))
+        elif op == Opcode.SRL:
+            self._write_reg(inst.rd, (rs1 & _U32) >> (rs2 & 31))
+        elif op == Opcode.SRA:
+            self._write_reg(inst.rd, _signed(rs1) >> (rs2 & 31))
+        elif op == Opcode.MUL:
+            self._write_reg(inst.rd, rs1 * rs2)
+        elif op == Opcode.SLT:
+            self._write_reg(inst.rd, 1 if _signed(rs1) < _signed(rs2) else 0)
+        elif op == Opcode.SLTU:
+            self._write_reg(inst.rd, 1 if (rs1 & _U32) < (rs2 & _U32) else 0)
+        elif op == Opcode.ADDI:
+            self._write_reg(inst.rd, rs1 + inst.imm)
+        elif op == Opcode.ANDI:
+            self._write_reg(inst.rd, rs1 & (inst.imm & _U32))
+        elif op == Opcode.ORI:
+            self._write_reg(inst.rd, rs1 | (inst.imm & 0x3FFFF))
+        elif op == Opcode.XORI:
+            self._write_reg(inst.rd, rs1 ^ (inst.imm & 0x3FFFF))
+        elif op == Opcode.SLLI:
+            self._write_reg(inst.rd, rs1 << (inst.imm & 31))
+        elif op == Opcode.SRLI:
+            self._write_reg(inst.rd, (rs1 & _U32) >> (inst.imm & 31))
+        elif op == Opcode.SRAI:
+            self._write_reg(inst.rd, _signed(rs1) >> (inst.imm & 31))
+        elif op == Opcode.SLTI:
+            self._write_reg(inst.rd, 1 if _signed(rs1) < inst.imm else 0)
+        elif op == Opcode.LUI:
+            self._write_reg(inst.rd, (inst.imm & 0x3FFFF) << 14)
+        elif op == Opcode.LDW:
+            self._write_reg(inst.rd, self.bus.read_word((rs1 + inst.imm) & _U32))
+            cost = 2
+        elif op == Opcode.STW:
+            self.bus.write_word(
+                (rs1 + inst.imm) & _U32, self.registers[inst.rd]
+            )
+            cost = 2
+        elif op == Opcode.LDB:
+            self._write_reg(inst.rd, self.bus.read_byte((rs1 + inst.imm) & _U32))
+            cost = 2
+        elif op == Opcode.STB:
+            self.bus.write_byte(
+                (rs1 + inst.imm) & _U32, self.registers[inst.rd] & 0xFF
+            )
+            cost = 2
+        elif op in (
+            Opcode.BEQ,
+            Opcode.BNE,
+            Opcode.BLT,
+            Opcode.BGE,
+            Opcode.BLTU,
+            Opcode.BGEU,
+        ):
+            taken = {
+                Opcode.BEQ: rs1 == rs2,
+                Opcode.BNE: rs1 != rs2,
+                Opcode.BLT: _signed(rs1) < _signed(rs2),
+                Opcode.BGE: _signed(rs1) >= _signed(rs2),
+                Opcode.BLTU: (rs1 & _U32) < (rs2 & _U32),
+                Opcode.BGEU: (rs1 & _U32) >= (rs2 & _U32),
+            }[op]
+            if taken:
+                next_pc = self.pc + 4 + 4 * inst.imm
+                cost = 2
+        elif op == Opcode.JAL:
+            self._write_reg(inst.rd, self.pc + 4)
+            next_pc = self.pc + 4 + 4 * inst.imm
+            cost = 2
+        elif op == Opcode.JALR:
+            self._write_reg(inst.rd, self.pc + 4)
+            next_pc = (rs1 + inst.imm) & _U32
+            cost = 2
+        elif op == Opcode.HALT:
+            self.halted = True
+        else:  # pragma: no cover - decode() already filters
+            raise CpuFault(f"unimplemented opcode {op!r}")
+
+        if next_pc % 4 != 0:
+            raise CpuFault(f"misaligned jump target {next_pc:#x}")
+        self.pc = next_pc
+        self.cycles += cost
+        self.instructions += 1
+        self.bus.tick(cost)
+
+    def run(self, max_instructions: int = 1_000_000) -> int:
+        """Run until HALT; returns instructions executed.
+
+        Raises :class:`CpuFault` if the budget is exhausted (runaway
+        loop guard).
+        """
+        start = self.instructions
+        while not self.halted:
+            if self.instructions - start >= max_instructions:
+                raise CpuFault(
+                    f"did not halt within {max_instructions} instructions"
+                )
+            self.step()
+        return self.instructions - start
+
+    def run_cycles(self, budget: int) -> int:
+        """Run for roughly ``budget`` cycles (a scheduler time slice).
+
+        Stops at HALT or once the budget is consumed; returns cycles
+        actually used.
+        """
+        start = self.cycles
+        while not self.halted and self.cycles - start < budget:
+            self.step()
+        return self.cycles - start

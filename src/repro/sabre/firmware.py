@@ -1,0 +1,310 @@
+"""Sabre firmware: the assembly programs the soft core runs.
+
+Three programs, mirroring the prototype's software partitioning
+(paper §10 — "rapidly prototype functionality in C software"):
+
+- :func:`echo_program` — UART loopback (bring-up check).
+- :func:`dmu_monitor_program` — receives CAN-bridge envelopes on the
+  DMU serial port, validates checksums, keeps frame statistics.
+- :func:`boresight_program` — the embedded fusion loop: decodes ACC
+  packets, runs the fixed-gain misalignment filter through the
+  softfloat FPU, and publishes roll/pitch to the angle control block
+  that feeds the affine video transform.
+
+Every floating-point constant is injected at assembly time as IEEE
+bit patterns; :func:`boresight_reference` replays the exact same
+softfloat operation sequence in Python, so tests can require
+bit-for-bit equality between the CPU run and the reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sabre import softfloat as sf
+from repro.sabre.bus import (
+    ANGLES_BASE_ADDRESS,
+    FPU_BASE_ADDRESS,
+    LEDS_BASE_ADDRESS,
+    SERIAL1_BASE_ADDRESS,
+    SERIAL2_BASE_ADDRESS,
+    SWITCHES_BASE_ADDRESS,
+)
+from repro.sabre.peripherals import FpuOp
+from repro.units import STANDARD_GRAVITY
+
+#: ACC wire scaling (must match repro.comm.protocol.ACC_FULL_SCALE).
+ACC_SCALE = 2.0 * STANDARD_GRAVITY / 32767.0
+
+
+def echo_program() -> str:
+    """UART echo on the ACC port; halts when switch 0 is raised."""
+    return f"""
+    ; --- UART echo ---
+    ldi r1, {SERIAL2_BASE_ADDRESS:#x}     ; ACC serial
+    ldi r9, {SWITCHES_BASE_ADDRESS:#x}
+loop:
+    ldw r4, r9, 0
+    andi r4, r4, 1
+    bne r4, r0, done          ; host raised the stop switch
+    ldw r4, r1, 0             ; status
+    andi r4, r4, 1
+    beq r4, r0, loop          ; no byte yet
+    ldw r4, r1, 4             ; pop RX byte
+    stw r4, r1, 4             ; push to TX
+    jal r0, loop
+done:
+    halt
+"""
+
+
+def dmu_monitor_program() -> str:
+    """CAN-bridge envelope receiver with checksum statistics.
+
+    RAM map: 0x20 = valid frame count, 0x24 = last CAN id,
+    0x28 = checksum error count, buffer for payload at 0x40.
+    """
+    return f"""
+    ldi r1, {SERIAL1_BASE_ADDRESS:#x}     ; DMU serial (bridge)
+    ldi r9, {SWITCHES_BASE_ADDRESS:#x}
+wait_sof:
+    jal lr, getbyte
+    addi r5, r0, 0xC5
+    bne r4, r5, wait_sof
+    ; body = idlo idhi dlc data[dlc]; checksum over body
+    addi r8, r0, 0            ; xor accumulator
+    jal lr, getbyte
+    mov r10, r4               ; idlo
+    xor r8, r8, r4
+    jal lr, getbyte
+    mov r11, r4               ; idhi
+    xor r8, r8, r4
+    jal lr, getbyte
+    mov r12, r4               ; dlc
+    xor r8, r8, r4
+    addi r5, r0, 8
+    blt r5, r12, wait_sof     ; dlc > 8: resync
+    addi r13, r0, 0           ; byte index
+    addi r6, r0, 0x40         ; buffer base
+payload:
+    bge r13, r12, check
+    jal lr, getbyte
+    xor r8, r8, r4
+    add r7, r6, r13
+    stb r4, r7, 0
+    addi r13, r13, 1
+    jal r0, payload
+check:
+    jal lr, getbyte           ; checksum byte
+    bne r4, r8, bad
+    ldw r5, r0, 0x20
+    addi r5, r5, 1
+    stw r5, r0, 0x20          ; valid count
+    slli r5, r11, 8
+    or r5, r5, r10
+    stw r5, r0, 0x24          ; last CAN id
+    jal r0, wait_sof
+bad:
+    ldw r5, r0, 0x28
+    addi r5, r5, 1
+    stw r5, r0, 0x28          ; error count
+    jal r0, wait_sof
+
+getbyte:
+    ldw r4, r9, 0
+    andi r4, r4, 1
+    bne r4, r0, finish
+    ldw r4, r1, 0
+    andi r4, r4, 1
+    beq r4, r0, getbyte
+    ldw r4, r1, 4
+    jr lr
+finish:
+    halt
+"""
+
+
+@dataclass(frozen=True)
+class BoresightGains:
+    """Fixed-gain filter constants as IEEE binary32 bit patterns."""
+
+    gravity_bits: int
+    neg_gravity_bits: int
+    scale_bits: int
+    gain_pitch_bits: int
+    gain_roll_bits: int
+
+    @classmethod
+    def from_floats(cls, gain_pitch: float, gain_roll: float) -> "BoresightGains":
+        """Quantize designed gains to binary32."""
+        return cls(
+            gravity_bits=sf.float_to_bits(STANDARD_GRAVITY),
+            neg_gravity_bits=sf.float_to_bits(-STANDARD_GRAVITY),
+            scale_bits=sf.float_to_bits(ACC_SCALE),
+            gain_pitch_bits=sf.float_to_bits(gain_pitch),
+            gain_roll_bits=sf.float_to_bits(gain_roll),
+        )
+
+
+def boresight_program(gains: BoresightGains) -> str:
+    """The embedded fixed-gain boresight loop.
+
+    Register allocation: r1 ACC serial, r2 FPU, r3 ANGLES, r4 scratch,
+    r5/r6/r7 FPU operands/opcode, r8 checksum, r9 switches, r10 pitch
+    bits, r11 roll bits, r12 x counts, r13 y counts, r15 LEDs.
+    """
+    return f"""
+    ldi r1, {SERIAL2_BASE_ADDRESS:#x}
+    ldi r2, {FPU_BASE_ADDRESS:#x}
+    ldi r3, {ANGLES_BASE_ADDRESS:#x}
+    ldi r9, {SWITCHES_BASE_ADDRESS:#x}
+    ldi r15, {LEDS_BASE_ADDRESS:#x}
+    addi r10, r0, 0           ; pitch = 0.0f
+    addi r11, r0, 0           ; roll = 0.0f
+
+wait_sync:
+    jal lr, getbyte
+    addi r5, r0, 0xA5
+    bne r4, r5, wait_sync
+    jal lr, getbyte
+    addi r5, r0, 0x5A
+    bne r4, r5, wait_sync
+    ; payload: seq xlo xhi ylo yhi ; checksum = xor(payload)
+    addi r8, r0, 0
+    jal lr, getbyte           ; seq
+    xor r8, r8, r4
+    jal lr, getbyte           ; xlo
+    xor r8, r8, r4
+    mov r12, r4
+    jal lr, getbyte           ; xhi
+    xor r8, r8, r4
+    slli r5, r4, 8
+    or r12, r12, r5
+    jal lr, getbyte           ; ylo
+    xor r8, r8, r4
+    mov r13, r4
+    jal lr, getbyte           ; yhi
+    xor r8, r8, r4
+    slli r5, r4, 8
+    or r13, r13, r5
+    jal lr, getbyte           ; checksum
+    bne r4, r8, wait_sync     ; bad packet: resync
+
+    ; sign-extend the two int16 counts
+    slli r12, r12, 16
+    srai r12, r12, 16
+    slli r13, r13, 16
+    srai r13, r13, 16
+
+    ; ---- pitch channel: acc_x = i2f(x) * SCALE ----
+    mov r5, r12
+    addi r7, r0, {FpuOp.I2F}
+    jal lr, fpu_op
+    ldi r6, {gains.scale_bits:#010x}
+    addi r7, r0, {FpuOp.MUL}
+    jal lr, fpu_op
+    mov r12, r5               ; r12 = acc_x bits
+    ; pred = G * pitch
+    ldi r5, {gains.gravity_bits:#010x}
+    mov r6, r10
+    addi r7, r0, {FpuOp.MUL}
+    jal lr, fpu_op
+    ; resid = acc_x - pred
+    mov r6, r5
+    mov r5, r12
+    addi r7, r0, {FpuOp.SUB}
+    jal lr, fpu_op
+    ; delta = KP * resid ; pitch += delta
+    mov r6, r5
+    ldi r5, {gains.gain_pitch_bits:#010x}
+    addi r7, r0, {FpuOp.MUL}
+    jal lr, fpu_op
+    mov r6, r5
+    mov r5, r10
+    addi r7, r0, {FpuOp.ADD}
+    jal lr, fpu_op
+    mov r10, r5
+
+    ; ---- roll channel: acc_y = i2f(y) * SCALE ----
+    mov r5, r13
+    addi r7, r0, {FpuOp.I2F}
+    jal lr, fpu_op
+    ldi r6, {gains.scale_bits:#010x}
+    addi r7, r0, {FpuOp.MUL}
+    jal lr, fpu_op
+    mov r13, r5               ; r13 = acc_y bits
+    ; pred = (-G) * roll
+    ldi r5, {gains.neg_gravity_bits:#010x}
+    mov r6, r11
+    addi r7, r0, {FpuOp.MUL}
+    jal lr, fpu_op
+    ; resid = acc_y - pred
+    mov r6, r5
+    mov r5, r13
+    addi r7, r0, {FpuOp.SUB}
+    jal lr, fpu_op
+    ; delta = KR * resid ; roll += delta
+    mov r6, r5
+    ldi r5, {gains.gain_roll_bits:#010x}
+    addi r7, r0, {FpuOp.MUL}
+    jal lr, fpu_op
+    mov r6, r5
+    mov r5, r11
+    addi r7, r0, {FpuOp.ADD}
+    jal lr, fpu_op
+    mov r11, r5
+
+    ; ---- publish to the angle control block ----
+    stw r11, r3, 0            ; roll
+    stw r10, r3, 4            ; pitch
+    ldw r4, r3, 28            ; update_count++
+    addi r4, r4, 1
+    stw r4, r3, 28
+    ldw r4, r15, 0            ; heartbeat LED toggle
+    xori r4, r4, 1
+    stw r4, r15, 0
+    jal r0, wait_sync
+
+fpu_op:
+    stw r5, r2, 0             ; OPA
+    stw r6, r2, 4             ; OPB
+    stw r7, r2, 8             ; OP (executes)
+    ldw r5, r2, 12            ; RESULT
+    jr lr
+
+getbyte:
+    ldw r4, r9, 0
+    andi r4, r4, 1
+    bne r4, r0, finish        ; stop switch raised
+    ldw r4, r1, 0
+    andi r4, r4, 1
+    beq r4, r0, getbyte
+    ldw r4, r1, 4
+    jr lr
+finish:
+    halt
+"""
+
+
+def boresight_reference(
+    counts: list[tuple[int, int]], gains: BoresightGains
+) -> tuple[int, int]:
+    """Python softfloat replay of :func:`boresight_program`.
+
+    Performs the identical operation sequence (same order, same
+    rounding) as the assembly; returns (pitch_bits, roll_bits) for
+    bit-exact comparison with the CPU run.
+    """
+    pitch = 0
+    roll = 0
+    for x_counts, y_counts in counts:
+        acc_x = sf.f32_mul(sf.i32_to_f32(x_counts), gains.scale_bits)
+        pred = sf.f32_mul(gains.gravity_bits, pitch)
+        resid = sf.f32_sub(acc_x, pred)
+        pitch = sf.f32_add(pitch, sf.f32_mul(gains.gain_pitch_bits, resid))
+
+        acc_y = sf.f32_mul(sf.i32_to_f32(y_counts), gains.scale_bits)
+        pred = sf.f32_mul(gains.neg_gravity_bits, roll)
+        resid = sf.f32_sub(acc_y, pred)
+        roll = sf.f32_add(roll, sf.f32_mul(gains.gain_roll_bits, resid))
+    return pitch, roll

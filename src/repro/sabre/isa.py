@@ -1,0 +1,215 @@
+"""The Sabre instruction set architecture.
+
+A 32-bit RISC with a Harvard layout, reconstructed to the paper's
+description (§10): 16 general registers, separate program and data
+memories in BlockRAM, peripherals memory-mapped into the data space
+with the CPU as bus master.
+
+Encoding (32 bits)::
+
+    R-type:  opcode[31:26] rd[25:22] rs1[21:18] rs2[17:14] zero[13:0]
+    I-type:  opcode[31:26] rd[25:22] rs1[21:18] imm18[17:0]   (signed)
+    B-type:  opcode[31:26] off_hi[25:22] rs1[21:18] rs2[17:14]
+             off_lo[13:0]   → signed 18-bit word offset
+
+Register conventions: ``r0`` reads as zero (writes ignored), ``r14``
+is the link register written by ``JAL``, ``r15`` the stack pointer by
+software convention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SabreError
+
+#: Number of architectural registers.
+REGISTER_COUNT = 16
+
+#: Link register index used by JAL pseudo-forms.
+LINK_REGISTER = 14
+
+_IMM18_MIN = -(1 << 17)
+_IMM18_MAX = (1 << 17) - 1
+
+
+class Opcode(enum.IntEnum):
+    """Primary opcodes."""
+
+    # R-type ALU.
+    ADD = 0x01
+    SUB = 0x02
+    AND = 0x03
+    OR = 0x04
+    XOR = 0x05
+    SLL = 0x06
+    SRL = 0x07
+    SRA = 0x08
+    MUL = 0x09
+    SLT = 0x0A
+    SLTU = 0x0B
+    # I-type ALU.
+    ADDI = 0x10
+    ANDI = 0x11
+    ORI = 0x12
+    XORI = 0x13
+    SLLI = 0x14
+    SRLI = 0x15
+    SRAI = 0x16
+    SLTI = 0x17
+    LUI = 0x18  # rd = imm18 << 14 (fills the upper bits)
+    # Memory (I-type addressing rs1 + imm).
+    LDW = 0x20
+    STW = 0x21  # encodes the source in the rd field
+    LDB = 0x22
+    STB = 0x23
+    # Control flow.
+    BEQ = 0x30  # B-type
+    BNE = 0x31
+    BLT = 0x32
+    BGE = 0x33
+    BLTU = 0x34
+    BGEU = 0x35
+    JAL = 0x36  # I-type: rd = return address, pc += imm words
+    JALR = 0x37  # I-type: rd = return address, pc = rs1 + imm bytes
+    HALT = 0x3F
+
+
+R_TYPE = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SRA,
+        Opcode.MUL,
+        Opcode.SLT,
+        Opcode.SLTU,
+    }
+)
+
+I_TYPE = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SLLI,
+        Opcode.SRLI,
+        Opcode.SRAI,
+        Opcode.SLTI,
+        Opcode.LUI,
+        Opcode.LDW,
+        Opcode.STW,
+        Opcode.LDB,
+        Opcode.STB,
+        Opcode.JAL,
+        Opcode.JALR,
+    }
+)
+
+B_TYPE = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU, Opcode.BGEU}
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded Sabre instruction."""
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            reg = getattr(self, name)
+            if not 0 <= reg < REGISTER_COUNT:
+                raise SabreError(f"{name}={reg} outside r0..r{REGISTER_COUNT - 1}")
+        if not _IMM18_MIN <= self.imm <= _IMM18_MAX:
+            raise SabreError(f"immediate {self.imm} outside signed 18 bits")
+
+
+def encode(instruction: Instruction) -> int:
+    """Instruction → 32-bit word."""
+    op = instruction.opcode
+    word = (int(op) & 0x3F) << 26
+    imm18 = instruction.imm & 0x3FFFF
+    if op in R_TYPE:
+        word |= (instruction.rd & 0xF) << 22
+        word |= (instruction.rs1 & 0xF) << 18
+        word |= (instruction.rs2 & 0xF) << 14
+    elif op in B_TYPE:
+        word |= ((imm18 >> 14) & 0xF) << 22
+        word |= (instruction.rs1 & 0xF) << 18
+        word |= (instruction.rs2 & 0xF) << 14
+        word |= imm18 & 0x3FFF
+    elif op in I_TYPE:
+        word |= (instruction.rd & 0xF) << 22
+        word |= (instruction.rs1 & 0xF) << 18
+        word |= imm18
+    elif op == Opcode.HALT:
+        pass
+    else:  # pragma: no cover - the enum is closed
+        raise SabreError(f"unencodable opcode {op!r}")
+    return word
+
+
+def _sign_extend_18(value: int) -> int:
+    value &= 0x3FFFF
+    if value & 0x20000:
+        value -= 1 << 18
+    return value
+
+
+def decode(word: int) -> Instruction:
+    """32-bit word → instruction; raises on an illegal opcode."""
+    if not 0 <= word <= 0xFFFFFFFF:
+        raise SabreError(f"not a 32-bit word: {word!r}")
+    op_bits = (word >> 26) & 0x3F
+    try:
+        op = Opcode(op_bits)
+    except ValueError as exc:
+        raise SabreError(f"illegal opcode {op_bits:#04x}") from exc
+    if op in R_TYPE:
+        return Instruction(
+            opcode=op,
+            rd=(word >> 22) & 0xF,
+            rs1=(word >> 18) & 0xF,
+            rs2=(word >> 14) & 0xF,
+        )
+    if op in B_TYPE:
+        imm = _sign_extend_18(((word >> 22) & 0xF) << 14 | (word & 0x3FFF))
+        return Instruction(
+            opcode=op,
+            rs1=(word >> 18) & 0xF,
+            rs2=(word >> 14) & 0xF,
+            imm=imm,
+        )
+    if op in I_TYPE:
+        return Instruction(
+            opcode=op,
+            rd=(word >> 22) & 0xF,
+            rs1=(word >> 18) & 0xF,
+            imm=_sign_extend_18(word & 0x3FFFF),
+        )
+    return Instruction(opcode=op)
+
+
+def disassemble(word: int) -> str:
+    """Human-readable rendering of one instruction word."""
+    inst = decode(word)
+    op = inst.opcode
+    if op in R_TYPE:
+        return f"{op.name.lower()} r{inst.rd}, r{inst.rs1}, r{inst.rs2}"
+    if op in B_TYPE:
+        return f"{op.name.lower()} r{inst.rs1}, r{inst.rs2}, {inst.imm}"
+    if op == Opcode.HALT:
+        return "halt"
+    return f"{op.name.lower()} r{inst.rd}, r{inst.rs1}, {inst.imm}"

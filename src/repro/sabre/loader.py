@@ -1,0 +1,137 @@
+"""System assembly: CPU + bus + peripherals + program image.
+
+Paper §10: "Since the Sabre machine code resides entirely within
+BlockRam memory of the FPGA, it is a simple process to merge the
+BlockRam initialisation into the FPGA configuration file.  This
+technique eliminated the need for full hardware recompilation following
+changes to the Sabre software."
+
+:func:`link_system` is that flow: assemble (or take) a program, build
+the full Figure-6 system around it, and return handles to every
+peripheral the host/testbench may poke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sabre.assembler import Program, assemble
+from repro.sabre.bus import (
+    ANGLES_BASE_ADDRESS,
+    FPU_BASE_ADDRESS,
+    LEDS_BASE_ADDRESS,
+    LINE_BASE_ADDRESS,
+    SERIAL1_BASE_ADDRESS,
+    SERIAL2_BASE_ADDRESS,
+    SWITCHES_BASE_ADDRESS,
+    TIMER_BASE_ADDRESS,
+    TSCREEN_BASE_ADDRESS,
+    SabreBus,
+)
+from repro.sabre.cpu import SabreCpu
+from repro.sabre.memory import PROGRAM_BYTES, BlockRam
+from repro.sabre.peripherals import (
+    AngleControl,
+    CycleTimer,
+    Gui,
+    Leds,
+    SerialPort,
+    SoftFloatFpu,
+    Switches,
+    TouchScreen,
+)
+from repro.errors import SabreError
+
+
+@dataclass
+class SystemImage:
+    """The "configuration file" of the flow: program + metadata."""
+
+    program: Program
+
+    @property
+    def blockram_words(self) -> list[int]:
+        """Words merged into the BlockRAM initialization."""
+        return list(self.program.words)
+
+    def fits(self, program_bytes: int = PROGRAM_BYTES) -> bool:
+        """Whether the image fits the paper's 8 KB program store."""
+        return self.program.size_bytes <= program_bytes
+
+
+@dataclass
+class SabreSystem:
+    """A linked Figure-6 system ready to run."""
+
+    cpu: SabreCpu
+    leds: Leds
+    switches: Switches
+    touchscreen: TouchScreen
+    gui: Gui
+    serial_dmu: SerialPort
+    serial_acc: SerialPort
+    angles: AngleControl
+    fpu: SoftFloatFpu
+    timer: CycleTimer
+    image: SystemImage
+
+    def request_stop(self) -> None:
+        """Raise switch 0 — the firmware's halt convention."""
+        self.switches.state |= 1
+
+    def run_until_halt(self, max_instructions: int = 5_000_000) -> int:
+        """Run the CPU to HALT; returns instructions executed."""
+        return self.cpu.run(max_instructions=max_instructions)
+
+
+def link_system(source_or_program: str | Program) -> SabreSystem:
+    """Assemble (if needed) and wire up the complete Sabre system."""
+    if isinstance(source_or_program, Program):
+        program = source_or_program
+    else:
+        program = assemble(source_or_program)
+    image = SystemImage(program=program)
+    if not image.fits():
+        raise SabreError(
+            f"program of {program.size_bytes} bytes exceeds the "
+            f"{PROGRAM_BYTES}-byte BlockRAM store"
+        )
+
+    bus = SabreBus()
+    leds = Leds()
+    switches = Switches()
+    touchscreen = TouchScreen()
+    gui = Gui()
+    serial_dmu = SerialPort("serial-dmu")
+    serial_acc = SerialPort("serial-acc")
+    angles = AngleControl()
+    fpu = SoftFloatFpu()
+    timer = CycleTimer()
+
+    bus.attach(LEDS_BASE_ADDRESS, leds)
+    bus.attach(SWITCHES_BASE_ADDRESS, switches)
+    bus.attach(TSCREEN_BASE_ADDRESS, touchscreen)
+    bus.attach(LINE_BASE_ADDRESS, gui)
+    bus.attach(SERIAL1_BASE_ADDRESS, serial_dmu)
+    bus.attach(SERIAL2_BASE_ADDRESS, serial_acc)
+    bus.attach(ANGLES_BASE_ADDRESS, angles)
+    bus.attach(FPU_BASE_ADDRESS, fpu)
+    bus.attach(TIMER_BASE_ADDRESS, timer)
+
+    program_ram = BlockRam(PROGRAM_BYTES, "program")
+    cpu = SabreCpu(program=program_ram, bus=bus)
+    cpu.load_program(image.blockram_words)
+
+    return SabreSystem(
+        cpu=cpu,
+        leds=leds,
+        switches=switches,
+        touchscreen=touchscreen,
+        gui=gui,
+        serial_dmu=serial_dmu,
+        serial_acc=serial_acc,
+        angles=angles,
+        fpu=fpu,
+        timer=timer,
+        image=image,
+    )

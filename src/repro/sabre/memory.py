@@ -1,0 +1,75 @@
+"""BlockRAM program and data memories.
+
+Paper §10: "On the VirtexII 1000, there are 80 BlockRams, giving us up
+to 8kbyte program memory, for instructions and stack, and 64kbyte of
+data memory" — the Harvard split this module reproduces, with the same
+default sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CpuFault, SabreError
+
+#: Paper's program store: 8 KByte = 2048 instructions.
+PROGRAM_BYTES = 8 * 1024
+
+#: Paper's data store: 64 KByte.
+DATA_BYTES = 64 * 1024
+
+
+class BlockRam:
+    """A word-organized BlockRAM with byte access helpers."""
+
+    def __init__(self, size_bytes: int, name: str = "bram") -> None:
+        if size_bytes <= 0 or size_bytes % 4 != 0:
+            raise SabreError("BlockRAM size must be a positive multiple of 4")
+        self.name = name
+        self.size = size_bytes
+        self._words = np.zeros(size_bytes // 4, dtype=np.uint32)
+
+    def _word_index(self, address: int) -> int:
+        if address % 4 != 0:
+            raise CpuFault(f"{self.name}: unaligned word access at {address:#x}")
+        if not 0 <= address < self.size:
+            raise CpuFault(f"{self.name}: address {address:#x} out of range")
+        return address // 4
+
+    def read_word(self, address: int) -> int:
+        """Aligned 32-bit read."""
+        return int(self._words[self._word_index(address)])
+
+    def write_word(self, address: int, value: int) -> None:
+        """Aligned 32-bit write."""
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise CpuFault(f"{self.name}: value {value!r} not a u32")
+        self._words[self._word_index(address)] = value
+
+    def read_byte(self, address: int) -> int:
+        """Byte read (little-endian lane select)."""
+        if not 0 <= address < self.size:
+            raise CpuFault(f"{self.name}: address {address:#x} out of range")
+        word = int(self._words[address // 4])
+        return (word >> ((address % 4) * 8)) & 0xFF
+
+    def write_byte(self, address: int, value: int) -> None:
+        """Byte write (read-modify-write on the word)."""
+        if not 0 <= value <= 0xFF:
+            raise CpuFault(f"{self.name}: byte value {value!r} out of range")
+        if not 0 <= address < self.size:
+            raise CpuFault(f"{self.name}: address {address:#x} out of range")
+        shift = (address % 4) * 8
+        index = address // 4
+        word = int(self._words[index])
+        word = (word & ~(0xFF << shift)) | (value << shift)
+        self._words[index] = word
+
+    def load_words(self, words: list[int], base_address: int = 0) -> None:
+        """Bulk initialization (the BlockRam init merge of §10)."""
+        for i, word in enumerate(words):
+            self.write_word(base_address + 4 * i, word)
+
+    def dump_words(self, base_address: int, count: int) -> list[int]:
+        """Bulk read-back."""
+        return [self.read_word(base_address + 4 * i) for i in range(count)]

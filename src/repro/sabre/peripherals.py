@@ -1,0 +1,331 @@
+"""The Sabre's memory-mapped peripherals (paper Figures 6/7).
+
+Every block from ``SabreRun``'s ``par { }`` is present: LEDs, switches,
+touchscreen, the GUI line-drawing block, the two RS232 ports (DMU via
+the CAN bridge, ACC direct), the twelve-register angle control block
+feeding the affine video transform, the softfloat FPU, and a cycle
+timer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import CpuFault
+from repro.sabre import softfloat as sf
+from repro.sabre.bus import Peripheral
+
+
+class Leds(Peripheral):
+    """Eight discrete LEDs at offset 0."""
+
+    size = 0x10
+
+    def __init__(self) -> None:
+        self.state = 0
+        self.write_count = 0
+
+    def read(self, offset: int) -> int:
+        if offset == 0:
+            return self.state
+        raise CpuFault(f"LEDs: bad offset {offset:#x}")
+
+    def write(self, offset: int, value: int) -> None:
+        if offset != 0:
+            raise CpuFault(f"LEDs: bad offset {offset:#x}")
+        self.state = value & 0xFF
+        self.write_count += 1
+
+
+class Switches(Peripheral):
+    """Eight input switches (set from the host/test side)."""
+
+    size = 0x10
+
+    def __init__(self, state: int = 0) -> None:
+        self.state = state & 0xFF
+
+    def read(self, offset: int) -> int:
+        if offset == 0:
+            return self.state
+        raise CpuFault(f"switches: bad offset {offset:#x}")
+
+    def write(self, offset: int, value: int) -> None:
+        raise CpuFault("switches are read-only")
+
+
+class TouchScreen(Peripheral):
+    """Touch panel: X, Y and PRESSED registers."""
+
+    size = 0x10
+
+    def __init__(self) -> None:
+        self.x = 0
+        self.y = 0
+        self.pressed = 0
+
+    def touch(self, x: int, y: int) -> None:
+        """Host-side: press at (x, y)."""
+        self.x, self.y, self.pressed = x, y, 1
+
+    def release(self) -> None:
+        """Host-side: lift the stylus."""
+        self.pressed = 0
+
+    def read(self, offset: int) -> int:
+        if offset == 0x0:
+            return self.x
+        if offset == 0x4:
+            return self.y
+        if offset == 0x8:
+            return self.pressed
+        raise CpuFault(f"touchscreen: bad offset {offset:#x}")
+
+    def write(self, offset: int, value: int) -> None:
+        raise CpuFault("touchscreen is read-only")
+
+
+@dataclass(frozen=True)
+class GuiLine:
+    """One line-draw command captured from the GUI block."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+    color: int
+
+
+class Gui(Peripheral):
+    """The GUI drawing block: X0/Y0/X1/Y1/COLOR registers + DRAW strobe."""
+
+    size = 0x20
+
+    def __init__(self) -> None:
+        self._regs = [0, 0, 0, 0, 0]
+        self.lines: list[GuiLine] = []
+
+    def read(self, offset: int) -> int:
+        index = offset // 4
+        if 0 <= index < 5:
+            return self._regs[index]
+        if offset == 0x14:  # number of draws so far
+            return len(self.lines)
+        raise CpuFault(f"GUI: bad offset {offset:#x}")
+
+    def write(self, offset: int, value: int) -> None:
+        index = offset // 4
+        if 0 <= index < 5:
+            self._regs[index] = value
+            return
+        if offset == 0x14:  # DRAW strobe
+            self.lines.append(GuiLine(*self._regs))
+            return
+        raise CpuFault(f"GUI: bad offset {offset:#x}")
+
+
+class SerialPort(Peripheral):
+    """An RS232 port: STATUS at 0, DATA at 4.
+
+    STATUS bit0 = RX byte available, bit1 = TX ready (always, the
+    model's TX FIFO is unbounded).  Reading DATA pops one RX byte;
+    writing DATA appends to the TX log.
+    """
+
+    size = 0x10
+
+    def __init__(self, name: str = "serial") -> None:
+        self.name = name
+        self.rx_fifo: deque[int] = deque()
+        self.tx_log: list[int] = []
+
+    def host_send(self, data: bytes) -> None:
+        """Host/sensor side: push bytes toward the CPU."""
+        self.rx_fifo.extend(data)
+
+    def host_collect_tx(self) -> bytes:
+        """Host side: drain what the CPU transmitted."""
+        out = bytes(self.tx_log)
+        self.tx_log.clear()
+        return out
+
+    def read(self, offset: int) -> int:
+        if offset == 0x0:
+            return (1 if self.rx_fifo else 0) | 0x2
+        if offset == 0x4:
+            if not self.rx_fifo:
+                return 0
+            return self.rx_fifo.popleft()
+        raise CpuFault(f"{self.name}: bad offset {offset:#x}")
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == 0x4:
+            self.tx_log.append(value & 0xFF)
+            return
+        raise CpuFault(f"{self.name}: bad offset {offset:#x}")
+
+
+#: Register indices of the angle control block (paper: "a set of twelve
+#: memory-mapped registers including roll, pitch and yaw values and
+#: status flags that are used directly by the FPGA video transformation
+#: block").
+ANGLES_REGISTERS = (
+    "roll",
+    "pitch",
+    "yaw",
+    "roll_sigma",
+    "pitch_sigma",
+    "yaw_sigma",
+    "status",
+    "update_count",
+    "theta_phase",
+    "bx",
+    "by",
+    "heartbeat",
+)
+
+
+class AngleControl(Peripheral):
+    """The twelve-register interface to the affine transform block."""
+
+    size = 0x40
+
+    def __init__(self) -> None:
+        self.regs = {name: 0 for name in ANGLES_REGISTERS}
+
+    def _name(self, offset: int) -> str:
+        index = offset // 4
+        if not 0 <= index < len(ANGLES_REGISTERS):
+            raise CpuFault(f"angles: bad offset {offset:#x}")
+        return ANGLES_REGISTERS[index]
+
+    def read(self, offset: int) -> int:
+        return self.regs[self._name(offset)]
+
+    def write(self, offset: int, value: int) -> None:
+        name = self._name(offset)
+        self.regs[name] = value & 0xFFFFFFFF
+
+    def angles_float(self) -> tuple[float, float, float]:
+        """The roll/pitch/yaw registers decoded as binary32, radians."""
+        return (
+            sf.bits_to_float(self.regs["roll"]),
+            sf.bits_to_float(self.regs["pitch"]),
+            sf.bits_to_float(self.regs["yaw"]),
+        )
+
+
+class FpuOp:
+    """FPU operation selectors (written to the OP register)."""
+
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    DIV = 3
+    SQRT = 4
+    I2F = 5
+    F2I = 6
+    CMP_LT = 7
+    CMP_EQ = 8
+    NEG = 9
+
+
+class SoftFloatFpu(Peripheral):
+    """The memory-mapped softfloat unit.
+
+    The paper emulates IEEE floats on the Sabre with the SoftFloat
+    library; this peripheral is the same arithmetic reached through a
+    register interface — OPA (0x0), OPB (0x4), OP (0x8, write executes),
+    RESULT (0xC), FLAGS (0x10, read clears).  One operation per write;
+    deterministic latency is charged by the CPU model.
+    """
+
+    size = 0x20
+
+    def __init__(self) -> None:
+        self.op_a = 0
+        self.op_b = 0
+        self.result = 0
+        self.operations = 0
+
+    def read(self, offset: int) -> int:
+        if offset == 0x0:
+            return self.op_a
+        if offset == 0x4:
+            return self.op_b
+        if offset == 0xC:
+            return self.result
+        if offset == 0x10:
+            packed = (
+                (1 if sf.flags.invalid else 0)
+                | (2 if sf.flags.divide_by_zero else 0)
+                | (4 if sf.flags.overflow else 0)
+                | (8 if sf.flags.underflow else 0)
+                | (16 if sf.flags.inexact else 0)
+            )
+            sf.flags.clear()
+            return packed
+        raise CpuFault(f"FPU: bad offset {offset:#x}")
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == 0x0:
+            self.op_a = value
+            return
+        if offset == 0x4:
+            self.op_b = value
+            return
+        if offset == 0x8:
+            self._execute(value)
+            return
+        raise CpuFault(f"FPU: bad offset {offset:#x}")
+
+    def _execute(self, op: int) -> None:
+        self.operations += 1
+        a, b = self.op_a, self.op_b
+        if op == FpuOp.ADD:
+            self.result = sf.f32_add(a, b)
+        elif op == FpuOp.SUB:
+            self.result = sf.f32_sub(a, b)
+        elif op == FpuOp.MUL:
+            self.result = sf.f32_mul(a, b)
+        elif op == FpuOp.DIV:
+            self.result = sf.f32_div(a, b)
+        elif op == FpuOp.SQRT:
+            self.result = sf.f32_sqrt(a)
+        elif op == FpuOp.I2F:
+            signed = a - (1 << 32) if a & 0x80000000 else a
+            self.result = sf.i32_to_f32(signed)
+        elif op == FpuOp.F2I:
+            self.result = sf.f32_to_i32(a) & 0xFFFFFFFF
+        elif op == FpuOp.CMP_LT:
+            self.result = 1 if sf.f32_lt(a, b) else 0
+        elif op == FpuOp.CMP_EQ:
+            self.result = 1 if sf.f32_eq(a, b) else 0
+        elif op == FpuOp.NEG:
+            self.result = sf.f32_neg(a)
+        else:
+            raise CpuFault(f"FPU: unknown operation {op}")
+
+
+class CycleTimer(Peripheral):
+    """Free-running cycle counter at offset 0."""
+
+    size = 0x10
+
+    def __init__(self) -> None:
+        self.cycles = 0
+
+    def tick(self, cycles: int) -> None:
+        self.cycles = (self.cycles + cycles) & 0xFFFFFFFF
+
+    def read(self, offset: int) -> int:
+        if offset == 0:
+            return self.cycles
+        raise CpuFault(f"timer: bad offset {offset:#x}")
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == 0:
+            self.cycles = value & 0xFFFFFFFF
+            return
+        raise CpuFault(f"timer: bad offset {offset:#x}")

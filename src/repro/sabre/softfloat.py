@@ -1,0 +1,472 @@
+"""Bit-accurate IEEE-754 binary32 arithmetic in pure Python.
+
+The Sabre has no floating-point unit; the paper emulates IEEE floats
+with the Berkeley SoftFloat library.  This module is that substitute:
+every operation takes and returns 32-bit patterns (Python ints) and
+produces results bit-identical to a compliant FPU in round-to-nearest-
+even (verified against numpy float32 in the test suite), including
+denormals, infinities and NaN propagation.
+
+Exception flags accumulate in a module-level :class:`Flags` instance,
+mirroring SoftFloat's ``float_exception_flags``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import SoftFloatError
+
+#: Default quiet NaN produced by invalid operations.
+DEFAULT_NAN = 0x7FC00000
+
+_SIGN_MASK = 0x80000000
+_EXP_MASK = 0x7F800000
+_FRAC_MASK = 0x007FFFFF
+_HIDDEN = 0x00800000
+
+
+@dataclass
+class Flags:
+    """IEEE exception flags (sticky, like SoftFloat's)."""
+
+    invalid: bool = False
+    divide_by_zero: bool = False
+    overflow: bool = False
+    underflow: bool = False
+    inexact: bool = False
+
+    def clear(self) -> None:
+        """Reset all flags."""
+        self.invalid = False
+        self.divide_by_zero = False
+        self.overflow = False
+        self.underflow = False
+        self.inexact = False
+
+
+#: Module-level flag accumulator.
+flags = Flags()
+
+
+def _check_bits(bits: int) -> int:
+    if not isinstance(bits, int) or not 0 <= bits <= 0xFFFFFFFF:
+        raise SoftFloatError(f"not a 32-bit pattern: {bits!r}")
+    return bits
+
+
+def float_to_bits(value: float) -> int:
+    """Python float → nearest binary32 bit pattern."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Binary32 bit pattern → Python float."""
+    _check_bits(bits)
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def _sign(bits: int) -> int:
+    return (bits >> 31) & 1
+
+
+def _exp(bits: int) -> int:
+    return (bits >> 23) & 0xFF
+
+
+def _frac(bits: int) -> int:
+    return bits & _FRAC_MASK
+
+
+def is_nan(bits: int) -> bool:
+    """Whether the pattern encodes any NaN."""
+    return _exp(bits) == 0xFF and _frac(bits) != 0
+
+
+def is_signaling_nan(bits: int) -> bool:
+    """Whether the pattern encodes a signaling NaN."""
+    return _exp(bits) == 0xFF and 0 < _frac(bits) < 0x00400000
+
+
+def is_inf(bits: int) -> bool:
+    """Whether the pattern encodes ±infinity."""
+    return _exp(bits) == 0xFF and _frac(bits) == 0
+
+
+def is_zero(bits: int) -> bool:
+    """Whether the pattern encodes ±0."""
+    return (bits & ~_SIGN_MASK) == 0
+
+
+def _propagate_nan(a: int, b: int | None = None) -> int:
+    """SoftFloat-style NaN propagation: return a quiet NaN."""
+    flags.invalid = flags.invalid or is_signaling_nan(a) or (
+        b is not None and is_signaling_nan(b)
+    )
+    if is_nan(a):
+        return a | 0x00400000  # quieted
+    if b is not None and is_nan(b):
+        return b | 0x00400000
+    return DEFAULT_NAN
+
+
+def _unpack(bits: int) -> tuple[int, int, int]:
+    """(sign, unbiased-ish exponent, significand with hidden bit).
+
+    Denormals are normalized into (exp=1, shifted significand) space?
+    No — they are returned as (sign, 1, frac) without the hidden bit;
+    callers treat exp uniformly because the value is frac * 2^(1-150).
+    """
+    sign = _sign(bits)
+    exp = _exp(bits)
+    frac = _frac(bits)
+    if exp == 0:
+        return (sign, 1, frac)  # denormal or zero: no hidden bit
+    return (sign, exp, frac | _HIDDEN)
+
+
+def _round_pack(sign: int, exp: int, sig: int) -> int:
+    """Round and assemble a result.
+
+    ``sig`` carries the significand with 7 extra low bits of precision
+    (i.e. target hidden-bit position is bit 30..7 → we expect a
+    normalized ``sig`` in [0x40000000, 0x80000000) when exp is right).
+    Rounds to nearest-even, handling overflow, underflow and denormals.
+    """
+    # Normalize sig to have its leading bit at position 30 (hidden at
+    # bit 30, 23 fraction bits at 29..7, 7 rounding bits at 6..0).
+    if sig == 0:
+        return sign << 31
+    while sig < 0x40000000:
+        sig <<= 1
+        exp -= 1
+    while sig >= 0x80000000:
+        sig = (sig >> 1) | (sig & 1)
+        exp += 1
+
+    if exp >= 0xFF:
+        flags.overflow = True
+        flags.inexact = True
+        return (sign << 31) | _EXP_MASK  # round-to-nearest → inf
+
+    if exp <= 0:
+        # Denormalize: shift right by (1 - exp), collecting sticky.
+        shift = 1 - exp
+        if shift > 31:
+            sticky = 1 if sig != 0 else 0
+            sig = 0
+        else:
+            sticky = 1 if (sig & ((1 << shift) - 1)) != 0 else 0
+            sig = sig >> shift
+        sig |= sticky
+        exp = 0
+        round_bits = sig & 0x7F
+        result_sig = sig >> 7
+        if round_bits:
+            flags.inexact = True
+            flags.underflow = True
+        if round_bits > 0x40 or (round_bits == 0x40 and (result_sig & 1)):
+            result_sig += 1
+        if result_sig >= _HIDDEN:
+            # Rounded up into the normal range.
+            return (sign << 31) | (1 << 23) | (result_sig & _FRAC_MASK)
+        return (sign << 31) | result_sig
+
+    round_bits = sig & 0x7F
+    result_sig = sig >> 7
+    if round_bits:
+        flags.inexact = True
+    if round_bits > 0x40 or (round_bits == 0x40 and (result_sig & 1)):
+        result_sig += 1
+        if result_sig >= 0x01000000:
+            result_sig >>= 1
+            exp += 1
+            if exp >= 0xFF:
+                flags.overflow = True
+                return (sign << 31) | _EXP_MASK
+    return (sign << 31) | (exp << 23) | (result_sig & _FRAC_MASK)
+
+
+def f32_neg(a: int) -> int:
+    """Negation (sign-bit flip; IEEE negate is quiet even on NaN)."""
+    return _check_bits(a) ^ _SIGN_MASK
+
+
+def f32_abs(a: int) -> int:
+    """Absolute value (clear the sign bit)."""
+    return _check_bits(a) & ~_SIGN_MASK
+
+
+def f32_add(a: int, b: int) -> int:
+    """IEEE binary32 addition, round-to-nearest-even."""
+    _check_bits(a)
+    _check_bits(b)
+    if is_nan(a) or is_nan(b):
+        return _propagate_nan(a, b)
+    if is_inf(a):
+        if is_inf(b) and _sign(a) != _sign(b):
+            flags.invalid = True
+            return DEFAULT_NAN
+        return a
+    if is_inf(b):
+        return b
+    sign_a, exp_a, sig_a = _unpack(a)
+    sign_b, exp_b, sig_b = _unpack(b)
+    # Give 7 extra bits of working precision.
+    sig_a <<= 7
+    sig_b <<= 7
+    if exp_a < exp_b:
+        sign_a, sign_b = sign_b, sign_a
+        exp_a, exp_b = exp_b, exp_a
+        sig_a, sig_b = sig_b, sig_a
+    shift = exp_a - exp_b
+    if shift > 0:
+        if shift > 31:
+            sticky = 1 if sig_b != 0 else 0
+            sig_b = sticky
+        else:
+            sticky = 1 if (sig_b & ((1 << shift) - 1)) != 0 else 0
+            sig_b = (sig_b >> shift) | sticky
+
+    if sign_a == sign_b:
+        sig = sig_a + sig_b
+        sign = sign_a
+    else:
+        sig = sig_a - sig_b
+        sign = sign_a
+        if sig < 0:
+            sig = -sig
+            sign = sign_b
+        if sig == 0:
+            # Exact cancellation: +0 in round-to-nearest.
+            return 0
+    return _round_pack(sign, exp_a, sig)
+
+
+def f32_sub(a: int, b: int) -> int:
+    """IEEE binary32 subtraction."""
+    _check_bits(b)
+    if is_nan(b):
+        return _propagate_nan(a, b)
+    return f32_add(a, b ^ _SIGN_MASK)
+
+
+def f32_mul(a: int, b: int) -> int:
+    """IEEE binary32 multiplication, round-to-nearest-even."""
+    _check_bits(a)
+    _check_bits(b)
+    if is_nan(a) or is_nan(b):
+        return _propagate_nan(a, b)
+    sign = _sign(a) ^ _sign(b)
+    if is_inf(a) or is_inf(b):
+        if is_zero(a) or is_zero(b):
+            flags.invalid = True
+            return DEFAULT_NAN
+        return (sign << 31) | _EXP_MASK
+    if is_zero(a) or is_zero(b):
+        return sign << 31
+    _, exp_a, sig_a = _unpack(a)
+    _, exp_b, sig_b = _unpack(b)
+    exp_a, sig_a = _normalize_subnormal(exp_a, sig_a)
+    exp_b, sig_b = _normalize_subnormal(exp_b, sig_b)
+    product = sig_a * sig_b  # 47 or 48 bits, leading bit at 46/47
+    exp = exp_a + exp_b - 127
+    # Bring the product into "hidden bit at 30, 7 round bits" space:
+    # both inputs have hidden at bit 23 → product hidden at 46/47.
+    # Shift down to 30 keeping sticky.
+    shift = 16
+    sticky = 1 if (product & ((1 << shift) - 1)) != 0 else 0
+    sig = (product >> shift) | sticky
+    return _round_pack(sign, exp, sig)
+
+
+def f32_div(a: int, b: int) -> int:
+    """IEEE binary32 division, round-to-nearest-even."""
+    _check_bits(a)
+    _check_bits(b)
+    if is_nan(a) or is_nan(b):
+        return _propagate_nan(a, b)
+    sign = _sign(a) ^ _sign(b)
+    if is_inf(a):
+        if is_inf(b):
+            flags.invalid = True
+            return DEFAULT_NAN
+        return (sign << 31) | _EXP_MASK
+    if is_inf(b):
+        return sign << 31
+    if is_zero(b):
+        if is_zero(a):
+            flags.invalid = True
+            return DEFAULT_NAN
+        flags.divide_by_zero = True
+        return (sign << 31) | _EXP_MASK
+    if is_zero(a):
+        return sign << 31
+    _, exp_a, sig_a = _unpack(a)
+    _, exp_b, sig_b = _unpack(b)
+    exp_a, sig_a = _normalize_subnormal(exp_a, sig_a)
+    exp_b, sig_b = _normalize_subnormal(exp_b, sig_b)
+    exp = exp_a - exp_b + 127
+    # Quotient with 31 fractional bits: with normalized operands the
+    # ratio is in [0.5, 2), so the quotient's leading bit lands at 30
+    # or 31 and _round_pack shifts at most once (the sticky bit is
+    # never left-shifted into significance).
+    numerator = sig_a << 31
+    quotient, remainder = divmod(numerator, sig_b)
+    sticky = 1 if remainder != 0 else 0
+    sig = quotient | sticky
+    return _round_pack(sign, exp - 1, sig)
+
+
+def _normalize_subnormal(exp: int, sig: int) -> tuple[int, int]:
+    """Shift a subnormal significand up to the hidden-bit position.
+
+    Left shifts lose no information, and downstream fixed right-shifts
+    (mul's >>16, div's quotient width) then behave as for normals.
+    """
+    while sig < _HIDDEN:
+        sig <<= 1
+        exp -= 1
+    return exp, sig
+
+
+def f32_sqrt(a: int) -> int:
+    """IEEE binary32 square root, round-to-nearest-even."""
+    _check_bits(a)
+    if is_nan(a):
+        return _propagate_nan(a)
+    if is_zero(a):
+        return a  # ±0 → ±0 per IEEE
+    if _sign(a):
+        flags.invalid = True
+        return DEFAULT_NAN
+    if is_inf(a):
+        return a
+    _, exp, sig = _unpack(a)
+    # Normalize denormals.
+    while sig < _HIDDEN:
+        sig <<= 1
+        exp -= 1
+    # value = sig * 2^(exp-150); want sqrt = s * 2^e.
+    e_unbiased = exp - 127
+    if e_unbiased % 2 != 0:
+        sig <<= 1
+        e_unbiased -= 1
+    result_exp = e_unbiased // 2 + 127
+    # sqrt(sig * 2^-23) with 30-bit precision: isqrt(sig << 37).
+    radicand = sig << 37
+    root = _isqrt(radicand)
+    sticky = 1 if root * root != radicand else 0
+    sig_out = root | sticky
+    return _round_pack(0, result_exp, sig_out)
+
+
+def _isqrt(n: int) -> int:
+    """Integer square root (floor)."""
+    if n < 0:
+        raise SoftFloatError("isqrt of negative")
+    return int(n**0.5) if n < (1 << 52) else _isqrt_newton(n)
+
+
+def _isqrt_newton(n: int) -> int:
+    x = 1 << ((n.bit_length() + 1) // 2)
+    while True:
+        y = (x + n // x) >> 1
+        if y >= x:
+            return x
+        x = y
+
+
+def i32_to_f32(value: int) -> int:
+    """Signed 32-bit integer → binary32 (round-to-nearest-even).
+
+    ``_round_pack(sign, exp, sig)`` encodes ``sig * 2^(exp - 157)``
+    (hidden bit at position 30 with 7 rounding bits), so an integer
+    magnitude placed at ``sig = magnitude << 30`` pairs with exp 127.
+    """
+    if not -(1 << 31) <= value < (1 << 31):
+        raise SoftFloatError(f"not an int32: {value}")
+    if value == 0:
+        return 0
+    sign = 1 if value < 0 else 0
+    magnitude = -value if value < 0 else value
+    return _round_pack(sign, 127, magnitude << 30)
+
+
+def f32_to_i32(bits: int) -> int:
+    """binary32 → int32, truncating toward zero (C cast semantics).
+
+    Out-of-range values and NaN saturate/pin per SoftFloat behaviour
+    and raise the invalid flag.
+    """
+    _check_bits(bits)
+    if is_nan(bits):
+        flags.invalid = True
+        return -(1 << 31)
+    sign, exp, sig = _unpack(bits)
+    if _exp(bits) == 0xFF:  # infinity
+        flags.invalid = True
+        return (1 << 31) - 1 if sign == 0 else -(1 << 31)
+    e = exp - 150  # value = sig * 2^e (hidden bit at 23)
+    if e >= 0:
+        if e > 7:  # 24 significant bits shifted past 2^31
+            flags.invalid = True
+            return (1 << 31) - 1 if sign == 0 else -(1 << 31)
+        magnitude = sig << e
+    else:
+        shift = -e
+        if shift > 31:
+            magnitude = 0
+            if sig != 0:
+                flags.inexact = True
+        else:
+            magnitude = sig >> shift
+            if (magnitude << shift) != sig:
+                flags.inexact = True
+    if magnitude >= (1 << 31):
+        if sign and magnitude == (1 << 31):
+            return -(1 << 31)
+        flags.invalid = True
+        return (1 << 31) - 1 if sign == 0 else -(1 << 31)
+    return -magnitude if sign else magnitude
+
+
+def f32_eq(a: int, b: int) -> bool:
+    """IEEE equality (NaN compares unequal; ±0 equal)."""
+    _check_bits(a)
+    _check_bits(b)
+    if is_nan(a) or is_nan(b):
+        flags.invalid = flags.invalid or is_signaling_nan(a) or is_signaling_nan(b)
+        return False
+    if is_zero(a) and is_zero(b):
+        return True
+    return a == b
+
+
+def f32_lt(a: int, b: int) -> bool:
+    """IEEE less-than (unordered → False, invalid on NaN)."""
+    _check_bits(a)
+    _check_bits(b)
+    if is_nan(a) or is_nan(b):
+        flags.invalid = True
+        return False
+    a_key = _order_key(a)
+    b_key = _order_key(b)
+    return a_key < b_key
+
+
+def f32_le(a: int, b: int) -> bool:
+    """IEEE less-or-equal (unordered → False, invalid on NaN)."""
+    if is_nan(a) or is_nan(b):
+        flags.invalid = True
+        return False
+    return f32_eq(a, b) or f32_lt(a, b)
+
+
+def _order_key(bits: int) -> int:
+    """Total-order key for non-NaN floats (±0 map to the same key)."""
+    if is_zero(bits):
+        return 0
+    magnitude = bits & ~_SIGN_MASK
+    return -magnitude if _sign(bits) else magnitude

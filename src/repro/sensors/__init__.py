@@ -1,0 +1,40 @@
+"""MEMS sensor models.
+
+Software substitutes for the paper's instruments:
+
+- :class:`~repro.sensors.imu.SixDofImu` — the BAE SYSTEMS "DMU": three
+  vibrating-ring Coriolis gyroscopes plus a capacitive accelerometer
+  triad, fixed to the vehicle (body frame).
+- :class:`~repro.sensors.acc2.DualAxisAccelerometer` — the Analog
+  Devices ADXL202 two-axis accelerometer bolted to the boresighted
+  sensor, including its PWM duty-cycle output stage.
+- :class:`~repro.sensors.camera.PinholeCamera` — the video sensor whose
+  image the affine stage re-aligns.
+
+All share the error models of :mod:`repro.sensors.noise` (turn-on bias,
+bias drift, white noise, scale-factor error, quantization), which are
+what ultimately limit the alignment accuracy reported in Table 1.
+"""
+
+from repro.sensors.acc2 import AccSamples, DualAxisAccelerometer
+from repro.sensors.accelerometer import AdxlPwmEncoder, CapacitiveAccelTriad
+from repro.sensors.camera import PinholeCamera
+from repro.sensors.gyro import RingGyroTriad
+from repro.sensors.imu import ImuSamples, SixDofImu
+from repro.sensors.mounting import Mounting
+from repro.sensors.noise import AxisErrorModel, NoiseSpec, TriadErrorModel
+
+__all__ = [
+    "NoiseSpec",
+    "AxisErrorModel",
+    "TriadErrorModel",
+    "RingGyroTriad",
+    "CapacitiveAccelTriad",
+    "AdxlPwmEncoder",
+    "SixDofImu",
+    "ImuSamples",
+    "DualAxisAccelerometer",
+    "AccSamples",
+    "Mounting",
+    "PinholeCamera",
+]

@@ -1,0 +1,179 @@
+"""Capacitive MEMS accelerometer models, including the ADXL202 PWM stage.
+
+Both the DMU's accelerometer triad and the boresighted sensor's
+ADXL202 "determine acceleration through changes in the capacitance
+between independent fixed plates and central plates attached to a
+moving mass" (paper §4).  At system level that is a specific-force
+input with the standard MEMS error budget.
+
+The ADXL202 is additionally modelled down to its signature output
+stage: a duty-cycle-modulated square wave (DCM), where 0 g reads 50 %
+duty and sensitivity is 12.5 % duty per g.  The host measures T1 (high
+time) and T2 (period) with a counter/timer; the finite timer clock is a
+real quantization source that this model reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SensorError
+from repro.sensors.noise import NoiseSpec, TriadErrorModel
+from repro.units import STANDARD_GRAVITY, g_to_mps2
+
+
+@dataclass(frozen=True)
+class CapacitiveAccelSpec:
+    """Datasheet-level parameters of one capacitive accelerometer axis.
+
+    Defaults follow the ADXL202 class (±2 g range, 200 µg/√Hz noise)
+    with a post-calibration bias in the low-milli-g range.
+    """
+
+    #: Noise density, g/sqrt(Hz).
+    noise_density_g: float = 200e-6
+    #: Turn-on bias after calibration, g 1-sigma.
+    turn_on_bias_g: float = 1.5e-3
+    #: In-run bias instability, g 1-sigma.
+    bias_instability_g: float = 0.4e-3
+    #: Bias correlation time, s.
+    bias_correlation_time: float = 200.0
+    #: Scale-factor error, 1-sigma.
+    scale_factor_sigma: float = 0.002
+    #: Full-scale range, g.
+    full_scale_g: float = 2.0
+
+    def to_noise_spec(self, quantization: float = 0.0) -> NoiseSpec:
+        """Convert to an m/s² :class:`NoiseSpec`.
+
+        ``quantization`` (m/s²) is supplied by the output stage model —
+        analog parts quantize at the ADC/timer, not in the element.
+        """
+        return NoiseSpec(
+            white_noise_density=g_to_mps2(self.noise_density_g),
+            turn_on_bias_sigma=g_to_mps2(self.turn_on_bias_g),
+            bias_instability=g_to_mps2(self.bias_instability_g),
+            bias_correlation_time=self.bias_correlation_time,
+            scale_factor_sigma=self.scale_factor_sigma,
+            quantization=quantization,
+        )
+
+
+class CapacitiveAccelTriad:
+    """Three orthogonal capacitive accelerometers (the DMU triad)."""
+
+    def __init__(
+        self,
+        spec: CapacitiveAccelSpec,
+        rng: np.random.Generator,
+        quantization: float = 0.0,
+    ) -> None:
+        self.spec = spec
+        self._errors = TriadErrorModel(spec.to_noise_spec(quantization), rng)
+
+    def sense(self, specific_force: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Measure specific force (N, 3) m/s² at ``sample_rate`` Hz."""
+        f = np.asarray(specific_force, dtype=np.float64)
+        if f.ndim != 2 or f.shape[1] != 3:
+            raise ConfigurationError(f"expected (N, 3) specific force, got {f.shape}")
+        measured = self._errors.corrupt(f, sample_rate)
+        full_scale = g_to_mps2(self.spec.full_scale_g)
+        return np.clip(measured, -full_scale, full_scale)
+
+
+@dataclass(frozen=True)
+class AdxlPwmEncoder:
+    """The ADXL202's duty-cycle output stage and its host-side decoder.
+
+    Encoding (datasheet): duty = 0.5 + 0.125 * a_g, with period T2 set
+    by an external resistor.  The host times the waveform with a counter
+    at ``timer_clock_hz``; both T1 and T2 are integer counts, which
+    quantizes the recovered acceleration.
+    """
+
+    #: PWM period, seconds (T2).  The datasheet's RSET range allows
+    #: 0.5–10 ms; boresight rigs run slow periods for resolution.
+    period_s: float = 5e-3
+    #: Host timer clock used to measure T1/T2, Hz.  The FPGA counts at
+    #: a fraction of the system clock; 24 MHz gives a 65 µg LSB.
+    timer_clock_hz: float = 24e6
+    #: Duty-cycle sensitivity per g.
+    duty_per_g: float = 0.125
+    #: Duty cycle at zero acceleration.
+    zero_g_duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0.0 or self.timer_clock_hz <= 0.0:
+            raise ConfigurationError("period and timer clock must be positive")
+
+    @property
+    def period_counts(self) -> int:
+        """Timer counts in one PWM period."""
+        return int(round(self.period_s * self.timer_clock_hz))
+
+    @property
+    def quantization_mps2(self) -> float:
+        """Acceleration LSB implied by one timer count."""
+        duty_lsb = 1.0 / self.period_counts
+        return g_to_mps2(duty_lsb / self.duty_per_g)
+
+    def encode(self, acceleration_mps2: float) -> tuple[int, int]:
+        """Acceleration → (t1_counts, t2_counts) as the host would time them."""
+        a_g = acceleration_mps2 / STANDARD_GRAVITY
+        duty = self.zero_g_duty + self.duty_per_g * a_g
+        if not 0.0 < duty < 1.0:
+            raise SensorError(
+                f"acceleration {acceleration_mps2:.2f} m/s² saturates the "
+                f"duty-cycle output (duty={duty:.3f})"
+            )
+        t2 = self.period_counts
+        t1 = int(round(duty * t2))
+        return t1, t2
+
+    def decode(self, t1_counts: int, t2_counts: int) -> float:
+        """(t1, t2) counts → acceleration in m/s²."""
+        if t2_counts <= 0 or not 0 <= t1_counts <= t2_counts:
+            raise SensorError(
+                f"invalid PWM counts t1={t1_counts}, t2={t2_counts}"
+            )
+        duty = t1_counts / t2_counts
+        a_g = (duty - self.zero_g_duty) / self.duty_per_g
+        return g_to_mps2(a_g)
+
+    def roundtrip(self, acceleration_mps2: float) -> float:
+        """Acceleration after one encode/decode pass (quantized)."""
+        t1, t2 = self.encode(acceleration_mps2)
+        return self.decode(t1, t2)
+
+
+def adxl_quantization_series(
+    encoder: AdxlPwmEncoder, accelerations: np.ndarray
+) -> np.ndarray:
+    """Vector helper: push a series through the PWM encode/decode path."""
+    flat = np.asarray(accelerations, dtype=np.float64).reshape(-1)
+    out = np.empty_like(flat)
+    for i, a in enumerate(flat):
+        out[i] = encoder.roundtrip(float(a))
+    return out.reshape(np.asarray(accelerations).shape)
+
+
+def pwm_quantize(encoder: AdxlPwmEncoder, accelerations: np.ndarray) -> np.ndarray:
+    """Fast equivalent of :func:`adxl_quantization_series`.
+
+    Uses the closed-form LSB size instead of per-sample encode/decode;
+    exact for non-saturating inputs (validated in tests against the
+    bit-level path).
+    """
+    a = np.asarray(accelerations, dtype=np.float64)
+    limit_g = (1.0 - encoder.zero_g_duty) / encoder.duty_per_g
+    limit = g_to_mps2(limit_g)
+    if np.any(np.abs(a) >= limit):
+        raise SensorError("acceleration saturates the duty-cycle output")
+    counts = encoder.period_counts
+    duty = encoder.zero_g_duty + encoder.duty_per_g * (a / STANDARD_GRAVITY)
+    t1 = np.round(duty * counts)
+    duty_q = t1 / counts
+    return g_to_mps2((duty_q - encoder.zero_g_duty) / encoder.duty_per_g)

@@ -1,0 +1,79 @@
+"""Pinhole camera model for the boresighted video sensor.
+
+The camera is the sensor being aligned.  Its physical misalignment
+(shared with the ACC bolted to it) shows up in the image as a rotation
+about the optical axis (roll) plus pixel shifts (pitch/yaw scaled by
+focal length) — exactly the corrections the paper's affine stage
+applies (§6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry import EulerAngles
+
+
+@dataclass(frozen=True)
+class PinholeCamera:
+    """An ideal pinhole camera.
+
+    Parameters
+    ----------
+    width, height:
+        Sensor resolution in pixels.  The RC200E prototype handled
+        PAL-ish video; the default is 640x480.
+    focal_length_px:
+        Focal length expressed in pixels.
+    """
+
+    width: int = 640
+    height: int = 480
+    focal_length_px: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("camera resolution must be positive")
+        if self.focal_length_px <= 0.0:
+            raise ConfigurationError("focal length must be positive")
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Principal point (cx, cy), image center."""
+        return (self.width / 2.0, self.height / 2.0)
+
+    def misalignment_to_affine(
+        self, misalignment: EulerAngles
+    ) -> tuple[float, float, float]:
+        """Map a camera misalignment to affine correction parameters.
+
+        Returns ``(theta, bx, by)`` such that rotating the image by
+        ``theta`` about its center and translating by ``(bx, by)``
+        pixels re-aligns it — the ``A``/``B`` of the paper's §6:
+
+        - roll about the optical axis → pure image rotation;
+        - yaw (pan) → horizontal shift ``f * tan(yaw)``;
+        - pitch (tilt) → vertical shift ``f * tan(pitch)``.
+
+        The small-angle affine model ignores perspective distortion,
+        which for a few degrees and VGA resolution stays below a pixel.
+        """
+        theta = misalignment.roll
+        bx = self.focal_length_px * math.tan(misalignment.yaw)
+        by = self.focal_length_px * math.tan(misalignment.pitch)
+        return (theta, bx, by)
+
+    def pixel_error(self, residual: EulerAngles) -> float:
+        """Worst-case pixel displacement caused by a residual misalignment.
+
+        Used to express alignment accuracy in "pixels at the image
+        corner", the unit a camera system integrator cares about.
+        """
+        theta, bx, by = self.misalignment_to_affine(residual)
+        corner_radius = math.hypot(self.width / 2.0, self.height / 2.0)
+        rotation_err = 2.0 * corner_radius * abs(math.sin(theta / 2.0))
+        return rotation_err + math.hypot(bx, by)

@@ -1,0 +1,91 @@
+"""Vibrating-ring Coriolis gyroscope model.
+
+The paper's DMU uses silicon ring-resonator gyros (Silicon Sensing
+heritage): a ring driven into a primary vibration mode; rotation
+couples energy into the orthogonal secondary mode via the Coriolis
+effect, and the secondary amplitude is demodulated into a rate output.
+
+At the system level the physics reduce to a rate signal corrupted by
+the classic MEMS error budget, plus the ring gyro's signature property
+— excellent shock survivability but a g-sensitive bias (linear
+acceleration slightly detunes the ring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sensors.noise import NoiseSpec, TriadErrorModel
+from repro.units import dps_to_radps
+
+
+@dataclass(frozen=True)
+class RingGyroSpec:
+    """Datasheet-level parameters of a ring gyro axis (2004-era MEMS).
+
+    Defaults follow the Silicon Sensing CRS family: ~100 deg/h bias
+    stability class parts with 0.1–1 deg/s turn-on bias after
+    calibration and ~0.005 deg/s/√Hz rate noise.
+    """
+
+    #: Angular random walk, deg/s/sqrt(Hz).
+    rate_noise_density_dps: float = 0.005
+    #: Turn-on bias after calibration, deg/s 1-sigma.
+    turn_on_bias_dps: float = 0.05
+    #: In-run bias instability, deg/s 1-sigma.
+    bias_instability_dps: float = 0.01
+    #: Bias correlation time, s.
+    bias_correlation_time: float = 120.0
+    #: Scale-factor error, 1-sigma (dimensionless).
+    scale_factor_sigma: float = 0.003
+    #: Output quantization, deg/s per LSB.
+    quantization_dps: float = 0.0125
+    #: g-sensitivity of the bias, deg/s per m/s² (ring detuning).
+    g_sensitivity_dps_per_mps2: float = 0.002
+    #: Full-scale range, deg/s.
+    full_scale_dps: float = 100.0
+
+    def to_noise_spec(self) -> NoiseSpec:
+        """Convert the datasheet numbers to a rad/s :class:`NoiseSpec`."""
+        return NoiseSpec(
+            white_noise_density=dps_to_radps(self.rate_noise_density_dps),
+            turn_on_bias_sigma=dps_to_radps(self.turn_on_bias_dps),
+            bias_instability=dps_to_radps(self.bias_instability_dps),
+            bias_correlation_time=self.bias_correlation_time,
+            scale_factor_sigma=self.scale_factor_sigma,
+            quantization=dps_to_radps(self.quantization_dps),
+        )
+
+
+class RingGyroTriad:
+    """Three orthogonal ring gyros measuring body angular rate.
+
+    ``sense`` takes true body rate (N, 3) in rad/s plus the specific
+    force (N, 3) for the g-sensitive bias term, and returns measured
+    rate (N, 3) in rad/s, saturated at the full-scale range.
+    """
+
+    def __init__(self, spec: RingGyroSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self._errors = TriadErrorModel(spec.to_noise_spec(), rng)
+
+    def sense(
+        self,
+        body_rate: np.ndarray,
+        specific_force: np.ndarray,
+        sample_rate: float,
+    ) -> np.ndarray:
+        """Measure body rate at ``sample_rate`` Hz."""
+        omega = np.asarray(body_rate, dtype=np.float64)
+        f = np.asarray(specific_force, dtype=np.float64)
+        if omega.shape != f.shape or omega.ndim != 2 or omega.shape[1] != 3:
+            raise ConfigurationError(
+                f"rate/force shapes must match (N, 3); got {omega.shape}, {f.shape}"
+            )
+        g_bias = dps_to_radps(self.spec.g_sensitivity_dps_per_mps2) * f
+        measured = self._errors.corrupt(omega + g_bias, sample_rate)
+        full_scale = dps_to_radps(self.spec.full_scale_dps)
+        return np.clip(measured, -full_scale, full_scale)

@@ -1,0 +1,110 @@
+"""The 6-DOF inertial measurement unit ("DMU").
+
+Model of the BAE SYSTEMS DMU the paper mounts to the vehicle: a
+vibrating-ring gyro triad plus a capacitive accelerometer triad in one
+box, sampled internally and reported over CAN.  The IMU defines the
+vehicle body frame (paper Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import spawn_child
+from repro.sensors.accelerometer import CapacitiveAccelSpec, CapacitiveAccelTriad
+from repro.sensors.gyro import RingGyroSpec, RingGyroTriad
+from repro.vehicle.trajectory import TrajectoryData
+from repro.vehicle.vibration import VibrationModel
+
+
+@dataclass
+class ImuSamples:
+    """Time-tagged IMU output.
+
+    Attributes
+    ----------
+    time:
+        Sample times, seconds, shape (N,).
+    body_rate:
+        Measured angular rate, rad/s, shape (N, 3).
+    specific_force:
+        Measured specific force, m/s², shape (N, 3).
+    """
+
+    time: np.ndarray
+    body_rate: np.ndarray
+    specific_force: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.time.shape[0])
+
+    def debias(self, rate_bias: np.ndarray, force_bias: np.ndarray) -> "ImuSamples":
+        """Return a copy with calibration biases subtracted."""
+        return ImuSamples(
+            time=self.time.copy(),
+            body_rate=self.body_rate - np.asarray(rate_bias).reshape(1, 3),
+            specific_force=self.specific_force - np.asarray(force_bias).reshape(1, 3),
+        )
+
+
+@dataclass(frozen=True)
+class ImuConfig:
+    """Assembly-level IMU configuration."""
+
+    sample_rate: float = 100.0
+    gyro: RingGyroSpec = field(default_factory=RingGyroSpec)
+    accel: CapacitiveAccelSpec = field(default_factory=CapacitiveAccelSpec)
+    #: ADC quantization of the accelerometer channels, m/s² per LSB.
+    accel_quantization: float = 0.0025
+
+    def __post_init__(self) -> None:
+        if self.sample_rate <= 0.0:
+            raise ConfigurationError("IMU sample rate must be > 0")
+
+
+class SixDofImu:
+    """Six-degree-of-freedom IMU fixed to the vehicle."""
+
+    def __init__(
+        self, config: ImuConfig, rng: np.random.Generator
+    ) -> None:
+        self.config = config
+        self._gyros = RingGyroTriad(config.gyro, spawn_child(rng, 1))
+        self._accels = CapacitiveAccelTriad(
+            config.accel, spawn_child(rng, 2), quantization=config.accel_quantization
+        )
+
+    def sense(
+        self,
+        trajectory: TrajectoryData,
+        vibration: VibrationModel | None = None,
+    ) -> ImuSamples:
+        """Run the IMU over a trajectory sampled *at the IMU rate*.
+
+        The caller is responsible for sampling the trajectory at
+        ``config.sample_rate`` (checked here) so that truth and
+        measurement share time tags.
+        """
+        rate = self.config.sample_rate
+        measured_rate_hz = trajectory.sample_rate
+        if abs(measured_rate_hz - rate) > 1e-6 * rate:
+            raise ConfigurationError(
+                f"trajectory sampled at {measured_rate_hz:.3f} Hz but the IMU "
+                f"runs at {rate:.3f} Hz — resample the trajectory"
+            )
+
+        true_force = trajectory.specific_force.copy()
+        if vibration is not None:
+            for i, t in enumerate(trajectory.time):
+                true_force[i] += vibration.sample(float(t), float(trajectory.speed[i]))
+
+        body_rate = self._gyros.sense(trajectory.body_rate, true_force, rate)
+        specific_force = self._accels.sense(true_force, rate)
+        return ImuSamples(
+            time=trajectory.time.copy(),
+            body_rate=body_rate,
+            specific_force=specific_force,
+        )

@@ -1,0 +1,77 @@
+"""Sensor mounting geometry: misalignment and lever arm.
+
+The unknown the whole system estimates is the *mounting* of the
+boresighted sensor: a small rotation (roll, pitch, yaw) between the
+sensor frame and the vehicle body frame, plus the lever arm between the
+ACC and the IMU.  The lever arm matters because a point offset from the
+IMU feels additional specific force under angular acceleration and
+centripetal effects:
+
+    f_sensor_body = f_imu + alpha × r + omega × (omega × r)
+
+with ``r`` the lever arm (body frame), ``omega`` the body rate and
+``alpha`` its derivative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry import EulerAngles, dcm_from_euler
+
+
+@dataclass(frozen=True)
+class Mounting:
+    """Physical installation of the boresighted sensor.
+
+    Parameters
+    ----------
+    misalignment:
+        Rotation from body frame to sensor frame (the quantity the
+        Kalman filter estimates).  "A few degrees" in the paper's tests.
+    lever_arm:
+        Position of the ACC relative to the IMU, body frame, meters.
+    """
+
+    misalignment: EulerAngles = field(default_factory=EulerAngles.zero)
+    lever_arm: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        arm = np.asarray(self.lever_arm, dtype=np.float64).reshape(-1)
+        if arm.shape != (3,):
+            raise ConfigurationError(f"lever arm must be a 3-vector, got {arm.shape}")
+        object.__setattr__(self, "lever_arm", arm)
+        arm.setflags(write=False)
+
+    @property
+    def body_to_sensor(self) -> np.ndarray:
+        """DCM rotating body-frame vectors into the sensor frame."""
+        return dcm_from_euler(self.misalignment)
+
+    def specific_force_at_sensor(
+        self,
+        specific_force_body: np.ndarray,
+        body_rate: np.ndarray,
+        body_rate_dot: np.ndarray,
+    ) -> np.ndarray:
+        """Specific force at the ACC location, still in body axes.
+
+        Accepts single 3-vectors or (N, 3) series.
+        """
+        f = np.atleast_2d(np.asarray(specific_force_body, dtype=np.float64))
+        w = np.atleast_2d(np.asarray(body_rate, dtype=np.float64))
+        a = np.atleast_2d(np.asarray(body_rate_dot, dtype=np.float64))
+        if not (f.shape == w.shape == a.shape) or f.shape[1] != 3:
+            raise ConfigurationError(
+                f"series shapes must match (N, 3): {f.shape}, {w.shape}, {a.shape}"
+            )
+        r = self.lever_arm
+        tangential = np.cross(a, np.broadcast_to(r, f.shape))
+        centripetal = np.cross(w, np.cross(w, np.broadcast_to(r, f.shape)))
+        result = f + tangential + centripetal
+        if np.asarray(specific_force_body).ndim == 1:
+            return result[0]
+        return result

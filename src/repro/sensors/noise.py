@@ -1,0 +1,158 @@
+"""Instrument error models shared by all MEMS sensors.
+
+Each axis applies, in order:
+
+1. scale-factor error:      y = (1 + s) * x
+2. turn-on bias:            y += b0            (drawn once at power-up)
+3. bias instability:        y += b(t)          (first-order Gauss-Markov)
+4. white noise:             y += n,  n ~ N(0, density**2 * rate)
+5. quantization:            y = round(y / q) * q
+
+The paper attributes its residual alignment error to "the accuracy of
+the inertial instruments, mounting accuracy of the instruments, noise
+present at the sensors and time allowed for the filter" — these are
+exactly the knobs this module exposes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Error parameters for one instrument axis.
+
+    Parameters
+    ----------
+    white_noise_density:
+        One-sided noise density in unit/sqrt(Hz) (e.g. m/s²/√Hz).
+    turn_on_bias_sigma:
+        1-sigma of the constant bias drawn at power-up (unit).
+    bias_instability:
+        1-sigma of the slowly-varying bias component (unit).
+    bias_correlation_time:
+        Correlation time of the bias drift, seconds.
+    scale_factor_sigma:
+        1-sigma relative scale-factor error (dimensionless).
+    quantization:
+        Output LSB size (unit); 0 disables quantization.
+    """
+
+    white_noise_density: float = 0.0
+    turn_on_bias_sigma: float = 0.0
+    bias_instability: float = 0.0
+    bias_correlation_time: float = 100.0
+    scale_factor_sigma: float = 0.0
+    quantization: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "white_noise_density",
+            "turn_on_bias_sigma",
+            "bias_instability",
+            "scale_factor_sigma",
+            "quantization",
+        ):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if self.bias_correlation_time <= 0.0:
+            raise ConfigurationError("bias_correlation_time must be > 0")
+
+    def white_sigma(self, sample_rate: float) -> float:
+        """Per-sample white-noise sigma at ``sample_rate`` Hz."""
+        if sample_rate <= 0.0:
+            raise ConfigurationError("sample_rate must be > 0")
+        return self.white_noise_density * math.sqrt(sample_rate)
+
+
+class AxisErrorModel:
+    """Stateful error model for a single axis.
+
+    The turn-on bias and scale factor are drawn at construction
+    ("power-up") and then held; the drift state evolves per sample.
+    """
+
+    def __init__(self, spec: NoiseSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self._rng = rng
+        self.turn_on_bias = float(rng.normal(0.0, spec.turn_on_bias_sigma))
+        self.scale_error = float(rng.normal(0.0, spec.scale_factor_sigma))
+        self._drift = float(rng.normal(0.0, spec.bias_instability))
+
+    @property
+    def drift(self) -> float:
+        """Current value of the slowly-varying bias component."""
+        return self._drift
+
+    def corrupt(self, truth: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Apply the full error chain to a truth series.
+
+        ``truth`` is a 1-D array sampled at ``sample_rate`` Hz; the
+        drift state advances by one step per sample.
+        """
+        x = np.asarray(truth, dtype=np.float64).reshape(-1)
+        spec = self.spec
+        n = x.shape[0]
+        dt = 1.0 / sample_rate
+
+        out = (1.0 + self.scale_error) * x + self.turn_on_bias
+
+        if spec.bias_instability > 0.0:
+            alpha = math.exp(-dt / spec.bias_correlation_time)
+            drive = spec.bias_instability * math.sqrt(max(0.0, 1.0 - alpha * alpha))
+            drifts = np.empty(n)
+            drift = self._drift
+            shocks = self._rng.standard_normal(n)
+            for i in range(n):
+                drift = alpha * drift + drive * shocks[i]
+                drifts[i] = drift
+            self._drift = drift
+            out += drifts
+
+        sigma = spec.white_sigma(sample_rate)
+        if sigma > 0.0:
+            out += self._rng.normal(0.0, sigma, size=n)
+
+        if spec.quantization > 0.0:
+            out = np.round(out / spec.quantization) * spec.quantization
+        return out
+
+
+class TriadErrorModel:
+    """Three independent :class:`AxisErrorModel` instances.
+
+    Convenience wrapper for gyro/accelerometer triads; accepts one spec
+    applied to all axes or a per-axis tuple.
+    """
+
+    def __init__(
+        self,
+        specs: NoiseSpec | tuple[NoiseSpec, NoiseSpec, NoiseSpec],
+        rng: np.random.Generator,
+    ) -> None:
+        if isinstance(specs, NoiseSpec):
+            specs = (specs, specs, specs)
+        if len(specs) != 3:
+            raise ConfigurationError("triad needs exactly 3 noise specs")
+        self.axes = tuple(AxisErrorModel(spec, rng) for spec in specs)
+
+    @property
+    def turn_on_bias(self) -> np.ndarray:
+        """Per-axis power-up biases as a 3-vector."""
+        return np.array([axis.turn_on_bias for axis in self.axes])
+
+    def corrupt(self, truth: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Corrupt an (N, 3) truth series column by column."""
+        t = np.asarray(truth, dtype=np.float64)
+        if t.ndim != 2 or t.shape[1] != 3:
+            raise ConfigurationError(f"expected (N, 3) truth, got {t.shape}")
+        columns = [
+            self.axes[k].corrupt(t[:, k], sample_rate) for k in range(3)
+        ]
+        return np.stack(columns, axis=1)

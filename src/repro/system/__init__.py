@@ -1,0 +1,19 @@
+"""Full-system integration: the complete Figure-2 architecture.
+
+Ties every substrate together the way the demonstrator was wired:
+sensors → CAN / RS232 (through the converter) → Sabre firmware →
+fusion → angle control registers → FPGA affine pipeline → corrected
+video.
+"""
+
+from repro.system.simulator import (
+    FullSystemConfig,
+    FullSystemResult,
+    FullSystemSimulator,
+)
+
+__all__ = [
+    "FullSystemConfig",
+    "FullSystemResult",
+    "FullSystemSimulator",
+]

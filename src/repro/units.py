@@ -1,0 +1,73 @@
+"""Physical constants and unit conversions used across the library.
+
+The paper mixes aerospace conventions (specific force in m/s**2, angular
+rate in rad/s) with automotive datasheet conventions (accelerations in
+g, rates in deg/s).  Everything internal to :mod:`repro` is SI — meters,
+seconds, radians — and these helpers convert at the boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Standard gravity (m/s**2), the reference for "g" on MEMS datasheets.
+STANDARD_GRAVITY = 9.80665
+
+#: Degrees per radian.
+DEG_PER_RAD = 180.0 / math.pi
+
+#: Radians per degree.
+RAD_PER_DEG = math.pi / 180.0
+
+#: Two pi, the full circle used by the FPGA trig lookup table.
+TWO_PI = 2.0 * math.pi
+
+
+def deg_to_rad(degrees: float) -> float:
+    """Convert an angle in degrees to radians."""
+    return degrees * RAD_PER_DEG
+
+
+def rad_to_deg(radians: float) -> float:
+    """Convert an angle in radians to degrees."""
+    return radians * DEG_PER_RAD
+
+
+def g_to_mps2(g_value: float) -> float:
+    """Convert an acceleration expressed in g to m/s**2."""
+    return g_value * STANDARD_GRAVITY
+
+
+def mps2_to_g(acceleration: float) -> float:
+    """Convert an acceleration in m/s**2 to g."""
+    return acceleration / STANDARD_GRAVITY
+
+
+def dps_to_radps(degrees_per_second: float) -> float:
+    """Convert an angular rate in deg/s to rad/s."""
+    return degrees_per_second * RAD_PER_DEG
+
+
+def radps_to_dps(radians_per_second: float) -> float:
+    """Convert an angular rate in rad/s to deg/s."""
+    return radians_per_second * DEG_PER_RAD
+
+
+def kmh_to_mps(kilometers_per_hour: float) -> float:
+    """Convert a speed in km/h to m/s."""
+    return kilometers_per_hour / 3.6
+
+
+def mps_to_kmh(meters_per_second: float) -> float:
+    """Convert a speed in m/s to km/h."""
+    return meters_per_second * 3.6
+
+
+def wrap_angle(angle: float) -> float:
+    """Wrap an angle in radians to the interval (-pi, pi]."""
+    wrapped = math.fmod(angle + math.pi, TWO_PI)
+    if wrapped <= 0.0:
+        # fmod landed at or below zero → map onto (0, 2*pi] so the
+        # result lands in (-pi, pi] with +pi (not -pi) at the boundary.
+        wrapped += TWO_PI
+    return wrapped - math.pi

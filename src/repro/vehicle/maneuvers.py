@@ -1,0 +1,182 @@
+"""Maneuver primitives — the building blocks of test trajectories.
+
+A maneuver describes, over its duration, the vehicle's *body-frame*
+angular rate and *body-frame* coordinate acceleration as analytic
+functions of local time.  The trajectory integrator turns a sequence of
+maneuvers into attitude and specific-force histories.
+
+Rotational maneuvers are single-axis, which makes the integrated
+attitude exact for piecewise maneuvers (each one is a pure rotation
+about one body axis).  Rate profiles are raised-cosine so the platform
+starts and stops smoothly, like a human tilting a test table or driving
+a car.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_AXES = {"x": 0, "y": 1, "z": 2}
+
+
+def _raised_cosine_rate(total: float, duration: float, t_local: float) -> float:
+    """Rate profile integrating to ``total`` over ``duration``.
+
+    r(t) = (total/T) * (1 - cos(2*pi*t/T)), which is zero at both ends
+    and integrates exactly to ``total``.
+    """
+    if t_local <= 0.0 or t_local >= duration:
+        return 0.0
+    return (total / duration) * (1.0 - math.cos(2.0 * math.pi * t_local / duration))
+
+
+class Maneuver(ABC):
+    """Base class: a motion segment of fixed duration."""
+
+    def __init__(self, duration: float) -> None:
+        if duration <= 0.0:
+            raise ConfigurationError(f"maneuver duration must be > 0, got {duration}")
+        self.duration = float(duration)
+
+    @abstractmethod
+    def body_rate(self, t_local: float) -> np.ndarray:
+        """Body angular rate (rad/s) at local time ``t_local``."""
+
+    @abstractmethod
+    def body_accel(self, t_local: float) -> np.ndarray:
+        """Body coordinate acceleration (m/s**2) at local time ``t_local``."""
+
+    def speed_delta(self) -> float:
+        """Net change of longitudinal speed over the maneuver (m/s)."""
+        return 0.0
+
+
+class Dwell(Maneuver):
+    """Hold still: no rotation, no acceleration.
+
+    On a static table this is a rest period; in a car it models constant
+    -velocity cruising (which, absent vibration, is inertially identical).
+    """
+
+    def body_rate(self, t_local: float) -> np.ndarray:
+        return np.zeros(3)
+
+    def body_accel(self, t_local: float) -> np.ndarray:
+        return np.zeros(3)
+
+
+class RotateAbout(Maneuver):
+    """Rotate by ``angle`` radians about one body axis (``'x'|'y'|'z'``).
+
+    Used for tilt-table reorientation in the static tests.  The rate
+    follows a raised-cosine profile, so the rotation completes exactly
+    and ends at rest.
+    """
+
+    def __init__(self, axis: str, angle: float, duration: float) -> None:
+        super().__init__(duration)
+        if axis not in _AXES:
+            raise ConfigurationError(f"axis must be one of x/y/z, got {axis!r}")
+        self.axis = axis
+        self.angle = float(angle)
+
+    def body_rate(self, t_local: float) -> np.ndarray:
+        rate = np.zeros(3)
+        rate[_AXES[self.axis]] = _raised_cosine_rate(self.angle, self.duration, t_local)
+        return rate
+
+    def body_accel(self, t_local: float) -> np.ndarray:
+        return np.zeros(3)
+
+
+class Accelerate(Maneuver):
+    """Longitudinal acceleration to a new cruise speed.
+
+    ``delta_speed`` (m/s) is gained over ``duration`` with a
+    raised-cosine acceleration profile (peak accel = 2*delta/T).
+    """
+
+    def __init__(self, delta_speed: float, duration: float) -> None:
+        super().__init__(duration)
+        self.delta_speed = float(delta_speed)
+
+    def body_rate(self, t_local: float) -> np.ndarray:
+        return np.zeros(3)
+
+    def body_accel(self, t_local: float) -> np.ndarray:
+        accel = np.zeros(3)
+        accel[0] = _raised_cosine_rate(self.delta_speed, self.duration, t_local)
+        return accel
+
+    def speed_delta(self) -> float:
+        return self.delta_speed
+
+
+class Brake(Accelerate):
+    """Deceleration; a convenience wrapper over :class:`Accelerate`."""
+
+    def __init__(self, delta_speed: float, duration: float) -> None:
+        if delta_speed <= 0.0:
+            raise ConfigurationError("Brake expects a positive speed reduction")
+        super().__init__(-delta_speed, duration)
+
+
+class Turn(Maneuver):
+    """Coordinated flat turn at constant speed.
+
+    A yaw through ``heading_change`` radians at ``speed`` m/s.  The
+    lateral (centripetal) acceleration a_y = v * r follows the same
+    raised-cosine yaw-rate profile, so entry and exit are smooth.
+    """
+
+    def __init__(self, heading_change: float, speed: float, duration: float) -> None:
+        super().__init__(duration)
+        if speed < 0.0:
+            raise ConfigurationError(f"speed must be >= 0, got {speed}")
+        self.heading_change = float(heading_change)
+        self.speed = float(speed)
+
+    def _yaw_rate(self, t_local: float) -> float:
+        return _raised_cosine_rate(self.heading_change, self.duration, t_local)
+
+    def body_rate(self, t_local: float) -> np.ndarray:
+        return np.array([0.0, 0.0, self._yaw_rate(t_local)])
+
+    def body_accel(self, t_local: float) -> np.ndarray:
+        # Centripetal acceleration points toward the turn center: +y
+        # (right) for a positive (clockwise-from-above) yaw rate in the
+        # z-down body frame.
+        return np.array([0.0, self.speed * self._yaw_rate(t_local), 0.0])
+
+
+class Slalom(Maneuver):
+    """Sinusoidal lane-change weave at constant speed.
+
+    ``cycles`` full left/right periods of peak yaw rate
+    ``peak_yaw_rate`` rad/s; the integrated heading change is zero.
+    """
+
+    def __init__(
+        self, peak_yaw_rate: float, cycles: int, speed: float, duration: float
+    ) -> None:
+        super().__init__(duration)
+        if cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+        self.peak_yaw_rate = float(peak_yaw_rate)
+        self.cycles = int(cycles)
+        self.speed = float(speed)
+
+    def _yaw_rate(self, t_local: float) -> float:
+        phase = 2.0 * math.pi * self.cycles * t_local / self.duration
+        return self.peak_yaw_rate * math.sin(phase)
+
+    def body_rate(self, t_local: float) -> np.ndarray:
+        return np.array([0.0, 0.0, self._yaw_rate(t_local)])
+
+    def body_accel(self, t_local: float) -> np.ndarray:
+        return np.array([0.0, self.speed * self._yaw_rate(t_local), 0.0])

@@ -1,0 +1,195 @@
+"""Ready-made test profiles reproducing the paper's protocols.
+
+Section 11 of the paper describes two families of tests, each run for
+300 seconds after calibration:
+
+- **static** — the instruments sit on a level test platform which is
+  re-oriented so gravity produces acceleration components along the
+  sensor axes (needed to observe roll and yaw);
+- **dynamic** — the equipment rides in a passenger car "running during
+  car motion".
+
+These builders return :class:`~repro.vehicle.trajectory.Trajectory`
+objects matching those protocols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import deg_to_rad, kmh_to_mps
+from repro.vehicle.maneuvers import (
+    Accelerate,
+    Brake,
+    Dwell,
+    Maneuver,
+    RotateAbout,
+    Slalom,
+    Turn,
+)
+from repro.vehicle.trajectory import Trajectory
+
+
+def static_level_profile(duration: float = 300.0) -> Trajectory:
+    """A perfectly still, level platform for ``duration`` seconds.
+
+    Only roll and pitch are observable here (gravity is the only
+    excitation), which is why the paper calls static roll/yaw tests
+    "more difficult to perform".
+    """
+    return Trajectory([Dwell(duration)])
+
+
+def static_tilt_profile(
+    duration: float = 300.0,
+    tilt_angle_deg: float = 20.0,
+    dwell_time: float = 16.0,
+    slew_time: float = 4.0,
+) -> Trajectory:
+    """The paper's static test: a level platform re-oriented in steps.
+
+    The platform dwells level, then tilts about each axis in turn so
+    gravity generates acceleration components along every instrument
+    axis — the maneuver the paper describes as "the platform must be
+    oriented and use gravity to generate components of acceleration in
+    the ACC and DMU accelerometers."
+
+    Every tilt leg is *two-sided* (+angle and −angle): symmetric legs
+    make scale-factor systematics cancel to first order in the
+    bias/misalignment separation, standard practice on calibration
+    tables.  The schedule repeats until ``duration`` is filled.
+    """
+    angle = deg_to_rad(tilt_angle_deg)
+
+    def leg(axis: str, sign: float) -> list[Maneuver]:
+        return [
+            RotateAbout(axis, sign * angle, slew_time),
+            Dwell(dwell_time),
+            RotateAbout(axis, -sign * angle, slew_time),
+        ]
+
+    cycle: list[Maneuver] = [Dwell(dwell_time)]
+    # Pitch both ways, roll both ways.
+    cycle += leg("y", +1.0) + leg("y", -1.0)
+    cycle += leg("x", +1.0) + leg("x", -1.0)
+    # Pitched heading changes: with the platform pitched, gravity gains
+    # an x-component, and yawing exercises the y' channel — the static
+    # yaw observability trick; again two-sided.
+    for yaw_sign in (+1.0, -1.0):
+        cycle += [
+            RotateAbout("y", angle, slew_time),
+            RotateAbout("z", yaw_sign * angle, slew_time),
+            Dwell(dwell_time),
+            RotateAbout("z", -yaw_sign * angle, slew_time),
+            RotateAbout("y", -angle, slew_time),
+        ]
+    cycle_time = sum(m.duration for m in cycle)
+    if duration < cycle_time:
+        raise ConfigurationError(
+            f"duration too short for one full tilt schedule; need >= "
+            f"{cycle_time:.0f} s"
+        )
+    maneuvers: list[Maneuver] = []
+    elapsed = 0.0
+    while elapsed + cycle_time <= duration:
+        maneuvers.extend(cycle)
+        elapsed += cycle_time
+    if duration - elapsed > 1.0:
+        maneuvers.append(Dwell(duration - elapsed))
+    return Trajectory(maneuvers)
+
+
+def city_drive_profile(
+    duration: float = 300.0,
+    rng: np.random.Generator | None = None,
+    cruise_speed_kmh: float = 50.0,
+) -> Trajectory:
+    """A stop-and-go urban drive: accelerate, cruise, corner, brake.
+
+    When ``rng`` is given, segment durations and turn directions are
+    jittered so that two calls produce *different but statistically
+    similar* drives — exactly the situation of the paper's two dynamic
+    runs ("it is difficult to run precisely the same test profile using
+    a moving vehicle").
+    """
+    cruise = kmh_to_mps(cruise_speed_kmh)
+
+    def jitter(value: float, fraction: float = 0.2) -> float:
+        if rng is None:
+            return value
+        return float(value * (1.0 + rng.uniform(-fraction, fraction)))
+
+    def turn_sign() -> float:
+        if rng is None:
+            return 1.0
+        return 1.0 if rng.uniform() < 0.5 else -1.0
+
+    maneuvers: list[Maneuver] = [Dwell(jitter(5.0))]
+    elapsed = maneuvers[0].duration
+    speed = 0.0
+    while True:
+        block: list[Maneuver] = []
+        if speed < 1.0:
+            accel = Accelerate(cruise, jitter(8.0))
+            block.append(accel)
+            speed = cruise
+        block.append(Dwell(jitter(12.0)))
+        block.append(
+            Turn(turn_sign() * deg_to_rad(jitter(90.0)), speed, jitter(6.0))
+        )
+        block.append(Dwell(jitter(10.0)))
+        block.append(Slalom(deg_to_rad(jitter(12.0)), 2, speed, jitter(8.0)))
+        block.append(Brake(speed, jitter(6.0)))
+        speed = 0.0
+        block.append(Dwell(jitter(4.0)))
+        block_time = sum(m.duration for m in block)
+        if elapsed + block_time > duration:
+            break
+        maneuvers.extend(block)
+        elapsed += block_time
+    if duration - elapsed > 1.0:
+        maneuvers.append(Dwell(duration - elapsed))
+    return Trajectory(maneuvers)
+
+
+def highway_profile(duration: float = 300.0, speed_kmh: float = 110.0) -> Trajectory:
+    """Mostly-straight highway cruise with gentle lane changes.
+
+    Low lateral excitation: yaw misalignment converges slowly — a
+    useful contrast case for the observability analysis.
+    """
+    speed = kmh_to_mps(speed_kmh)
+    maneuvers: list[Maneuver] = [Accelerate(speed, 15.0)]
+    elapsed = 15.0
+    while elapsed + 45.0 <= duration:
+        maneuvers.append(Dwell(30.0))
+        maneuvers.append(Slalom(deg_to_rad(3.0), 1, speed, 15.0))
+        elapsed += 45.0
+    if duration - elapsed > 1.0:
+        maneuvers.append(Dwell(duration - elapsed))
+    return Trajectory(maneuvers)
+
+
+def braking_profile(
+    duration: float = 120.0, speed_kmh: float = 60.0, pulses: int = 4
+) -> Trajectory:
+    """Repeated hard accelerate/brake pulses along a straight line.
+
+    Strong longitudinal excitation: pitch and yaw misalignments become
+    observable quickly, roll stays gravity-only.
+    """
+    if pulses < 1:
+        raise ConfigurationError(f"pulses must be >= 1, got {pulses}")
+    speed = kmh_to_mps(speed_kmh)
+    pulse_time = duration / pulses
+    accel_time = min(6.0, pulse_time / 3.0)
+    brake_time = min(4.0, pulse_time / 3.0)
+    dwell_time = pulse_time - accel_time - brake_time
+    maneuvers: list[Maneuver] = []
+    for _ in range(pulses):
+        maneuvers.append(Accelerate(speed, accel_time))
+        if dwell_time > 0.5:
+            maneuvers.append(Dwell(dwell_time))
+        maneuvers.append(Brake(speed, brake_time))
+    return Trajectory(maneuvers)

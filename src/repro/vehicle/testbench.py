@@ -1,0 +1,63 @@
+"""Laboratory test equipment models.
+
+The paper calibrates "using a level test platform" and measures true
+misalignment "directly using a laser attached to the boresighted
+sensor".  These are the ground-truth instruments behind Table 1; we
+model them with realistic small errors so the reproduction's "truth"
+is imperfect in the same way the authors' was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry import EulerAngles
+from repro.units import deg_to_rad
+
+
+@dataclass
+class LevelTable:
+    """A precision leveling platform.
+
+    ``leveling_error_deg`` is the residual tilt after leveling —
+    a good machinist's table levels to well under 0.01 degrees.
+    """
+
+    leveling_error_deg: float = 0.005
+
+    def leveled_attitude(self, rng: np.random.Generator) -> EulerAngles:
+        """Attitude actually achieved when commanded level."""
+        sigma = deg_to_rad(self.leveling_error_deg)
+        roll, pitch = rng.normal(0.0, sigma, size=2)
+        return EulerAngles(float(roll), float(pitch), 0.0)
+
+
+@dataclass
+class LaserBoresight:
+    """Optical truth reference for the introduced misalignment.
+
+    The laser measures each misalignment angle with an independent
+    Gaussian error of ``accuracy_deg`` (1-sigma).  Laser autocollimator
+    rigs of the era resolved ~0.002–0.01 degrees.
+    """
+
+    accuracy_deg: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.accuracy_deg < 0.0:
+            raise ConfigurationError("laser accuracy must be >= 0")
+
+    def measure(
+        self, true_misalignment: EulerAngles, rng: np.random.Generator
+    ) -> EulerAngles:
+        """Return the laser-measured misalignment (truth + optical error)."""
+        sigma = deg_to_rad(self.accuracy_deg)
+        noise = rng.normal(0.0, sigma, size=3)
+        return EulerAngles(
+            true_misalignment.roll + float(noise[0]),
+            true_misalignment.pitch + float(noise[1]),
+            true_misalignment.yaw + float(noise[2]),
+        )

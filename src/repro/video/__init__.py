@@ -1,0 +1,45 @@
+"""Video substrate: synthetic scenes, affine correction, metrics.
+
+The paper boresights a video camera "for the purpose of visualization":
+the estimated misalignment drives an affine transform that re-aligns
+the live picture (§6).  This package provides the software-reference
+side of that path; the cycle-accurate fixed-point hardware pipeline
+lives in :mod:`repro.fpga`.
+"""
+
+from repro.video.affine import (
+    AffineParams,
+    affine_from_misalignment,
+    apply_affine,
+    compose,
+    identity_params,
+    invert,
+)
+from repro.video.frame import (
+    Frame,
+    checkerboard,
+    crosshair_grid,
+    road_scene,
+    solid,
+)
+from repro.video.metrics import corner_error_px, frame_mae, frame_psnr
+from repro.video.stabilizer import StabilizedFrame, VideoStabilizer
+
+__all__ = [
+    "Frame",
+    "checkerboard",
+    "crosshair_grid",
+    "road_scene",
+    "solid",
+    "AffineParams",
+    "identity_params",
+    "affine_from_misalignment",
+    "apply_affine",
+    "compose",
+    "invert",
+    "frame_mae",
+    "frame_psnr",
+    "corner_error_px",
+    "VideoStabilizer",
+    "StabilizedFrame",
+]

@@ -1,0 +1,117 @@
+"""Floating-point reference affine transform.
+
+Paper §6: "These transforms preserve parallel lines and are known as
+Affine transformations: r' = A r + B", with A the rotation about the
+optical axis and B the pixel translation.  This module is the
+double-precision reference that the fixed-point hardware pipeline
+(:mod:`repro.fpga.pipeline`) is validated against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry import EulerAngles
+from repro.sensors.camera import PinholeCamera
+from repro.video.frame import Frame
+
+
+@dataclass(frozen=True)
+class AffineParams:
+    """Rotation ``theta`` (radians) about the image center plus a
+    pixel translation ``(bx, by)`` applied after rotation."""
+
+    theta: float
+    bx: float
+    by: float
+
+    def matrix(self) -> np.ndarray:
+        """The 2x2 rotation block ``A`` of the paper's §6."""
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        return np.array([[c, -s], [s, c]])
+
+    def apply_to_point(
+        self, x: float, y: float, center: tuple[float, float]
+    ) -> tuple[float, float]:
+        """Map one source point through r' = A (r - c) + c + B."""
+        cx, cy = center
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        dx, dy = x - cx, y - cy
+        return (c * dx - s * dy + cx + self.bx, s * dx + c * dy + cy + self.by)
+
+
+def identity_params() -> AffineParams:
+    """The do-nothing transform."""
+    return AffineParams(0.0, 0.0, 0.0)
+
+
+def affine_from_misalignment(
+    misalignment: EulerAngles, camera: PinholeCamera
+) -> AffineParams:
+    """Image motion *caused by* a camera misalignment.
+
+    The correction the stabilizer must apply is the inverse of this
+    (see :func:`invert`).
+    """
+    theta, bx, by = camera.misalignment_to_affine(misalignment)
+    return AffineParams(theta=theta, bx=bx, by=by)
+
+
+def invert(params: AffineParams) -> AffineParams:
+    """The transform undoing ``params``.
+
+    From r' = A(r−c)+c+B: r = A⁻¹(r'−c−B)+c, i.e. rotation −theta and
+    translation −A⁻¹B.
+    """
+    c, s = math.cos(params.theta), math.sin(params.theta)
+    bx, by = params.bx, params.by
+    return AffineParams(
+        theta=-params.theta,
+        bx=-(c * bx + s * by),
+        by=-(-s * bx + c * by),
+    )
+
+
+def compose(outer: AffineParams, inner: AffineParams) -> AffineParams:
+    """The transform equivalent to applying ``inner`` then ``outer``."""
+    theta = outer.theta + inner.theta
+    c, s = math.cos(outer.theta), math.sin(outer.theta)
+    bx = c * inner.bx - s * inner.by + outer.bx
+    by = s * inner.bx + c * inner.by + outer.by
+    return AffineParams(theta=theta, bx=bx, by=by)
+
+
+def apply_affine(
+    frame: Frame, params: AffineParams, fill: int = 0
+) -> Frame:
+    """Warp a frame by the affine transform (inverse mapping).
+
+    For every output pixel the source location is computed with the
+    inverse transform and sampled with nearest-neighbour interpolation
+    — the same sampling the hardware pipeline performs, so reference
+    and hardware differ only in arithmetic precision.
+    """
+    if not 0 <= fill <= 255:
+        raise ConfigurationError(f"fill level out of range: {fill}")
+    h, w = frame.height, frame.width
+    cx, cy = frame.center
+    inv = invert(params)
+    c, s = math.cos(inv.theta), math.sin(inv.theta)
+
+    yy, xx = np.mgrid[0:h, 0:w].astype(np.float64)
+    dx = xx - cx
+    dy = yy - cy
+    src_x = c * dx - s * dy + cx + inv.bx
+    src_y = s * dx + c * dy + cy + inv.by
+
+    src_xi = np.round(src_x).astype(np.int64)
+    src_yi = np.round(src_y).astype(np.int64)
+    valid = (src_xi >= 0) & (src_xi < w) & (src_yi >= 0) & (src_yi < h)
+
+    out = np.full((h, w), fill, dtype=np.uint8)
+    out[valid] = frame.pixels[src_yi[valid], src_xi[valid]]
+    return Frame(out)

@@ -1,0 +1,116 @@
+"""Greyscale video frames and synthetic test scenes.
+
+Frames are 8-bit greyscale numpy arrays (rows, cols) wrapped in a thin
+class for shape/type safety.  The scenes are what the demo points the
+camera at: calibration patterns on the bench, a road scene in the car.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Frame:
+    """An 8-bit greyscale image."""
+
+    pixels: np.ndarray
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.pixels)
+        if p.ndim != 2:
+            raise ConfigurationError(f"frame must be 2-D, got shape {p.shape}")
+        if p.dtype != np.uint8:
+            raise ConfigurationError(f"frame must be uint8, got {p.dtype}")
+        object.__setattr__(self, "pixels", p)
+        p.setflags(write=False)
+
+    @property
+    def height(self) -> int:
+        """Rows."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Columns."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """(cx, cy) image center in pixel coordinates."""
+        return (self.width / 2.0, self.height / 2.0)
+
+    def same_shape(self, other: "Frame") -> bool:
+        """Whether two frames have identical dimensions."""
+        return self.pixels.shape == other.pixels.shape
+
+
+def solid(width: int = 320, height: int = 240, level: int = 128) -> Frame:
+    """A flat grey frame."""
+    if not 0 <= level <= 255:
+        raise ConfigurationError(f"grey level out of range: {level}")
+    return Frame(np.full((height, width), level, dtype=np.uint8))
+
+
+def checkerboard(
+    width: int = 320, height: int = 240, square: int = 16
+) -> Frame:
+    """A checkerboard calibration target."""
+    if square < 1:
+        raise ConfigurationError(f"square size must be >= 1, got {square}")
+    yy, xx = np.mgrid[0:height, 0:width]
+    board = (((xx // square) + (yy // square)) % 2) * 255
+    return Frame(board.astype(np.uint8))
+
+
+def crosshair_grid(
+    width: int = 320, height: int = 240, spacing: int = 40
+) -> Frame:
+    """Dark background with a bright line grid and center crosshair.
+
+    Grid intersections give unambiguous correspondence points, which
+    the alignment metrics rely on.
+    """
+    if spacing < 4:
+        raise ConfigurationError(f"spacing must be >= 4, got {spacing}")
+    img = np.full((height, width), 20, dtype=np.uint8)
+    img[::spacing, :] = 230
+    img[:, ::spacing] = 230
+    cy, cx = height // 2, width // 2
+    img[max(0, cy - 1) : cy + 2, :] = 255
+    img[:, max(0, cx - 1) : cx + 2] = 255
+    return Frame(img)
+
+
+def road_scene(
+    width: int = 320, height: int = 240, lane_offset_px: float = 0.0
+) -> Frame:
+    """A stylized forward road view: sky, road, lane markings.
+
+    ``lane_offset_px`` shifts the lane laterally — animating it makes a
+    moving-vehicle clip for the stabilization demos.
+    """
+    img = np.zeros((height, width), dtype=np.uint8)
+    horizon = height // 3
+    img[:horizon, :] = 200  # sky
+    img[horizon:, :] = 60  # asphalt
+    vanish_x = width / 2.0 + lane_offset_px * 0.1
+    for lane in (-1.0, 0.0, 1.0):
+        bottom_x = width / 2.0 + lane * width * 0.4 + lane_offset_px
+        for row in range(horizon, height):
+            t = (row - horizon) / max(1, height - horizon)
+            x = vanish_x + (bottom_x - vanish_x) * t
+            half = max(1, int(round(3 * t)))
+            lo = int(round(x)) - half
+            hi = int(round(x)) + half
+            if hi < 0 or lo >= width:
+                continue
+            level = 220 if lane == 0.0 and (row // 8) % 2 == 0 else 240
+            if lane == 0.0 and (row // 8) % 2 == 1:
+                continue  # dashed center line
+            img[row, max(0, lo) : min(width, hi)] = level
+    return Frame(img)

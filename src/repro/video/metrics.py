@@ -1,0 +1,51 @@
+"""Image alignment quality metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.video.affine import AffineParams
+from repro.video.frame import Frame
+
+
+def frame_mae(a: Frame, b: Frame) -> float:
+    """Mean absolute pixel error between two frames."""
+    if not a.same_shape(b):
+        raise ConfigurationError("frames differ in shape")
+    return float(
+        np.mean(np.abs(a.pixels.astype(np.int16) - b.pixels.astype(np.int16)))
+    )
+
+
+def frame_psnr(a: Frame, b: Frame) -> float:
+    """Peak signal-to-noise ratio, dB (inf for identical frames)."""
+    if not a.same_shape(b):
+        raise ConfigurationError("frames differ in shape")
+    mse = float(
+        np.mean(
+            (a.pixels.astype(np.float64) - b.pixels.astype(np.float64)) ** 2
+        )
+    )
+    if mse == 0.0:
+        return float("inf")
+    return 10.0 * math.log10(255.0**2 / mse)
+
+
+def corner_error_px(
+    params: AffineParams, width: int, height: int
+) -> float:
+    """Worst displacement of the four image corners under ``params``.
+
+    The standard "pixels at the corner" alignment figure: 0 means the
+    transform is the identity.
+    """
+    center = (width / 2.0, height / 2.0)
+    worst = 0.0
+    for x, y in ((0.0, 0.0), (width - 1.0, 0.0), (0.0, height - 1.0),
+                 (width - 1.0, height - 1.0)):
+        mapped = params.apply_to_point(x, y, center)
+        worst = max(worst, math.hypot(mapped[0] - x, mapped[1] - y))
+    return worst

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import make_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return make_rng(1234)
+
+
+@pytest.fixture
+def short_tilt_profile():
+    """A compressed tilt-table profile usable in fast tests."""
+    from repro.vehicle.profiles import static_tilt_profile
+
+    return static_tilt_profile(duration=110.0, dwell_time=8.0, slew_time=3.0)

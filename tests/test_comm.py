@@ -1,0 +1,274 @@
+"""Tests for repro.comm: CAN, UART, bridge, protocols, links."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    AccPacket,
+    CanBus,
+    CanFrame,
+    CanNode,
+    CanSerialBridge,
+    DmuPacket,
+    LossyLink,
+    UartConfig,
+    UartFramer,
+    decode_acc_packet,
+    encode_acc_packet,
+    encode_dmu_packet,
+)
+from repro.comm.bits import bits_to_int, bytes_to_bits, crc15_can, int_to_bits, xor_checksum
+from repro.comm.can import frame_from_bits, stuff_bits, unstuff_bits
+from repro.comm.protocol import decode_dmu_frames, find_acc_packets
+from repro.errors import BusError, ConfigurationError, ProtocolError
+
+
+class TestBits:
+    def test_crc15_known_zero(self):
+        assert crc15_can([0] * 10) == 0
+
+    def test_crc15_detects_flip(self):
+        bits = bytes_to_bits(b"\x12\x34\x56")
+        crc = crc15_can(bits)
+        bits[5] ^= 1
+        assert crc15_can(bits) != crc
+
+    def test_xor_checksum(self):
+        assert xor_checksum([0x12, 0x34]) == 0x26
+        with pytest.raises(ValueError):
+            xor_checksum([300])
+
+    @given(st.integers(0, 2**18 - 1))
+    def test_int_bits_round_trip(self, value):
+        assert bits_to_int(int_to_bits(value, 18)) == value
+
+
+class TestCanFrames:
+    @given(
+        st.integers(0, 0x7FF),
+        st.binary(min_size=0, max_size=8),
+    )
+    @settings(max_examples=100)
+    def test_wire_round_trip(self, can_id, data):
+        frame = CanFrame(can_id, data)
+        assert frame_from_bits(frame.to_bits()) == frame
+
+    def test_stuffing_limits_runs(self):
+        frame = CanFrame(0x000, b"\x00" * 8)  # worst case: all dominant
+        stuffed = frame.to_bits()
+        run = 1
+        worst = 1
+        for a, b in zip(stuffed, stuffed[1:]):
+            run = run + 1 if a == b else 1
+            worst = max(worst, run)
+        assert worst <= 5
+
+    def test_unstuff_detects_violation(self):
+        with pytest.raises(BusError):
+            unstuff_bits([0, 0, 0, 0, 0, 0, 0])
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_stuff_unstuff_round_trip(self, bits):
+        assert unstuff_bits(stuff_bits(bits)) == bits
+
+    def test_crc_error_detected(self):
+        frame = CanFrame(0x123, b"\xde\xad")
+        bits = frame.to_bits()
+        # Flip a data-region bit (after SOF+ID+control = 19 bits, pre-stuffing;
+        # flipping any single wire bit must break CRC or stuffing).
+        bits[25] ^= 1
+        with pytest.raises(BusError):
+            frame_from_bits(bits)
+
+    def test_frame_validation(self):
+        with pytest.raises(ProtocolError):
+            CanFrame(0x800, b"")
+        with pytest.raises(ProtocolError):
+            CanFrame(0x100, bytes(9))
+
+
+class TestCanBus:
+    def test_priority_arbitration(self):
+        bus = CanBus()
+        low = CanNode("low")
+        high = CanNode("high")
+        sink = CanNode("sink")
+        for node in (low, high, sink):
+            bus.attach(node)
+        low.send(CanFrame(0x200, b"low"))
+        high.send(CanFrame(0x100, b"high"))
+        first = bus.arbitrate()
+        assert first.can_id == 0x100  # lower id wins
+        second = bus.arbitrate()
+        assert second.can_id == 0x200
+        assert [f.can_id for f in sink.rx_queue] == [0x100, 0x200]
+
+    def test_acceptance_filter(self):
+        bus = CanBus()
+        talker = CanNode("talker")
+        picky = CanNode("picky", accept_ids=frozenset({0x101}))
+        bus.attach(talker)
+        bus.attach(picky)
+        talker.send(CanFrame(0x100, b"a"))
+        talker.send(CanFrame(0x101, b"b"))
+        bus.flush()
+        assert [f.can_id for f in picky.rx_queue] == [0x101]
+
+    def test_duplicate_node_name_rejected(self):
+        bus = CanBus()
+        bus.attach(CanNode("x"))
+        with pytest.raises(BusError):
+            bus.attach(CanNode("x"))
+
+    def test_flush_counts(self):
+        bus = CanBus()
+        node = CanNode("n")
+        bus.attach(node)
+        for i in range(5):
+            node.send(CanFrame(i + 1, b""))
+        assert bus.flush() == 5
+
+
+class TestUart:
+    def test_round_trip(self):
+        framer = UartFramer()
+        data = bytes(range(256))
+        assert framer.decode(framer.encode(data)) == data
+
+    def test_framing_error_detected(self):
+        framer = UartFramer()
+        bits = framer.encode(b"\x41")
+        bits[9] = 0  # break the stop bit
+        with pytest.raises(ProtocolError):
+            framer.decode(bits)
+
+    def test_idle_bits_skipped(self):
+        framer = UartFramer()
+        bits = [1] * 20 + framer.encode(b"Z")
+        assert framer.decode(bits) == b"Z"
+
+    def test_truncated_frame(self):
+        framer = UartFramer()
+        with pytest.raises(ProtocolError):
+            framer.decode(framer.encode(b"A")[:5])
+
+    def test_timing(self):
+        config = UartConfig(baud_rate=115200)
+        assert config.byte_time == pytest.approx(10 / 115200)
+        assert config.throughput_bytes_per_s() == pytest.approx(11520.0)
+        framer = UartFramer(config)
+        assert framer.transfer_time(1152) == pytest.approx(0.1)
+
+    def test_bad_baud(self):
+        with pytest.raises(ConfigurationError):
+            UartConfig(baud_rate=0)
+
+
+class TestSensorProtocols:
+    def test_dmu_round_trip(self):
+        packet = DmuPacket(42, (0.1, -0.2, 0.3), (1.0, -9.8, 0.5))
+        decoded = decode_dmu_frames(*encode_dmu_packet(packet))
+        assert decoded.sequence == 42
+        assert decoded.rates == pytest.approx(packet.rates, abs=1e-4)
+        assert decoded.accels == pytest.approx(packet.accels, abs=2e-3)
+
+    def test_dmu_sequence_mismatch(self):
+        rate_frame, _ = encode_dmu_packet(DmuPacket(1, (0, 0, 0), (0, 0, 0)))
+        _, accel_frame = encode_dmu_packet(DmuPacket(2, (0, 0, 0), (0, 0, 0)))
+        with pytest.raises(ProtocolError):
+            decode_dmu_frames(rate_frame, accel_frame)
+
+    def test_dmu_saturates(self):
+        packet = DmuPacket(0, (100.0, 0, 0), (1000.0, 0, 0))
+        decoded = decode_dmu_frames(*encode_dmu_packet(packet))
+        assert decoded.rates[0] == pytest.approx(1.745, abs=0.01)
+
+    @given(
+        st.integers(0, 255),
+        st.floats(-19.0, 19.0),
+        st.floats(-19.0, 19.0),
+    )
+    @settings(max_examples=100)
+    def test_acc_round_trip(self, seq, x, y):
+        packet = AccPacket(seq, (x, y))
+        decoded = decode_acc_packet(encode_acc_packet(packet))
+        assert decoded.sequence == seq
+        assert decoded.xy[0] == pytest.approx(x, abs=1e-3)
+        assert decoded.xy[1] == pytest.approx(y, abs=1e-3)
+
+    def test_acc_checksum_detected(self):
+        raw = bytearray(encode_acc_packet(AccPacket(1, (0.5, -0.5))))
+        raw[4] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode_acc_packet(bytes(raw))
+
+    def test_find_acc_packets_resyncs(self):
+        stream = b"\x00\x01" + encode_acc_packet(AccPacket(1, (1.0, 2.0)))
+        stream += b"\xa5"  # partial garbage
+        stream += encode_acc_packet(AccPacket(2, (3.0, 4.0)))
+        packets, _ = find_acc_packets(stream)
+        assert [p.sequence for p in packets] == [1, 2]
+
+
+class TestBridge:
+    def test_round_trip(self):
+        frame = CanFrame(0x123, b"\x01\x02\x03")
+        assert CanSerialBridge.bytes_to_frame(
+            CanSerialBridge.frame_to_bytes(frame)
+        ) == frame
+
+    def test_streaming_with_garbage(self):
+        bridge = CanSerialBridge()
+        frame = CanFrame(0x101, bytes(range(8)))
+        data = b"\xff\x00" + CanSerialBridge.frame_to_bytes(frame) + b"\x07"
+        frames = bridge.feed(data)
+        assert frames == [frame]
+
+    def test_partial_then_complete(self):
+        bridge = CanSerialBridge()
+        payload = CanSerialBridge.frame_to_bytes(CanFrame(0x55, b"hi"))
+        assert bridge.feed(payload[:3]) == []
+        assert bridge.feed(payload[3:]) == [CanFrame(0x55, b"hi")]
+
+    def test_corrupt_envelope_skipped(self):
+        bridge = CanSerialBridge()
+        good = CanSerialBridge.frame_to_bytes(CanFrame(0x10, b"ok"))
+        bad = bytearray(good)
+        bad[-1] ^= 0xFF  # checksum broken
+        frames = bridge.feed(bytes(bad) + good)
+        assert frames == [CanFrame(0x10, b"ok")]
+
+
+class TestLossyLink:
+    def test_lossless_in_order(self, rng):
+        link = LossyLink(rng)
+        for i in range(5):
+            link.send(float(i), i)
+        received = link.receive_until(10.0)
+        assert [m for _, m in received] == list(range(5))
+
+    def test_drop_rate(self, rng):
+        link = LossyLink(rng, drop_probability=0.5)
+        for i in range(2000):
+            link.send(float(i), i)
+        assert 0.4 < link.loss_fraction < 0.6
+
+    def test_latency_delays_delivery(self, rng):
+        link = LossyLink(rng, latency=1.0)
+        link.send(0.0, "msg")
+        assert link.receive_until(0.5) == []
+        assert link.receive_until(1.5) == [(1.0, "msg")]
+
+    def test_no_reordering_by_default(self, rng):
+        link = LossyLink(rng, jitter=1.0)
+        for i in range(100):
+            link.send(i * 0.01, i)
+        received = [m for _, m in link.receive_until(100.0)]
+        assert received == sorted(received)
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            LossyLink(rng, drop_probability=1.5)

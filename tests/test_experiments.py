@@ -1,0 +1,182 @@
+"""Integration tests: the paper's experiments at reduced duration.
+
+These check the *shape* claims of the evaluation (see DESIGN.md §4) on
+shortened runs so the suite stays fast; the benchmarks run the full
+300-second protocols.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import markdown_table, run_monte_carlo_static
+from repro.errors import ConfigurationError
+from repro.experiments.ablations import (
+    backend_sweep,
+    lut_resolution_sweep,
+)
+from repro.experiments.figure8 import (
+    render_ascii,
+    run_figure8_dynamic,
+    run_figure8_static,
+)
+from repro.experiments.figure9 import render_ascii as render_fig9
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.protocol import BoresightTestRig, RigConfig
+from repro.experiments.table1 import (
+    AUTOMOTIVE_REQUIREMENT_DEG,
+    dynamic_estimator_config,
+    format_table1,
+    rows_from_run,
+    static_estimator_config,
+)
+from repro.geometry import EulerAngles
+
+MISALIGNMENT = EulerAngles.from_degrees(2.0, -1.5, 3.0)
+
+
+@pytest.fixture(scope="module")
+def static_run(request):
+    from repro.vehicle.profiles import static_tilt_profile
+
+    rig = BoresightTestRig(RigConfig(seed=7))
+    profile = static_tilt_profile(duration=110.0, dwell_time=8.0, slew_time=3.0)
+    return rig.run(
+        MISALIGNMENT, profile, static_estimator_config(), moving=False
+    )
+
+
+@pytest.fixture(scope="module")
+def dynamic_run():
+    from repro.rng import make_rng
+    from repro.vehicle.profiles import city_drive_profile
+
+    rig = BoresightTestRig(RigConfig(seed=7))
+    return rig.run(
+        MISALIGNMENT,
+        city_drive_profile(duration=150.0, rng=make_rng(57)),
+        dynamic_estimator_config(),
+        moving=True,
+    )
+
+
+class TestTable1Shape:
+    def test_static_meets_requirement_with_margin(self, static_run):
+        errors = np.abs(static_run.error_vs_laser_deg())
+        assert np.all(errors < AUTOMOTIVE_REQUIREMENT_DEG)
+        # "In some cases ... exceeded the requirements by an order of
+        # magnitude": at least one axis 10x inside the requirement.
+        assert errors.min() < AUTOMOTIVE_REQUIREMENT_DEG / 10.0
+
+    def test_static_confidence_reported(self, static_run):
+        three_sigma = static_run.result.three_sigma_deg()
+        assert np.all(three_sigma > 0.0)
+        assert np.all(three_sigma < 1.0)
+
+    def test_dynamic_meets_requirement(self, dynamic_run):
+        errors = np.abs(dynamic_run.error_vs_laser_deg())
+        assert np.all(errors < AUTOMOTIVE_REQUIREMENT_DEG)
+
+    def test_rows_and_formatting(self, static_run):
+        rows = rows_from_run("static", static_run)
+        assert len(rows) == 3
+        table = format_table1(rows)
+        assert "roll" in table and "PASS" in table
+
+    def test_calibration_found_reasonable_biases(self, static_run):
+        cal = static_run.calibration
+        assert np.abs(cal.acc_bias).max() < 0.1
+        assert np.abs(cal.gyro_bias).max() < 0.02
+
+
+class TestFigure8Shape:
+    def test_static_consistent(self):
+        trace = run_figure8_static(
+            duration=110.0, measurement_sigma=0.006,
+            dwell_time=8.0, slew_time=3.0,
+        )
+        assert trace.exceedance_fraction < 0.05
+
+    def test_dynamic_with_static_noise_blows_up(self):
+        bad = run_figure8_dynamic(duration=120.0, measurement_sigma=0.006)
+        good = run_figure8_dynamic(duration=120.0, measurement_sigma=0.035)
+        assert bad.exceedance_fraction > 0.10
+        assert good.exceedance_fraction < 0.05
+        assert bad.exceedance_fraction > 5 * good.exceedance_fraction
+
+    def test_ascii_rendering(self):
+        trace = run_figure8_static(duration=110.0, dwell_time=8.0, slew_time=3.0)
+        art = render_ascii(trace)
+        assert "Figure 8" in art
+        assert "*" in art
+
+
+class TestFigure9Shape:
+    def test_convergence_ordering(self):
+        trace = run_figure9(duration=150.0)
+        # Roll/pitch converge from gravity; yaw needs maneuvers → later.
+        assert trace.axis_converged("roll")
+        assert trace.axis_converged("pitch")
+        assert trace.axis_converged("yaw")
+        assert trace.convergence_time[2] > trace.convergence_time[0]
+        assert trace.convergence_time[2] > trace.convergence_time[1]
+
+    def test_final_error_within_threshold(self):
+        trace = run_figure9(duration=150.0)
+        assert np.max(np.abs(trace.final_error_deg())) < 0.3
+
+    def test_ascii_rendering(self):
+        trace = run_figure9(duration=150.0)
+        art = render_fig9(trace)
+        assert "roll" in art and "yaw" in art
+
+
+class TestAblations:
+    def test_lut_sweep_monotone_and_paper_point(self):
+        rows = lut_resolution_sweep(sizes=(64, 256, 1024))
+        errors = [r.worst_corner_error_px for r in rows]
+        assert errors[0] > errors[-1]
+        # The paper's 1024-entry table keeps corner error around the
+        # 1-2 px level at QVGA (phase quantization + fixed2Int
+        # truncation); coarser tables are visibly worse.
+        assert errors[-1] < 2.0
+
+    def test_backend_sweep_float_agreement(self):
+        rows = backend_sweep(samples=150)
+        by_name = {r.backend: r for r in rows}
+        assert by_name["float64"].max_divergence_deg == 0.0
+        assert by_name["float32"].max_divergence_deg < 1e-3
+        assert by_name["softfloat"].max_divergence_deg < 1e-3
+        # softfloat must agree with the float32 FPU almost exactly.
+        f32 = np.array(by_name["float32"].final_angles_deg)
+        sfb = np.array(by_name["softfloat"].final_angles_deg)
+        assert np.allclose(f32, sfb, atol=1e-5)
+
+    def test_fixed_point_breaks_down(self):
+        # The paper kept the filter in floating point because of its
+        # dynamic range (§10); Q6.25 fixed point underflows the
+        # innovation determinant once the covariance shrinks.
+        rows = backend_sweep(samples=150)
+        fixed = [r for r in rows if r.backend == "fixed"][0]
+        assert fixed.failed
+        assert "singular" in fixed.failure or "FixedPoint" in fixed.failure
+
+
+class TestMonteCarlo:
+    def test_small_ensemble(self):
+        summary = run_monte_carlo_static(
+            runs=2, duration=110.0, dwell_time=8.0, slew_time=3.0
+        )
+        assert summary.runs == 2
+        assert np.all(summary.rms_error_deg < 0.2)
+        assert summary.mean_exceedance < 0.08
+
+
+class TestReporting:
+    def test_markdown_table(self):
+        table = markdown_table(["a", "b"], [[1, 2.5], ["x", 0.25]])
+        assert table.splitlines()[1] == "|---|---|"
+        assert "2.5000" in table
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            markdown_table(["a"], [[1, 2]])

@@ -1,0 +1,132 @@
+"""Tests for the Sabre firmware programs (integration with comm/fusion)."""
+
+import numpy as np
+import pytest
+
+import repro.sabre.softfloat as sf
+from repro.comm import CanFrame, CanSerialBridge
+from repro.comm.protocol import AccPacket, encode_acc_packet
+from repro.fusion import solve_steady_state_gain
+from repro.rng import make_rng
+from repro.sabre.firmware import (
+    ACC_SCALE,
+    BoresightGains,
+    boresight_program,
+    boresight_reference,
+    dmu_monitor_program,
+    echo_program,
+)
+from repro.sabre.loader import link_system
+from repro.units import STANDARD_GRAVITY
+
+
+def run_stream(system, port, stream: bytes, chunk_cycles: int = 20000):
+    """Feed a byte stream and run the CPU until it drains."""
+    port.host_send(stream)
+    for _ in range(100_000):
+        if not port.rx_fifo:
+            break
+        system.cpu.run_cycles(chunk_cycles)
+    system.request_stop()
+    system.run_until_halt()
+
+
+class TestEchoFirmware:
+    def test_echoes_bytes(self):
+        system = link_system(echo_program())
+        run_stream(system, system.serial_acc, b"boresight!")
+        assert system.serial_acc.host_collect_tx() == b"boresight!"
+
+    def test_halts_on_switch(self):
+        system = link_system(echo_program())
+        system.request_stop()
+        system.run_until_halt()
+        assert system.cpu.halted
+
+
+class TestDmuMonitorFirmware:
+    def test_counts_valid_frames(self):
+        system = link_system(dmu_monitor_program())
+        frames = [CanFrame(0x100 + i, bytes([i] * 4)) for i in range(6)]
+        stream = b"".join(CanSerialBridge.frame_to_bytes(f) for f in frames)
+        run_stream(system, system.serial_dmu, stream)
+        assert system.cpu.bus.data_ram.read_word(0x20) == 6
+        assert system.cpu.bus.data_ram.read_word(0x24) == 0x105
+        assert system.cpu.bus.data_ram.read_word(0x28) == 0
+
+    def test_detects_corrupt_envelope(self):
+        system = link_system(dmu_monitor_program())
+        good = CanSerialBridge.frame_to_bytes(CanFrame(0x100, b"\x01\x02"))
+        bad = bytearray(good)
+        bad[-1] ^= 0xFF
+        run_stream(system, system.serial_dmu, bytes(bad) + good)
+        assert system.cpu.bus.data_ram.read_word(0x20) == 1
+        assert system.cpu.bus.data_ram.read_word(0x28) == 1
+
+
+def _gains() -> BoresightGains:
+    k = solve_steady_state_gain(0.005, 2e-4, 0.2)
+    return BoresightGains.from_floats(float(k[0]), float(k[1]))
+
+
+class TestBoresightFirmware:
+    def test_bit_exact_against_reference(self):
+        gains = _gains()
+        system = link_system(boresight_program(gains))
+        rng = make_rng(3)
+        counts = []
+        stream = b""
+        for i in range(40):
+            x = int(rng.integers(-3000, 3000))
+            y = int(rng.integers(-3000, 3000))
+            counts.append((x, y))
+            stream += encode_acc_packet(
+                AccPacket(i & 0xFF, (x * ACC_SCALE, y * ACC_SCALE))
+            )
+        run_stream(system, system.serial_acc, stream)
+        ref_pitch, ref_roll = boresight_reference(counts, gains)
+        assert system.angles.regs["pitch"] == ref_pitch
+        assert system.angles.regs["roll"] == ref_roll
+        assert system.angles.regs["update_count"] == 40
+
+    def test_converges_to_static_misalignment(self):
+        gains = _gains()
+        system = link_system(boresight_program(gains))
+        pitch_true = 0.015  # rad
+        roll_true = -0.02
+        g = STANDARD_GRAVITY
+        stream = b""
+        for i in range(300):
+            # Sensor-plane gravity leakage of a misaligned, level ACC.
+            acc_x = g * pitch_true
+            acc_y = -g * roll_true
+            stream += encode_acc_packet(AccPacket(i & 0xFF, (acc_x, acc_y)))
+        run_stream(system, system.serial_acc, stream)
+        pitch = sf.bits_to_float(system.angles.regs["pitch"])
+        roll = sf.bits_to_float(system.angles.regs["roll"])
+        assert pitch == pytest.approx(pitch_true, abs=2e-3)
+        assert roll == pytest.approx(roll_true, abs=2e-3)
+
+    def test_rejects_corrupt_packets(self):
+        gains = _gains()
+        system = link_system(boresight_program(gains))
+        good = encode_acc_packet(AccPacket(1, (0.1, -0.1)))
+        bad = bytearray(good)
+        bad[4] ^= 0x55  # payload corrupted → checksum fails
+        run_stream(system, system.serial_acc, bytes(bad) + good)
+        assert system.angles.regs["update_count"] == 1
+
+    def test_heartbeat_led_toggles(self):
+        gains = _gains()
+        system = link_system(boresight_program(gains))
+        stream = b"".join(
+            encode_acc_packet(AccPacket(i, (0.0, 0.0))) for i in range(3)
+        )
+        run_stream(system, system.serial_acc, stream)
+        assert system.leds.write_count == 3
+        assert system.leds.state == 1  # odd number of toggles
+
+    def test_program_fits_blockram(self):
+        system = link_system(boresight_program(_gains()))
+        assert system.image.fits()
+        assert system.image.program.size_bytes < 1024

@@ -1,0 +1,483 @@
+"""Tests for repro.fusion: the Kalman core and the boresight estimator."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FilterDivergenceError, FusionError
+from repro.fusion import (
+    BoresightConfig,
+    BoresightEstimator,
+    ConvergenceDetector,
+    InnovationAdaptiveNoise,
+    KalmanFilter,
+    MisalignmentModel,
+    PortableBoresightFilter,
+    ResidualMonitor,
+    SteadyStateFilter,
+    block_average,
+    calibrate_static,
+    get_backend,
+    reconstruct,
+    solve_steady_state_gain,
+)
+from repro.fusion.reconstruction import FusedSamples
+from repro.geometry import EulerAngles, dcm_from_euler
+from repro.rng import make_rng
+from repro.sensors.acc2 import AccSamples
+from repro.sensors.imu import ImuSamples
+from repro.units import STANDARD_GRAVITY
+
+
+class TestKalmanFilter:
+    def test_update_reduces_variance(self):
+        kf = KalmanFilter(np.zeros(1), np.eye(1) * 100.0)
+        kf.update(np.array([1.0]), np.eye(1), np.eye(1) * 0.01)
+        assert kf.covariance[0, 0] < 0.011
+        assert kf.state[0] == pytest.approx(1.0, abs=1e-3)
+
+    def test_predict_grows_variance(self):
+        kf = KalmanFilter(np.zeros(2), np.eye(2))
+        kf.predict(process_noise=np.eye(2) * 0.5)
+        assert np.allclose(np.diag(kf.covariance), 1.5)
+
+    def test_scalar_convergence_to_truth(self, rng):
+        truth = 3.7
+        kf = KalmanFilter(np.zeros(1), np.eye(1) * 10.0)
+        for _ in range(200):
+            z = truth + rng.normal(0.0, 0.1)
+            kf.update(np.array([z]), np.eye(1), np.eye(1) * 0.01)
+        assert kf.state[0] == pytest.approx(truth, abs=0.05)
+
+    def test_innovation_statistics_consistent(self, rng):
+        kf = KalmanFilter(np.zeros(1), np.eye(1))
+        nis = []
+        for _ in range(500):
+            z = rng.normal(0.0, 1.0)
+            innovation = kf.update(np.array([z]), np.eye(1), np.eye(1))
+            nis.append(innovation.nis)
+        # chi2(1) has mean 1.
+        assert np.mean(nis) == pytest.approx(1.0, abs=0.3)
+
+    def test_three_sigma_helpers(self):
+        kf = KalmanFilter(np.zeros(1), np.eye(1))
+        innovation = kf.update(np.array([10.0]), np.eye(1), np.eye(1))
+        assert innovation.three_sigma()[0] == pytest.approx(
+            3.0 * math.sqrt(2.0)
+        )
+        assert innovation.exceeds_three_sigma()[0]
+
+    def test_shape_validation(self):
+        kf = KalmanFilter(np.zeros(2), np.eye(2))
+        with pytest.raises(FusionError):
+            kf.update(np.zeros(1), np.eye(2), np.eye(1))
+        with pytest.raises(FusionError):
+            kf.predict(transition=np.eye(3))
+
+    def test_divergence_detection(self):
+        with pytest.raises(FilterDivergenceError):
+            KalmanFilter(np.zeros(1), -np.eye(1))
+
+    def test_joseph_form_keeps_symmetry(self, rng):
+        kf = KalmanFilter(np.zeros(3), np.diag([1.0, 2.0, 3.0]))
+        for _ in range(100):
+            h = rng.normal(size=(2, 3))
+            kf.update(rng.normal(size=2), h, np.eye(2) * 0.1)
+            p = kf.covariance
+            assert np.allclose(p, p.T)
+            assert np.all(np.linalg.eigvalsh(p) > -1e-12)
+
+
+class TestMisalignmentModel:
+    def test_h_matrix_matches_numeric_jacobian(self):
+        model = MisalignmentModel(yaw_threshold=0.0)
+        model.reset(EulerAngles.from_degrees(1.0, -2.0, 0.5))
+        f = np.array([1.0, -2.0, -9.5])
+        h = model.h_matrix(f)
+        eps = 1e-7
+        base = model.predict_measurement(f)
+        from repro.geometry.dcm import skew
+
+        for k in range(3):
+            delta = np.zeros(3)
+            delta[k] = eps
+            perturbed_dcm = (np.eye(3) - skew(delta)) @ model.dcm
+            z = perturbed_dcm[:2, :] @ f
+            numeric = (z - base) / eps
+            assert np.allclose(numeric, h[:, k], atol=1e-5)
+
+    def test_unobservable_yaw_at_level(self):
+        model = MisalignmentModel()
+        gram = model.observability_grammian(
+            np.tile([0.0, 0.0, -STANDARD_GRAVITY], (100, 1))
+        )
+        assert gram[2, 2] == pytest.approx(0.0, abs=1e-9)
+        assert gram[0, 0] > 1000.0
+
+    def test_yaw_observable_with_horizontal_force(self):
+        model = MisalignmentModel()
+        gram = model.observability_grammian(
+            np.tile([3.0, 0.0, -9.0], (100, 1))
+        )
+        assert gram[2, 2] > 100.0
+
+    def test_apply_correction_composes(self):
+        model = MisalignmentModel()
+        model.apply_correction(np.array([0.01, 0.0, 0.0]))
+        model.apply_correction(np.array([0.01, 0.0, 0.0]))
+        assert model.misalignment().roll == pytest.approx(0.02, abs=1e-6)
+
+    def test_bias_states(self):
+        model = MisalignmentModel(estimate_biases=True)
+        assert model.state_dim == 5
+        model.apply_correction(np.array([0.0, 0.0, 0.0, 0.5, -0.5]))
+        assert model.bias == pytest.approx([0.5, -0.5])
+        z = model.predict_measurement(np.array([0.0, 0.0, -9.8]))
+        assert z == pytest.approx([0.5, -0.5])
+
+    def test_correction_dim_checked(self):
+        model = MisalignmentModel()
+        with pytest.raises(FusionError):
+            model.apply_correction(np.zeros(5))
+
+
+class TestReconstruction:
+    def _streams(self, rate_imu=100.0, rate_acc=100.0, duration=10.0):
+        t_imu = np.arange(0.0, duration, 1.0 / rate_imu)
+        t_acc = np.arange(0.0, duration, 1.0 / rate_acc)
+        imu = ImuSamples(
+            time=t_imu,
+            body_rate=np.zeros((t_imu.size, 3)),
+            specific_force=np.tile([0.0, 0.0, -9.8], (t_imu.size, 1)),
+        )
+        acc = AccSamples(
+            time=t_acc,
+            specific_force=np.tile([0.1, -0.2], (t_acc.size, 1)),
+        )
+        return imu, acc
+
+    def test_block_average_shapes(self):
+        t = np.arange(100.0)
+        v = np.arange(100.0)
+        tb, vb = block_average(t, v, 10)
+        assert tb.shape == (10,)
+        assert vb[0] == pytest.approx(4.5)
+
+    def test_block_average_rejects_empty(self):
+        with pytest.raises(FusionError):
+            block_average(np.arange(3.0), np.arange(3.0), 10)
+
+    def test_reconstruct_rates(self):
+        imu, acc = self._streams()
+        fused = reconstruct(imu, acc, fusion_rate=5.0)
+        assert fused.rate == pytest.approx(5.0, rel=0.01)
+        assert np.allclose(fused.acc_xy, [0.1, -0.2])
+        assert np.allclose(fused.specific_force, [0.0, 0.0, -9.8])
+
+    def test_reconstruct_interpolates_different_rates(self):
+        imu, acc = self._streams(rate_imu=90.0, rate_acc=100.0)
+        fused = reconstruct(imu, acc, fusion_rate=4.0)
+        assert np.allclose(fused.specific_force[:, 2], -9.8, atol=1e-9)
+
+    def test_noise_reduction_by_averaging(self, rng):
+        t = np.arange(0.0, 60.0, 0.01)
+        imu = ImuSamples(
+            time=t,
+            body_rate=np.zeros((t.size, 3)),
+            specific_force=np.tile([0.0, 0.0, -9.8], (t.size, 1)),
+        )
+        noisy = rng.normal(0.0, 0.02, size=(t.size, 2))
+        acc = AccSamples(time=t, specific_force=noisy)
+        fused = reconstruct(imu, acc, fusion_rate=5.0)
+        assert fused.acc_xy.std() == pytest.approx(
+            0.02 / math.sqrt(20), rel=0.15
+        )
+
+    def test_non_divisible_rate_rejected(self):
+        imu, acc = self._streams()
+        with pytest.raises(FusionError):
+            reconstruct(imu, acc, fusion_rate=7.0)
+
+
+class TestCalibration:
+    def test_recovers_injected_biases(self, rng):
+        t = np.arange(0.0, 40.0, 0.01)
+        gyro_bias = np.array([0.01, -0.02, 0.005])
+        force_bias = np.array([0.05, -0.03, 0.08])
+        imu = ImuSamples(
+            time=t,
+            body_rate=gyro_bias + rng.normal(0, 1e-4, (t.size, 3)),
+            specific_force=np.array([0.0, 0.0, -STANDARD_GRAVITY])
+            + force_bias
+            + rng.normal(0, 1e-3, (t.size, 3)),
+        )
+        acc_bias = np.array([0.02, -0.04])
+        acc = AccSamples(
+            time=t,
+            specific_force=acc_bias + rng.normal(0, 1e-3, (t.size, 2)),
+        )
+        cal = calibrate_static(imu, acc, window=30.0)
+        assert cal.gyro_bias == pytest.approx(gyro_bias, abs=1e-4)
+        assert cal.imu_accel_bias == pytest.approx(force_bias, abs=1e-3)
+        assert cal.acc_bias == pytest.approx(acc_bias, abs=1e-3)
+        imu2, acc2 = cal.apply(imu, acc)
+        assert abs(imu2.body_rate.mean(axis=0)).max() < 1e-4
+
+    def test_short_stream_rejected(self):
+        t = np.arange(0.0, 5.0, 0.01)
+        imu = ImuSamples(t, np.zeros((t.size, 3)), np.zeros((t.size, 3)))
+        acc = AccSamples(t, np.zeros((t.size, 2)))
+        with pytest.raises(FusionError):
+            calibrate_static(imu, acc, window=30.0)
+
+
+class TestConfidence:
+    def test_monitor_counts_exceedances(self):
+        from repro.fusion.kalman import Innovation
+
+        monitor = ResidualMonitor(axes=2)
+        small = Innovation(
+            residual=np.array([0.1, 0.1]),
+            covariance=np.eye(2),
+            sigma=np.ones(2),
+            nis=0.02,
+            gain=np.zeros((2, 2)),
+        )
+        big = Innovation(
+            residual=np.array([5.0, 0.0]),
+            covariance=np.eye(2),
+            sigma=np.ones(2),
+            nis=25.0,
+            gain=np.zeros((2, 2)),
+        )
+        for _ in range(99):
+            monitor.record(small)
+        monitor.record(big)
+        assert monitor.exceedance_fraction == pytest.approx([0.01, 0.0])
+        assert monitor.is_consistent()
+
+    def test_monitor_requires_data(self):
+        monitor = ResidualMonitor()
+        with pytest.raises(FusionError):
+            _ = monitor.exceedance_fraction
+
+    def test_convergence_detector(self):
+        det = ConvergenceDetector(threshold=0.01)
+        det.record(1.0, np.array([0.1, 0.1, 0.1]))
+        assert not det.converged
+        det.record(2.0, np.array([0.005, 0.005, 0.005]))
+        assert det.converged
+        assert det.converged_at == 2.0
+
+
+class TestAdaptiveNoise:
+    def test_adapts_to_inflated_noise(self, rng):
+        adaptive = InnovationAdaptiveNoise(
+            initial_sigma=0.005, window=50, ceiling_sigma=1.0
+        )
+        true_sigma = 0.05
+        for _ in range(200):
+            r = rng.normal(0.0, true_sigma, size=2)
+            adaptive.record(r, np.zeros((2, 2)))
+        assert adaptive.sigma == pytest.approx(true_sigma, rel=0.3)
+
+    def test_holds_until_window_full(self, rng):
+        adaptive = InnovationAdaptiveNoise(initial_sigma=0.005, window=100)
+        for _ in range(50):
+            adaptive.record(rng.normal(0, 1.0, 2), np.zeros((2, 2)))
+        assert adaptive.sigma == 0.005
+
+    def test_clamps_to_floor(self):
+        adaptive = InnovationAdaptiveNoise(
+            initial_sigma=0.005, window=5, floor_sigma=0.003
+        )
+        for _ in range(10):
+            adaptive.record(np.zeros(2), np.zeros((2, 2)))
+        assert adaptive.sigma == pytest.approx(0.003)
+
+    def test_validation(self):
+        with pytest.raises(FusionError):
+            InnovationAdaptiveNoise(window=1)
+
+
+def _synthetic_fused(
+    misalignment: EulerAngles,
+    duration: float = 60.0,
+    rate: float = 5.0,
+    noise: float = 0.005,
+    tilt: bool = True,
+    seed: int = 9,
+) -> FusedSamples:
+    """Clean synthetic fusion-rate data with a known misalignment."""
+    rng = make_rng(seed)
+    n = int(duration * rate)
+    t = np.arange(n) / rate
+    c_sb = dcm_from_euler(misalignment)
+    force = np.tile([0.0, 0.0, -STANDARD_GRAVITY], (n, 1))
+    if tilt:
+        # Alternate tilted legs so all axes become observable.
+        for i in range(n):
+            leg = int(t[i] // 10.0) % 4
+            angle = math.radians(15.0) * (1 if leg in (1, 3) else 0)
+            sign = 1.0 if leg == 1 else -1.0
+            force[i] = [
+                sign * STANDARD_GRAVITY * math.sin(angle),
+                0.0,
+                -STANDARD_GRAVITY * math.cos(angle),
+            ]
+    acc = (force @ c_sb.T)[:, :2] + rng.normal(0.0, noise, (n, 2))
+    return FusedSamples(
+        time=t,
+        specific_force=force,
+        body_rate=np.zeros((n, 3)),
+        body_rate_dot=np.zeros((n, 3)),
+        acc_xy=acc,
+    )
+
+
+class TestBoresightEstimator:
+    def test_recovers_roll_pitch_on_clean_data(self):
+        truth = EulerAngles.from_degrees(2.0, -1.5, 0.0)
+        fused = _synthetic_fused(truth, tilt=False)
+        result = BoresightEstimator(
+            BoresightConfig(measurement_sigma=0.005)
+        ).run(fused)
+        error = np.degrees(result.error_to(truth).as_array())
+        assert abs(error[0]) < 0.05
+        assert abs(error[1]) < 0.05
+
+    def test_recovers_yaw_with_tilts(self):
+        truth = EulerAngles.from_degrees(1.0, -1.0, 2.0)
+        fused = _synthetic_fused(truth, duration=120.0, tilt=True)
+        result = BoresightEstimator(
+            BoresightConfig(measurement_sigma=0.005)
+        ).run(fused)
+        error = np.degrees(result.error_to(truth).as_array())
+        assert np.max(np.abs(error)) < 0.1
+
+    @given(
+        st.floats(-4.0, 4.0),
+        st.floats(-4.0, 4.0),
+        st.floats(-4.0, 4.0),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_recovery_property(self, roll, pitch, yaw):
+        truth = EulerAngles.from_degrees(roll, pitch, yaw)
+        fused = _synthetic_fused(truth, duration=120.0, noise=0.003)
+        result = BoresightEstimator(
+            BoresightConfig(measurement_sigma=0.003)
+        ).run(fused)
+        error = np.degrees(result.error_to(truth).as_array())
+        assert np.max(np.abs(error)) < 0.25
+
+    def test_sigma_shrinks_with_data(self):
+        truth = EulerAngles.from_degrees(1.0, 1.0, 1.0)
+        fused = _synthetic_fused(truth, duration=120.0)
+        estimator = BoresightEstimator(BoresightConfig())
+        result = estimator.run(fused)
+        history = result.history
+        assert history.angle_sigma[-1, 0] < history.angle_sigma[5, 0]
+
+    def test_motion_gating(self):
+        truth = EulerAngles.from_degrees(1.0, 0.0, 0.0)
+        fused = _synthetic_fused(truth, duration=20.0, tilt=False)
+        fused.body_rate[:, 2] = 1.0  # spinning fast the whole time
+        config = BoresightConfig(motion_gate_rate=0.5)
+        result = BoresightEstimator(config).run(fused)
+        assert result.history.gated.all()
+        # No updates → estimate still zero.
+        assert result.misalignment.max_abs() == 0.0
+
+    def test_time_must_increase(self):
+        estimator = BoresightEstimator()
+        estimator.step(1.0, [0, 0, -9.8], [0, 0, 0], [0, 0, 0], [0, 0])
+        with pytest.raises(FusionError):
+            estimator.step(0.5, [0, 0, -9.8], [0, 0, 0], [0, 0, 0], [0, 0])
+
+    def test_adaptive_raises_sigma_under_vibration(self, rng):
+        truth = EulerAngles.from_degrees(1.0, 0.0, 0.0)
+        fused = _synthetic_fused(truth, duration=120.0, noise=0.05, tilt=False)
+        config = BoresightConfig(
+            measurement_sigma=0.005, adaptive=True, adaptive_window=50
+        )
+        estimator = BoresightEstimator(config)
+        estimator.run(fused)
+        assert estimator.measurement_sigma > 0.02
+
+
+class TestSteadyState:
+    def test_gain_positive_negative_channels(self):
+        gains = solve_steady_state_gain(0.005, 2e-5, 0.2)
+        assert gains[0] > 0  # pitch channel, h = +g
+        assert gains[1] < 0  # roll channel, h = -g
+
+    def test_filter_converges_to_truth(self):
+        filt = SteadyStateFilter.design(0.005, 2e-4, 0.2)
+        pitch_true, roll_true = 0.01, -0.02
+        g = STANDARD_GRAVITY
+        for _ in range(500):
+            filt.update(g * pitch_true, -g * roll_true)
+        assert filt.pitch == pytest.approx(pitch_true, abs=1e-4)
+        assert filt.roll == pytest.approx(roll_true, abs=1e-4)
+
+    def test_design_validation(self):
+        with pytest.raises(FusionError):
+            solve_steady_state_gain(0.0, 1e-5, 0.2)
+
+
+class TestPortableFilter:
+    def test_float64_matches_numpy_filter_shape(self):
+        truth = (math.radians(1.0), math.radians(-0.5), 0.0)
+        g = STANDARD_GRAVITY
+        force = [[0.0, 0.0, -g]] * 200
+        acc = [
+            [truth[1] * g, -truth[0] * g]
+        ] * 200  # first-order misaligned reading
+        filt = PortableBoresightFilter()
+        filt.run(force, acc)
+        assert filt.state[0] == pytest.approx(truth[0], abs=1e-4)
+        assert filt.state[1] == pytest.approx(truth[1], abs=1e-4)
+
+    def test_float32_close_to_float64(self):
+        force = [[0.0, 0.0, -9.8]] * 100
+        acc = [[0.05, -0.08]] * 100
+        f64 = PortableBoresightFilter(get_backend("float64"))
+        f32 = PortableBoresightFilter(get_backend("float32"))
+        f64.run(force, acc)
+        f32.run(force, acc)
+        assert np.allclose(f64.state, f32.state, atol=1e-5)
+
+    def test_softfloat_bit_identical_to_float32(self):
+        force = [[0.01, -0.02, -9.81]] * 60
+        acc = [[0.03, -0.04]] * 60
+        f32 = PortableBoresightFilter(get_backend("float32"))
+        sfb = PortableBoresightFilter(get_backend("softfloat"))
+        f32.run(force, acc)
+        sfb.run(force, acc)
+        import repro.sabre.softfloat as sf
+
+        for a, b in zip(f32._x, sfb._x):
+            assert sf.float_to_bits(float(a)) == b
+
+    def test_covariance_stays_positive(self):
+        filt = PortableBoresightFilter()
+        force = [[0.0, 0.0, -9.8]] * 300
+        acc = [[0.0, 0.0]] * 300
+        filt.run(force, acc)
+        cov = filt.covariance
+        for i in range(3):
+            assert cov[i][i] > 0.0
+
+    def test_series_length_mismatch(self):
+        filt = PortableBoresightFilter()
+        with pytest.raises(FusionError):
+            filt.run([[0, 0, -9.8]], [])
+
+    def test_unknown_backend(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            get_backend("float16")

@@ -1,0 +1,222 @@
+"""Tests for repro.geometry: angles, DCMs, quaternions, frames."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    BODY_FRAME,
+    NED_FRAME,
+    SENSOR_FRAME,
+    EulerAngles,
+    FrameTransform,
+    Quaternion,
+    dcm_from_euler,
+    dcm_from_small_angles,
+    dcm_to_euler,
+    is_rotation_matrix,
+    orthonormalize,
+    skew,
+    unskew,
+)
+from repro.geometry.dcm import rotation_angle
+
+angles_strategy = st.builds(
+    EulerAngles,
+    roll=st.floats(-math.pi, math.pi),
+    pitch=st.floats(-1.4, 1.4),
+    yaw=st.floats(-math.pi, math.pi),
+)
+
+small_angles_strategy = st.builds(
+    EulerAngles,
+    roll=st.floats(-0.1, 0.1),
+    pitch=st.floats(-0.1, 0.1),
+    yaw=st.floats(-0.1, 0.1),
+)
+
+
+class TestEulerAngles:
+    def test_zero(self):
+        assert EulerAngles.zero().as_array().tolist() == [0.0, 0.0, 0.0]
+
+    def test_from_degrees_round_trip(self):
+        e = EulerAngles.from_degrees(10.0, -5.0, 30.0)
+        assert e.to_degrees() == pytest.approx((10.0, -5.0, 30.0))
+
+    def test_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            EulerAngles(float("nan"), 0.0, 0.0)
+
+    def test_rejects_gimbal_pitch(self):
+        with pytest.raises(GeometryError):
+            EulerAngles(0.0, math.pi / 2 + 0.01, 0.0)
+
+    def test_arithmetic(self):
+        a = EulerAngles(0.1, 0.2, 0.3)
+        b = EulerAngles(0.01, 0.02, 0.03)
+        assert (a + b).roll == pytest.approx(0.11)
+        assert (a - b).yaw == pytest.approx(0.27)
+        assert a.scaled(2.0).pitch == pytest.approx(0.4)
+        assert a.max_abs() == pytest.approx(0.3)
+
+    def test_from_array_validates_shape(self):
+        with pytest.raises(GeometryError):
+            EulerAngles.from_array(np.zeros(4))
+
+    def test_iteration(self):
+        assert list(EulerAngles(1e-3, 2e-3, 3e-3)) == pytest.approx(
+            [1e-3, 2e-3, 3e-3]
+        )
+
+
+class TestSkew:
+    def test_skew_matches_cross(self, rng):
+        a = rng.normal(size=3)
+        b = rng.normal(size=3)
+        assert np.allclose(skew(a) @ b, np.cross(a, b))
+
+    def test_unskew_inverts_skew(self, rng):
+        v = rng.normal(size=3)
+        assert np.allclose(unskew(skew(v)), v)
+
+    def test_skew_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            skew(np.zeros(2))
+
+
+class TestDcm:
+    @given(angles_strategy)
+    @settings(max_examples=100)
+    def test_dcm_is_rotation(self, e):
+        assert is_rotation_matrix(dcm_from_euler(e), tolerance=1e-9)
+
+    @given(angles_strategy)
+    @settings(max_examples=100)
+    def test_euler_round_trip(self, e):
+        back = dcm_to_euler(dcm_from_euler(e))
+        assert back.roll == pytest.approx(e.roll, abs=1e-9)
+        assert back.pitch == pytest.approx(e.pitch, abs=1e-9)
+        assert back.yaw == pytest.approx(e.yaw, abs=1e-9)
+
+    def test_pure_yaw_rotates_x_to_y(self):
+        c = dcm_from_euler(EulerAngles(0.0, 0.0, math.pi / 2))
+        # Body x axis points along NED y: v_body = C v_ned.
+        assert np.allclose(c @ np.array([0.0, 1.0, 0.0]), [1.0, 0.0, 0.0], atol=1e-12)
+
+    def test_gravity_under_pitch(self):
+        # Nose-up pitch tips gravity onto +x' ... sign follows Fig 1.
+        pitch = math.radians(20.0)
+        c = dcm_from_euler(EulerAngles(0.0, pitch, 0.0))
+        f = c @ np.array([0.0, 0.0, -9.80665])
+        assert f[0] == pytest.approx(9.80665 * math.sin(pitch))
+        assert f[2] == pytest.approx(-9.80665 * math.cos(pitch))
+
+    @given(small_angles_strategy)
+    @settings(max_examples=50)
+    def test_small_angle_dcm_close_to_exact(self, e):
+        exact = dcm_from_euler(e)
+        approx = dcm_from_small_angles(e.as_array())
+        assert np.max(np.abs(exact - approx)) < 0.02
+
+    def test_orthonormalize_restores_rotation(self, rng):
+        c = dcm_from_euler(EulerAngles(0.3, -0.2, 0.9))
+        noisy = c + 1e-4 * rng.normal(size=(3, 3))
+        fixed = orthonormalize(noisy)
+        assert is_rotation_matrix(fixed, tolerance=1e-9)
+        assert np.max(np.abs(fixed - c)) < 1e-3
+
+    def test_rotation_angle(self):
+        c = dcm_from_euler(EulerAngles(0.0, 0.0, 0.25))
+        assert rotation_angle(c) == pytest.approx(0.25, abs=1e-12)
+
+    def test_singular_pitch_raises(self):
+        c = np.array([[0.0, 0.0, -1.0], [0.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        with pytest.raises(GeometryError):
+            dcm_to_euler(c)
+
+
+class TestQuaternion:
+    @given(angles_strategy)
+    @settings(max_examples=100)
+    def test_euler_dcm_quaternion_agree(self, e):
+        q = Quaternion.from_euler(e)
+        assert np.allclose(q.to_dcm(), dcm_from_euler(e), atol=1e-12)
+
+    def test_identity(self):
+        assert np.allclose(Quaternion.identity().to_dcm(), np.eye(3))
+
+    def test_multiplication_matches_dcm_product(self):
+        e1 = EulerAngles(0.1, 0.2, -0.3)
+        e2 = EulerAngles(-0.2, 0.1, 0.5)
+        q1, q2 = Quaternion.from_euler(e1), Quaternion.from_euler(e2)
+        # to_dcm(a*b) == to_dcm(b) @ to_dcm(a) in the ref→body convention.
+        assert np.allclose(
+            (q1 * q2).to_dcm(), q2.to_dcm() @ q1.to_dcm(), atol=1e-12
+        )
+
+    def test_conjugate_inverts(self):
+        q = Quaternion.from_euler(EulerAngles(0.4, -0.3, 1.0))
+        assert np.allclose((q * q.conjugate()).to_dcm(), np.eye(3), atol=1e-12)
+
+    def test_integration_constant_yaw_rate(self):
+        q = Quaternion.identity()
+        rate = np.array([0.0, 0.0, math.radians(10.0)])
+        for _ in range(500):
+            q = q.integrated(rate, 0.01)
+        assert math.degrees(q.to_euler().yaw) == pytest.approx(50.0, abs=1e-6)
+
+    def test_integration_zero_rate_is_identity(self):
+        q = Quaternion.from_euler(EulerAngles(0.1, 0.1, 0.1))
+        assert q.integrated(np.zeros(3), 0.1) is q
+
+    def test_rotate_matches_dcm(self, rng):
+        q = Quaternion.from_euler(EulerAngles(0.2, 0.3, -0.4))
+        v = rng.normal(size=3)
+        assert np.allclose(q.rotate(v), q.to_dcm() @ v)
+
+    def test_angle_to(self):
+        a = Quaternion.identity()
+        b = Quaternion.from_axis_angle(np.array([0.0, 0.0, 1.0]), 0.3)
+        assert a.angle_to(b) == pytest.approx(0.3, abs=1e-12)
+
+    def test_from_axis_angle_rejects_zero_axis(self):
+        with pytest.raises(GeometryError):
+            Quaternion.from_axis_angle(np.zeros(3), 0.1)
+
+    def test_shepperd_all_branches(self):
+        # Rotations near 180° about each axis hit different branches.
+        for axis in (np.eye(3)):
+            q = Quaternion.from_axis_angle(axis, math.pi - 1e-3)
+            back = Quaternion.from_dcm(q.to_dcm())
+            assert q.angle_to(back) < 1e-9
+
+
+class TestFrames:
+    def test_identity_transform(self):
+        t = FrameTransform.identity(NED_FRAME, BODY_FRAME)
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(t.apply(v), v)
+
+    def test_inverse_round_trip(self, rng):
+        e = EulerAngles(0.1, -0.2, 0.4)
+        t = FrameTransform.from_euler(BODY_FRAME, SENSOR_FRAME, e)
+        v = rng.normal(size=3)
+        assert np.allclose(t.inverse().apply(t.apply(v)), v)
+
+    def test_compose_checks_frames(self):
+        a = FrameTransform.identity(NED_FRAME, BODY_FRAME)
+        b = FrameTransform.identity(BODY_FRAME, SENSOR_FRAME)
+        chained = b.compose(a)
+        assert chained.source == NED_FRAME
+        assert chained.destination == SENSOR_FRAME
+        with pytest.raises(GeometryError):
+            a.compose(b)
+
+    def test_rejects_non_rotation(self):
+        with pytest.raises(GeometryError):
+            FrameTransform(NED_FRAME, BODY_FRAME, np.eye(3) * 2.0)

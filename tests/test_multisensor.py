@@ -1,0 +1,130 @@
+"""Tests for the multi-sensor self-alignment extension (paper §12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import FusionError
+from repro.fusion.boresight import BoresightConfig
+from repro.fusion.multisensor import MultiSensorAligner
+from repro.geometry import EulerAngles, dcm_from_euler
+from repro.rng import make_rng
+from repro.units import STANDARD_GRAVITY
+
+
+def _force_at(t: float) -> np.ndarray:
+    """Tilt-table-like excitation so all axes are observable."""
+    leg = int(t // 10.0) % 4
+    angle = math.radians(15.0) if leg in (1, 3) else 0.0
+    sign = 1.0 if leg == 1 else -1.0
+    return np.array(
+        [
+            sign * STANDARD_GRAVITY * math.sin(angle),
+            0.0,
+            -STANDARD_GRAVITY * math.cos(angle),
+        ]
+    )
+
+
+def _run_aligner(
+    truths: dict[str, EulerAngles],
+    duration: float = 120.0,
+    rate: float = 5.0,
+    noise: float = 0.004,
+    dropout: str | None = None,
+) -> MultiSensorAligner:
+    rng = make_rng(21)
+    aligner = MultiSensorAligner(
+        list(truths), BoresightConfig(measurement_sigma=noise)
+    )
+    dcms = {name: dcm_from_euler(e) for name, e in truths.items()}
+    steps = int(duration * rate)
+    for k in range(steps):
+        t = k / rate
+        f = _force_at(t)
+        measurements = {}
+        for name, c_sb in dcms.items():
+            if dropout == name and k % 3 != 0:
+                continue  # this sensor loses 2 of 3 packets
+            z = (c_sb @ f)[:2] + rng.normal(0.0, noise, 2)
+            measurements[name] = z
+        aligner.step(t, f, measurements)
+    return aligner
+
+
+class TestMultiSensorAligner:
+    def test_joint_recovery_two_sensors(self):
+        truths = {
+            "camera": EulerAngles.from_degrees(2.0, -1.0, 1.5),
+            "lidar": EulerAngles.from_degrees(-1.0, 0.5, -2.0),
+        }
+        aligner = _run_aligner(truths)
+        result = aligner.result()
+        for name, truth in truths.items():
+            error = np.degrees(
+                result.misalignments[name].as_array() - truth.as_array()
+            )
+            assert np.max(np.abs(error)) < 0.1, name
+
+    def test_relative_alignment(self):
+        truths = {
+            "camera": EulerAngles.from_degrees(1.0, 0.0, 2.0),
+            "lidar": EulerAngles.from_degrees(-0.5, 1.0, -1.0),
+        }
+        aligner = _run_aligner(truths)
+        relative = aligner.relative_alignment("camera", "lidar")
+        # Truth relative rotation camera→lidar.
+        c_cam = dcm_from_euler(truths["camera"])
+        c_lid = dcm_from_euler(truths["lidar"])
+        from repro.geometry import dcm_to_euler
+
+        truth_rel = dcm_to_euler(c_lid @ c_cam.T)
+        error = np.degrees(
+            relative.as_array() - truth_rel.as_array()
+        )
+        assert np.max(np.abs(error)) < 0.15
+
+    def test_tolerates_sensor_dropout(self):
+        truths = {
+            "camera": EulerAngles.from_degrees(1.5, -0.5, 1.0),
+            "lidar": EulerAngles.from_degrees(0.5, 0.8, -0.7),
+        }
+        aligner = _run_aligner(truths, dropout="lidar")
+        result = aligner.result()
+        for name, truth in truths.items():
+            error = np.degrees(
+                result.misalignments[name].as_array() - truth.as_array()
+            )
+            assert np.max(np.abs(error)) < 0.2, name
+        # The dropping sensor keeps a larger uncertainty.
+        assert np.all(
+            result.angle_sigma["lidar"][:2]
+            > result.angle_sigma["camera"][:2]
+        )
+
+    def test_residuals_keyed_by_sensor(self):
+        aligner = MultiSensorAligner(["a", "b"])
+        f = np.array([0.0, 0.0, -9.8])
+        residuals = aligner.step(0.0, f, {"a": np.zeros(2)})
+        assert set(residuals) == {"a"}
+
+    def test_no_measurements_is_noop(self):
+        aligner = MultiSensorAligner(["a"])
+        assert aligner.step(0.0, np.array([0, 0, -9.8]), {}) == {}
+
+    def test_validation(self):
+        with pytest.raises(FusionError):
+            MultiSensorAligner([])
+        with pytest.raises(FusionError):
+            MultiSensorAligner(["x", "x"])
+        aligner = MultiSensorAligner(["a"])
+        with pytest.raises(FusionError):
+            aligner.relative_alignment("a", "nope")
+
+    def test_time_must_increase(self):
+        aligner = MultiSensorAligner(["a"])
+        f = np.array([0.0, 0.0, -9.8])
+        aligner.step(1.0, f, {"a": np.zeros(2)})
+        with pytest.raises(FusionError):
+            aligner.step(0.5, f, {"a": np.zeros(2)})

@@ -1,0 +1,189 @@
+"""Failure-injection and robustness tests across module boundaries.
+
+A production boresighting system lives on a real car harness: packets
+drop, links delay, vibration changes with the road.  These tests stress
+those seams.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.comm import CanSerialBridge, LossyLink
+from repro.comm.protocol import (
+    AccPacket,
+    DmuPacket,
+    decode_dmu_frames,
+    encode_acc_packet,
+    encode_dmu_packet,
+    find_acc_packets,
+)
+from repro.errors import FusionError
+from repro.fusion import BoresightConfig, BoresightEstimator, reconstruct
+from repro.fusion.reconstruction import FusedSamples
+from repro.geometry import EulerAngles, dcm_from_euler
+from repro.rng import make_rng
+from repro.sensors.acc2 import AccSamples
+from repro.sensors.imu import ImuSamples
+from repro.units import STANDARD_GRAVITY
+
+
+class TestLossyWire:
+    def test_acc_stream_with_corruption_recovers_packets(self, rng):
+        """Random byte corruption loses packets, never corrupts values."""
+        packets = [
+            AccPacket(i & 0xFF, (0.5, -0.5)) for i in range(200)
+        ]
+        stream = bytearray(b"".join(encode_acc_packet(p) for p in packets))
+        # Flip bytes at 1% rate.
+        for i in range(len(stream)):
+            if rng.uniform() < 0.01:
+                stream[i] ^= int(rng.integers(1, 256))
+        decoded, _ = find_acc_packets(bytes(stream))
+        assert len(decoded) > 120  # most survive
+        for packet in decoded:
+            # Checksums keep values sane even under corruption (one
+            # residual risk: corruption inside the int16 that the XOR
+            # checksum misses needs a 2-byte collision).
+            assert abs(packet.xy[0]) < 20.0
+
+    def test_dmu_frames_through_lossy_link(self, rng):
+        link = LossyLink(rng, drop_probability=0.3, latency=0.01, jitter=0.02)
+        sent = []
+        for i in range(100):
+            packet = DmuPacket(i, (0.01 * i, 0.0, 0.0), (0.0, 0.0, -9.8))
+            sent.append(packet)
+            link.send(i * 0.01, packet)
+        received = [m for _, m in link.receive_until(100.0)]
+        assert 40 < len(received) < 95
+        sequences = [p.sequence for p in received]
+        assert sequences == sorted(sequences)  # FIFO preserved
+
+    def test_bridge_survives_interleaved_garbage(self, rng):
+        bridge = CanSerialBridge()
+        frames = []
+        stream = bytearray()
+        for i in range(50):
+            packet = DmuPacket(i, (0.0, 0.0, 0.0), (0.0, 0.0, -9.8))
+            rate_frame, accel_frame = encode_dmu_packet(packet)
+            for frame in (rate_frame, accel_frame):
+                frames.append(frame)
+                stream += CanSerialBridge.frame_to_bytes(frame)
+                if rng.uniform() < 0.2:
+                    stream += bytes(rng.integers(0, 256, size=3, dtype=np.uint8))
+        decoded = bridge.feed(bytes(stream))
+        # Some frames may be eaten when garbage mimics a SOF, but the
+        # stream must resynchronise and decode the majority.
+        assert len(decoded) > len(frames) * 0.8
+        pairs = [
+            decode_dmu_frames(a, b)
+            for a, b in zip(decoded[::2], decoded[1::2])
+            if a.can_id == 0x100 and b.can_id == 0x101
+            and a.data[6:8] == b.data[6:8]
+        ]
+        assert pairs  # at least some complete samples survive
+
+
+def _clean_fused(truth: EulerAngles, n: int, rate: float = 5.0, noise=0.004):
+    rng = make_rng(4)
+    c_sb = dcm_from_euler(truth)
+    t = np.arange(n) / rate
+    force = np.tile([0.0, 0.0, -STANDARD_GRAVITY], (n, 1))
+    acc = (force @ c_sb.T)[:, :2] + rng.normal(0.0, noise, (n, 2))
+    return t, force, acc
+
+
+class TestEstimatorUnderDataGaps:
+    def test_irregular_fusion_times_accepted(self):
+        truth = EulerAngles.from_degrees(1.0, -1.0, 0.0)
+        t, force, acc = _clean_fused(truth, 200)
+        # Knock out 30% of the steps (dropped fusion epochs).
+        rng = make_rng(8)
+        keep = rng.uniform(size=200) > 0.3
+        keep[0] = True
+        estimator = BoresightEstimator(BoresightConfig(measurement_sigma=0.004))
+        for i in np.where(keep)[0]:
+            estimator.step(
+                float(t[i]), force[i], np.zeros(3), np.zeros(3), acc[i]
+            )
+        error = np.degrees(
+            estimator.misalignment.as_array() - truth.as_array()
+        )
+        assert abs(error[0]) < 0.1
+        assert abs(error[1]) < 0.1
+
+    def test_long_outage_grows_then_recovers(self):
+        truth = EulerAngles.from_degrees(1.0, 0.0, 0.0)
+        t, force, acc = _clean_fused(truth, 400)
+        estimator = BoresightEstimator(
+            BoresightConfig(measurement_sigma=0.004, angle_process_noise=1e-4)
+        )
+        sigma_before_outage = None
+        for i in range(400):
+            if 100 <= i < 300:
+                continue  # 40-second outage
+            result = estimator.step(
+                float(t[i]), force[i], np.zeros(3), np.zeros(3), acc[i]
+            )
+            if i == 99:
+                sigma_before_outage = result.angle_sigma[0]
+            if i == 300:
+                # Uncertainty grew across the gap (process noise).
+                assert result.angle_sigma[0] > sigma_before_outage
+        error = np.degrees(
+            estimator.misalignment.as_array() - truth.as_array()
+        )
+        assert abs(error[0]) < 0.1
+
+
+class TestReconstructionEdges:
+    def test_partial_overlap_streams(self):
+        t_imu = np.arange(0.0, 10.0, 0.01)
+        t_acc = np.arange(5.0, 15.0, 0.01)
+        imu = ImuSamples(
+            t_imu,
+            np.zeros((t_imu.size, 3)),
+            np.tile([0.0, 0.0, -9.8], (t_imu.size, 1)),
+        )
+        acc = AccSamples(t_acc, np.zeros((t_acc.size, 2)))
+        fused = reconstruct(imu, acc, fusion_rate=5.0)
+        assert fused.time[0] >= 5.0
+        assert fused.time[-1] <= 10.0
+
+    def test_disjoint_streams_rejected(self):
+        t_imu = np.arange(0.0, 5.0, 0.01)
+        t_acc = np.arange(6.0, 10.0, 0.01)
+        imu = ImuSamples(
+            t_imu,
+            np.zeros((t_imu.size, 3)),
+            np.zeros((t_imu.size, 3)),
+        )
+        acc = AccSamples(t_acc, np.zeros((t_acc.size, 2)))
+        with pytest.raises(FusionError):
+            reconstruct(imu, acc, fusion_rate=5.0)
+
+    def test_fused_slice(self):
+        t = np.arange(0.0, 10.0, 0.2)
+        fused = FusedSamples(
+            time=t,
+            specific_force=np.zeros((t.size, 3)),
+            body_rate=np.zeros((t.size, 3)),
+            body_rate_dot=np.zeros((t.size, 3)),
+            acc_xy=np.zeros((t.size, 2)),
+        )
+        part = fused.slice(5, 15)
+        assert len(part) == 10
+        assert part.rate == pytest.approx(5.0)
+
+
+class TestVibrationRetuning:
+    """The §11 story as one compact integration test."""
+
+    def test_consistency_restored_by_noise_increase(self):
+        from repro.experiments.figure8 import run_figure8_dynamic
+
+        untuned = run_figure8_dynamic(duration=100.0, measurement_sigma=0.006)
+        tuned = run_figure8_dynamic(duration=100.0, measurement_sigma=0.035)
+        assert untuned.exceedance_fraction > tuned.exceedance_fraction
+        assert tuned.exceedance_fraction < 0.05

@@ -1,0 +1,405 @@
+"""Tests for the Sabre ISA, assembler, CPU, bus and peripherals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sabre.softfloat as sf
+from repro.errors import AssemblerError, CpuFault, SabreError
+from repro.sabre import BlockRam, SabreCpu, assemble, decode, encode
+from repro.sabre.assembler import Program
+from repro.sabre.bus import (
+    ANGLES_BASE_ADDRESS,
+    FPU_BASE_ADDRESS,
+    LEDS_BASE_ADDRESS,
+    SabreBus,
+)
+from repro.sabre.isa import B_TYPE, I_TYPE, R_TYPE, Instruction, Opcode, disassemble
+from repro.sabre.loader import link_system
+from repro.sabre.memory import PROGRAM_BYTES
+from repro.sabre.peripherals import (
+    AngleControl,
+    CycleTimer,
+    FpuOp,
+    Gui,
+    Leds,
+    SerialPort,
+    SoftFloatFpu,
+    Switches,
+    TouchScreen,
+)
+
+
+class TestIsaEncoding:
+    @given(
+        st.sampled_from(sorted(R_TYPE)),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+    )
+    @settings(max_examples=100)
+    def test_r_type_round_trip(self, op, rd, rs1, rs2):
+        inst = Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
+        assert decode(encode(inst)) == inst
+
+    @given(
+        st.sampled_from(sorted(I_TYPE)),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(-(2**17), 2**17 - 1),
+    )
+    @settings(max_examples=200)
+    def test_i_type_round_trip(self, op, rd, rs1, imm):
+        inst = Instruction(op, rd=rd, rs1=rs1, imm=imm)
+        assert decode(encode(inst)) == inst
+
+    @given(
+        st.sampled_from(sorted(B_TYPE)),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(-(2**17), 2**17 - 1),
+    )
+    @settings(max_examples=200)
+    def test_b_type_round_trip(self, op, rs1, rs2, imm):
+        inst = Instruction(op, rs1=rs1, rs2=rs2, imm=imm)
+        assert decode(encode(inst)) == inst
+
+    def test_illegal_opcode_raises(self):
+        with pytest.raises(SabreError):
+            decode(0x3E << 26)  # opcode 0x3E is unassigned
+
+    def test_imm_range_checked(self):
+        with pytest.raises(SabreError):
+            Instruction(Opcode.ADDI, imm=2**17)
+
+    def test_disassemble_smoke(self):
+        word = encode(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+        assert disassemble(word) == "add r1, r2, r3"
+        assert disassemble(encode(Instruction(Opcode.HALT))) == "halt"
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        program = assemble("addi r1, r0, 5\nhalt\n")
+        assert len(program.words) == 2
+
+    def test_labels_and_branches(self):
+        program = assemble(
+            """
+            addi r1, r0, 3
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            """
+        )
+        cpu = SabreCpu()
+        cpu.load_program(program.words)
+        cpu.run()
+        assert cpu.registers[1] == 0
+
+    def test_ldi_builds_32_bit_constant(self):
+        cpu = SabreCpu()
+        cpu.load_program(assemble("ldi r2, 0xDEADBEEF\nhalt").words)
+        cpu.run()
+        assert cpu.registers[2] == 0xDEADBEEF
+
+    def test_equ_and_word_directives(self):
+        program = assemble(
+            """
+            .equ MAGIC, 0x1234
+            ldi r1, MAGIC
+            halt
+            .word 0xCAFEBABE, 7
+            """
+        )
+        assert 0xCAFEBABE in program.words
+        assert 7 in program.words
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\na:\nhalt")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi r16, r0, 1")
+
+    def test_aliases(self):
+        program = assemble("jal lr, 0\nmov sp, zero\nhalt")
+        inst = decode(program.words[0])
+        assert inst.rd == 14
+
+    def test_comments_stripped(self):
+        program = assemble("addi r1, r0, 1 ; set\n# full line\nhalt")
+        assert len(program.words) == 2
+
+
+class TestCpuSemantics:
+    def _run(self, source: str) -> SabreCpu:
+        cpu = SabreCpu()
+        cpu.load_program(assemble(source).words)
+        cpu.run()
+        return cpu
+
+    def test_alu_basics(self):
+        cpu = self._run(
+            """
+            addi r1, r0, 7
+            addi r2, r0, 3
+            add r3, r1, r2
+            sub r4, r1, r2
+            and r5, r1, r2
+            or  r6, r1, r2
+            xor r7, r1, r2
+            mul r8, r1, r2
+            halt
+            """
+        )
+        assert cpu.registers[3] == 10
+        assert cpu.registers[4] == 4
+        assert cpu.registers[5] == 3
+        assert cpu.registers[6] == 7
+        assert cpu.registers[7] == 4
+        assert cpu.registers[8] == 21
+
+    def test_shifts_and_compare(self):
+        cpu = self._run(
+            """
+            addi r1, r0, -8
+            srai r2, r1, 2
+            srli r3, r1, 28
+            slli r4, r1, 1
+            slti r5, r1, 0
+            addi r6, r0, 1
+            slt r7, r1, r6
+            sltu r8, r6, r1
+            halt
+            """
+        )
+        assert cpu.registers[2] == (-2) & 0xFFFFFFFF
+        assert cpu.registers[3] == 0xF
+        assert cpu.registers[4] == (-16) & 0xFFFFFFFF
+        assert cpu.registers[5] == 1
+        assert cpu.registers[7] == 1
+        assert cpu.registers[8] == 1  # unsigned: 1 < 0xFFFFFFF8
+
+    def test_r0_is_hardwired_zero(self):
+        cpu = self._run("addi r0, r0, 99\nmov r1, r0\nhalt")
+        assert cpu.registers[0] == 0
+        assert cpu.registers[1] == 0
+
+    def test_memory_word_and_byte(self):
+        cpu = self._run(
+            """
+            ldi r1, 0x11223344
+            stw r1, r0, 0x100
+            ldw r2, r0, 0x100
+            ldb r3, r0, 0x100
+            ldb r4, r0, 0x103
+            addi r5, r0, 0xAB
+            stb r5, r0, 0x101
+            ldw r6, r0, 0x100
+            halt
+            """
+        )
+        assert cpu.registers[2] == 0x11223344
+        assert cpu.registers[3] == 0x44  # little endian
+        assert cpu.registers[4] == 0x11
+        assert cpu.registers[6] == 0x1122AB44
+
+    def test_branches(self):
+        cpu = self._run(
+            """
+            addi r1, r0, -1
+            addi r2, r0, 1
+            blt r1, r2, took
+            addi r3, r0, 99
+        took:
+            bltu r1, r2, nottaken
+            addi r4, r0, 55
+        nottaken:
+            halt
+            """
+        )
+        assert cpu.registers[3] == 0  # skipped
+        assert cpu.registers[4] == 55  # unsigned -1 is large → not taken
+
+    def test_jal_jalr_subroutine(self):
+        cpu = self._run(
+            """
+            jal lr, func
+            addi r2, r0, 2
+            halt
+        func:
+            addi r1, r0, 1
+            jr lr
+            """
+        )
+        assert cpu.registers[1] == 1
+        assert cpu.registers[2] == 2
+
+    def test_cycle_costs(self):
+        cpu = self._run("addi r1, r0, 1\nhalt")
+        assert cpu.cycles == 2  # ALU + HALT
+
+    def test_halted_cpu_refuses_step(self):
+        cpu = self._run("halt")
+        with pytest.raises(CpuFault):
+            cpu.step()
+
+    def test_runaway_guard(self):
+        cpu = SabreCpu()
+        cpu.load_program(assemble("loop: jal r0, loop").words)
+        with pytest.raises(CpuFault):
+            cpu.run(max_instructions=100)
+
+    def test_unaligned_word_faults(self):
+        cpu = SabreCpu()
+        cpu.load_program(assemble("ldw r1, r0, 2\nhalt").words)
+        with pytest.raises(CpuFault):
+            cpu.run()
+
+
+class TestBusAndPeripherals:
+    def test_ram_access_via_bus(self):
+        bus = SabreBus()
+        bus.write_word(0x10, 123)
+        assert bus.read_word(0x10) == 123
+
+    def test_unmapped_peripheral_faults(self):
+        bus = SabreBus()
+        with pytest.raises(CpuFault):
+            bus.read_word(0x9000_0000)
+
+    def test_overlapping_windows_rejected(self):
+        bus = SabreBus()
+        bus.attach(LEDS_BASE_ADDRESS, Leds())
+        with pytest.raises(SabreError):
+            bus.attach(LEDS_BASE_ADDRESS + 4, Leds())
+
+    def test_leds(self):
+        leds = Leds()
+        leds.write(0, 0x5)
+        assert leds.read(0) == 0x5
+        assert leds.write_count == 1
+
+    def test_switches_read_only(self):
+        switches = Switches(0x3)
+        assert switches.read(0) == 0x3
+        with pytest.raises(CpuFault):
+            switches.write(0, 1)
+
+    def test_touchscreen(self):
+        ts = TouchScreen()
+        ts.touch(10, 20)
+        assert (ts.read(0), ts.read(4), ts.read(8)) == (10, 20, 1)
+        ts.release()
+        assert ts.read(8) == 0
+
+    def test_gui_records_lines(self):
+        gui = Gui()
+        for offset, value in zip((0, 4, 8, 12, 16), (1, 2, 3, 4, 255)):
+            gui.write(offset, value)
+        gui.write(0x14, 1)  # strobe
+        assert len(gui.lines) == 1
+        assert gui.lines[0].x1 == 3
+
+    def test_serial_port_fifo(self):
+        port = SerialPort()
+        port.host_send(b"AB")
+        assert port.read(0) & 1
+        assert port.read(4) == ord("A")
+        port.write(4, ord("Z"))
+        assert port.host_collect_tx() == b"Z"
+
+    def test_angle_control_float_decode(self):
+        angles = AngleControl()
+        angles.write(0, sf.float_to_bits(0.25))
+        angles.write(4, sf.float_to_bits(-0.5))
+        roll, pitch, yaw = angles.angles_float()
+        assert roll == pytest.approx(0.25)
+        assert pitch == pytest.approx(-0.5)
+        assert yaw == 0.0
+
+    def test_fpu_operations(self):
+        fpu = SoftFloatFpu()
+        fpu.write(0, sf.float_to_bits(3.0))
+        fpu.write(4, sf.float_to_bits(4.0))
+        fpu.write(8, FpuOp.ADD)
+        assert sf.bits_to_float(fpu.read(0xC)) == 7.0
+        fpu.write(8, FpuOp.MUL)
+        assert sf.bits_to_float(fpu.read(0xC)) == 12.0
+        fpu.write(0, 25)
+        fpu.write(8, FpuOp.I2F)
+        assert sf.bits_to_float(fpu.read(0xC)) == 25.0
+        fpu.write(0, sf.float_to_bits(2.0))
+        fpu.write(4, sf.float_to_bits(3.0))
+        fpu.write(8, FpuOp.CMP_LT)
+        assert fpu.read(0xC) == 1
+
+    def test_fpu_flags_read_clears(self):
+        fpu = SoftFloatFpu()
+        sf.flags.clear()
+        fpu.write(0, sf.float_to_bits(1.0))
+        fpu.write(4, 0)
+        fpu.write(8, FpuOp.DIV)
+        assert fpu.read(0x10) & 0x2  # divide-by-zero
+        assert fpu.read(0x10) == 0
+
+    def test_timer_counts_cycles(self):
+        timer = CycleTimer()
+        timer.tick(10)
+        timer.tick(5)
+        assert timer.read(0) == 15
+
+
+class TestLinkedSystem:
+    def test_program_size_limit(self):
+        huge = Program(words=[0] * (PROGRAM_BYTES // 4 + 1))
+        with pytest.raises(SabreError):
+            link_system(huge)
+
+    def test_cpu_drives_leds_via_bus(self):
+        system = link_system(
+            f"""
+            ldi r1, {LEDS_BASE_ADDRESS:#x}
+            addi r2, r0, 0x3
+            stw r2, r1, 0
+            halt
+            """
+        )
+        system.run_until_halt()
+        assert system.leds.state == 0x3
+
+    def test_cpu_uses_fpu(self):
+        system = link_system(
+            f"""
+            ldi r1, {FPU_BASE_ADDRESS:#x}
+            ldi r2, {sf.float_to_bits(1.5):#010x}
+            ldi r3, {sf.float_to_bits(2.5):#010x}
+            stw r2, r1, 0
+            stw r3, r1, 4
+            addi r4, r0, {FpuOp.ADD}
+            stw r4, r1, 8
+            ldw r5, r1, 12
+            ldi r6, {ANGLES_BASE_ADDRESS:#x}
+            stw r5, r6, 0
+            halt
+            """
+        )
+        system.run_until_halt()
+        assert system.angles.angles_float()[0] == pytest.approx(4.0)
+
+    def test_blockram_word_api(self):
+        ram = BlockRam(64, "t")
+        ram.write_word(0, 0xAABBCCDD)
+        assert ram.read_byte(0) == 0xDD
+        ram.write_byte(3, 0x11)
+        assert ram.read_word(0) == 0x11BBCCDD
+        with pytest.raises(CpuFault):
+            ram.read_word(64)

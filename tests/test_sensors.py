@@ -1,0 +1,273 @@
+"""Tests for repro.sensors: error models, instruments, camera."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SensorError
+from repro.geometry import EulerAngles
+from repro.sensors import (
+    AdxlPwmEncoder,
+    CapacitiveAccelTriad,
+    DualAxisAccelerometer,
+    Mounting,
+    PinholeCamera,
+    RingGyroTriad,
+    SixDofImu,
+)
+from repro.sensors.acc2 import AccConfig
+from repro.sensors.accelerometer import (
+    CapacitiveAccelSpec,
+    adxl_quantization_series,
+    pwm_quantize,
+)
+from repro.sensors.gyro import RingGyroSpec
+from repro.sensors.imu import ImuConfig
+from repro.sensors.noise import AxisErrorModel, NoiseSpec, TriadErrorModel
+from repro.units import STANDARD_GRAVITY
+from repro.vehicle.profiles import static_level_profile
+
+
+class TestNoiseSpec:
+    def test_white_sigma_scales_with_rate(self):
+        spec = NoiseSpec(white_noise_density=0.001)
+        assert spec.white_sigma(100.0) == pytest.approx(0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NoiseSpec(white_noise_density=-1.0)
+        with pytest.raises(ConfigurationError):
+            NoiseSpec(bias_correlation_time=0.0)
+
+
+class TestAxisErrorModel:
+    def test_zero_spec_is_transparent(self, rng):
+        model = AxisErrorModel(NoiseSpec(), rng)
+        truth = np.linspace(-1.0, 1.0, 100)
+        assert np.allclose(model.corrupt(truth, 100.0), truth)
+
+    def test_white_noise_statistics(self, rng):
+        spec = NoiseSpec(white_noise_density=0.01)
+        model = AxisErrorModel(spec, rng)
+        out = model.corrupt(np.zeros(20000), 100.0)
+        assert out.std() == pytest.approx(spec.white_sigma(100.0), rel=0.05)
+
+    def test_bias_is_constant_across_calls(self, rng):
+        spec = NoiseSpec(turn_on_bias_sigma=0.1)
+        model = AxisErrorModel(spec, rng)
+        a = model.corrupt(np.zeros(10), 100.0)
+        b = model.corrupt(np.zeros(10), 100.0)
+        assert np.allclose(a, b)
+        assert a[0] == pytest.approx(model.turn_on_bias)
+
+    def test_drift_is_correlated(self, rng):
+        spec = NoiseSpec(bias_instability=0.01, bias_correlation_time=10.0)
+        model = AxisErrorModel(spec, rng)
+        out = model.corrupt(np.zeros(1000), 100.0)
+        # Lag-1 autocorrelation of a GM process with tau >> dt is ~1.
+        d = out - out.mean()
+        rho = (d[:-1] @ d[1:]) / (d @ d)
+        assert rho > 0.95
+
+    def test_quantization(self, rng):
+        spec = NoiseSpec(quantization=0.5)
+        model = AxisErrorModel(spec, rng)
+        out = model.corrupt(np.array([0.2, 0.3, 0.7, 1.1]), 10.0)
+        assert np.allclose(out % 0.5, 0.0)
+
+    def test_scale_factor(self, rng):
+        spec = NoiseSpec(scale_factor_sigma=0.01)
+        model = AxisErrorModel(spec, rng)
+        out = model.corrupt(np.full(4, 10.0), 10.0)
+        assert np.allclose(out, 10.0 * (1.0 + model.scale_error))
+
+
+class TestTriad:
+    def test_triad_shape_validation(self, rng):
+        triad = TriadErrorModel(NoiseSpec(), rng)
+        with pytest.raises(ConfigurationError):
+            triad.corrupt(np.zeros((5, 2)), 100.0)
+
+    def test_triad_axes_independent(self, rng):
+        spec = NoiseSpec(turn_on_bias_sigma=0.1)
+        triad = TriadErrorModel(spec, rng)
+        biases = triad.turn_on_bias
+        assert len(set(np.round(biases, 12))) == 3
+
+
+class TestAdxlPwm:
+    def test_round_trip_quantizes(self):
+        enc = AdxlPwmEncoder()
+        value = 1.2345
+        recovered = enc.roundtrip(value)
+        assert abs(recovered - value) <= enc.quantization_mps2
+
+    def test_zero_g_is_half_duty(self):
+        enc = AdxlPwmEncoder()
+        t1, t2 = enc.encode(0.0)
+        assert t1 == t2 // 2
+
+    def test_saturation_raises(self):
+        enc = AdxlPwmEncoder()
+        with pytest.raises(SensorError):
+            enc.encode(50.0)
+
+    def test_decode_validates(self):
+        enc = AdxlPwmEncoder()
+        with pytest.raises(SensorError):
+            enc.decode(10, 5)
+
+    def test_fast_path_matches_bit_path(self):
+        enc = AdxlPwmEncoder()
+        values = np.linspace(-15.0, 15.0, 101)
+        slow = adxl_quantization_series(enc, values)
+        fast = pwm_quantize(enc, values)
+        assert np.allclose(slow, fast, atol=1e-12)
+
+    def test_quantization_lsb(self):
+        enc = AdxlPwmEncoder(period_s=5e-3, timer_clock_hz=24e6)
+        assert enc.quantization_mps2 == pytest.approx(
+            STANDARD_GRAVITY / (0.125 * 120000), rel=1e-9
+        )
+
+
+class TestGyro:
+    def test_senses_rate(self, rng):
+        gyro = RingGyroTriad(RingGyroSpec(), rng)
+        omega = np.full((200, 3), 0.1)
+        force = np.zeros((200, 3))
+        out = gyro.sense(omega, force, 100.0)
+        assert out.mean(axis=0) == pytest.approx([0.1] * 3, abs=0.01)
+
+    def test_saturates_at_full_scale(self, rng):
+        spec = RingGyroSpec(full_scale_dps=100.0)
+        gyro = RingGyroTriad(spec, rng)
+        omega = np.full((10, 3), 10.0)  # 573 deg/s
+        out = gyro.sense(omega, np.zeros((10, 3)), 100.0)
+        assert np.all(out <= math.radians(100.0) + 1e-12)
+
+    def test_g_sensitivity(self, rng):
+        spec = RingGyroSpec(
+            rate_noise_density_dps=0.0,
+            turn_on_bias_dps=0.0,
+            bias_instability_dps=0.0,
+            scale_factor_sigma=0.0,
+            quantization_dps=0.0,
+            g_sensitivity_dps_per_mps2=0.01,
+        )
+        gyro = RingGyroTriad(spec, rng)
+        force = np.full((10, 3), 9.80665)
+        out = gyro.sense(np.zeros((10, 3)), force, 100.0)
+        assert out[0, 0] == pytest.approx(math.radians(0.01 * 9.80665))
+
+    def test_shape_mismatch_raises(self, rng):
+        gyro = RingGyroTriad(RingGyroSpec(), rng)
+        with pytest.raises(ConfigurationError):
+            gyro.sense(np.zeros((5, 3)), np.zeros((4, 3)), 100.0)
+
+
+class TestImu:
+    def test_level_reading(self, rng):
+        imu = SixDofImu(ImuConfig(), rng)
+        data = static_level_profile(20.0).sample(100.0)
+        samples = imu.sense(data)
+        assert samples.specific_force[:, 2].mean() == pytest.approx(
+            -STANDARD_GRAVITY, abs=0.05
+        )
+        assert np.abs(samples.body_rate).max() < math.radians(1.0)
+
+    def test_rate_mismatch_raises(self, rng):
+        imu = SixDofImu(ImuConfig(sample_rate=100.0), rng)
+        data = static_level_profile(10.0).sample(50.0)
+        with pytest.raises(ConfigurationError):
+            imu.sense(data)
+
+    def test_debias(self, rng):
+        imu = SixDofImu(ImuConfig(), rng)
+        samples = imu.sense(static_level_profile(10.0).sample(100.0))
+        fixed = samples.debias(np.zeros(3), np.array([1.0, 0.0, 0.0]))
+        assert fixed.specific_force[:, 0].mean() == pytest.approx(
+            samples.specific_force[:, 0].mean() - 1.0
+        )
+
+
+class TestMounting:
+    def test_default_identity(self):
+        m = Mounting()
+        assert np.allclose(m.body_to_sensor, np.eye(3))
+
+    def test_lever_arm_centripetal(self):
+        m = Mounting(lever_arm=np.array([1.0, 0.0, 0.0]))
+        omega = np.array([0.0, 0.0, 1.0])
+        f = m.specific_force_at_sensor(np.zeros(3), omega, np.zeros(3))
+        # w x (w x r) = -r for unit yaw rate and unit x arm.
+        assert np.allclose(f, [-1.0, 0.0, 0.0])
+
+    def test_lever_arm_tangential(self):
+        m = Mounting(lever_arm=np.array([1.0, 0.0, 0.0]))
+        alpha = np.array([0.0, 0.0, 2.0])
+        f = m.specific_force_at_sensor(np.zeros(3), np.zeros(3), alpha)
+        # alpha x r = 2 z_hat x x_hat = 2 y_hat.
+        assert np.allclose(f, [0.0, 2.0, 0.0])
+
+    def test_bad_lever_arm(self):
+        with pytest.raises(ConfigurationError):
+            Mounting(lever_arm=np.zeros(2))
+
+
+class TestDualAxisAcc:
+    def test_misalignment_couples_gravity(self, rng):
+        mis = EulerAngles.from_degrees(2.0, 0.0, 0.0)  # roll
+        acc = DualAxisAccelerometer(AccConfig(), Mounting(misalignment=mis), rng)
+        data = static_level_profile(20.0).sample(100.0)
+        samples = acc.sense(data)
+        expected_y = -STANDARD_GRAVITY * math.sin(math.radians(2.0))
+        assert samples.specific_force[:, 1].mean() == pytest.approx(
+            expected_y, abs=0.05
+        )
+
+    def test_remount_keeps_instrument_errors(self, rng):
+        acc = DualAxisAccelerometer(AccConfig(), Mounting(), rng)
+        bias_before = acc._errors[0].turn_on_bias
+        acc.remount(Mounting(misalignment=EulerAngles.from_degrees(1, 1, 1)))
+        assert acc._errors[0].turn_on_bias == bias_before
+
+    def test_rate_mismatch_raises(self, rng):
+        acc = DualAxisAccelerometer(AccConfig(sample_rate=100.0), Mounting(), rng)
+        with pytest.raises(ConfigurationError):
+            acc.sense(static_level_profile(5.0).sample(10.0))
+
+
+class TestCamera:
+    def test_roll_is_pure_rotation(self):
+        cam = PinholeCamera()
+        theta, bx, by = cam.misalignment_to_affine(
+            EulerAngles.from_degrees(3.0, 0.0, 0.0)
+        )
+        assert theta == pytest.approx(math.radians(3.0))
+        assert bx == 0.0 and by == 0.0
+
+    def test_yaw_shifts_horizontally(self):
+        cam = PinholeCamera(focal_length_px=500.0)
+        _, bx, by = cam.misalignment_to_affine(
+            EulerAngles.from_degrees(0.0, 0.0, 1.0)
+        )
+        assert bx == pytest.approx(500.0 * math.tan(math.radians(1.0)))
+        assert by == 0.0
+
+    def test_pixel_error_zero_for_aligned(self):
+        cam = PinholeCamera()
+        assert cam.pixel_error(EulerAngles.zero()) == 0.0
+
+    def test_pixel_error_monotone(self):
+        cam = PinholeCamera()
+        small = cam.pixel_error(EulerAngles.from_degrees(0.1, 0.0, 0.0))
+        large = cam.pixel_error(EulerAngles.from_degrees(1.0, 0.0, 0.0))
+        assert large > small
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PinholeCamera(width=0)
+        with pytest.raises(ConfigurationError):
+            PinholeCamera(focal_length_px=-1.0)

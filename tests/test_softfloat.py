@@ -1,0 +1,223 @@
+"""Bit-accuracy tests for repro.sabre.softfloat against numpy float32."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sabre.softfloat as sf
+from repro.errors import SoftFloatError
+
+np.seterr(all="ignore")
+
+bits32 = st.integers(0, 0xFFFFFFFF)
+
+
+def np_float(bits: int) -> np.float32:
+    return np.frombuffer(np.uint32(bits).tobytes(), dtype=np.float32)[0]
+
+
+def np_bits(value) -> int:
+    return int(np.frombuffer(np.float32(value).tobytes(), dtype=np.uint32)[0])
+
+
+def check_binary(sf_op, np_op, a, b):
+    got = sf_op(a, b)
+    want = np_op(np_float(a), np_float(b))
+    if np.isnan(want):
+        assert sf.is_nan(got)
+    else:
+        assert got == np_bits(want), (
+            f"{sf_op.__name__}({a:#010x}, {b:#010x}) = {got:#010x}, "
+            f"want {np_bits(want):#010x}"
+        )
+
+
+class TestArithmeticBitExact:
+    @given(bits32, bits32)
+    @settings(max_examples=2000)
+    def test_add(self, a, b):
+        check_binary(sf.f32_add, np.add, a, b)
+
+    @given(bits32, bits32)
+    @settings(max_examples=2000)
+    def test_sub(self, a, b):
+        check_binary(sf.f32_sub, np.subtract, a, b)
+
+    @given(bits32, bits32)
+    @settings(max_examples=2000)
+    def test_mul(self, a, b):
+        check_binary(sf.f32_mul, np.multiply, a, b)
+
+    @given(bits32, bits32)
+    @settings(max_examples=2000)
+    def test_div(self, a, b):
+        check_binary(sf.f32_div, np.divide, a, b)
+
+    @given(bits32)
+    @settings(max_examples=1000)
+    def test_sqrt(self, a):
+        got = sf.f32_sqrt(a)
+        want = np.sqrt(np_float(a))
+        if np.isnan(want):
+            assert sf.is_nan(got)
+        else:
+            assert got == np_bits(want)
+
+    @given(st.integers(-(2**31), 2**31 - 1))
+    @settings(max_examples=1000)
+    def test_i32_to_f32(self, value):
+        assert sf.i32_to_f32(value) == np_bits(np.float32(value))
+
+    @given(bits32)
+    @settings(max_examples=1000)
+    def test_f32_to_i32(self, a):
+        fa = np_float(a)
+        got = sf.f32_to_i32(a)
+        if np.isnan(fa):
+            want = -(1 << 31)
+        elif fa >= 2**31:
+            want = 2**31 - 1
+        elif fa < -(2**31):
+            want = -(1 << 31)
+        else:
+            want = int(fa)
+        assert got == want
+
+
+class TestSpecialValues:
+    INF = 0x7F800000
+    NINF = 0xFF800000
+    NAN = 0x7FC00000
+    ONE = 0x3F800000
+    ZERO = 0x00000000
+    NZERO = 0x80000000
+
+    def test_inf_minus_inf_invalid(self):
+        sf.flags.clear()
+        assert sf.is_nan(sf.f32_sub(self.INF, self.INF))
+        assert sf.flags.invalid
+
+    def test_zero_times_inf_invalid(self):
+        sf.flags.clear()
+        assert sf.is_nan(sf.f32_mul(self.ZERO, self.INF))
+        assert sf.flags.invalid
+
+    def test_divide_by_zero_flag(self):
+        sf.flags.clear()
+        assert sf.f32_div(self.ONE, self.ZERO) == self.INF
+        assert sf.flags.divide_by_zero
+
+    def test_zero_over_zero_nan(self):
+        sf.flags.clear()
+        assert sf.is_nan(sf.f32_div(self.ZERO, self.ZERO))
+        assert sf.flags.invalid
+
+    def test_sqrt_negative_invalid(self):
+        sf.flags.clear()
+        assert sf.is_nan(sf.f32_sqrt(np_bits(-4.0)))
+        assert sf.flags.invalid
+
+    def test_sqrt_of_negative_zero(self):
+        assert sf.f32_sqrt(self.NZERO) == self.NZERO
+
+    def test_overflow_to_inf(self):
+        sf.flags.clear()
+        big = np_bits(3e38)
+        assert sf.f32_add(big, big) == self.INF
+        assert sf.flags.overflow
+
+    def test_underflow_flag_on_denormal_result(self):
+        sf.flags.clear()
+        tiny = np_bits(1e-38)
+        result = sf.f32_mul(tiny, np_bits(0.001))
+        assert sf.bits_to_float(result) == pytest.approx(1e-41, rel=1e-3)
+        assert sf.flags.underflow
+
+    def test_nan_propagates(self):
+        assert sf.is_nan(sf.f32_add(self.NAN, self.ONE))
+        assert sf.is_nan(sf.f32_mul(self.ONE, self.NAN))
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        assert sf.f32_sub(self.ONE, self.ONE) == self.ZERO
+
+    def test_neg_abs(self):
+        assert sf.f32_neg(self.ONE) == np_bits(-1.0)
+        assert sf.f32_abs(np_bits(-2.5)) == np_bits(2.5)
+
+    def test_signed_zero_addition(self):
+        assert sf.f32_add(self.ZERO, self.NZERO) == self.ZERO
+
+
+class TestComparisons:
+    @given(bits32, bits32)
+    @settings(max_examples=500)
+    def test_lt_matches_numpy(self, a, b):
+        assert sf.f32_lt(a, b) == bool(np_float(a) < np_float(b))
+
+    @given(bits32, bits32)
+    @settings(max_examples=500)
+    def test_eq_matches_numpy(self, a, b):
+        assert sf.f32_eq(a, b) == bool(np_float(a) == np_float(b))
+
+    def test_le(self):
+        assert sf.f32_le(np_bits(1.0), np_bits(1.0))
+        assert sf.f32_le(np_bits(-1.0), np_bits(1.0))
+        assert not sf.f32_le(np_bits(2.0), np_bits(1.0))
+
+    def test_nan_unordered(self):
+        nan = 0x7FC00000
+        assert not sf.f32_lt(nan, nan)
+        assert not sf.f32_eq(nan, nan)
+        assert not sf.f32_le(nan, 0)
+
+
+class TestConversionsApi:
+    def test_float_bits_round_trip(self):
+        for value in (0.0, 1.5, -3.25, 1e-40, 3.1e38):
+            assert sf.bits_to_float(sf.float_to_bits(value)) == pytest.approx(
+                struct.unpack("<f", struct.pack("<f", value))[0], rel=0.0
+            )
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(SoftFloatError):
+            sf.bits_to_float(-1)
+        with pytest.raises(SoftFloatError):
+            sf.f32_add(2**32, 0)
+
+    def test_i32_range_checked(self):
+        with pytest.raises(SoftFloatError):
+            sf.i32_to_f32(2**31)
+
+    def test_flags_clear(self):
+        sf.flags.clear()
+        sf.f32_div(sf.float_to_bits(1.0), 0)
+        assert sf.flags.divide_by_zero
+        sf.flags.clear()
+        assert not sf.flags.divide_by_zero
+
+
+class TestKahanChains:
+    """Longer dependent chains must match a real FPU step by step."""
+
+    def test_chain_matches_numpy(self):
+        values = [0.1 * i - 1.7 for i in range(200)]
+        acc_sf = sf.float_to_bits(0.0)
+        acc_np = np.float32(0.0)
+        for v in values:
+            bits = sf.float_to_bits(v)
+            acc_sf = sf.f32_add(acc_sf, sf.f32_mul(bits, bits))
+            acc_np = np.float32(acc_np + np.float32(np.float32(v) * np.float32(v)))
+        assert acc_sf == np_bits(acc_np)
+
+    def test_division_chain(self):
+        x = sf.float_to_bits(1.0)
+        y = np.float32(1.0)
+        for i in range(1, 50):
+            d = sf.float_to_bits(float(i))
+            x = sf.f32_div(sf.f32_add(x, d), sf.float_to_bits(1.3))
+            y = np.float32((y + np.float32(i)) / np.float32(1.3))
+        assert x == np_bits(y)

@@ -1,0 +1,59 @@
+"""End-to-end tests of the full Figure-2 system simulation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import EulerAngles
+from repro.system import FullSystemConfig, FullSystemResult, FullSystemSimulator
+from repro.vehicle.profiles import static_level_profile
+
+
+@pytest.fixture(scope="module")
+def level_run() -> FullSystemResult:
+    simulator = FullSystemSimulator(FullSystemConfig(video_frames=3))
+    misalignment = EulerAngles.from_degrees(1.2, -0.8, 0.0)
+    return simulator.run(misalignment, static_level_profile(30.0), moving=False)
+
+
+class TestFullSystem:
+    def test_host_estimator_recovers_roll_pitch(self, level_run):
+        error = np.abs(level_run.host_error_deg())
+        assert error[0] < 0.1
+        assert error[1] < 0.1
+
+    def test_sabre_agrees_with_truth(self, level_run):
+        assert level_run.sabre_pitch == pytest.approx(
+            np.radians(-0.8), abs=2e-3
+        )
+        assert level_run.sabre_roll == pytest.approx(
+            np.radians(1.2), abs=2e-3
+        )
+
+    def test_sabre_processed_every_packet(self, level_run):
+        # fusion at 5 Hz over ~30 s → ~150 packets, 12 FPU ops each.
+        assert level_run.sabre_updates > 100
+        assert level_run.sabre_fpu_ops == 12 * level_run.sabre_updates
+
+    def test_wire_traffic_counted(self, level_run):
+        assert level_run.acc_bytes_sent == 8 * level_run.sabre_updates
+        assert level_run.dmu_bytes_sent > 0
+
+    def test_video_correction_improves_over_run(self, level_run):
+        checks = level_run.video_checks
+        assert len(checks) == 3
+        # Uncorrected error is large; corrected error ends small.
+        assert checks[-1].uncorrected_corner_px > 5.0
+        assert checks[-1].residual_corner_px < 1.5
+        assert (
+            checks[-1].residual_corner_px
+            < checks[-1].uncorrected_corner_px / 5.0
+        )
+
+    def test_video_frames_can_be_disabled(self):
+        simulator = FullSystemSimulator(FullSystemConfig(video_frames=0))
+        result = simulator.run(
+            EulerAngles.from_degrees(0.5, 0.5, 0.0),
+            static_level_profile(12.0),
+            moving=False,
+        )
+        assert result.video_checks == []

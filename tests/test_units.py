@@ -1,0 +1,48 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_gravity_constant():
+    assert units.STANDARD_GRAVITY == pytest.approx(9.80665)
+
+
+def test_deg_rad_round_trip():
+    assert units.rad_to_deg(units.deg_to_rad(12.5)) == pytest.approx(12.5)
+
+
+def test_known_conversions():
+    assert units.deg_to_rad(180.0) == pytest.approx(math.pi)
+    assert units.g_to_mps2(1.0) == pytest.approx(9.80665)
+    assert units.mps2_to_g(9.80665) == pytest.approx(1.0)
+    assert units.dps_to_radps(180.0) == pytest.approx(math.pi)
+    assert units.kmh_to_mps(36.0) == pytest.approx(10.0)
+    assert units.mps_to_kmh(10.0) == pytest.approx(36.0)
+
+
+@given(st.floats(-1e6, 1e6))
+def test_wrap_angle_range(angle):
+    wrapped = units.wrap_angle(angle)
+    assert -math.pi < wrapped <= math.pi + 1e-12
+
+
+@given(st.floats(-100.0, 100.0))
+def test_wrap_angle_preserves_angle_mod_2pi(angle):
+    wrapped = units.wrap_angle(angle)
+    assert math.isclose(
+        math.sin(wrapped), math.sin(angle), abs_tol=1e-9
+    )
+    assert math.isclose(
+        math.cos(wrapped), math.cos(angle), abs_tol=1e-9
+    )
+
+
+def test_wrap_angle_at_pi():
+    assert units.wrap_angle(math.pi) == pytest.approx(math.pi)
+    assert units.wrap_angle(-math.pi) == pytest.approx(math.pi)

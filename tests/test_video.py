@@ -1,0 +1,182 @@
+"""Tests for repro.video: frames, affine reference, metrics, stabilizer."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry import EulerAngles
+from repro.sensors.camera import PinholeCamera
+from repro.video import (
+    AffineParams,
+    Frame,
+    VideoStabilizer,
+    affine_from_misalignment,
+    apply_affine,
+    checkerboard,
+    compose,
+    corner_error_px,
+    crosshair_grid,
+    frame_mae,
+    frame_psnr,
+    identity_params,
+    invert,
+    road_scene,
+    solid,
+)
+
+params_strategy = st.builds(
+    AffineParams,
+    theta=st.floats(-0.3, 0.3),
+    bx=st.floats(-20.0, 20.0),
+    by=st.floats(-20.0, 20.0),
+)
+
+
+class TestFrames:
+    def test_solid(self):
+        f = solid(64, 48, 100)
+        assert f.width == 64 and f.height == 48
+        assert np.all(f.pixels == 100)
+
+    def test_checkerboard_alternates(self):
+        f = checkerboard(64, 64, 8)
+        assert f.pixels[0, 0] != f.pixels[0, 8]
+        assert f.pixels[0, 0] == f.pixels[8, 8]
+
+    def test_crosshair_has_bright_center(self):
+        f = crosshair_grid(100, 100)
+        assert f.pixels[50, 50] == 255
+
+    def test_road_scene_layers(self):
+        f = road_scene(120, 90)
+        assert f.pixels[0, 0] == 200  # sky
+        assert f.pixels[-1, 5] in (60, 220, 240)  # road or marking
+
+    def test_frame_validation(self):
+        with pytest.raises(ConfigurationError):
+            Frame(np.zeros((2, 2), dtype=np.float64))
+        with pytest.raises(ConfigurationError):
+            Frame(np.zeros(5, dtype=np.uint8))
+
+    def test_frame_immutable(self):
+        f = solid(8, 8)
+        with pytest.raises(ValueError):
+            f.pixels[0, 0] = 1
+
+
+class TestAffineParams:
+    def test_identity_does_nothing(self):
+        f = checkerboard(64, 64)
+        out = apply_affine(f, identity_params())
+        assert np.array_equal(out.pixels, f.pixels)
+
+    @given(params_strategy)
+    @settings(max_examples=50)
+    def test_invert_round_trip_points(self, params):
+        center = (160.0, 120.0)
+        x, y = 200.0, 100.0
+        fx, fy = params.apply_to_point(x, y, center)
+        bx, by = invert(params).apply_to_point(fx, fy, center)
+        assert bx == pytest.approx(x, abs=1e-9)
+        assert by == pytest.approx(y, abs=1e-9)
+
+    @given(params_strategy, params_strategy)
+    @settings(max_examples=50)
+    def test_compose_matches_sequential(self, outer, inner):
+        center = (160.0, 120.0)
+        x, y = 50.0, 75.0
+        via_two = outer.apply_to_point(
+            *inner.apply_to_point(x, y, center), center
+        )
+        via_one = compose(outer, inner).apply_to_point(x, y, center)
+        assert via_one[0] == pytest.approx(via_two[0], abs=1e-9)
+        assert via_one[1] == pytest.approx(via_two[1], abs=1e-9)
+
+    def test_pure_translation_shifts_pixels(self):
+        f = solid(32, 32, 0)
+        arr = np.array(f.pixels)
+        arr = arr.copy()
+        arr[16, 16] = 255
+        f = Frame(arr)
+        out = apply_affine(f, AffineParams(0.0, 5.0, 0.0))
+        assert out.pixels[16, 21] == 255
+
+    def test_rotation_90deg_moves_corner(self):
+        f = crosshair_grid(64, 64)
+        out = apply_affine(f, AffineParams(math.pi / 2, 0.0, 0.0))
+        # Rotation about the center keeps the center bright.
+        assert out.pixels[32, 32] == 255
+
+
+class TestMetrics:
+    def test_mae_identical_zero(self):
+        f = checkerboard(32, 32)
+        assert frame_mae(f, f) == 0.0
+
+    def test_psnr_infinite_for_identical(self):
+        f = checkerboard(32, 32)
+        assert frame_psnr(f, f) == float("inf")
+
+    def test_mae_shape_check(self):
+        with pytest.raises(ConfigurationError):
+            frame_mae(solid(8, 8), solid(16, 16))
+
+    def test_corner_error_identity(self):
+        assert corner_error_px(identity_params(), 320, 240) == 0.0
+
+    def test_corner_error_translation(self):
+        assert corner_error_px(AffineParams(0.0, 3.0, 4.0), 320, 240) == (
+            pytest.approx(5.0)
+        )
+
+    def test_corner_error_rotation_scales_with_radius(self):
+        small = corner_error_px(AffineParams(0.01, 0, 0), 100, 100)
+        large = corner_error_px(AffineParams(0.01, 0, 0), 400, 400)
+        assert large > small
+
+
+class TestStabilizer:
+    def test_perfect_estimate_restores_geometry(self):
+        cam = PinholeCamera(width=160, height=120, focal_length_px=300.0)
+        stabilizer = VideoStabilizer(cam)
+        truth = EulerAngles.from_degrees(2.0, -1.0, 1.5)
+        residual = stabilizer.residual_params(truth, truth)
+        assert corner_error_px(residual, 160, 120) < 1e-9
+
+    def test_zero_estimate_leaves_full_distortion(self):
+        cam = PinholeCamera(width=160, height=120, focal_length_px=300.0)
+        stabilizer = VideoStabilizer(cam)
+        truth = EulerAngles.from_degrees(2.0, -1.0, 1.5)
+        distortion = affine_from_misalignment(truth, cam)
+        residual = stabilizer.residual_params(truth, EulerAngles.zero())
+        assert corner_error_px(residual, 160, 120) == pytest.approx(
+            corner_error_px(distortion, 160, 120), rel=1e-9
+        )
+
+    def test_process_reports_improvement(self):
+        cam = PinholeCamera(width=160, height=120, focal_length_px=300.0)
+        stabilizer = VideoStabilizer(cam)
+        scene = crosshair_grid(160, 120)
+        truth = EulerAngles.from_degrees(1.0, -0.5, 0.8)
+        good = stabilizer.process(0.0, scene, truth, truth)
+        bad = stabilizer.process(0.0, scene, truth, EulerAngles.zero())
+        assert good.residual_corner_px < 0.01
+        assert bad.residual_corner_px > 3.0
+        assert good.mae_vs_reference <= bad.mae_vs_reference
+
+    def test_estimate_error_maps_to_pixels(self):
+        cam = PinholeCamera(width=320, height=240, focal_length_px=500.0)
+        stabilizer = VideoStabilizer(cam)
+        truth = EulerAngles.from_degrees(0.0, 0.0, 1.0)
+        estimate = EulerAngles.from_degrees(0.0, 0.0, 0.9)
+        residual = stabilizer.residual_params(truth, estimate)
+        expected = 500.0 * (
+            math.tan(math.radians(1.0)) - math.tan(math.radians(0.9))
+        )
+        assert corner_error_px(residual, 320, 240) == pytest.approx(
+            expected, rel=0.01
+        )
