@@ -1,0 +1,21 @@
+"""Fast path vs cycle-accurate model — the PR-1 speedup contract.
+
+The vectorized engine must beat the Python ``tick()`` model by ≥50× on
+a QVGA frame while returning the identical frame and cycle count.  Run
+``python benchmarks/run_fastpath.py`` to persist the measurement to
+``BENCH_fastpath.json``.
+"""
+
+from run_fastpath import measure_fastpath
+
+
+def test_fastpath_speedup_qvga(once):
+    result = once(measure_fastpath)
+    print()
+    print(
+        f"QVGA: model {result['model_seconds']:.3f}s vs fast "
+        f"{result['fast_seconds'] * 1e3:.2f}ms -> {result['speedup']:.0f}x"
+    )
+    assert result["identical"], "fast path diverged from the oracle"
+    assert result["cycles"] == result["expected_cycles"]
+    assert result["speedup"] >= 50.0

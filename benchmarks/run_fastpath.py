@@ -1,0 +1,87 @@
+"""Fast-path benchmark runner.
+
+Times the cycle-accurate model vs the vectorized fast path on one QVGA
+``transform_frame`` and writes ``BENCH_fastpath.json`` at the repo root
+so successive PRs can track the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/run_fastpath.py
+
+``benchmarks/bench_fastpath.py`` runs the same measurement under pytest
+with the ≥50× speedup assertion.
+"""
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fpga import RC200Board, RC200Config
+from repro.fpga.pipeline import PIPELINE_DEPTH
+from repro.video import AffineParams, checkerboard
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+
+
+def measure_fastpath(
+    width: int = 320,
+    height: int = 240,
+    model_repeats: int = 1,
+    fast_repeats: int = 20,
+) -> dict:
+    """Time both engines on the same board/frame and verify equivalence.
+
+    The model is run ``model_repeats`` times (it is the slow oracle);
+    the fast path takes the best of ``fast_repeats`` to shed timer
+    noise on sub-millisecond runs.
+    """
+    board = RC200Board(RC200Config(video_width=width, video_height=height))
+    board.framebuffer.store_frame(checkerboard(width, height, square=16))
+    board.framebuffer.swap()
+    params = AffineParams(theta=math.radians(2.0), bx=4.0, by=-3.0)
+
+    model_seconds = math.inf
+    for _ in range(model_repeats):
+        start = time.perf_counter()
+        frame_model, stats_model = board.affine.transform_frame(params, engine="model")
+        model_seconds = min(model_seconds, time.perf_counter() - start)
+
+    fast_seconds = math.inf
+    for _ in range(fast_repeats):
+        start = time.perf_counter()
+        frame_fast, stats_fast = board.affine.transform_frame(params, engine="fast")
+        fast_seconds = min(fast_seconds, time.perf_counter() - start)
+
+    identical = bool(
+        np.array_equal(frame_model.pixels, frame_fast.pixels)
+        and stats_model.cycles == stats_fast.cycles
+    )
+    return {
+        "width": width,
+        "height": height,
+        "pixels": width * height,
+        "cycles": stats_fast.cycles,
+        "expected_cycles": width * height + PIPELINE_DEPTH,
+        "model_seconds": model_seconds,
+        "fast_seconds": fast_seconds,
+        "speedup": model_seconds / fast_seconds,
+        "identical": identical,
+        "model_sim_fps": 1.0 / model_seconds,
+        "fast_sim_fps": 1.0 / fast_seconds,
+    }
+
+
+def main() -> None:
+    result = measure_fastpath()
+    REPORT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"QVGA transform_frame: model {result['model_seconds']:.3f}s, "
+        f"fast {result['fast_seconds'] * 1e3:.2f}ms "
+        f"({result['speedup']:.0f}x), identical={result['identical']}"
+    )
+    print(f"wrote {REPORT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,21 +4,31 @@ The paper reports single runs; a reproduction can afford ensembles.
 These helpers run the §11 protocol across seeds and aggregate error
 statistics — used to check the 3-sigma coverage claim statistically
 rather than anecdotally.
+
+Ensembles are embarrassingly parallel: every run owns an independent
+seed, so ``workers > 1`` fans the runs out over spawned processes.
+Results are aggregated in job-submission order regardless of which
+worker finishes first, so the summary is deterministic and identical
+to a serial run with the same seeds.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.protocol import BoresightTestRig, RigConfig
 from repro.experiments.table1 import static_estimator_config
 from repro.geometry import EulerAngles
 from repro.vehicle.profiles import static_tilt_profile
 
 
-@dataclass
+@dataclass(eq=False)
 class MonteCarloSummary:
     """Aggregate over an ensemble of runs."""
 
@@ -32,6 +42,40 @@ class MonteCarloSummary:
     #: Mean residual 3-sigma exceedance fraction across runs.
     mean_exceedance: float
 
+    def __eq__(self, other: object) -> bool:
+        # The dataclass-generated __eq__ would raise on the ndarray
+        # fields; exact comparison supports the workers=1-vs-N
+        # determinism contract.
+        if not isinstance(other, MonteCarloSummary):
+            return NotImplemented
+        return (
+            self.runs == other.runs
+            and np.array_equal(self.rms_error_deg, other.rms_error_deg)
+            and np.array_equal(self.max_error_deg, other.max_error_deg)
+            and self.coverage_3sigma == other.coverage_3sigma
+            and self.mean_exceedance == other.mean_exceedance
+        )
+
+
+def _static_run_job(job: tuple) -> tuple[np.ndarray, int, float]:
+    """One seeded protocol run; module-level so spawn can pickle it."""
+    seed, duration, dwell_time, slew_time, misalignment, measurement_sigma = job
+    trajectory = static_tilt_profile(
+        duration=duration, dwell_time=dwell_time, slew_time=slew_time
+    )
+    rig = BoresightTestRig(RigConfig(seed=seed))
+    run = rig.run(
+        misalignment,
+        trajectory,
+        estimator_config=static_estimator_config(measurement_sigma),
+        moving=False,
+    )
+    error = run.error_vs_truth_deg()
+    three_sigma = run.result.three_sigma_deg()
+    covered = int(np.sum(np.abs(error) <= three_sigma))
+    exceedance = float(np.max(run.result.monitor.exceedance_fraction))
+    return error, covered, exceedance
+
 
 def run_monte_carlo_static(
     runs: int = 5,
@@ -41,33 +85,53 @@ def run_monte_carlo_static(
     base_seed: int = 100,
     dwell_time: float = 10.0,
     slew_time: float = 3.0,
+    workers: int = 1,
 ) -> MonteCarloSummary:
     """Repeat the static protocol across seeds and aggregate.
 
     Uses a compressed tilt schedule by default so ensembles stay cheap;
     pass ``dwell_time=16, slew_time=4`` for the paper's full schedule.
+
+    ``workers > 1`` runs the seeds in parallel across spawned worker
+    processes; the summary is bit-identical to ``workers=1`` because
+    each run is driven only by its own seed and aggregation follows
+    the seed order, not completion order.
     """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if misalignment is None:
         misalignment = EulerAngles.from_degrees(2.0, -1.5, 3.0)
-    trajectory = static_tilt_profile(
-        duration=duration, dwell_time=dwell_time, slew_time=slew_time
-    )
-    errors = []
-    covered = 0
-    exceedances = []
-    for i in range(runs):
-        rig = BoresightTestRig(RigConfig(seed=base_seed + i))
-        run = rig.run(
+    jobs = [
+        (
+            base_seed + i,
+            duration,
+            dwell_time,
+            slew_time,
             misalignment,
-            trajectory,
-            estimator_config=static_estimator_config(measurement_sigma),
-            moving=False,
+            measurement_sigma,
         )
-        error = run.error_vs_truth_deg()
-        errors.append(error)
-        three_sigma = run.result.three_sigma_deg()
-        covered += int(np.sum(np.abs(error) <= three_sigma))
-        exceedances.append(float(np.max(run.result.monitor.exceedance_fraction)))
+        for i in range(runs)
+    ]
+    if workers > 1 and runs > 1:
+        context = multiprocessing.get_context("spawn")
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, runs), mp_context=context
+            ) as pool:
+                outcomes = list(pool.map(_static_run_job, jobs))
+        except BrokenProcessPool as exc:
+            raise SimulationError(
+                "Monte-Carlo worker pool died; see the chained exception "
+                "for the real cause. One common one: spawned workers "
+                "re-import the caller's __main__, which fails from "
+                "REPL/stdin contexts — there, use workers=1."
+            ) from exc
+    else:
+        outcomes = [_static_run_job(job) for job in jobs]
+
+    errors = [outcome[0] for outcome in outcomes]
+    covered = sum(outcome[1] for outcome in outcomes)
+    exceedances = [outcome[2] for outcome in outcomes]
     error_matrix = np.array(errors)
     return MonteCarloSummary(
         runs=runs,

@@ -8,19 +8,39 @@ models that fabric at cycle granularity:
 - :mod:`repro.fpga.hdl` — a small Handel-C-like cycle simulation
   kernel: processes, ``par``/``seq`` composition, channels, registers.
 - :mod:`repro.fpga.fixedpoint` — Q-format fixed-point arithmetic (the
-  pipeline's "16-bit precision fixed point values").
-- :mod:`repro.fpga.trig_lut` — the 1024-element sine/cosine table.
+  pipeline's "16-bit precision fixed point values"), with bit-identical
+  int64-array variants of every operation.
+- :mod:`repro.fpga.trig_lut` — the 1024-element sine/cosine table,
+  stored as a NumPy ROM shared by both engines.
 - :mod:`repro.fpga.pipeline` — the five-stage ``RotateCoordinates``
   pipeline of Figure 5, cycle-accurate.
+- :mod:`repro.fpga.affine_fast` — the vectorized whole-frame fast path,
+  bit-identical to the pipeline (oracle-vs-fast-path architecture).
 - :mod:`repro.fpga.sram` / :mod:`repro.fpga.framebuffer` — the two
   2-MByte ZBT SRAM banks and the double-buffering scheme of §9.
 - :mod:`repro.fpga.video_io` — ``VideoInProcess`` / ``VideoOutProcess``.
 - :mod:`repro.fpga.affine_hw` — the full hardware affine engine.
 - :mod:`repro.fpga.rc200` — the board model tying it together.
+
+Engine selection: :class:`AffineEngine` (and :class:`RC200Config` via
+``affine_engine``) accept ``engine="model"`` for the cycle-accurate
+simulation or ``engine="fast"`` for the vectorized path.  The two
+produce identical frames and identical cycle statistics — the model is
+the oracle the fast path is tested against, never replaced.
 """
 
-from repro.fpga.affine_hw import AffineEngine, AffineJobStats
-from repro.fpga.fixedpoint import FixedFormat, VIDEO_FORMAT
+from repro.fpga.affine_fast import (
+    rotate_coords_fast,
+    transform_frame_fast,
+    warp_frame_fixed,
+)
+from repro.fpga.affine_hw import ENGINES, AffineEngine, AffineJobStats
+from repro.fpga.fixedpoint import (
+    FixedFormat,
+    VIDEO_FORMAT,
+    fixed_mul,
+    fixed_mul_array,
+)
 from repro.fpga.framebuffer import DoubleBuffer
 from repro.fpga.hdl import Channel, Register, Simulator, par, seq
 from repro.fpga.pipeline import PipelineInput, PipelineOutput, RotateCoordinatesPipeline
@@ -36,6 +56,8 @@ __all__ = [
     "seq",
     "FixedFormat",
     "VIDEO_FORMAT",
+    "fixed_mul",
+    "fixed_mul_array",
     "SinCosLut",
     "RotateCoordinatesPipeline",
     "PipelineInput",
@@ -44,6 +66,10 @@ __all__ = [
     "DoubleBuffer",
     "AffineEngine",
     "AffineJobStats",
+    "ENGINES",
+    "rotate_coords_fast",
+    "transform_frame_fast",
+    "warp_frame_fixed",
     "RC200Board",
     "RC200Config",
 ]

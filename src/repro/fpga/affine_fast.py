@@ -1,0 +1,225 @@
+"""Vectorized fast path for the Figure-5 rotation pipeline.
+
+The cycle-accurate model in :mod:`repro.fpga.pipeline` simulates one
+clock per Python call — faithful, but a QVGA frame costs ~77k ticks.
+This module computes the *same arithmetic* (LUT lookup, ``Int2fixed``,
+four saturating ``FixedMult`` products, saturating adds, ``fixed2Int``)
+as whole-array NumPy expressions, producing coordinates and frames that
+are **bit-identical** to the model; the model remains the verification
+oracle (see ``tests/test_fastpath.py``).
+
+Because the per-frame phase is a constant, the four products separate:
+``t3``/``t4`` depend only on the destination column and ``t2``/``t5``
+only on the row, so a W×H frame needs O(W + H) multiplies and one
+broadcast add per axis — the source of the ≥50× speedup tracked by
+``benchmarks/bench_fastpath.py``.
+
+Cycle counts are not simulated; they follow the pipeline's fill +
+throughput law (``pixels + PIPELINE_DEPTH``), which the model asserts
+for every frame it produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import FpgaError
+from repro.fpga.fixedpoint import (
+    TRIG_FORMAT,
+    VIDEO_FORMAT,
+    FixedFormat,
+    fixed_mul_array,
+)
+from repro.fpga.pipeline import PIPELINE_DEPTH
+from repro.fpga.trig_lut import SinCosLut
+from repro.video.affine import AffineParams, invert
+from repro.video.frame import Frame
+
+_SHARED_LUT: SinCosLut | None = None
+
+
+def default_lut() -> SinCosLut:
+    """The shared default 1024-entry LUT (built once per process)."""
+    global _SHARED_LUT
+    if _SHARED_LUT is None:
+        _SHARED_LUT = SinCosLut()
+    return _SHARED_LUT
+
+
+def quantize_affine_params(
+    params: AffineParams, lut: SinCosLut
+) -> tuple[int, int, int]:
+    """Quantize forward affine params into the engine's registers.
+
+    Returns ``(phase, bx, by)``: the LUT phase of the *inverse*
+    rotation and the integer "B" translation registers (paper §6).
+    Both engines derive their registers here, so the quantization
+    recipe cannot drift between them.
+    """
+    inv = invert(params)
+    return (
+        lut.phase_from_angle(inv.theta),
+        int(round(inv.bx)),
+        int(round(inv.by)),
+    )
+
+
+def _stage_products(
+    xs: object,
+    ys: object,
+    phase: int,
+    center: tuple[int, int],
+    lut: SinCosLut,
+    fmt: FixedFormat,
+    trig_format: FixedFormat,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pipeline stages 1–3: trig lookup, ``Int2fixed``, four products.
+
+    The single source of truth for the quantization recipe both fast
+    entry points share; returns ``(t2, t3, t4, t5)`` with t3/t4
+    shaped like ``xs`` and t2/t5 like ``ys``.
+    """
+    if lut.value_format != trig_format:
+        raise FpgaError("LUT format does not match the pipeline trig format")
+    sin_raw = lut.sin_raw(phase)
+    cos_raw = lut.cos_raw(phase)
+    # No int64 pre-cast: from_int_array rejects non-integer dtypes,
+    # where a cast here would silently truncate float coordinates.
+    fx = fmt.from_int_array(np.asarray(xs) - center[0], saturate=True)
+    fy = fmt.from_int_array(np.asarray(ys) - center[1], saturate=True)
+    t2 = fixed_mul_array(fy, fmt, -sin_raw, trig_format, fmt, saturate=True)
+    t3 = fixed_mul_array(fx, fmt, cos_raw, trig_format, fmt, saturate=True)
+    t4 = fixed_mul_array(fx, fmt, sin_raw, trig_format, fmt, saturate=True)
+    t5 = fixed_mul_array(fy, fmt, cos_raw, trig_format, fmt, saturate=True)
+    return t2, t3, t4, t5
+
+
+def rotate_coords_fast(
+    in_x: object,
+    in_y: object,
+    phase: int,
+    center: tuple[int, int],
+    lut: SinCosLut | None = None,
+    coord_format: FixedFormat = VIDEO_FORMAT,
+    trig_format: FixedFormat = TRIG_FORMAT,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All five pipeline stages as array expressions.
+
+    Returns ``(out_x, out_y)`` int64 arrays bit-identical to feeding
+    the same coordinates through
+    :meth:`repro.fpga.pipeline.RotateCoordinatesPipeline.tick`.
+    """
+    lut = lut if lut is not None else default_lut()
+    fmt = coord_format
+    t2, t3, t4, t5 = _stage_products(
+        in_x, in_y, phase, center, lut, fmt, trig_format
+    )
+    out_x = fmt.to_int_array(fmt.add_array(t2, t3, saturate=True)) + center[0]
+    out_y = fmt.to_int_array(fmt.add_array(t4, t5, saturate=True)) + center[1]
+    return out_x, out_y
+
+
+def transform_frame_fast(
+    source: np.ndarray,
+    phase: int,
+    bx: int,
+    by: int,
+    center: tuple[int, int],
+    lut: SinCosLut | None = None,
+    fill_level: int = 0,
+    coord_format: FixedFormat = VIDEO_FORMAT,
+    trig_format: FixedFormat = TRIG_FORMAT,
+) -> tuple[np.ndarray, int]:
+    """One corrected output frame, pixel-for-pixel equal to the model.
+
+    ``source`` is the front-buffer pixel array; ``bx``/``by`` are the
+    integer translation registers.  Returns ``(pixels, cycles)`` where
+    ``cycles`` follows the fill/throughput law the model enforces.
+
+    The rotation separates per axis: the column-dependent and
+    row-dependent products are computed on 1-D arrays and combined by a
+    broadcast saturating add, so no W×H multiply array is ever built.
+    """
+    lut = lut if lut is not None else default_lut()
+    height, width = source.shape
+    fmt = coord_format
+    t2, t3, t4, t5 = _stage_products(
+        np.arange(width, dtype=np.int64),
+        np.arange(height, dtype=np.int64),
+        phase,
+        center,
+        lut,
+        fmt,
+        trig_format,
+    )
+
+    src_x = (
+        fmt.to_int_array(fmt.add_array(t2[:, None], t3[None, :], saturate=True))
+        + center[0]
+        + bx
+    )
+    src_y = (
+        fmt.to_int_array(fmt.add_array(t4[None, :], t5[:, None], saturate=True))
+        + center[1]
+        + by
+    )
+
+    valid = (src_x >= 0) & (src_x < width) & (src_y >= 0) & (src_y < height)
+    out = np.full((height, width), fill_level, dtype=np.uint8)
+    out[valid] = source[src_y[valid], src_x[valid]]
+    cycles = width * height + PIPELINE_DEPTH
+    return out, cycles
+
+
+def warp_frame_fixed(
+    frame: Frame,
+    params: AffineParams,
+    engine: str = "fast",
+    fill: int = 0,
+    lut: SinCosLut | None = None,
+) -> Frame:
+    """Fixed-point counterpart of :func:`repro.video.affine.apply_affine`.
+
+    Applies the inverse of ``params`` exactly like the reference warp
+    and :meth:`repro.fpga.affine_hw.AffineEngine.transform_frame`, but
+    through the hardware arithmetic: ``engine="fast"`` uses the
+    vectorized path, ``engine="model"`` drives the cycle-accurate
+    pipeline over a scratch double buffer (the oracle; both return
+    identical frames).
+    """
+    if not 0 <= fill <= 255:
+        raise FpgaError(f"fill level out of range: {fill}")
+    if engine == "model":
+        # Imported lazily: affine_hw imports this module at load time.
+        from repro.fpga.affine_hw import AffineEngine
+        from repro.fpga.framebuffer import DoubleBuffer
+        from repro.fpga.sram import ZbtSram
+
+        size = frame.width * frame.height
+        buffer = DoubleBuffer(
+            frame.width,
+            frame.height,
+            ZbtSram(size, "scratch-a"),
+            ZbtSram(size, "scratch-b"),
+        )
+        buffer.store_frame(frame)
+        buffer.swap()
+        hw = AffineEngine(buffer, lut=lut, fill_level=fill, engine="model")
+        out, _ = hw.transform_frame(params)
+        return out
+    if engine != "fast":
+        raise FpgaError(f"unknown warp engine: {engine!r}")
+
+    lut = lut if lut is not None else default_lut()
+    phase, bx, by = quantize_affine_params(params, lut)
+    pixels, _ = transform_frame_fast(
+        frame.pixels,
+        phase=phase,
+        bx=bx,
+        by=by,
+        center=(frame.width // 2, frame.height // 2),
+        lut=lut,
+        fill_level=fill,
+        trig_format=lut.value_format,
+    )
+    return Frame(pixels)

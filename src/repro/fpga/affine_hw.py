@@ -7,6 +7,14 @@ the translation correction ``B``, and copies the addressed pixel to the
 output stream.  Fully fixed-point; validated against the float
 reference :func:`repro.video.affine.apply_affine` in tests and in the
 pipeline benchmark.
+
+Two interchangeable engines produce each frame:
+
+- ``engine="model"`` — the cycle-accurate :class:`RotateCoordinates
+  Pipeline` ticked once per clock; the verification oracle.
+- ``engine="fast"`` — the vectorized array path of
+  :mod:`repro.fpga.affine_fast`; bit-identical pixels and cycle counts
+  at a tiny fraction of the simulation cost.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import FpgaError
+from repro.fpga.affine_fast import quantize_affine_params, transform_frame_fast
 from repro.fpga.framebuffer import DoubleBuffer
 from repro.fpga.pipeline import (
     PIPELINE_DEPTH,
@@ -23,8 +32,11 @@ from repro.fpga.pipeline import (
     RotateCoordinatesPipeline,
 )
 from repro.fpga.trig_lut import SinCosLut
-from repro.video.affine import AffineParams, invert
+from repro.video.affine import AffineParams
 from repro.video.frame import Frame
+
+#: Valid values for the engine-selection switch.
+ENGINES = ("model", "fast")
 
 
 @dataclass
@@ -56,29 +68,61 @@ class AffineEngine:
         buffer: DoubleBuffer,
         lut: SinCosLut | None = None,
         fill_level: int = 0,
+        engine: str = "model",
     ) -> None:
         self.buffer = buffer
         center = (buffer.width // 2, buffer.height // 2)
-        self.pipeline = RotateCoordinatesPipeline(center=center, lut=lut)
+        if lut is not None:
+            # Adopt the LUT's value format so a non-default trig
+            # quantization drives both engines identically.
+            self.pipeline = RotateCoordinatesPipeline(
+                center=center, lut=lut, trig_format=lut.value_format
+            )
+        else:
+            self.pipeline = RotateCoordinatesPipeline(center=center)
         if not 0 <= fill_level <= 255:
             raise FpgaError(f"fill level out of range: {fill_level}")
+        if engine not in ENGINES:
+            raise FpgaError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.fill_level = fill_level
+        self.engine = engine
 
-    def transform_frame(self, params: AffineParams) -> tuple[Frame, AffineJobStats]:
+    def transform_frame(
+        self, params: AffineParams, engine: str | None = None
+    ) -> tuple[Frame, AffineJobStats]:
         """Produce one corrected output frame from the front buffer.
 
         ``params`` is the *forward* distortion estimate; the engine
         applies its inverse, like the reference ``apply_affine``.
+        ``engine`` overrides the instance default for this call; both
+        engines return identical frames and identical stats (the fast
+        path derives cycles from the fill/throughput law the model
+        enforces), but only the model advances the pipeline's cycle
+        counters.
         """
-        inv = invert(params)
-        phase = self.pipeline.lut.phase_from_angle(inv.theta)
-        # The translation is applied in integer pixels after rotation —
-        # the "B" registers of the paper's §6.
-        bx = int(round(inv.bx))
-        by = int(round(inv.by))
+        engine = self.engine if engine is None else engine
+        if engine not in ENGINES:
+            raise FpgaError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        phase, bx, by = quantize_affine_params(params, self.pipeline.lut)
 
         width, height = self.buffer.width, self.buffer.height
         source = self.buffer.read_frame().pixels
+
+        if engine == "fast":
+            pixels, cycles = transform_frame_fast(
+                source,
+                phase=phase,
+                bx=bx,
+                by=by,
+                center=self.pipeline.center,
+                lut=self.pipeline.lut,
+                fill_level=self.fill_level,
+                coord_format=self.pipeline.coord_format,
+                trig_format=self.pipeline.trig_format,
+            )
+            stats = AffineJobStats(pixels=width * height, cycles=cycles)
+            return Frame(pixels), stats
+
         out = np.full((height, width), self.fill_level, dtype=np.uint8)
 
         self.pipeline.flush()

@@ -6,24 +6,34 @@ any width with explicit overflow behaviour: ``wrap`` (what raw FPGA
 adders do) or ``saturate`` (what a careful designer instantiates).
 
 Values are stored as plain Python ints holding the raw (scaled) bits,
-exactly as they would sit in fabric registers.
+exactly as they would sit in fabric registers.  Every scalar operation
+also has an ``*_array`` counterpart operating element-wise on int64
+NumPy arrays with bit-identical results — the vectorized fast path
+used by :mod:`repro.fpga.affine_fast` (the scalar ops remain the
+verification oracle).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import FixedPointError
+
+#: Widest format the int64 array fast path supports without overflow
+#: in intermediate sums (see :meth:`FixedFormat._fit_array`).
+MAX_ARRAY_WIDTH = 62
 
 
 @dataclass(frozen=True)
 class FixedFormat:
     """A two's-complement fixed-point format Q(integer).(fraction).
 
-    ``integer_bits`` excludes the sign bit: a signed Q8.8 value spans
-    [-256, 256) with 1/256 resolution and occupies 17 bits? — no: by
-    the convention used here (and in DK), total width = 1 (sign if
-    signed) + integer_bits + fraction_bits.
+    ``integer_bits`` excludes the sign bit: total register width is
+    ``(1 if signed else 0) + integer_bits + fraction_bits`` — the DK
+    convention.  A signed Q10.5 value therefore occupies 16 bits and
+    spans [-1024, 1024) with 1/32 resolution.
     """
 
     integer_bits: int
@@ -152,6 +162,101 @@ class FixedFormat:
                 f"raw value {raw} outside Q{self.integer_bits}.{self.fraction_bits}"
             )
 
+    # ------------------------------------------------------------------
+    # Array fast path: the same arithmetic over int64 ndarrays, bit-
+    # identical to the scalar ops element for element.
+    # ------------------------------------------------------------------
+
+    def _require_array_safe(self, width: int | None = None) -> None:
+        if (width or self.width) > MAX_ARRAY_WIDTH:
+            raise FixedPointError(
+                f"format width {width or self.width} exceeds the int64 "
+                f"array fast path limit of {MAX_ARRAY_WIDTH} bits"
+            )
+
+    def _check_array(self, raw: object) -> np.ndarray:
+        self._require_array_safe()
+        arr = np.asarray(raw)
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise FixedPointError(
+                f"raw array must be integer-typed, got dtype {arr.dtype}"
+            )
+        # Range-check on the original dtype: casting uint64 to int64
+        # first would wrap out-of-range values into range.
+        if arr.size and (
+            int(arr.min()) < self.min_raw or int(arr.max()) > self.max_raw
+        ):
+            raise FixedPointError(
+                f"raw array outside Q{self.integer_bits}.{self.fraction_bits}"
+            )
+        return arr.astype(np.int64, copy=False)
+
+    def _fit_array(self, raw: np.ndarray, saturate: bool) -> np.ndarray:
+        self._require_array_safe()
+        raw = np.asarray(raw, dtype=np.int64)
+        if saturate:
+            return np.clip(raw, self.min_raw, self.max_raw)
+        mask = np.int64((1 << self.width) - 1)
+        wrapped = raw & mask
+        if self.signed:
+            wrapped = np.where(
+                wrapped > self.max_raw, wrapped - (1 << self.width), wrapped
+            )
+        return wrapped
+
+    def from_float_array(
+        self, values: object, saturate: bool = False
+    ) -> np.ndarray:
+        """Vectorized :meth:`from_float` (round-half-to-even, like
+        Python's ``round``)."""
+        values = np.asarray(values, dtype=np.float64)
+        if np.isnan(values).any():
+            raise FixedPointError("cannot convert NaN to fixed point")
+        scaled = values * self.scale
+        if scaled.size and float(np.max(np.abs(scaled))) >= 2.0**62:
+            raise FixedPointError("value too large for the array fast path")
+        return self._fit_array(np.rint(scaled).astype(np.int64), saturate)
+
+    def to_float_array(self, raw: object) -> np.ndarray:
+        """Vectorized :meth:`to_float`."""
+        return self._check_array(raw) / self.scale
+
+    def from_int_array(self, values: object, saturate: bool = False) -> np.ndarray:
+        """Vectorized :meth:`from_int` (``Int2fixed``)."""
+        self._require_array_safe()
+        arr = np.asarray(values)
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise FixedPointError(
+                f"integer array expected, got dtype {arr.dtype}"
+            )
+        # Guard the shift against int64 wrap-around, which would hand
+        # _fit_array the wrong magnitude (the scalar op has unbounded
+        # ints and cannot wrap); checked on the original dtype so
+        # out-of-int64-range uint64 inputs cannot slip past either.
+        limit = 1 << (62 - self.fraction_bits)
+        if arr.size and (int(arr.min()) <= -limit or int(arr.max()) >= limit):
+            raise FixedPointError("value too large for the array fast path")
+        return self._fit_array(arr.astype(np.int64) << self.fraction_bits, saturate)
+
+    def to_int_array(self, raw: object) -> np.ndarray:
+        """Vectorized :meth:`to_int` (``fixed2Int``, floor)."""
+        return self._check_array(raw) >> self.fraction_bits
+
+    def add_array(self, a: object, b: object, saturate: bool = False) -> np.ndarray:
+        """Vectorized :meth:`add` (supports broadcasting)."""
+        return self._fit_array(self._check_array(a) + self._check_array(b), saturate)
+
+    def sub_array(self, a: object, b: object, saturate: bool = False) -> np.ndarray:
+        """Vectorized :meth:`sub` (supports broadcasting)."""
+        return self._fit_array(self._check_array(a) - self._check_array(b), saturate)
+
+    def mul_array(self, a: object, b: object, saturate: bool = False) -> np.ndarray:
+        """Vectorized :meth:`mul` (``FixedMult``)."""
+        self._require_array_safe(2 * self.width)
+        product = self._check_array(a) * self._check_array(b)
+        half = 1 << (self.fraction_bits - 1) if self.fraction_bits > 0 else 0
+        return self._fit_array((product + half) >> self.fraction_bits, saturate)
+
 
 def fixed_mul(
     a: int,
@@ -177,6 +282,33 @@ def fixed_mul(
     else:
         raw = product << (-shift)
     return out_format._fit(raw, saturate)
+
+
+def fixed_mul_array(
+    a: object,
+    a_format: FixedFormat,
+    b: object,
+    b_format: FixedFormat,
+    out_format: FixedFormat,
+    saturate: bool = False,
+) -> np.ndarray:
+    """Vectorized :func:`fixed_mul`, bit-identical element-wise.
+
+    Supports broadcasting, so a per-frame trig constant multiplies a
+    whole coordinate array in one call.
+    """
+    shift = a_format.fraction_bits + b_format.fraction_bits - out_format.fraction_bits
+    if a_format.width + b_format.width + max(0, -shift) > MAX_ARRAY_WIDTH:
+        raise FixedPointError(
+            "operand widths too large for the int64 array fast path"
+        )
+    product = a_format._check_array(a) * b_format._check_array(b)
+    if shift > 0:
+        half = 1 << (shift - 1)
+        raw = (product + half) >> shift
+    else:
+        raw = product << (-shift)
+    return out_format._fit_array(raw, saturate)
 
 
 #: The video pipeline's 16-bit coordinate format: sign + 10 integer +

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.fpga.affine_hw import AffineEngine
+from repro.fpga.affine_hw import ENGINES, AffineEngine
 from repro.fpga.framebuffer import DoubleBuffer
 from repro.fpga.sram import ZbtSram
 from repro.fpga.trig_lut import SinCosLut
@@ -35,12 +35,19 @@ class RC200Config:
     lut_size: int = 1024
     #: ZBT bank size, bytes (paper: 2 MByte each).
     sram_bytes: int = 2 * 1024 * 1024
+    #: Affine engine selection: "model" (cycle-accurate oracle) or
+    #: "fast" (bit-identical vectorized path).
+    affine_engine: str = "model"
 
     def __post_init__(self) -> None:
         if self.clock_hz <= 0:
             raise ConfigurationError("clock must be positive")
         if self.video_width * self.video_height > self.sram_bytes:
             raise ConfigurationError("frame does not fit in one SRAM bank")
+        if self.affine_engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown affine engine {self.affine_engine!r}"
+            )
 
 
 class RC200Board:
@@ -57,7 +64,9 @@ class RC200Board:
             self.ram2,
         )
         self.lut = SinCosLut(size=self.config.lut_size)
-        self.affine = AffineEngine(self.framebuffer, lut=self.lut)
+        self.affine = AffineEngine(
+            self.framebuffer, lut=self.lut, engine=self.config.affine_engine
+        )
 
     def video_frame_budget_cycles(self, fps: float = 25.0) -> int:
         """Fabric cycles available per frame at a display rate."""

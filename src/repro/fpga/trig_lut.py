@@ -5,14 +5,21 @@ table".  The table maps a phase index (0..size-1 covering one full
 turn) to fixed-point sine values; cosine reads the same table with a
 quarter-turn offset, exactly as the ``GenerateSine``/``GenerateCos``
 macros would share one ROM.
+
+The ROM is held as an int64 NumPy array so the vectorized fast path
+(:mod:`repro.fpga.affine_fast`) can gather many phases in one indexing
+operation; the scalar accessors read the same storage, so both engines
+see identical bits.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import FpgaError
-from repro.fpga.fixedpoint import TRIG_FORMAT, FixedFormat
+from repro.fpga.fixedpoint import MAX_ARRAY_WIDTH, TRIG_FORMAT, FixedFormat
 from repro.units import TWO_PI
 
 
@@ -24,12 +31,28 @@ class SinCosLut:
     ) -> None:
         if size < 4 or size % 4 != 0:
             raise FpgaError(f"LUT size must be a multiple of 4 >= 4, got {size}")
+        if value_format.width > MAX_ARRAY_WIDTH:
+            raise FpgaError(
+                f"LUT value format width {value_format.width} exceeds the "
+                f"int64 ROM limit of {MAX_ARRAY_WIDTH} bits"
+            )
         self.size = size
         self.value_format = value_format
-        self._rom = [
-            value_format.from_float(math.sin(TWO_PI * k / size), saturate=True)
-            for k in range(size)
-        ]
+        # Quantized entry by entry with the scalar oracle so the ROM is
+        # bit-identical however it is later read.
+        self._rom = np.asarray(
+            [
+                value_format.from_float(math.sin(TWO_PI * k / size), saturate=True)
+                for k in range(size)
+            ],
+            dtype=np.int64,
+        )
+        self._rom.setflags(write=False)
+
+    @property
+    def rom(self) -> np.ndarray:
+        """The raw sine ROM contents (read-only int64 array)."""
+        return self._rom
 
     def phase_from_angle(self, theta: float) -> int:
         """Quantize an angle (radians) onto the table index."""
@@ -42,11 +65,34 @@ class SinCosLut:
 
     def sin_raw(self, phase: int) -> int:
         """Fixed-point sine at a phase index."""
-        return self._rom[phase % self.size]
+        return int(self._rom[phase % self.size])
 
     def cos_raw(self, phase: int) -> int:
         """Fixed-point cosine via the quarter-turn offset."""
-        return self._rom[(phase + self.size // 4) % self.size]
+        return int(self._rom[(phase + self.size // 4) % self.size])
+
+    def _phase_indices(self, phases: object) -> np.ndarray:
+        arr = np.asarray(phases)
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise FpgaError(
+                f"phase array must be integer-typed, got dtype {arr.dtype}"
+            )
+        # Checked on the original dtype: uint64 phases >= 2**63 would
+        # wrap in the int64 cast and change the modulo result.
+        if arr.size and int(arr.max()) > np.iinfo(np.int64).max:
+            raise FpgaError("phase too large for the array fast path")
+        return arr.astype(np.int64, copy=False)
+
+    def sin_raw_array(self, phases: object) -> np.ndarray:
+        """Vectorized :meth:`sin_raw` over an array of phase indices."""
+        return self._rom[self._phase_indices(phases) % self.size]
+
+    def cos_raw_array(self, phases: object) -> np.ndarray:
+        """Vectorized :meth:`cos_raw` over an array of phase indices."""
+        # Reduce before the quarter-turn offset: phases near 2^63 would
+        # wrap the int64 addition and shift the modulo residue.
+        index = self._phase_indices(phases) % self.size
+        return self._rom[(index + self.size // 4) % self.size]
 
     def sin(self, phase: int) -> float:
         """Sine as a float (for checks and metrics)."""
@@ -63,8 +109,6 @@ class SinCosLut:
         caller quantizes angles; this reports the value-quantization
         part only.
         """
-        worst = 0.0
-        for k in range(self.size):
-            true = math.sin(TWO_PI * k / self.size)
-            worst = max(worst, abs(self.sin(k) - true))
-        return worst
+        angles = TWO_PI * np.arange(self.size) / self.size
+        table = self._rom / self.value_format.scale
+        return float(np.max(np.abs(table - np.sin(angles))))

@@ -11,6 +11,8 @@ This package reproduces that stack at the ISA level:
 
 - :mod:`repro.sabre.softfloat` — bit-accurate IEEE-754 binary32
   arithmetic in pure Python (the SoftFloat substitute).
+- :mod:`repro.sabre.softfloat_array` — the vectorized fast path over
+  uint32 ndarrays, bit-identical to the scalar oracle.
 - :mod:`repro.sabre.isa` — the 32-bit Harvard RISC instruction set.
 - :mod:`repro.sabre.assembler` — two-pass assembler.
 - :mod:`repro.sabre.memory` — BlockRAM program/data stores (8 KB

@@ -1,0 +1,195 @@
+"""Vectorized IEEE-754 binary32 arithmetic over uint32 ndarrays.
+
+:mod:`repro.sabre.softfloat` emulates the Sabre's SoftFloat library one
+bit-twiddled scalar at a time — the verification oracle.  This module
+is its array fast path: each ``*_array`` function takes and returns
+uint32 bit-pattern ndarrays and produces results **bit-identical** to
+mapping the scalar op over the elements (proven by the equivalence
+suite in ``tests/test_softfloat_array.py``, including NaN, infinity and
+denormal edges).
+
+The implementation leans on the host FPU through NumPy float32 ops —
+legitimate because the scalar oracle is itself validated bit-for-bit
+against NumPy float32 — and then patches NaN results with SoftFloat's
+propagation rule (quieted first-operand payload, else quieted second,
+else the default NaN), which hardware does not guarantee.
+
+Differences from the scalar oracle, by design of a fast path:
+
+- the sticky :data:`repro.sabre.softfloat.flags` accumulator is NOT
+  updated (batch callers that need flags must use the scalar ops);
+- inputs are whole arrays, so per-element Python objects never exist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SoftFloatError
+from repro.sabre.softfloat import DEFAULT_NAN
+
+_SIGN_MASK = np.uint32(0x80000000)
+_EXP_MASK = np.uint32(0x7F800000)
+_FRAC_MASK = np.uint32(0x007FFFFF)
+_QUIET_BIT = np.uint32(0x00400000)
+_DEFAULT_NAN = np.uint32(DEFAULT_NAN)
+
+_INT32_MIN = -(1 << 31)
+_INT32_MAX = (1 << 31) - 1
+
+
+def _as_bits(values: object) -> np.ndarray:
+    """Validate and return a contiguous uint32 bit-pattern array."""
+    arr = np.asarray(values)
+    if arr.dtype == np.uint32:
+        return np.ascontiguousarray(arr)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise SoftFloatError(f"not 32-bit patterns: dtype {arr.dtype}")
+    if arr.size and (int(arr.min()) < 0 or int(arr.max()) > 0xFFFFFFFF):
+        raise SoftFloatError("bit pattern outside the 32-bit range")
+    return np.ascontiguousarray(arr.astype(np.uint32))
+
+
+def _floats(bits: np.ndarray) -> np.ndarray:
+    return bits.view(np.float32)
+
+
+def _bits(floats: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(floats, dtype=np.float32).view(np.uint32)
+
+
+def is_nan_array(bits: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.is_nan`."""
+    arr = _as_bits(bits)
+    return ((arr & _EXP_MASK) == _EXP_MASK) & ((arr & _FRAC_MASK) != 0)
+
+
+def is_inf_array(bits: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.is_inf`."""
+    arr = _as_bits(bits)
+    return ((arr & _EXP_MASK) == _EXP_MASK) & ((arr & _FRAC_MASK) == 0)
+
+
+def is_zero_array(bits: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.is_zero`."""
+    arr = _as_bits(bits)
+    return (arr & ~_SIGN_MASK) == 0
+
+
+def float_to_bits_array(values: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.float_to_bits`."""
+    return _bits(np.asarray(values, dtype=np.float32))
+
+
+def bits_to_float_array(bits: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.bits_to_float` (as
+    float64, matching Python-float semantics of the scalar op)."""
+    return _floats(_as_bits(bits)).astype(np.float64)
+
+
+def _patch_nans(
+    result: np.ndarray, a: np.ndarray, b: np.ndarray | None = None
+) -> np.ndarray:
+    """Replace hardware NaN payloads with SoftFloat's propagation."""
+    nan_result = is_nan_array(result)
+    if not nan_result.any():
+        return result
+    propagated = np.full_like(result, _DEFAULT_NAN)
+    if b is not None:
+        propagated = np.where(is_nan_array(b), b | _QUIET_BIT, propagated)
+    propagated = np.where(is_nan_array(a), a | _QUIET_BIT, propagated)
+    return np.where(nan_result, propagated, result)
+
+
+def f32_neg_array(a: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_neg`."""
+    return _as_bits(a) ^ _SIGN_MASK
+
+
+def f32_abs_array(a: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_abs`."""
+    return _as_bits(a) & ~_SIGN_MASK
+
+
+def f32_add_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_add`."""
+    a = _as_bits(a)
+    b = _as_bits(b)
+    with np.errstate(all="ignore"):
+        result = _bits(_floats(a) + _floats(b))
+    return _patch_nans(result, a, b)
+
+
+def f32_sub_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_sub`."""
+    a = _as_bits(a)
+    b = _as_bits(b)
+    with np.errstate(all="ignore"):
+        result = _bits(_floats(a) - _floats(b))
+    return _patch_nans(result, a, b)
+
+
+def f32_mul_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_mul`."""
+    a = _as_bits(a)
+    b = _as_bits(b)
+    with np.errstate(all="ignore"):
+        result = _bits(_floats(a) * _floats(b))
+    return _patch_nans(result, a, b)
+
+
+def f32_div_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_div`."""
+    a = _as_bits(a)
+    b = _as_bits(b)
+    with np.errstate(all="ignore"):
+        result = _bits(_floats(a) / _floats(b))
+    return _patch_nans(result, a, b)
+
+
+def f32_sqrt_array(a: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_sqrt`."""
+    a = _as_bits(a)
+    with np.errstate(all="ignore"):
+        result = _bits(np.sqrt(_floats(a)))
+    return _patch_nans(result, a)
+
+
+def i32_to_f32_array(values: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.i32_to_f32`."""
+    arr = np.asarray(values)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise SoftFloatError(f"not int32 values: dtype {arr.dtype}")
+    if arr.size and (int(arr.min()) < _INT32_MIN or int(arr.max()) > _INT32_MAX):
+        raise SoftFloatError("value outside the int32 range")
+    return _bits(arr.astype(np.int32).astype(np.float32))
+
+
+def f32_to_i32_array(bits: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_to_i32` (truncate
+    toward zero, saturate out-of-range, NaN → INT32_MIN)."""
+    arr = _as_bits(bits)
+    with np.errstate(invalid="ignore"):
+        values = _floats(arr).astype(np.float64)
+    nan = np.isnan(values)
+    truncated = np.trunc(np.where(nan, 0.0, values))
+    clamped = np.clip(truncated, float(_INT32_MIN), float(_INT32_MAX))
+    result = clamped.astype(np.int64)
+    return np.where(nan, np.int64(_INT32_MIN), result).astype(np.int64)
+
+
+def f32_eq_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_eq` (boolean)."""
+    return _floats(_as_bits(a)) == _floats(_as_bits(b))
+
+
+def f32_lt_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_lt` (boolean)."""
+    with np.errstate(invalid="ignore"):
+        return _floats(_as_bits(a)) < _floats(_as_bits(b))
+
+
+def f32_le_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_le` (boolean)."""
+    with np.errstate(invalid="ignore"):
+        return _floats(_as_bits(a)) <= _floats(_as_bits(b))

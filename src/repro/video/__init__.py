@@ -5,6 +5,12 @@ the estimated misalignment drives an affine transform that re-aligns
 the live picture (§6).  This package provides the software-reference
 side of that path; the cycle-accurate fixed-point hardware pipeline
 lives in :mod:`repro.fpga`.
+
+:class:`VideoStabilizer` accepts ``engine="reference" | "fast" |
+"model"`` to warp through the float reference, the vectorized
+fixed-point fast path, or the cycle-accurate pipeline oracle — the
+latter two are bit-identical, so the fast path is the default way to
+study fixed-point image effects at speed.
 """
 
 from repro.video.affine import (
@@ -23,7 +29,7 @@ from repro.video.frame import (
     solid,
 )
 from repro.video.metrics import corner_error_px, frame_mae, frame_psnr
-from repro.video.stabilizer import StabilizedFrame, VideoStabilizer
+from repro.video.stabilizer import WARP_ENGINES, StabilizedFrame, VideoStabilizer
 
 __all__ = [
     "Frame",
@@ -42,4 +48,5 @@ __all__ = [
     "corner_error_px",
     "VideoStabilizer",
     "StabilizedFrame",
+    "WARP_ENGINES",
 ]

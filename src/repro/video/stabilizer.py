@@ -9,15 +9,29 @@ real-time."  The stabilizer composes, per frame:
 
 so the residual image error measures the end-to-end system accuracy in
 pixels — the unit that matters to the ADAS functions the intro cites.
+
+Three warp engines are selectable: ``"reference"`` (double-precision
+:func:`repro.video.affine.apply_affine`), ``"fast"`` (the vectorized
+fixed-point fast path, what the fabric computes at array speed) and
+``"model"`` (the cycle-accurate pipeline, the oracle).  ``fast`` and
+``model`` return bit-identical frames.  ``reference`` differs by the
+fixed-point quantization and, on odd frame dimensions, by the center
+convention: the hardware rotates about the integer pixel
+``(w // 2, h // 2)`` while the float reference uses ``(w/2, h/2)`` — a
+half-pixel offset.  On even dimensions (every video mode the paper
+uses) the centers coincide and engine comparisons isolate the
+arithmetic cost alone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.geometry import EulerAngles
 from repro.sensors.camera import PinholeCamera
 from repro.video.affine import (
+    AffineParams,
     affine_from_misalignment,
     apply_affine,
     compose,
@@ -25,6 +39,9 @@ from repro.video.affine import (
 )
 from repro.video.frame import Frame
 from repro.video.metrics import corner_error_px, frame_mae
+
+#: Engines accepted by :class:`VideoStabilizer`.
+WARP_ENGINES = ("reference", "fast", "model")
 
 
 @dataclass
@@ -40,18 +57,37 @@ class StabilizedFrame:
 class VideoStabilizer:
     """Applies the misalignment correction to camera frames."""
 
-    def __init__(self, camera: PinholeCamera) -> None:
+    def __init__(self, camera: PinholeCamera, engine: str = "reference") -> None:
+        if engine not in WARP_ENGINES:
+            raise ConfigurationError(
+                f"unknown warp engine {engine!r}; expected one of {WARP_ENGINES}"
+            )
         self.camera = camera
+        self.engine = engine
+        self._lut = None
+        if engine != "reference":
+            # Imported lazily so the float reference path keeps the
+            # video package independent of the fpga package.
+            from repro.fpga.affine_fast import default_lut
+
+            self._lut = default_lut()
+
+    def _warp(self, frame: Frame, params: AffineParams) -> Frame:
+        if self.engine == "reference":
+            return apply_affine(frame, params)
+        from repro.fpga.affine_fast import warp_frame_fixed
+
+        return warp_frame_fixed(frame, params, engine=self.engine, lut=self._lut)
 
     def distort(self, scene: Frame, true_misalignment: EulerAngles) -> Frame:
         """What the misaligned camera actually captures."""
         params = affine_from_misalignment(true_misalignment, self.camera)
-        return apply_affine(scene, params)
+        return self._warp(scene, params)
 
     def correct(self, captured: Frame, estimate: EulerAngles) -> Frame:
         """Re-align a captured frame using the estimated misalignment."""
         correction = invert(affine_from_misalignment(estimate, self.camera))
-        return apply_affine(captured, correction)
+        return self._warp(captured, correction)
 
     def residual_params(
         self, true_misalignment: EulerAngles, estimate: EulerAngles

@@ -1,0 +1,194 @@
+"""Scalar-vs-array softfloat equivalence: the uint32-ndarray fast path
+must be bit-for-bit identical to the scalar oracle, including NaN,
+infinity and denormal edges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sabre.softfloat as sf
+import repro.sabre.softfloat_array as sfa
+from repro.errors import SoftFloatError
+
+np.seterr(all="ignore")
+
+bits32 = st.integers(0, 0xFFFFFFFF)
+bit_arrays = st.lists(bits32, min_size=1, max_size=64).map(
+    lambda xs: np.array(xs, dtype=np.uint32)
+)
+
+#: Every IEEE edge class: zeros, smallest/largest denormals, smallest/
+#: largest normals, one, infinities, quiet and signaling NaNs with
+#: payloads, both signs throughout.
+EDGE_PATTERNS = np.array(
+    [
+        0x00000000,  # +0
+        0x80000000,  # -0
+        0x00000001,  # min denormal
+        0x80000001,
+        0x007FFFFF,  # max denormal
+        0x807FFFFF,
+        0x00800000,  # min normal
+        0x80800000,
+        0x3F800000,  # 1.0
+        0xBF800000,
+        0x7F7FFFFF,  # max finite
+        0xFF7FFFFF,
+        0x7F800000,  # +inf
+        0xFF800000,  # -inf
+        0x7FC00000,  # default qNaN
+        0xFFC00000,
+        0x7FC01234,  # qNaN with payload
+        0x7F800001,  # sNaN
+        0xFF80ABCD,  # sNaN with payload
+        0x34000000,  # 2^-23
+        0x4B7FFFFF,  # just below 2^24
+        0xCF000000,  # -2^31
+        0x4F000000,  # +2^31 (out of int32 range)
+    ],
+    dtype=np.uint32,
+)
+
+EDGE_A = np.repeat(EDGE_PATTERNS, len(EDGE_PATTERNS))
+EDGE_B = np.tile(EDGE_PATTERNS, len(EDGE_PATTERNS))
+
+BINARY_OPS = [
+    (sfa.f32_add_array, sf.f32_add),
+    (sfa.f32_sub_array, sf.f32_sub),
+    (sfa.f32_mul_array, sf.f32_mul),
+    (sfa.f32_div_array, sf.f32_div),
+]
+
+
+def assert_binary_matches(array_op, scalar_op, a, b):
+    got = array_op(a, b)
+    want = np.array(
+        [scalar_op(int(x), int(y)) for x, y in zip(a, b)], dtype=np.uint32
+    )
+    mismatches = np.nonzero(got != want)[0]
+    assert mismatches.size == 0, (
+        f"{array_op.__name__}: first mismatch at {mismatches[:3]}: "
+        f"a={a[mismatches[0]]:#010x} b={b[mismatches[0]]:#010x} "
+        f"got={got[mismatches[0]]:#010x} want={want[mismatches[0]]:#010x}"
+    )
+
+
+class TestBinaryOpsBitExact:
+    @pytest.mark.parametrize("array_op,scalar_op", BINARY_OPS)
+    def test_edge_pattern_grid(self, array_op, scalar_op):
+        assert_binary_matches(array_op, scalar_op, EDGE_A, EDGE_B)
+
+    @given(a=bit_arrays, b=bit_arrays)
+    @settings(max_examples=150, deadline=None)
+    def test_random_patterns(self, a, b):
+        n = min(len(a), len(b))
+        for array_op, scalar_op in BINARY_OPS:
+            assert_binary_matches(array_op, scalar_op, a[:n], b[:n])
+
+
+class TestUnaryOpsBitExact:
+    def test_sqrt_edges(self):
+        got = sfa.f32_sqrt_array(EDGE_PATTERNS)
+        want = np.array([sf.f32_sqrt(int(x)) for x in EDGE_PATTERNS], dtype=np.uint32)
+        assert np.array_equal(got, want)
+
+    @given(a=bit_arrays)
+    @settings(max_examples=150, deadline=None)
+    def test_sqrt_random(self, a):
+        got = sfa.f32_sqrt_array(a)
+        want = np.array([sf.f32_sqrt(int(x)) for x in a], dtype=np.uint32)
+        assert np.array_equal(got, want)
+
+    def test_neg_abs(self):
+        assert np.array_equal(
+            sfa.f32_neg_array(EDGE_PATTERNS),
+            np.array([sf.f32_neg(int(x)) for x in EDGE_PATTERNS], dtype=np.uint32),
+        )
+        assert np.array_equal(
+            sfa.f32_abs_array(EDGE_PATTERNS),
+            np.array([sf.f32_abs(int(x)) for x in EDGE_PATTERNS], dtype=np.uint32),
+        )
+
+    def test_classifiers(self):
+        assert sfa.is_nan_array(EDGE_PATTERNS).tolist() == [
+            sf.is_nan(int(x)) for x in EDGE_PATTERNS
+        ]
+        assert sfa.is_inf_array(EDGE_PATTERNS).tolist() == [
+            sf.is_inf(int(x)) for x in EDGE_PATTERNS
+        ]
+        assert sfa.is_zero_array(EDGE_PATTERNS).tolist() == [
+            sf.is_zero(int(x)) for x in EDGE_PATTERNS
+        ]
+
+
+class TestConversionsBitExact:
+    @given(
+        values=st.lists(
+            st.integers(-(2**31), 2**31 - 1), min_size=1, max_size=64
+        ).map(lambda xs: np.array(xs, dtype=np.int64))
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_i32_to_f32(self, values):
+        got = sfa.i32_to_f32_array(values)
+        want = np.array([sf.i32_to_f32(int(v)) for v in values], dtype=np.uint32)
+        assert np.array_equal(got, want)
+
+    @given(a=bit_arrays)
+    @settings(max_examples=150, deadline=None)
+    def test_f32_to_i32(self, a):
+        got = sfa.f32_to_i32_array(a)
+        want = np.array([sf.f32_to_i32(int(x)) for x in a], dtype=np.int64)
+        assert np.array_equal(got, want)
+
+    def test_f32_to_i32_edges(self):
+        got = sfa.f32_to_i32_array(EDGE_PATTERNS)
+        want = np.array(
+            [sf.f32_to_i32(int(x)) for x in EDGE_PATTERNS], dtype=np.int64
+        )
+        assert np.array_equal(got, want)
+
+    def test_float_bits_round_trip(self):
+        values = np.array([0.0, 1.5, -3.25, 1e-40, 3.1e38])
+        bits = sfa.float_to_bits_array(values)
+        assert bits.tolist() == [sf.float_to_bits(float(v)) for v in values]
+        back = sfa.bits_to_float_array(bits)
+        assert back.tolist() == [sf.bits_to_float(int(b)) for b in bits]
+
+
+class TestComparisonsBitExact:
+    @given(a=bit_arrays, b=bit_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_random(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert sfa.f32_eq_array(a, b).tolist() == [
+            sf.f32_eq(int(x), int(y)) for x, y in zip(a, b)
+        ]
+        assert sfa.f32_lt_array(a, b).tolist() == [
+            sf.f32_lt(int(x), int(y)) for x, y in zip(a, b)
+        ]
+        assert sfa.f32_le_array(a, b).tolist() == [
+            sf.f32_le(int(x), int(y)) for x, y in zip(a, b)
+        ]
+
+    def test_edge_grid(self):
+        assert sfa.f32_lt_array(EDGE_A, EDGE_B).tolist() == [
+            sf.f32_lt(int(x), int(y)) for x, y in zip(EDGE_A, EDGE_B)
+        ]
+
+
+class TestValidation:
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(SoftFloatError):
+            sfa.f32_add_array(np.array([0.5]), np.array([1], dtype=np.uint32))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SoftFloatError):
+            sfa.f32_add_array(np.array([1 << 33]), np.array([0]))
+        with pytest.raises(SoftFloatError):
+            sfa.f32_add_array(np.array([-1]), np.array([0]))
+
+    def test_i32_range_checked(self):
+        with pytest.raises(SoftFloatError):
+            sfa.i32_to_f32_array(np.array([1 << 31]))
