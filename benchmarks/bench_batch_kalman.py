@@ -1,0 +1,20 @@
+"""Batched ensemble vs serial Monte-Carlo — the PR-2 speedup contract.
+
+The lockstep batch engine must beat the serial oracle by ≥10× on a
+32-run §11 static ensemble while returning the bit-identical
+``MonteCarloSummary``.  Run ``python benchmarks/run_batch_kalman.py``
+to persist the measurement to ``BENCH_batchkalman.json``.
+"""
+
+from run_batch_kalman import measure_batch_kalman
+
+
+def test_batch_kalman_speedup(once):
+    result = once(measure_batch_kalman)
+    print()
+    print(
+        f"{result['runs']} runs: model {result['model_seconds']:.1f}s vs "
+        f"fast {result['fast_seconds']:.2f}s -> {result['speedup']:.1f}x"
+    )
+    assert result["identical"], "batch engine diverged from the oracle"
+    assert result["speedup"] >= 10.0

@@ -1,10 +1,15 @@
 """Statistical analysis helpers: Monte-Carlo batches and reporting."""
 
-from repro.analysis.montecarlo import MonteCarloSummary, run_monte_carlo_static
+from repro.analysis.montecarlo import (
+    MonteCarloSummary,
+    run_monte_carlo_static,
+    summarize_outcomes,
+)
 from repro.analysis.reporting import markdown_table
 
 __all__ = [
     "run_monte_carlo_static",
+    "summarize_outcomes",
     "MonteCarloSummary",
     "markdown_table",
 ]

@@ -113,6 +113,10 @@ def frame_from_bits(stuffed: list[int]) -> CanFrame:
     rtr, ide = bits[12], bits[13]
     if rtr != 0 or ide != 0:
         raise BusError("only standard data frames are modelled")
+    if bits[14] != 0:
+        # CAN 2.0A requires the reserved r0 bit dominant; a recessive
+        # r0 is a form error, same as the RTR/IDE violations above.
+        raise BusError("reserved bit r0 must be dominant")
     dlc = bits_to_int(bits[15:19])
     if dlc > 8:
         raise BusError(f"invalid DLC {dlc}")

@@ -12,6 +12,7 @@ One module per artifact (see DESIGN.md §4 for the experiment index):
   resolution sweep, arithmetic-backend sweep.
 """
 
+from repro.experiments.batch_protocol import StaticEnsemble, run_static_ensemble
 from repro.experiments.protocol import BoresightTestRig, RigConfig, TestRun
 from repro.experiments.table1 import (
     Table1Row,
@@ -24,6 +25,8 @@ __all__ = [
     "BoresightTestRig",
     "RigConfig",
     "TestRun",
+    "StaticEnsemble",
+    "run_static_ensemble",
     "Table1Row",
     "run_static_table",
     "run_dynamic_table",

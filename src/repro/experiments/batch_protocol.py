@@ -1,0 +1,168 @@
+"""The §11 static protocol over an ensemble of seeds, in lockstep.
+
+The serial :class:`~repro.experiments.protocol.BoresightTestRig` costs
+one full Python-level pipeline per seed.  For a Monte-Carlo ensemble
+the *deterministic* work — trajectory sampling, lever-arm truth, frame
+rotations, the protocol schedule — is identical across seeds, and the
+per-seed work (noise draws, error chains, calibration, reconstruction,
+filtering) batches into stacked arrays.  This module runs R rigs as:
+
+1. sample the calibration and test trajectories **once**;
+2. draw every rig's noise streams per seed (bit-identical RNG order,
+   see :mod:`repro.sensors.batch`);
+3. sense, calibrate, reconstruct and filter all R runs in lockstep.
+
+Each run's outputs are bit-identical to the serial rig's — the serial
+path stays the verification oracle (``tests/test_batch_kalman.py``
+pins the equality, ``benchmarks/run_batch_kalman.py`` the speedup).
+
+The laser-boresight truth draw is skipped: it consumes an independent
+child generator (stream 300), so skipping it cannot perturb any other
+stream, and the ensemble statistics compare against simulation truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.protocol import RigConfig, bench_estimator_config
+from repro.fusion import BoresightConfig
+from repro.fusion.batch_boresight import (
+    BatchBoresightEstimator,
+    BatchBoresightResult,
+)
+from repro.fusion.calibration import (
+    StackedSensorCalibration,
+    calibrate_static_stacked,
+)
+from repro.fusion.reconstruction import reconstruct_stacked
+from repro.geometry import EulerAngles
+from repro.sensors import Mounting
+from repro.sensors.batch import (
+    sense_acc_stacked,
+    sense_imu_stacked,
+    stack_rig_streams,
+)
+from repro.vehicle import Trajectory
+from repro.vehicle.profiles import static_level_profile
+
+
+@dataclass
+class StaticEnsemble:
+    """Everything the Monte-Carlo aggregation needs from R lockstep runs."""
+
+    seeds: tuple[int, ...]
+    #: The misalignment physically introduced (simulation truth).
+    introduced: EulerAngles
+    #: Stacked estimator output (final DCMs, sigmas, residual monitor).
+    result: BatchBoresightResult
+    #: Per-run biases found during the stacked calibration.
+    calibration: StackedSensorCalibration
+
+    def errors_vs_truth_deg(self) -> np.ndarray:
+        """Per-run estimate − simulation truth, degrees, (R, 3)."""
+        introduced = self.introduced.as_array()
+        return np.stack(
+            [
+                np.degrees(estimate.as_array() - introduced)
+                for estimate in self.result.misalignments()
+            ],
+            axis=0,
+        )
+
+    def outcomes(self) -> list[tuple[np.ndarray, int, float]]:
+        """Per-run ``(error_deg, covered, exceedance)`` tuples.
+
+        The exact aggregation inputs the serial Monte-Carlo job
+        produces, computed with the same elementwise expressions.
+        """
+        errors = self.errors_vs_truth_deg()
+        three_sigma = self.result.three_sigma_deg()
+        exceedance = self.result.monitor.exceedance_fraction
+        out = []
+        for r in range(len(self.seeds)):
+            covered = int(np.sum(np.abs(errors[r]) <= three_sigma[r]))
+            out.append((errors[r], covered, float(np.max(exceedance[r]))))
+        return out
+
+
+def run_static_ensemble(
+    seeds: list[int] | tuple[int, ...],
+    misalignment: EulerAngles,
+    trajectory: Trajectory,
+    estimator_config: BoresightConfig | None = None,
+    rig_config: RigConfig | None = None,
+) -> StaticEnsemble:
+    """Run the static §11 protocol for every seed, batched in lockstep.
+
+    Mirrors ``BoresightTestRig(RigConfig(seed=s)).run(misalignment,
+    trajectory, estimator_config, moving=False)`` for each seed — same
+    calibration recording, same remount between phases, same fusion
+    pipeline — with all per-seed arrays stacked on a leading run axis.
+    ``rig_config`` supplies the shared hardware parameters (its
+    ``seed`` field is ignored; the ensemble seeds come from ``seeds``).
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    config = rig_config if rig_config is not None else RigConfig()
+
+    # Phase trajectories, sampled once and shared by the ensemble.  The
+    # serial rig samples per instrument; with equal IMU/ACC rates one
+    # sampling serves both, and sampling is deterministic either way.
+    calibration_trajectory = static_level_profile(config.calibration_duration)
+    rates = {config.imu.sample_rate, config.acc.sample_rate}
+    sampled = {
+        rate: (calibration_trajectory.sample(rate), trajectory.sample(rate))
+        for rate in rates
+    }
+    imu_phases = sampled[config.imu.sample_rate]
+    acc_phases = sampled[config.acc.sample_rate]
+    if len(imu_phases[0].time) != len(acc_phases[0].time) or len(
+        imu_phases[1].time
+    ) != len(acc_phases[1].time):
+        raise ConfigurationError(
+            "batch engine requires equal IMU/ACC sample counts per phase"
+        )
+
+    streams = stack_rig_streams(
+        seeds,
+        config.imu,
+        config.acc,
+        [len(imu_phases[0].time), len(imu_phases[1].time)],
+    )
+    imu_calibration, imu_test = sense_imu_stacked(
+        config.imu, streams, imu_phases
+    )
+    arm = np.array(config.lever_arm)
+    acc_calibration, acc_test = sense_acc_stacked(
+        config.acc,
+        streams,
+        acc_phases,
+        [
+            Mounting(lever_arm=arm),
+            Mounting(misalignment=misalignment, lever_arm=arm),
+        ],
+    )
+
+    calibration = calibrate_static_stacked(
+        imu_calibration, acc_calibration, window=config.calibration_window
+    )
+    imu_debiased, acc_debiased = calibration.apply(imu_test, acc_test)
+    fused = reconstruct_stacked(
+        imu_debiased, acc_debiased, config.fusion_rate
+    )
+
+    if estimator_config is None:
+        estimator_config = bench_estimator_config(arm)
+    estimator = BatchBoresightEstimator(len(seeds), estimator_config)
+    result = estimator.run(fused)
+
+    return StaticEnsemble(
+        seeds=tuple(int(s) for s in seeds),
+        introduced=misalignment,
+        result=result,
+        calibration=calibration,
+    )

@@ -67,6 +67,22 @@ class RigConfig:
             )
 
 
+def bench_estimator_config(lever_arm: np.ndarray) -> BoresightConfig:
+    """The rig's default estimator tuning for bench (static) tests.
+
+    Sensible bench defaults: the paper's static noise band, lever-arm
+    compensation for the rig's geometry, and enough process noise to
+    keep the confidence honest against instrument systematics.  Shared
+    by the serial rig and the batched ensemble driver so the two
+    engines can never drift apart on defaults.
+    """
+    return BoresightConfig(
+        measurement_sigma=0.006,
+        angle_process_noise=2e-5,
+        lever_arm=np.asarray(lever_arm, dtype=np.float64),
+    )
+
+
 @dataclass
 class TestRun:
     """Everything a Table-1 style row needs from one test."""
@@ -159,14 +175,8 @@ class BoresightTestRig:
         fused = reconstruct(imu_cal, acc_cal, self.config.fusion_rate)
 
         if estimator_config is None:
-            # Sensible bench defaults: the paper's static noise band,
-            # lever-arm compensation for this rig's geometry, and
-            # enough process noise to keep the confidence honest
-            # against instrument systematics.
-            estimator_config = BoresightConfig(
-                measurement_sigma=0.006,
-                angle_process_noise=2e-5,
-                lever_arm=np.array(self.config.lever_arm),
+            estimator_config = bench_estimator_config(
+                np.array(self.config.lever_arm)
             )
         estimator = BoresightEstimator(estimator_config)
         result = estimator.run(fused)

@@ -24,9 +24,20 @@ sensor with respect to the IMU axes, with associated covariance values."
   float32, softfloat, fixed point) for the embedded/ablation studies.
 - :mod:`repro.fusion.steady_state` — fixed-gain variant executed by the
   Sabre firmware.
+- :mod:`repro.fusion.batch_kalman` / :mod:`repro.fusion.batch_boresight`
+  — R filters advanced in lockstep over stacked ``(R, ...)`` arrays for
+  the Monte-Carlo fast path, bit-identical per run to the serial
+  filters (which remain the verification oracle).
 """
 
 from repro.fusion.adaptive import InnovationAdaptiveNoise
+from repro.fusion.batch_boresight import (
+    BatchBoresightEstimator,
+    BatchBoresightResult,
+    BatchMisalignmentModel,
+    BatchResidualMonitor,
+)
+from repro.fusion.batch_kalman import BatchInnovation, BatchKalmanFilter
 from repro.fusion.backend import (
     Backend,
     FixedPointBackend,
@@ -41,27 +52,48 @@ from repro.fusion.boresight import (
     BoresightHistory,
     BoresightResult,
 )
-from repro.fusion.calibration import SensorCalibration, calibrate_static
+from repro.fusion.calibration import (
+    SensorCalibration,
+    StackedSensorCalibration,
+    calibrate_static,
+    calibrate_static_stacked,
+)
 from repro.fusion.confidence import ConvergenceDetector, ResidualMonitor
 from repro.fusion.kalman import Innovation, KalmanFilter
 from repro.fusion.models import MisalignmentModel
 from repro.fusion.multisensor import MultiSensorAligner, MultiSensorResult
 from repro.fusion.portable import PortableBoresightFilter
-from repro.fusion.reconstruction import FusedSamples, block_average, reconstruct
+from repro.fusion.reconstruction import (
+    FusedSamples,
+    StackedFusedSamples,
+    block_average,
+    reconstruct,
+    reconstruct_stacked,
+)
 from repro.fusion.steady_state import SteadyStateFilter, solve_steady_state_gain
 
 __all__ = [
     "KalmanFilter",
     "Innovation",
+    "BatchKalmanFilter",
+    "BatchInnovation",
+    "BatchMisalignmentModel",
+    "BatchBoresightEstimator",
+    "BatchBoresightResult",
+    "BatchResidualMonitor",
     "MisalignmentModel",
     "BoresightConfig",
     "BoresightEstimator",
     "BoresightHistory",
     "BoresightResult",
     "SensorCalibration",
+    "StackedSensorCalibration",
     "calibrate_static",
+    "calibrate_static_stacked",
     "FusedSamples",
+    "StackedFusedSamples",
     "reconstruct",
+    "reconstruct_stacked",
     "block_average",
     "ResidualMonitor",
     "ConvergenceDetector",

@@ -1,0 +1,310 @@
+"""Batched boresight estimator: R misalignment MEKFs in lockstep.
+
+The ensemble twin of :class:`~repro.fusion.boresight.BoresightEstimator`
+built on :class:`~repro.fusion.batch_kalman.BatchKalmanFilter`.  All R
+runs share the fusion time base (the Monte-Carlo ensemble flies one
+trajectory with per-seed noise), so the per-tick loop advances every
+run with stacked (R, ...) linear algebra instead of R Python-level
+filter steps.  Operation order mirrors the serial estimator exactly —
+lever-arm compensation, measurement prediction, Jacobian build, yaw
+observability gate, Joseph update, multiplicative DCM fold — keeping
+each run bit-identical to the serial oracle.
+
+Unsupported serial features are *refused*, never approximated: motion
+gating and adaptive measurement noise introduce per-run control flow
+and raise :class:`~repro.errors.ConfigurationError` here; use the
+serial engine for those studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FusionError
+from repro.fusion.batch_kalman import BatchInnovation, BatchKalmanFilter
+from repro.fusion.boresight import BoresightConfig
+from repro.fusion.models import PROJECT_XY
+from repro.fusion.reconstruction import StackedFusedSamples
+from repro.geometry import EulerAngles, dcm_to_euler
+from repro.geometry.batch import orthonormalize_stack, skew_stack
+from repro.sensors.mounting import Mounting
+
+
+@dataclass
+class BatchResidualMonitor:
+    """Stacked twin of :class:`~repro.fusion.confidence.ResidualMonitor`.
+
+    Accumulates per-run innovation statistics over the lockstep run;
+    counters update in tick order so the per-run sums round exactly as
+    the serial monitor's would.
+    """
+
+    runs: int
+    axes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.runs < 1 or self.axes < 1:
+            raise FusionError("runs and axes must be >= 1")
+        self._count = 0
+        self._exceed = np.zeros((self.runs, self.axes), dtype=np.int64)
+        self._nis_sum = np.zeros(self.runs)
+
+    def record(self, innovation: BatchInnovation) -> None:
+        """Ingest one lockstep update's stacked innovation."""
+        if innovation.residual.shape != (self.runs, self.axes):
+            raise FusionError(
+                f"innovation shape {innovation.residual.shape} != "
+                f"({self.runs}, {self.axes})"
+            )
+        self._count += 1
+        self._exceed += innovation.exceeds_three_sigma().astype(np.int64)
+        self._nis_sum += innovation.nis
+
+    @property
+    def count(self) -> int:
+        """Number of lockstep updates observed."""
+        return self._count
+
+    @property
+    def exceedance_fraction(self) -> np.ndarray:
+        """(R, axes) fraction of samples with |residual| > 3 sigma."""
+        if self._count == 0:
+            raise FusionError("no innovations recorded")
+        return self._exceed / self._count
+
+    @property
+    def mean_nis(self) -> np.ndarray:
+        """Per-run mean normalized innovation squared, (R,)."""
+        if self._count == 0:
+            raise FusionError("no innovations recorded")
+        return self._nis_sum / self._count
+
+
+class BatchMisalignmentModel:
+    """Stacked twin of :class:`~repro.fusion.models.MisalignmentModel`.
+
+    Holds R reference DCMs (R, 3, 3) and biases (R, 2); every method is
+    the slice-for-slice batched version of the serial model.
+    """
+
+    def __init__(
+        self,
+        runs: int,
+        estimate_biases: bool = False,
+        yaw_threshold: float = 0.5,
+    ) -> None:
+        if runs < 1:
+            raise FusionError(f"runs must be >= 1, got {runs}")
+        self.runs = runs
+        self.estimate_biases = estimate_biases
+        self.yaw_threshold = yaw_threshold
+        self._dcm = np.broadcast_to(np.eye(3), (runs, 3, 3)).copy()
+        self._bias = np.zeros((runs, 2))
+
+    @property
+    def state_dim(self) -> int:
+        """Dimension of the error-state vector."""
+        return 5 if self.estimate_biases else 3
+
+    @property
+    def dcm(self) -> np.ndarray:
+        """Current stacked body→sensor DCM estimates, (R, 3, 3) copy."""
+        return self._dcm.copy()
+
+    @property
+    def bias(self) -> np.ndarray:
+        """Current stacked ACC bias estimates, (R, 2) copy."""
+        return self._bias.copy()
+
+    def misalignments(self) -> list[EulerAngles]:
+        """Per-run misalignment estimates as Euler angles.
+
+        Conversion runs through the serial :func:`dcm_to_euler` per
+        slice — the scalar trigonometry is the oracle's.
+        """
+        return [dcm_to_euler(self._dcm[r]) for r in range(self.runs)]
+
+    def predict_measurement(self, specific_force_body: np.ndarray) -> np.ndarray:
+        """Expected ACC readings ``P C f + b``, stacked (R, 2)."""
+        f = np.asarray(specific_force_body, dtype=np.float64)
+        y_hat = np.matmul(self._dcm, f[:, :, None])[:, :, 0]
+        return np.matmul(PROJECT_XY, y_hat[:, :, None])[:, :, 0] + self._bias
+
+    def h_matrix(self, specific_force_body: np.ndarray) -> np.ndarray:
+        """Stacked measurement Jacobians ``[P [ŷ×] | I₂]``, (R, 2, n)."""
+        f = np.asarray(specific_force_body, dtype=np.float64)
+        y_hat = np.matmul(self._dcm, f[:, :, None])[:, :, 0]
+        h_rot = np.matmul(PROJECT_XY, skew_stack(y_hat))
+        unobservable = np.hypot(y_hat[:, 0], y_hat[:, 1]) < self.yaw_threshold
+        h_rot[unobservable, :, 2] = 0.0
+        if not self.estimate_biases:
+            return h_rot
+        identity = np.broadcast_to(np.eye(2), (self.runs, 2, 2))
+        return np.concatenate([h_rot, identity], axis=2)
+
+    def apply_correction(self, delta: np.ndarray) -> None:
+        """Fold stacked error-state corrections into the references."""
+        d = np.asarray(delta, dtype=np.float64)
+        if d.shape != (self.runs, self.state_dim):
+            raise FusionError(
+                f"correction shape {d.shape} != ({self.runs}, {self.state_dim})"
+            )
+        correction = np.eye(3) - skew_stack(d[:, :3])
+        self._dcm = orthonormalize_stack(np.matmul(correction, self._dcm))
+        if self.estimate_biases:
+            self._bias = self._bias + d[:, 3:5]
+
+
+@dataclass
+class BatchBoresightResult:
+    """Final stacked estimates of a lockstep ensemble run."""
+
+    #: Final body→sensor DCM estimate per run, (R, 3, 3).
+    misalignment_dcm: np.ndarray
+    #: Final 1-sigma of the three angles per run, (R, 3), radians.
+    angle_sigma: np.ndarray
+    #: Final ACC bias estimate per run, (R, 2).
+    bias: np.ndarray
+    #: Residual statistics accumulated across the run.
+    monitor: BatchResidualMonitor
+
+    @property
+    def runs(self) -> int:
+        """Ensemble size R."""
+        return int(self.angle_sigma.shape[0])
+
+    def misalignments(self) -> list[EulerAngles]:
+        """Per-run misalignment estimates (serial Euler conversion)."""
+        return [dcm_to_euler(self.misalignment_dcm[r]) for r in range(self.runs)]
+
+    def three_sigma_deg(self) -> np.ndarray:
+        """Per-run 3-sigma confidence of each angle, degrees, (R, 3)."""
+        return np.degrees(3.0 * self.angle_sigma)
+
+
+class BatchBoresightEstimator:
+    """Multiplicative EKF ensemble advanced tick-by-tick in lockstep."""
+
+    def __init__(self, runs: int, config: BoresightConfig | None = None) -> None:
+        self.config = config if config is not None else BoresightConfig()
+        if self.config.motion_gate_rate is not None:
+            raise ConfigurationError(
+                "motion gating branches per run; the batch engine refuses "
+                "it — use the serial BoresightEstimator"
+            )
+        if self.config.adaptive:
+            raise ConfigurationError(
+                "adaptive measurement noise is per-run stateful; the batch "
+                "engine refuses it — use the serial BoresightEstimator"
+            )
+        self._model = BatchMisalignmentModel(
+            runs,
+            estimate_biases=self.config.estimate_biases,
+            yaw_threshold=self.config.yaw_observability_threshold,
+        )
+        n = self._model.state_dim
+        p0 = np.zeros((n, n))
+        p0[:3, :3] = np.eye(3) * self.config.initial_angle_sigma**2
+        if self.config.estimate_biases:
+            p0[3:, 3:] = np.eye(2) * self.config.initial_bias_sigma**2
+        self._kf = BatchKalmanFilter(np.zeros((runs, n)), p0)
+        self._monitor = BatchResidualMonitor(runs, axes=2)
+        self._mounting = (
+            Mounting(lever_arm=self.config.lever_arm)
+            if self.config.lever_arm is not None
+            else None
+        )
+        self._last_time: float | None = None
+
+    @property
+    def runs(self) -> int:
+        """Ensemble size R."""
+        return self._model.runs
+
+    @property
+    def angle_sigma(self) -> np.ndarray:
+        """Current 1-sigma of the three angles per run, (R, 3)."""
+        return self._kf.sigma[:, :3]
+
+    def _process_noise(self, dt: float) -> np.ndarray:
+        n = self._model.state_dim
+        q = np.zeros((n, n))
+        q[:3, :3] = np.eye(3) * (self.config.angle_process_noise**2) * dt
+        if self.config.estimate_biases:
+            q[3:, 3:] = np.eye(2) * (self.config.bias_process_noise**2) * dt
+        return q
+
+    def step(
+        self,
+        time: float,
+        specific_force: np.ndarray,
+        body_rate: np.ndarray,
+        body_rate_dot: np.ndarray,
+        acc_xy: np.ndarray,
+    ) -> BatchInnovation:
+        """One lockstep predict/update cycle at fusion time ``time``.
+
+        All signal arguments are stacked (R, ·) slices of the fused
+        series; returns the stacked innovation statistics.
+        """
+        f = np.asarray(specific_force, dtype=np.float64)
+        w = np.asarray(body_rate, dtype=np.float64)
+        wd = np.asarray(body_rate_dot, dtype=np.float64)
+        z = np.asarray(acc_xy, dtype=np.float64)
+
+        if self._last_time is not None:
+            dt = time - self._last_time
+            if dt <= 0.0:
+                raise FusionError(
+                    f"non-increasing fusion time: {self._last_time} -> {time}"
+                )
+            self._kf.predict(process_noise=self._process_noise(dt))
+        self._last_time = time
+
+        if self._mounting is not None:
+            # The serial helper already handles (N, 3) stacks with the
+            # same elementwise cross products — reuse it so the physics
+            # lives in one place.
+            f = self._mounting.specific_force_at_sensor(f, w, wd)
+        z_hat = self._model.predict_measurement(f)
+        h = self._model.h_matrix(f)
+        sigma = self.config.measurement_sigma
+        r = (sigma**2) * np.eye(2)
+        innovation = self._kf.update(z, h, r, predicted_measurement=z_hat)
+        # Multiplicative filter: fold the pending correction into the
+        # reference DCM/bias and zero the error state, as the serial
+        # estimator does after every update.
+        self._model.apply_correction(self._kf.state)
+        self._kf.state = np.zeros((self.runs, self._model.state_dim))
+        self._monitor.record(innovation)
+        return innovation
+
+    def run(self, fused: StackedFusedSamples) -> BatchBoresightResult:
+        """Process a full stacked fused series and return the result."""
+        count = len(fused)
+        if count == 0:
+            raise FusionError("empty fused series")
+        if fused.runs != self.runs:
+            raise FusionError(
+                f"fused series has {fused.runs} runs, estimator {self.runs}"
+            )
+        # (N, R, 3) layouts make the per-tick slices contiguous, which
+        # keeps every stacked matmul on the BLAS fast path.
+        force = np.ascontiguousarray(np.swapaxes(fused.specific_force, 0, 1))
+        rate = np.ascontiguousarray(np.swapaxes(fused.body_rate, 0, 1))
+        rate_dot = np.ascontiguousarray(np.swapaxes(fused.body_rate_dot, 0, 1))
+        acc_xy = np.ascontiguousarray(np.swapaxes(fused.acc_xy, 0, 1))
+
+        for i in range(count):
+            self.step(
+                float(fused.time[i]), force[i], rate[i], rate_dot[i], acc_xy[i]
+            )
+
+        return BatchBoresightResult(
+            misalignment_dcm=self._model.dcm,
+            angle_sigma=self.angle_sigma,
+            bias=self._model.bias,
+            monitor=self._monitor,
+        )

@@ -1,0 +1,229 @@
+"""Batched Kalman filter: R independent filters advanced in lockstep.
+
+The §11 Monte-Carlo ensembles run the same filter over many seeds; the
+serial :class:`~repro.fusion.kalman.KalmanFilter` costs one Python-level
+``predict``/``update`` per (run, tick).  This module advances all R
+runs per tick over stacked ``(R, n)`` states and ``(R, n, n)``
+covariances, with the same operation order as the serial filter —
+Joseph-form update, symmetrization, innovation statistics — so each
+slice of the stack is **bit-identical** to what the serial filter would
+compute for that run (the serial filter stays the verification oracle;
+see ``tests/test_batch_kalman.py``).
+
+The bit-exactness leans on NumPy dispatching stacked ``matmul`` /
+``linalg.inv`` to the same BLAS/LAPACK kernels per 2-D slice as the
+serial 2-D calls; operands are kept slice-contiguous so the dispatch
+never falls back to a differently-rounded path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FilterDivergenceError, FusionError
+
+
+@dataclass(frozen=True)
+class BatchInnovation:
+    """Stacked innovation statistics of one lockstep update.
+
+    The fields mirror :class:`~repro.fusion.kalman.Innovation` with a
+    leading run axis: ``residual`` is (R, m), ``covariance`` (R, m, m),
+    ``sigma`` (R, m), ``nis`` (R,) and ``gain`` (R, n, m).
+    """
+
+    residual: np.ndarray
+    covariance: np.ndarray
+    sigma: np.ndarray
+    nis: np.ndarray
+    gain: np.ndarray
+
+    @property
+    def runs(self) -> int:
+        """Ensemble size."""
+        return int(self.residual.shape[0])
+
+    def three_sigma(self) -> np.ndarray:
+        """Per-run 3-sigma envelope of each residual component."""
+        return 3.0 * self.sigma
+
+    def exceeds_three_sigma(self) -> np.ndarray:
+        """Boolean (R, m) flags ``|residual| > 3 sigma``."""
+        return np.abs(self.residual) > self.three_sigma()
+
+
+class BatchKalmanFilter:
+    """R discrete Kalman filters sharing one stacked state.
+
+    Parameters
+    ----------
+    initial_state:
+        Stacked state estimates at t0, shape (R, n).
+    initial_covariance:
+        Stacked covariances, shape (R, n, n), or a single (n, n) matrix
+        shared by every run (it is copied per run, as the serial
+        constructor would).
+    """
+
+    def __init__(
+        self, initial_state: np.ndarray, initial_covariance: np.ndarray
+    ) -> None:
+        x = np.asarray(initial_state, dtype=np.float64)
+        if x.ndim != 2:
+            raise FusionError(f"batch state must be (R, n), got shape {x.shape}")
+        runs, n = x.shape
+        p = np.asarray(initial_covariance, dtype=np.float64)
+        if p.shape == (n, n):
+            p = np.broadcast_to(p, (runs, n, n))
+        if p.shape != (runs, n, n):
+            raise FusionError(
+                f"covariance shape {p.shape} does not match states {x.shape}"
+            )
+        self._x = x.copy()
+        self._p = 0.5 * (p + np.swapaxes(p, 1, 2))
+        self._check_covariance()
+
+    @property
+    def runs(self) -> int:
+        """Ensemble size R."""
+        return int(self._x.shape[0])
+
+    @property
+    def state_dim(self) -> int:
+        """State dimension n."""
+        return int(self._x.shape[1])
+
+    @property
+    def state(self) -> np.ndarray:
+        """Current stacked state estimates, (R, n) copy."""
+        return self._x.copy()
+
+    @state.setter
+    def state(self, value: np.ndarray) -> None:
+        v = np.asarray(value, dtype=np.float64)
+        if v.shape != self._x.shape:
+            raise FusionError(f"state shape {v.shape} != {self._x.shape}")
+        self._x = v.copy()
+
+    @property
+    def covariance(self) -> np.ndarray:
+        """Current stacked covariances, (R, n, n) copy."""
+        return self._p.copy()
+
+    @property
+    def sigma(self) -> np.ndarray:
+        """Per-run per-state standard deviations, (R, n)."""
+        return np.sqrt(np.diagonal(self._p, axis1=1, axis2=2))
+
+    def predict(
+        self,
+        transition: np.ndarray | None = None,
+        process_noise: np.ndarray | None = None,
+    ) -> None:
+        """Lockstep time update: ``x = F x``, ``P = F P F' + Q``.
+
+        ``transition``/``process_noise`` may be a single (n, n) matrix
+        shared by all runs or an (R, n, n) stack.  Defaults mirror the
+        serial filter's identity/zero random-walk model.
+        """
+        runs, n = self._x.shape
+        if transition is not None:
+            f = self._as_stack(transition, "transition")
+            self._x = np.matmul(f, self._x[:, :, None])[:, :, 0]
+            self._p = np.matmul(np.matmul(f, self._p), np.swapaxes(f, 1, 2))
+        if process_noise is not None:
+            q = np.asarray(process_noise, dtype=np.float64)
+            if q.shape not in ((n, n), (runs, n, n)):
+                raise FusionError(
+                    f"process noise shape {q.shape} != ({n}, {n}) or stacked"
+                )
+            self._p = self._p + q
+        self._p = 0.5 * (self._p + np.swapaxes(self._p, 1, 2))
+
+    def update(
+        self,
+        measurement: np.ndarray,
+        h_matrix: np.ndarray,
+        r_matrix: np.ndarray,
+        predicted_measurement: np.ndarray | None = None,
+    ) -> BatchInnovation:
+        """Lockstep measurement update; returns stacked innovations.
+
+        ``measurement`` is (R, m); ``h_matrix`` is (R, m, n) or a shared
+        (m, n); ``r_matrix`` is (R, m, m) or shared (m, m).
+        ``predicted_measurement`` (R, m) enables extended-filter use
+        exactly as in the serial filter.
+        """
+        z = np.asarray(measurement, dtype=np.float64)
+        if z.ndim != 2 or z.shape[0] != self.runs:
+            raise FusionError(f"measurement must be (R, m), got {z.shape}")
+        runs, n = self._x.shape
+        m = z.shape[1]
+        h = self._as_stack(np.asarray(h_matrix, dtype=np.float64), "H", (m, n))
+        r = self._as_stack(np.asarray(r_matrix, dtype=np.float64), "R", (m, m))
+
+        if predicted_measurement is None:
+            z_hat = np.matmul(h, self._x[:, :, None])[:, :, 0]
+        else:
+            z_hat = np.asarray(predicted_measurement, dtype=np.float64)
+            if z_hat.shape != z.shape:
+                raise FusionError(
+                    f"predicted measurement shape {z_hat.shape} != {z.shape}"
+                )
+
+        residual = z - z_hat
+        h_t = np.swapaxes(h, 1, 2)
+        s = np.matmul(np.matmul(h, self._p), h_t) + r
+        try:
+            s_inv = np.linalg.inv(s)
+        except np.linalg.LinAlgError as exc:
+            raise FilterDivergenceError("innovation covariance singular") from exc
+        gain = np.matmul(np.matmul(self._p, h_t), s_inv)
+
+        self._x = self._x + np.matmul(gain, residual[:, :, None])[:, :, 0]
+        joseph = np.eye(n) - np.matmul(gain, h)
+        joseph_t = np.swapaxes(joseph, 1, 2)
+        gain_t = np.swapaxes(gain, 1, 2)
+        self._p = np.matmul(np.matmul(joseph, self._p), joseph_t) + np.matmul(
+            np.matmul(gain, r), gain_t
+        )
+        self._p = 0.5 * (self._p + np.swapaxes(self._p, 1, 2))
+        self._check_covariance()
+
+        sigma = np.sqrt(np.clip(np.diagonal(s, axis1=1, axis2=2), 0.0, None))
+        nis = np.matmul(
+            np.matmul(residual[:, None, :], s_inv), residual[:, :, None]
+        )[:, 0, 0]
+        return BatchInnovation(
+            residual=residual, covariance=s, sigma=sigma, nis=nis, gain=gain
+        )
+
+    def _as_stack(
+        self,
+        matrix: np.ndarray,
+        name: str,
+        inner: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """Broadcast a shared matrix to the (R, ., .) stack if needed."""
+        runs, n = self._x.shape
+        shape = inner if inner is not None else (n, n)
+        a = np.asarray(matrix, dtype=np.float64)
+        if a.shape == shape:
+            # Stride-0 outer broadcast: each slice is the same 2-D
+            # buffer the serial filter would hand to BLAS.
+            a = np.broadcast_to(a, (runs, *shape))
+        if a.shape != (runs, *shape):
+            raise FusionError(f"{name} shape {a.shape} != {(runs, *shape)}")
+        return a
+
+    def _check_covariance(self) -> None:
+        diag = np.diagonal(self._p, axis1=1, axis2=2)
+        if np.any(~np.isfinite(diag)) or np.any(diag < 0.0):
+            bad = np.where(
+                np.any(~np.isfinite(diag) | (diag < 0.0), axis=1)
+            )[0]
+            raise FilterDivergenceError(
+                f"covariance diagonal invalid in runs {bad.tolist()}"
+            )

@@ -15,6 +15,7 @@ accuracy in Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from repro.errors import FusionError
 from repro.sensors.acc2 import AccSamples
 from repro.sensors.imu import ImuSamples
 from repro.units import STANDARD_GRAVITY
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sensors.batch import StackedAccSamples, StackedImuSamples
 
 
 @dataclass(frozen=True)
@@ -42,6 +46,67 @@ class SensorCalibration:
             imu.debias(self.gyro_bias, self.imu_accel_bias),
             acc.debias(self.acc_bias),
         )
+
+
+@dataclass(frozen=True)
+class StackedSensorCalibration:
+    """Per-run biases of an ensemble, stacked ``(R, axes)``.
+
+    The stacked twin of :class:`SensorCalibration`, produced by
+    :func:`calibrate_static_stacked` for the batched Monte-Carlo
+    engine; slice ``r`` equals the serial calibration of run ``r``
+    bit-for-bit.
+    """
+
+    gyro_bias: np.ndarray
+    imu_accel_bias: np.ndarray
+    acc_bias: np.ndarray
+    window: float
+
+    def apply(
+        self, imu: "StackedImuSamples", acc: "StackedAccSamples"
+    ) -> tuple["StackedImuSamples", "StackedAccSamples"]:
+        """Return de-biased copies of both stacked streams."""
+        return (
+            imu.debias(self.gyro_bias, self.imu_accel_bias),
+            acc.debias(self.acc_bias),
+        )
+
+
+def calibrate_static_stacked(
+    imu: "StackedImuSamples",
+    acc: "StackedAccSamples",
+    window: float = 30.0,
+) -> StackedSensorCalibration:
+    """Batched :func:`calibrate_static` over stacked sensor streams.
+
+    The window masks and mean reductions reproduce the serial maths per
+    run exactly (NumPy's axis reductions round identically to their 2-D
+    counterparts), so each run's biases match the serial calibration
+    bit-for-bit.
+    """
+    if window <= 0.0:
+        raise FusionError(f"calibration window must be > 0, got {window}")
+    imu_mask = imu.time <= imu.time[0] + window
+    acc_mask = acc.time <= acc.time[0] + window
+    if imu.time[-1] - imu.time[0] < window or acc.time[-1] - acc.time[0] < window:
+        raise FusionError(
+            f"streams shorter than the {window:.0f} s calibration window"
+        )
+
+    gyro_bias = imu.body_rate[:, imu_mask, :].mean(axis=1)
+    gravity_level = np.array([0.0, 0.0, -STANDARD_GRAVITY])
+    imu_accel_bias = (
+        imu.specific_force[:, imu_mask, :].mean(axis=1) - gravity_level
+    )
+    acc_bias = acc.specific_force[:, acc_mask, :].mean(axis=1)
+
+    return StackedSensorCalibration(
+        gyro_bias=gyro_bias,
+        imu_accel_bias=imu_accel_bias,
+        acc_bias=acc_bias,
+        window=float(window),
+    )
 
 
 def calibrate_static(

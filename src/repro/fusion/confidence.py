@@ -100,9 +100,11 @@ class ConvergenceDetector:
     """Detects when all angle uncertainties drop below a threshold.
 
     ``threshold`` is the 1-sigma requirement in radians; the detector
-    reports the first time at which every monitored standard deviation
-    is below it and stays below for the rest of the run (checked by the
-    caller re-feeding; here we track the first crossing).
+    reports the start of the *current* streak in which every monitored
+    standard deviation is below it.  A sigma rising back above the
+    threshold resets the detector, so after the final ``record`` the
+    reported time is one that stayed below for the rest of the run —
+    not a transient dip latched forever.
     """
 
     threshold: float
@@ -115,12 +117,15 @@ class ConvergenceDetector:
     def record(self, time: float, sigmas: np.ndarray) -> None:
         """Feed the angle sigmas after an update at ``time``."""
         below = bool(np.all(np.asarray(sigmas) < self.threshold))
-        if below and self.converged_at is None:
-            self.converged_at = float(time)
-        if not below:
-            self.converged_at = self.converged_at  # keep the first crossing
+        if below:
+            if self.converged_at is None:
+                self.converged_at = float(time)
+        else:
+            # The streak broke: forget the earlier crossing, otherwise a
+            # transient dip would be reported as convergence.
+            self.converged_at = None
 
     @property
     def converged(self) -> bool:
-        """Whether the threshold was reached at any point."""
+        """Whether the sigmas are below threshold (and have stayed so)."""
         return self.converged_at is not None

@@ -16,12 +16,16 @@ rate:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import FusionError
 from repro.sensors.acc2 import AccSamples
 from repro.sensors.imu import ImuSamples
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sensors.batch import StackedAccSamples, StackedImuSamples
 
 
 @dataclass
@@ -91,6 +95,129 @@ def _interp_columns(
         for k in range(source.shape[1])
     ]
     return np.stack(cols, axis=1)
+
+
+@dataclass
+class StackedFusedSamples:
+    """Stacked twin of :class:`FusedSamples` for a lockstep ensemble.
+
+    The fusion time base is shared (every run samples the same
+    trajectory); the signal arrays carry a leading run axis:
+    ``specific_force``/``body_rate``/``body_rate_dot`` are (R, N, 3)
+    and ``acc_xy`` is (R, N, 2).
+    """
+
+    time: np.ndarray
+    specific_force: np.ndarray
+    body_rate: np.ndarray
+    body_rate_dot: np.ndarray
+    acc_xy: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.time.shape[0])
+
+    @property
+    def runs(self) -> int:
+        """Ensemble size R."""
+        return int(self.specific_force.shape[0])
+
+    def run(self, index: int) -> FusedSamples:
+        """Extract one run's serial :class:`FusedSamples` view."""
+        return FusedSamples(
+            time=self.time,
+            specific_force=self.specific_force[index],
+            body_rate=self.body_rate[index],
+            body_rate_dot=self.body_rate_dot[index],
+            acc_xy=self.acc_xy[index],
+        )
+
+
+def reconstruct_stacked(
+    imu: "StackedImuSamples", acc: "StackedAccSamples", fusion_rate: float
+) -> StackedFusedSamples:
+    """Batched :func:`reconstruct` over stacked sensor streams.
+
+    Interpolation runs per (run, channel) with the exact serial
+    ``np.interp`` calls; the block averages and the gyro derivative use
+    axis-wise reductions that round identically to the serial 2-D
+    versions — each run's fused series is bit-identical to what
+    :func:`reconstruct` returns for that run alone.
+    """
+    runs = imu.body_rate.shape[0]
+    if imu.body_rate.shape[1] < 2 or acc.specific_force.shape[1] < 2:
+        raise FusionError("need at least two samples from each sensor")
+    if fusion_rate <= 0.0:
+        raise FusionError(f"fusion rate must be > 0, got {fusion_rate}")
+
+    samples = acc.specific_force.shape[1]
+    acc_rate = (samples - 1) / (acc.time[-1] - acc.time[0])
+    factor = acc_rate / fusion_rate
+    factor_int = int(round(factor))
+    if factor_int < 1 or abs(factor - factor_int) > 1e-6 * factor:
+        raise FusionError(
+            f"fusion rate {fusion_rate} Hz must integer-divide the ACC rate "
+            f"{acc_rate:.3f} Hz"
+        )
+
+    overlap_start = max(float(imu.time[0]), float(acc.time[0]))
+    overlap_stop = min(float(imu.time[-1]), float(acc.time[-1]))
+    if overlap_stop <= overlap_start:
+        raise FusionError("IMU and ACC streams do not overlap in time")
+    keep = (acc.time >= overlap_start) & (acc.time <= overlap_stop)
+    acc_time = acc.time[keep]
+    acc_xy = acc.specific_force[:, keep, :]
+
+    def interp_stack(source: np.ndarray) -> np.ndarray:
+        """Per-run, per-column ``np.interp`` onto the ACC time base."""
+        return np.stack(
+            [
+                np.stack(
+                    [
+                        np.interp(acc_time, imu.time, source[r, :, k])
+                        for k in range(source.shape[2])
+                    ],
+                    axis=1,
+                )
+                for r in range(runs)
+            ],
+            axis=0,
+        )
+
+    force_on_acc = interp_stack(imu.specific_force)
+    rate_on_acc = interp_stack(imu.body_rate)
+
+    blocks = acc_time.shape[0] // factor_int
+    if blocks == 0:
+        raise FusionError(
+            f"not enough samples ({acc_time.shape[0]}) for one block of "
+            f"{factor_int}"
+        )
+    usable = blocks * factor_int
+    t_fused = acc_time[:usable].reshape(blocks, factor_int).mean(axis=1)
+
+    def block_average_stack(values: np.ndarray) -> np.ndarray:
+        width = values.shape[2]
+        return (
+            values[:, :usable, :]
+            .reshape(runs, blocks, factor_int, width)
+            .mean(axis=2)
+        )
+
+    force_fused = block_average_stack(force_on_acc)
+    rate_fused = block_average_stack(rate_on_acc)
+    acc_fused = block_average_stack(acc_xy)
+
+    if t_fused.shape[0] < 2:
+        raise FusionError("fewer than two fused samples; lengthen the run")
+    rate_dot = np.gradient(rate_fused, t_fused, axis=1)
+
+    return StackedFusedSamples(
+        time=t_fused,
+        specific_force=force_fused,
+        body_rate=rate_fused,
+        body_rate_dot=rate_dot,
+        acc_xy=acc_fused,
+    )
 
 
 def reconstruct(

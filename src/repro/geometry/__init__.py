@@ -15,6 +15,7 @@ package provides the rotation algebra everything else is built on:
 """
 
 from repro.geometry.angles import EulerAngles
+from repro.geometry.batch import orthonormalize_stack, skew_stack
 from repro.geometry.dcm import (
     dcm_from_euler,
     dcm_from_small_angles,
@@ -42,4 +43,6 @@ __all__ = [
     "unskew",
     "is_rotation_matrix",
     "orthonormalize",
+    "skew_stack",
+    "orthonormalize_stack",
 ]

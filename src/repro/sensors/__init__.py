@@ -18,6 +18,14 @@ what ultimately limit the alignment accuracy reported in Table 1.
 
 from repro.sensors.acc2 import AccSamples, DualAxisAccelerometer
 from repro.sensors.accelerometer import AdxlPwmEncoder, CapacitiveAccelTriad
+from repro.sensors.batch import (
+    StackedAccSamples,
+    StackedImuSamples,
+    StackedRigStreams,
+    sense_acc_stacked,
+    sense_imu_stacked,
+    stack_rig_streams,
+)
 from repro.sensors.camera import PinholeCamera
 from repro.sensors.gyro import RingGyroTriad
 from repro.sensors.imu import ImuSamples, SixDofImu
@@ -37,4 +45,10 @@ __all__ = [
     "AccSamples",
     "Mounting",
     "PinholeCamera",
+    "StackedRigStreams",
+    "StackedImuSamples",
+    "StackedAccSamples",
+    "stack_rig_streams",
+    "sense_imu_stacked",
+    "sense_acc_stacked",
 ]

@@ -1,0 +1,404 @@
+"""Stacked per-seed noise streams and batched instrument sensing.
+
+The Monte-Carlo fast path advances R independent rigs in lockstep.  The
+*randomness* of each rig must stay exactly what the serial rig would
+draw: every run owns the same child-generator tree
+(:func:`repro.rng.spawn_child` ids 100/1, 100/2, 200/11, 200/12) and
+every generator is consumed in the same call order as the serial
+:class:`~repro.sensors.noise.AxisErrorModel` — power-up draws at
+construction, then per sense call and per axis a ``standard_normal``
+shock vector followed by a ``normal`` white-noise vector.  The draws
+are stacked into ``(R, axes, samples)`` arrays and the deterministic
+error chain (scale, bias, Gauss-Markov drift, quantization, clipping)
+is applied with elementwise NumPy ops, which round identically to the
+serial scalar chain — the stacked measurements are bit-identical per
+run, not merely statistically equivalent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import make_rng, spawn_child
+from repro.sensors.acc2 import AccConfig
+from repro.sensors.accelerometer import pwm_quantize
+from repro.sensors.imu import ImuConfig
+from repro.sensors.mounting import Mounting
+from repro.sensors.noise import NoiseSpec
+from repro.units import dps_to_radps, g_to_mps2
+from repro.vehicle.trajectory import TrajectoryData
+
+
+@dataclass
+class StackedGroupStreams:
+    """Noise draws for one axis group across R runs.
+
+    A *group* is a set of axes whose serial models share construction
+    context: the gyro triad (3 axes, one generator), the IMU accel
+    triad (3 axes, one generator) and the dual-axis ACC (2 axes, one
+    generator each).  Arrays are stacked ``(R, axes)`` for power-up
+    draws and ``(R, axes, total_samples)`` for per-sample draws, with
+    samples concatenated across the sensing phases in order.
+    """
+
+    spec: NoiseSpec
+    turn_on_bias: np.ndarray
+    scale_error: np.ndarray
+    drift_init: np.ndarray
+    shocks: np.ndarray | None
+    white: np.ndarray | None
+
+    @property
+    def runs(self) -> int:
+        """Ensemble size R."""
+        return int(self.turn_on_bias.shape[0])
+
+    @property
+    def axes(self) -> int:
+        """Axis count of the group."""
+        return int(self.turn_on_bias.shape[1])
+
+
+@dataclass
+class StackedRigStreams:
+    """All per-seed noise draws one boresight test rig consumes."""
+
+    gyro: StackedGroupStreams
+    imu_accel: StackedGroupStreams
+    acc: StackedGroupStreams
+    #: Samples per sensing phase (calibration, test, ...).
+    phase_samples: tuple[int, ...]
+
+
+@dataclass
+class StackedImuSamples:
+    """Stacked twin of :class:`~repro.sensors.imu.ImuSamples`."""
+
+    time: np.ndarray
+    body_rate: np.ndarray
+    specific_force: np.ndarray
+
+    def debias(
+        self, rate_bias: np.ndarray, force_bias: np.ndarray
+    ) -> "StackedImuSamples":
+        """Per-run bias removal; biases are (R, 3)."""
+        return StackedImuSamples(
+            time=self.time.copy(),
+            body_rate=self.body_rate - np.asarray(rate_bias)[:, None, :],
+            specific_force=self.specific_force
+            - np.asarray(force_bias)[:, None, :],
+        )
+
+
+@dataclass
+class StackedAccSamples:
+    """Stacked twin of :class:`~repro.sensors.acc2.AccSamples`."""
+
+    time: np.ndarray
+    specific_force: np.ndarray
+
+    def debias(self, bias: np.ndarray) -> "StackedAccSamples":
+        """Per-run bias removal; bias is (R, 2)."""
+        return StackedAccSamples(
+            time=self.time.copy(),
+            specific_force=self.specific_force - np.asarray(bias)[:, None, :],
+        )
+
+
+def gauss_markov_stack(
+    alpha: float, drive: float, drift_init: np.ndarray, shocks: np.ndarray
+) -> np.ndarray:
+    """Advance G first-order Gauss-Markov drift states in lockstep.
+
+    Mirrors the per-sample recursion in
+    :meth:`~repro.sensors.noise.AxisErrorModel.corrupt` —
+    ``drift = alpha * drift + drive * shock`` — as one elementwise
+    update per tick over a (G,) vector, so every element reproduces the
+    serial scalar recursion bit-for-bit.
+    """
+    g, n = shocks.shape
+    shocks_t = np.ascontiguousarray(shocks.T)
+    drifts_t = np.empty_like(shocks_t)
+    drift = np.array(drift_init, dtype=np.float64).reshape(g)
+    for i in range(n):
+        drift = alpha * drift + drive * shocks_t[i]
+        drifts_t[i] = drift
+    return np.ascontiguousarray(drifts_t.T)
+
+
+def _draw_group(
+    rngs: Sequence[np.random.Generator],
+    spec: NoiseSpec,
+    axes_per_rng: int,
+    phase_samples: Sequence[int],
+    sample_rate: float,
+) -> StackedGroupStreams:
+    """Replay one group's serial draw order for every run.
+
+    ``rngs`` holds each run's generator(s) for the group: a single
+    generator shared by ``axes_per_rng`` axes (triads) or one generator
+    per axis (``axes_per_rng == 1``, the dual-axis ACC).
+    """
+    per_run = [list(r) if isinstance(r, (list, tuple)) else [r] for r in rngs]
+    runs = len(per_run)
+    axes = len(per_run[0]) * axes_per_rng
+    total = int(sum(phase_samples))
+    sigma = spec.white_sigma(sample_rate)
+
+    turn_on = np.empty((runs, axes))
+    scale = np.empty((runs, axes))
+    drift0 = np.empty((runs, axes))
+    shocks = np.empty((runs, axes, total)) if spec.bias_instability > 0.0 else None
+    white = np.empty((runs, axes, total)) if sigma > 0.0 else None
+
+    for r, generators in enumerate(per_run):
+        # Power-up draws, axis by axis, as AxisErrorModel.__init__ does.
+        for k in range(axes):
+            rng = generators[k // axes_per_rng]
+            turn_on[r, k] = rng.normal(0.0, spec.turn_on_bias_sigma)
+            scale[r, k] = rng.normal(0.0, spec.scale_factor_sigma)
+            drift0[r, k] = rng.normal(0.0, spec.bias_instability)
+        # Per sense call (phase), per axis: shocks then white noise.
+        offset = 0
+        for n in phase_samples:
+            for k in range(axes):
+                rng = generators[k // axes_per_rng]
+                if shocks is not None:
+                    shocks[r, k, offset : offset + n] = rng.standard_normal(n)
+                if white is not None:
+                    white[r, k, offset : offset + n] = rng.normal(
+                        0.0, sigma, size=n
+                    )
+            offset += n
+
+    return StackedGroupStreams(
+        spec=spec,
+        turn_on_bias=turn_on,
+        scale_error=scale,
+        drift_init=drift0,
+        shocks=shocks,
+        white=white,
+    )
+
+
+def stack_rig_streams(
+    seeds: Sequence[int],
+    imu_config: ImuConfig,
+    acc_config: AccConfig,
+    phase_samples: Sequence[int],
+) -> StackedRigStreams:
+    """Draw every noise stream the serial rig would, for each seed.
+
+    ``phase_samples`` lists the sample count of each sensing phase in
+    rig order (calibration recording first, then the test run).  The
+    child-generator tree and per-generator call order replicate
+    :class:`~repro.experiments.protocol.BoresightTestRig` exactly, so
+    the draws equal the serial rig's draws bit-for-bit.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    gyro_rngs = []
+    accel_rngs = []
+    acc_rngs = []
+    for seed in seeds:
+        root = make_rng(int(seed))
+        imu_rng = spawn_child(root, 100)
+        gyro_rngs.append(spawn_child(imu_rng, 1))
+        accel_rngs.append(spawn_child(imu_rng, 2))
+        acc_rng = spawn_child(root, 200)
+        acc_rngs.append(
+            [spawn_child(acc_rng, 11), spawn_child(acc_rng, 12)]
+        )
+
+    return StackedRigStreams(
+        gyro=_draw_group(
+            gyro_rngs,
+            imu_config.gyro.to_noise_spec(),
+            axes_per_rng=3,
+            phase_samples=phase_samples,
+            sample_rate=imu_config.sample_rate,
+        ),
+        imu_accel=_draw_group(
+            accel_rngs,
+            imu_config.accel.to_noise_spec(imu_config.accel_quantization),
+            axes_per_rng=3,
+            phase_samples=phase_samples,
+            sample_rate=imu_config.sample_rate,
+        ),
+        acc=_draw_group(
+            acc_rngs,
+            acc_config.element.to_noise_spec(),
+            axes_per_rng=1,
+            phase_samples=phase_samples,
+            sample_rate=acc_config.sample_rate,
+        ),
+        phase_samples=tuple(int(n) for n in phase_samples),
+    )
+
+
+def corrupt_stacked(
+    group: StackedGroupStreams, truth: np.ndarray, sample_rate: float
+) -> np.ndarray:
+    """Apply the serial error chain to shared truth, batched over runs.
+
+    ``truth`` is (axes, total_samples), shared by every run (the
+    trajectory is common to the ensemble); the result is
+    (R, axes, total_samples).  The operation order — scale+bias, drift,
+    white noise, quantization — matches
+    :meth:`~repro.sensors.noise.AxisErrorModel.corrupt` exactly.
+    """
+    spec = group.spec
+    t = np.asarray(truth, dtype=np.float64)
+    if t.ndim != 2 or t.shape[0] != group.axes:
+        raise ConfigurationError(
+            f"expected ({group.axes}, N) truth, got {t.shape}"
+        )
+    runs, axes = group.runs, group.axes
+    n = t.shape[1]
+    out = (1.0 + group.scale_error[:, :, None]) * t[None, :, :] + (
+        group.turn_on_bias[:, :, None]
+    )
+
+    if spec.bias_instability > 0.0:
+        dt = 1.0 / sample_rate
+        alpha = math.exp(-dt / spec.bias_correlation_time)
+        drive = spec.bias_instability * math.sqrt(
+            max(0.0, 1.0 - alpha * alpha)
+        )
+        drifts = gauss_markov_stack(
+            alpha,
+            drive,
+            group.drift_init.reshape(runs * axes),
+            group.shocks.reshape(runs * axes, n),
+        ).reshape(runs, axes, n)
+        out += drifts
+
+    if spec.white_sigma(sample_rate) > 0.0:
+        out += group.white
+
+    if spec.quantization > 0.0:
+        out = np.round(out / spec.quantization) * spec.quantization
+    return out
+
+
+def _split_phases(
+    stacked: np.ndarray, phase_samples: Sequence[int]
+) -> list[np.ndarray]:
+    """Cut (R, axes, total) into per-phase (R, n, axes) blocks."""
+    blocks = []
+    offset = 0
+    for n in phase_samples:
+        block = stacked[:, :, offset : offset + n]
+        blocks.append(np.ascontiguousarray(np.swapaxes(block, 1, 2)))
+        offset += n
+    return blocks
+
+
+def sense_imu_stacked(
+    config: ImuConfig,
+    streams: StackedRigStreams,
+    phases: Sequence[TrajectoryData],
+) -> list[StackedImuSamples]:
+    """Batched :meth:`~repro.sensors.imu.SixDofImu.sense` over phases.
+
+    ``phases`` are the trajectories of each sensing phase in rig order
+    (they must match ``streams.phase_samples``); the drift state of
+    every axis carries across phases exactly as the serial instrument's
+    does.  Vibration is not modelled — the fast Monte-Carlo engine
+    covers the paper's static (bench) protocol.
+    """
+    _check_phases(config.sample_rate, streams.phase_samples, phases)
+    g_per_mps2 = dps_to_radps(config.gyro.g_sensitivity_dps_per_mps2)
+    gyro_truth = np.concatenate(
+        [p.body_rate + g_per_mps2 * p.specific_force for p in phases], axis=0
+    ).T
+    accel_truth = np.concatenate(
+        [p.specific_force for p in phases], axis=0
+    ).T
+
+    rate = config.sample_rate
+    gyro_measured = corrupt_stacked(streams.gyro, gyro_truth, rate)
+    accel_measured = corrupt_stacked(streams.imu_accel, accel_truth, rate)
+
+    gyro_fs = dps_to_radps(config.gyro.full_scale_dps)
+    accel_fs = g_to_mps2(config.accel.full_scale_g)
+    out = []
+    for phase, rate_block, force_block in zip(
+        phases,
+        _split_phases(gyro_measured, streams.phase_samples),
+        _split_phases(accel_measured, streams.phase_samples),
+    ):
+        out.append(
+            StackedImuSamples(
+                time=phase.time.copy(),
+                body_rate=np.clip(rate_block, -gyro_fs, gyro_fs),
+                specific_force=np.clip(force_block, -accel_fs, accel_fs),
+            )
+        )
+    return out
+
+
+def sense_acc_stacked(
+    config: AccConfig,
+    streams: StackedRigStreams,
+    phases: Sequence[TrajectoryData],
+    mountings: Sequence[Mounting],
+) -> list[StackedAccSamples]:
+    """Batched :meth:`~repro.sensors.acc2.DualAxisAccelerometer.sense`.
+
+    ``mountings[i]`` is the (shared) physical mounting during phase i —
+    aligned during calibration, misaligned during the test — mirroring
+    the serial rig's ``remount`` between phases.
+    """
+    _check_phases(config.sample_rate, streams.phase_samples, phases)
+    if len(mountings) != len(phases):
+        raise ConfigurationError("need one mounting per phase")
+    truth_blocks = []
+    for phase, mounting in zip(phases, mountings):
+        omega = phase.body_rate
+        omega_dot = np.gradient(omega, phase.time, axis=0)
+        force_at_sensor = mounting.specific_force_at_sensor(
+            phase.specific_force, omega, omega_dot
+        )
+        force_sensor_frame = force_at_sensor @ mounting.body_to_sensor.T
+        truth_blocks.append(force_sensor_frame[:, :2])
+    truth = np.concatenate(truth_blocks, axis=0).T
+
+    measured = corrupt_stacked(streams.acc, truth, config.sample_rate)
+    out = []
+    for phase, xy in zip(phases, _split_phases(measured, streams.phase_samples)):
+        out.append(
+            StackedAccSamples(
+                time=phase.time.copy(),
+                specific_force=pwm_quantize(config.pwm, xy),
+            )
+        )
+    return out
+
+
+def _check_phases(
+    sample_rate: float,
+    phase_samples: tuple[int, ...],
+    phases: Sequence[TrajectoryData],
+) -> None:
+    if len(phases) != len(phase_samples):
+        raise ConfigurationError(
+            f"streams drawn for {len(phase_samples)} phases, got {len(phases)}"
+        )
+    for expected, phase in zip(phase_samples, phases):
+        if len(phase.time) != expected:
+            raise ConfigurationError(
+                f"phase has {len(phase.time)} samples, streams drawn for "
+                f"{expected}"
+            )
+        measured = phase.sample_rate
+        if abs(measured - sample_rate) > 1e-6 * sample_rate:
+            raise ConfigurationError(
+                f"trajectory sampled at {measured:.3f} Hz but the sensor "
+                f"runs at {sample_rate:.3f} Hz — resample the trajectory"
+            )

@@ -1,0 +1,83 @@
+"""Property suite for the CAN wire layer.
+
+Three properties the bus model must hold for the sensor links to be
+trustworthy:
+
+1. ``stuff_bits``/``unstuff_bits`` are exact inverses over arbitrary
+   bit streams;
+2. frame → wire bits → frame round-trips losslessly for every valid
+   id/payload;
+3. any single corrupted wire bit surfaces as a :class:`BusError`
+   (stuff, form or CRC) — never as a silently wrong frame.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import CanFrame
+from repro.comm.can import STUFF_LIMIT, frame_from_bits, stuff_bits, unstuff_bits
+from repro.errors import BusError
+
+bit_streams = st.lists(st.integers(0, 1), min_size=0, max_size=300)
+frames = st.builds(
+    CanFrame,
+    st.integers(0, 0x7FF),
+    st.binary(min_size=0, max_size=8),
+)
+
+
+class TestStuffing:
+    @given(bit_streams)
+    @settings(max_examples=200)
+    def test_unstuff_inverts_stuff(self, bits):
+        assert unstuff_bits(stuff_bits(bits)) == bits
+
+    @given(bit_streams)
+    @settings(max_examples=200)
+    def test_stuffed_stream_has_no_long_runs(self, bits):
+        stuffed = stuff_bits(bits)
+        run = 0
+        previous = None
+        for bit in stuffed:
+            run = run + 1 if bit == previous else 1
+            previous = bit
+            assert run <= STUFF_LIMIT
+
+    @given(bit_streams)
+    @settings(max_examples=200)
+    def test_stuffing_overhead_is_bounded(self, bits):
+        # At most one stuff bit per STUFF_LIMIT-sized block of input.
+        stuffed = stuff_bits(bits)
+        assert len(bits) <= len(stuffed) <= len(bits) + len(bits) // STUFF_LIMIT
+
+
+class TestFrameRoundTrip:
+    @given(frames)
+    @settings(max_examples=200)
+    def test_wire_round_trip(self, frame):
+        decoded = frame_from_bits(frame.to_bits())
+        assert decoded == frame
+        assert decoded.dlc == frame.dlc
+
+    @given(frames)
+    @settings(max_examples=50)
+    def test_truncated_frame_rejected(self, frame):
+        bits = frame.to_bits()
+        with pytest.raises(BusError):
+            frame_from_bits(bits[: len(bits) // 2])
+
+
+class TestSingleBitCorruption:
+    @given(frames)
+    @settings(max_examples=50, deadline=None)
+    def test_every_single_bit_flip_raises(self, frame):
+        # Exhaustive over positions for each generated frame: a flipped
+        # wire bit must never decode silently — the stuffing rule, the
+        # form checks (SOF/RTR/IDE/r0) or the CRC has to catch it.
+        bits = frame.to_bits()
+        for position in range(len(bits)):
+            corrupted = list(bits)
+            corrupted[position] ^= 1
+            with pytest.raises(BusError):
+                frame_from_bits(corrupted)

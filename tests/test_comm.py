@@ -89,6 +89,20 @@ class TestCanFrames:
         with pytest.raises(ProtocolError):
             CanFrame(0x100, bytes(9))
 
+    def test_recessive_r0_is_form_error(self):
+        # Regression: a recessive reserved bit r0 must raise like the
+        # RTR/IDE form violations, not be silently ignored.  Build the
+        # frame by hand with r0=1 and a CRC consistent with it so only
+        # the r0 check can catch the violation.
+        frame = CanFrame(0x123, b"\x42")
+        bits = frame.unstuffed_bits()
+        crc_span = len(bits) - 15
+        bits = bits[:crc_span]
+        bits[14] = 1
+        bits += int_to_bits(crc15_can(bits), 15)
+        with pytest.raises(BusError, match="r0"):
+            frame_from_bits(stuff_bits(bits))
+
 
 class TestCanBus:
     def test_priority_arbitration(self):

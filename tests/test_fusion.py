@@ -272,6 +272,20 @@ class TestConfidence:
         assert det.converged
         assert det.converged_at == 2.0
 
+    def test_convergence_detector_resets_on_dip_and_recover(self):
+        # Regression: a transient dip below threshold must not latch as
+        # convergence once the sigmas rise back above it.
+        det = ConvergenceDetector(threshold=0.01)
+        det.record(1.0, np.array([0.005, 0.005, 0.005]))
+        assert det.converged_at == 1.0
+        det.record(2.0, np.array([0.02, 0.005, 0.005]))
+        assert not det.converged
+        assert det.converged_at is None
+        det.record(3.0, np.array([0.004, 0.004, 0.004]))
+        det.record(4.0, np.array([0.003, 0.003, 0.003]))
+        assert det.converged
+        assert det.converged_at == 3.0
+
 
 class TestAdaptiveNoise:
     def test_adapts_to_inflated_noise(self, rng):
