@@ -1,8 +1,6 @@
 """Ablation benches for the design choices DESIGN.md calls out."""
 
-import math
-
-import numpy as np
+import pytest
 
 from repro.analysis import markdown_table
 from repro.experiments.ablations import (
@@ -10,6 +8,8 @@ from repro.experiments.ablations import (
     lut_resolution_sweep,
     measurement_noise_sweep,
 )
+
+pytestmark = pytest.mark.bench
 
 
 def test_measurement_noise_sweep(once):

@@ -4,13 +4,25 @@ The vectorized engine must beat the Python ``tick()`` model by ≥50× on
 a QVGA frame while returning the identical frame and cycle count.  Run
 ``python benchmarks/run_fastpath.py`` to persist the measurement to
 ``BENCH_fastpath.json``.
+
+``BENCH_SMOKE=1`` shrinks the frame for CI smoke lanes; the speedup
+floor scales down with it (vectorization gains grow with area).
 """
+
+import os
+
+import pytest
 
 from run_fastpath import measure_fastpath
 
+pytestmark = pytest.mark.bench
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+WIDTH, HEIGHT, MIN_SPEEDUP = (160, 120, 25.0) if SMOKE else (320, 240, 50.0)
+
 
 def test_fastpath_speedup_qvga(once):
-    result = once(measure_fastpath)
+    result = once(measure_fastpath, width=WIDTH, height=HEIGHT)
     print()
     print(
         f"QVGA: model {result['model_seconds']:.3f}s vs fast "
@@ -18,4 +30,4 @@ def test_fastpath_speedup_qvga(once):
     )
     assert result["identical"], "fast path diverged from the oracle"
     assert result["cycles"] == result["expected_cycles"]
-    assert result["speedup"] >= 50.0
+    assert result["speedup"] >= MIN_SPEEDUP

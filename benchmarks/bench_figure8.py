@@ -5,11 +5,15 @@ noise setting: residuals blow through the bound, so "the Filter noise
 was increased" — the retuned filter is consistent again.
 """
 
+import pytest
+
 from repro.experiments.figure8 import (
     render_ascii,
     run_figure8_dynamic,
     run_figure8_static,
 )
+
+pytestmark = pytest.mark.bench
 
 #: The paper's target: "exceed the 3-sigma value about once every 100
 #: samples".  We accept a little sampling slack either side.

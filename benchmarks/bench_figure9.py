@@ -6,8 +6,11 @@ the final error is bracketed by the confidence output.
 """
 
 import numpy as np
+import pytest
 
-from repro.experiments.figure9 import render_ascii, run_figure9, trace_from_run
+from repro.experiments.figure9 import render_ascii, run_figure9
+
+pytestmark = pytest.mark.bench
 
 
 def test_figure9_convergence(once):

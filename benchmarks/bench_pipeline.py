@@ -8,6 +8,8 @@ RC200E clock.
 
 import math
 
+import pytest
+
 from repro.fpga import RC200Board, RC200Config
 from repro.fpga.pipeline import (
     PIPELINE_DEPTH,
@@ -15,6 +17,8 @@ from repro.fpga.pipeline import (
     RotateCoordinatesPipeline,
 )
 from repro.video import AffineParams, checkerboard
+
+pytestmark = pytest.mark.bench
 
 QVGA = (320, 240)
 

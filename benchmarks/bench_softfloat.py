@@ -6,12 +6,15 @@ embedded filter update.
 """
 
 import numpy as np
+import pytest
 
 import repro.sabre.softfloat as sf
 from repro.comm.protocol import AccPacket, encode_acc_packet
 from repro.fusion import solve_steady_state_gain
 from repro.sabre.firmware import ACC_SCALE, BoresightGains, boresight_program
 from repro.sabre.loader import link_system
+
+pytestmark = pytest.mark.bench
 
 
 def test_softfloat_mul_throughput(benchmark):

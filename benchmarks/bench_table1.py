@@ -7,6 +7,7 @@ dynamic drives in close agreement.
 """
 
 import numpy as np
+import pytest
 
 from repro.experiments.table1 import (
     AUTOMOTIVE_REQUIREMENT_DEG,
@@ -15,6 +16,8 @@ from repro.experiments.table1 import (
     run_dynamic_table,
     run_static_table,
 )
+
+pytestmark = pytest.mark.bench
 
 
 def test_table1_static(once):

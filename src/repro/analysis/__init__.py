@@ -1,7 +1,10 @@
 """Statistical analysis helpers: Monte-Carlo batches and reporting."""
 
 from repro.analysis.montecarlo import (
+    DYNAMIC_MOTION_GATE_RATE,
+    EnsembleJob,
     MonteCarloSummary,
+    run_monte_carlo_dynamic,
     run_monte_carlo_static,
     summarize_outcomes,
 )
@@ -9,7 +12,10 @@ from repro.analysis.reporting import markdown_table
 
 __all__ = [
     "run_monte_carlo_static",
+    "run_monte_carlo_dynamic",
     "summarize_outcomes",
+    "DYNAMIC_MOTION_GATE_RATE",
+    "EnsembleJob",
     "MonteCarloSummary",
     "markdown_table",
 ]

@@ -1,9 +1,9 @@
 """Monte-Carlo batches over the boresight protocol.
 
 The paper reports single runs; a reproduction can afford ensembles.
-These helpers run the §11 protocol across seeds and aggregate error
-statistics — used to check the 3-sigma coverage claim statistically
-rather than anecdotally.
+These helpers run the §11 protocols (static bench and dynamic drive)
+across seeds and aggregate error statistics — used to check the
+3-sigma coverage claim statistically rather than anecdotally.
 
 Ensembles are embarrassingly parallel: every run owns an independent
 seed, so ``workers > 1`` fans the runs out over spawned processes.
@@ -12,10 +12,15 @@ worker finishes first, so the summary is deterministic and identical
 to a serial run with the same seeds.
 
 They also batch: ``engine="fast"`` advances every run in lockstep over
-stacked arrays (shared trajectory sampling, batched noise chains and a
-:class:`~repro.fusion.batch_kalman.BatchKalmanFilter`), bit-identical
-to the serial engine with the same seeds and roughly ``runs`` times
-faster in one process.
+stacked arrays (shared trajectory sampling, batched noise and
+vibration chains, a :class:`~repro.fusion.batch_kalman.BatchKalmanFilter`
+with per-run motion gating), bit-identical to the serial engine with
+the same seeds and roughly ``runs`` times faster in one process.
+
+Both engines mask divergence per run: a seed whose filter blows up
+(e.g. under an injected ACC dropout) is reported in
+``MonteCarloSummary.diverged_seeds`` and excluded from the aggregates
+instead of aborting the whole ensemble.
 """
 
 from __future__ import annotations
@@ -24,14 +29,32 @@ import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    FilterDivergenceError,
+    SimulationError,
+)
 from repro.experiments.protocol import BoresightTestRig, RigConfig
-from repro.experiments.table1 import static_estimator_config
+from repro.experiments.table1 import (
+    dynamic_estimator_config,
+    static_estimator_config,
+)
+from repro.fusion import BoresightConfig
 from repro.geometry import EulerAngles
-from repro.vehicle.profiles import static_tilt_profile
+from repro.rng import make_rng
+from repro.vehicle import Trajectory
+from repro.vehicle.profiles import city_drive_profile, static_tilt_profile
+
+#: Default body-rate magnitude (rad/s) above which the dynamic
+#: ensembles skip measurement updates.  City-drive corners peak around
+#: 0.5 rad/s, so the gate trims the hard-cornering ticks where the
+#: lever-arm and timing systematics are worst while keeping most of
+#: the drive observable.
+DYNAMIC_MOTION_GATE_RATE = 0.4
 
 
 @dataclass(eq=False)
@@ -47,11 +70,13 @@ class MonteCarloSummary:
     coverage_3sigma: float
     #: Mean residual 3-sigma exceedance fraction across runs.
     mean_exceedance: float
+    #: Seeds whose filter diverged; masked out of every aggregate above.
+    diverged_seeds: tuple[int, ...] = ()
 
     def __eq__(self, other: object) -> bool:
         # The dataclass-generated __eq__ would raise on the ndarray
-        # fields; exact comparison supports the workers=1-vs-N
-        # determinism contract.
+        # fields; exact comparison supports the workers=1-vs-N and
+        # model-vs-fast determinism contracts.
         if not isinstance(other, MonteCarloSummary):
             return NotImplemented
         return (
@@ -60,11 +85,13 @@ class MonteCarloSummary:
             and np.array_equal(self.max_error_deg, other.max_error_deg)
             and self.coverage_3sigma == other.coverage_3sigma
             and self.mean_exceedance == other.mean_exceedance
+            and self.diverged_seeds == other.diverged_seeds
         )
 
 
 def summarize_outcomes(
     outcomes: list[tuple[np.ndarray, int, float]],
+    diverged_seeds: Sequence[int] = (),
 ) -> MonteCarloSummary:
     """Aggregate per-run ``(error_deg, covered, exceedance)`` outcomes.
 
@@ -73,8 +100,15 @@ def summarize_outcomes(
     bit-identity contract between engines — lives in exactly one place.
     The 3-sigma coverage denominator is ``runs`` times the error
     dimensionality taken from the error vectors themselves.
+    ``diverged_seeds`` records seeds already masked out of
+    ``outcomes``; ``runs`` counts only the converged runs.
     """
     if not outcomes:
+        if diverged_seeds:
+            raise ConfigurationError(
+                f"every run diverged (seeds {tuple(diverged_seeds)}); "
+                "nothing to summarize"
+            )
         raise ConfigurationError("no outcomes to summarize")
     runs = len(outcomes)
     errors = [outcome[0] for outcome in outcomes]
@@ -88,27 +122,96 @@ def summarize_outcomes(
         max_error_deg=np.max(np.abs(error_matrix), axis=0),
         coverage_3sigma=covered / (runs * axis_count),
         mean_exceedance=float(np.mean(exceedances)),
+        diverged_seeds=tuple(int(s) for s in diverged_seeds),
     )
 
 
-def _static_run_job(job: tuple) -> tuple[np.ndarray, int, float]:
-    """One seeded protocol run; module-level so spawn can pickle it."""
-    seed, duration, dwell_time, slew_time, misalignment, measurement_sigma = job
-    trajectory = static_tilt_profile(
-        duration=duration, dwell_time=dwell_time, slew_time=slew_time
+@dataclass(frozen=True)
+class EnsembleJob:
+    """One seeded protocol run, fully specified and picklable.
+
+    The typed job payload shared by the static and dynamic serial
+    engines (and their ``workers > 1`` process pools): everything a
+    worker needs to reproduce the run bit-for-bit from the seed alone.
+    """
+
+    seed: int
+    trajectory: Trajectory
+    misalignment: EulerAngles
+    estimator_config: BoresightConfig
+    #: Whether the vibration environment is switched on (dynamic tests).
+    moving: bool
+    #: ACC failure-injection time for this seed, seconds; None disables.
+    acc_dropout_time: float | None = None
+
+
+def _run_job(job: EnsembleJob) -> tuple[np.ndarray, int, float] | None:
+    """One seeded protocol run; module-level so spawn can pickle it.
+
+    Returns ``None`` when the run's filter diverges — the covariance
+    check raises :class:`~repro.errors.FilterDivergenceError`, or the
+    non-finite state poisons a LAPACK call (``LinAlgError``).  The
+    caller masks such seeds instead of aborting the ensemble.
+    """
+    rig = BoresightTestRig(
+        RigConfig(seed=job.seed, acc_dropout_time=job.acc_dropout_time)
     )
-    rig = BoresightTestRig(RigConfig(seed=seed))
-    run = rig.run(
-        misalignment,
-        trajectory,
-        estimator_config=static_estimator_config(measurement_sigma),
-        moving=False,
-    )
+    try:
+        run = rig.run(
+            job.misalignment,
+            job.trajectory,
+            estimator_config=job.estimator_config,
+            moving=job.moving,
+        )
+    except (FilterDivergenceError, np.linalg.LinAlgError):
+        return None
     error = run.error_vs_truth_deg()
     three_sigma = run.result.three_sigma_deg()
     covered = int(np.sum(np.abs(error) <= three_sigma))
     exceedance = float(np.max(run.result.monitor.exceedance_fraction))
     return error, covered, exceedance
+
+
+def _run_serial_engine(
+    jobs: list[EnsembleJob], workers: int
+) -> MonteCarloSummary:
+    """Execute jobs on the oracle engine, serially or process-parallel."""
+    if workers > 1 and len(jobs) > 1:
+        context = multiprocessing.get_context("spawn")
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(jobs)), mp_context=context
+            ) as pool:
+                results = list(pool.map(_run_job, jobs))
+        except BrokenProcessPool as exc:
+            raise SimulationError(
+                "Monte-Carlo worker pool died; see the chained exception "
+                "for the real cause. One common one: spawned workers "
+                "re-import the caller's __main__, which fails from "
+                "REPL/stdin contexts — there, use workers=1."
+            ) from exc
+    else:
+        results = [_run_job(job) for job in jobs]
+
+    outcomes = [outcome for outcome in results if outcome is not None]
+    diverged = [
+        job.seed for job, outcome in zip(jobs, results) if outcome is None
+    ]
+    return summarize_outcomes(outcomes, diverged_seeds=diverged)
+
+
+def _check_engine(engine: str, workers: int) -> None:
+    if engine not in ("model", "fast"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'model' or 'fast'"
+        )
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if engine == "fast" and workers != 1:
+        raise ConfigurationError(
+            "engine='fast' batches all runs in one process; use workers=1 "
+            "(process parallelism belongs to engine='model')"
+        )
 
 
 def run_monte_carlo_static(
@@ -144,61 +247,109 @@ def run_monte_carlo_static(
       faster, and single-process: combining it with ``workers > 1``
       raises :class:`~repro.errors.ConfigurationError`.
     """
-    if engine not in ("model", "fast"):
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; expected 'model' or 'fast'"
-        )
-    if workers < 1:
-        raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    if engine == "fast" and workers != 1:
-        raise ConfigurationError(
-            "engine='fast' batches all runs in one process; use workers=1 "
-            "(process parallelism belongs to engine='model')"
-        )
+    _check_engine(engine, workers)
     if misalignment is None:
         misalignment = EulerAngles.from_degrees(2.0, -1.5, 3.0)
+    trajectory = static_tilt_profile(
+        duration=duration, dwell_time=dwell_time, slew_time=slew_time
+    )
+    estimator_config = static_estimator_config(measurement_sigma)
+    seeds = [base_seed + i for i in range(runs)]
     if engine == "fast":
         # Imported lazily: the batch engine pulls in the whole stacked
         # pipeline, which oracle-only users never need.
         from repro.experiments.batch_protocol import run_static_ensemble
 
         ensemble = run_static_ensemble(
-            seeds=[base_seed + i for i in range(runs)],
+            seeds=seeds,
             misalignment=misalignment,
-            trajectory=static_tilt_profile(
-                duration=duration, dwell_time=dwell_time, slew_time=slew_time
-            ),
-            estimator_config=static_estimator_config(measurement_sigma),
+            trajectory=trajectory,
+            estimator_config=estimator_config,
         )
-        outcomes = ensemble.outcomes()
-        return summarize_outcomes(outcomes)
+        return summarize_outcomes(
+            ensemble.outcomes(), diverged_seeds=ensemble.diverged_seeds
+        )
 
     jobs = [
-        (
-            base_seed + i,
-            duration,
-            dwell_time,
-            slew_time,
-            misalignment,
-            measurement_sigma,
+        EnsembleJob(
+            seed=seed,
+            trajectory=trajectory,
+            misalignment=misalignment,
+            estimator_config=estimator_config,
+            moving=False,
         )
-        for i in range(runs)
+        for seed in seeds
     ]
-    if workers > 1 and runs > 1:
-        context = multiprocessing.get_context("spawn")
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, runs), mp_context=context
-            ) as pool:
-                outcomes = list(pool.map(_static_run_job, jobs))
-        except BrokenProcessPool as exc:
-            raise SimulationError(
-                "Monte-Carlo worker pool died; see the chained exception "
-                "for the real cause. One common one: spawned workers "
-                "re-import the caller's __main__, which fails from "
-                "REPL/stdin contexts — there, use workers=1."
-            ) from exc
-    else:
-        outcomes = [_static_run_job(job) for job in jobs]
+    return _run_serial_engine(jobs, workers)
 
-    return summarize_outcomes(outcomes)
+
+def run_monte_carlo_dynamic(
+    runs: int = 5,
+    duration: float = 160.0,
+    misalignment: EulerAngles | None = None,
+    measurement_sigma: float = 0.03,
+    base_seed: int = 100,
+    route_seed: int = 50,
+    motion_gate_rate: float | None = DYNAMIC_MOTION_GATE_RATE,
+    acc_dropout: Mapping[int, float] | None = None,
+    workers: int = 1,
+    engine: str = "model",
+) -> MonteCarloSummary:
+    """Repeat the dynamic (driving) protocol across seeds and aggregate.
+
+    Every seed's rig flies the *same* randomized city drive (generated
+    once from ``route_seed``) with its own instrument noise and its own
+    vibration environment — the ensemble twin of the paper's Table 1
+    dynamic rows, with ``measurement_sigma`` defaulting to the paper's
+    moving-test retune (R ≥ 0.015).  ``motion_gate_rate`` arms the
+    motion gate of :func:`~repro.experiments.table1.dynamic_estimator_config`
+    (``None`` disables gating).
+
+    ``acc_dropout`` maps seeds to a test-phase time at which that
+    seed's ACC goes NaN (sensor failure).  The resulting filter
+    divergence is *masked*, not fatal: the seed lands in
+    ``MonteCarloSummary.diverged_seeds`` and the aggregates cover the
+    surviving runs — identically in both engines.
+
+    ``workers`` and ``engine`` behave exactly as in
+    :func:`run_monte_carlo_static`; the fast engine's summary is
+    bit-identical to the serial oracle's for the same seeds.
+    """
+    _check_engine(engine, workers)
+    if misalignment is None:
+        misalignment = EulerAngles.from_degrees(2.0, -1.5, 3.0)
+    trajectory = city_drive_profile(
+        duration=duration, rng=make_rng(route_seed)
+    )
+    estimator_config = dynamic_estimator_config(
+        measurement_sigma, motion_gate_rate=motion_gate_rate
+    )
+    seeds = [base_seed + i for i in range(runs)]
+    if engine == "fast":
+        from repro.experiments.batch_protocol import run_dynamic_ensemble
+
+        ensemble = run_dynamic_ensemble(
+            seeds=seeds,
+            misalignment=misalignment,
+            trajectory=trajectory,
+            estimator_config=estimator_config,
+            acc_dropout=acc_dropout,
+        )
+        return summarize_outcomes(
+            ensemble.outcomes(), diverged_seeds=ensemble.diverged_seeds
+        )
+
+    jobs = [
+        EnsembleJob(
+            seed=seed,
+            trajectory=trajectory,
+            misalignment=misalignment,
+            estimator_config=estimator_config,
+            moving=True,
+            acc_dropout_time=(
+                acc_dropout.get(seed) if acc_dropout is not None else None
+            ),
+        )
+        for seed in seeds
+    ]
+    return _run_serial_engine(jobs, workers)

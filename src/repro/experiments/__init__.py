@@ -12,7 +12,13 @@ One module per artifact (see DESIGN.md §4 for the experiment index):
   resolution sweep, arithmetic-backend sweep.
 """
 
-from repro.experiments.batch_protocol import StaticEnsemble, run_static_ensemble
+from repro.experiments.batch_protocol import (
+    DynamicEnsemble,
+    LockstepEnsemble,
+    StaticEnsemble,
+    run_dynamic_ensemble,
+    run_static_ensemble,
+)
 from repro.experiments.protocol import BoresightTestRig, RigConfig, TestRun
 from repro.experiments.table1 import (
     Table1Row,
@@ -25,8 +31,11 @@ __all__ = [
     "BoresightTestRig",
     "RigConfig",
     "TestRun",
+    "LockstepEnsemble",
     "StaticEnsemble",
+    "DynamicEnsemble",
     "run_static_ensemble",
+    "run_dynamic_ensemble",
     "Table1Row",
     "run_static_table",
     "run_dynamic_table",

@@ -13,7 +13,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.experiments.figure8 import run_figure8_dynamic, run_figure8_static
 from repro.fpga.fixedpoint import TRIG_FORMAT
@@ -22,7 +21,7 @@ from repro.fpga.trig_lut import SinCosLut
 from repro.fusion.backend import Backend, get_backend
 from repro.fusion.portable import PortableBoresightFilter
 from repro.rng import make_rng
-from repro.units import STANDARD_GRAVITY, TWO_PI
+from repro.units import STANDARD_GRAVITY
 
 
 @dataclass(frozen=True)

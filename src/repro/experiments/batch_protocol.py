@@ -1,20 +1,29 @@
-"""The §11 static protocol over an ensemble of seeds, in lockstep.
+"""The §11 protocols over an ensemble of seeds, in lockstep.
 
 The serial :class:`~repro.experiments.protocol.BoresightTestRig` costs
 one full Python-level pipeline per seed.  For a Monte-Carlo ensemble
 the *deterministic* work — trajectory sampling, lever-arm truth, frame
 rotations, the protocol schedule — is identical across seeds, and the
-per-seed work (noise draws, error chains, calibration, reconstruction,
-filtering) batches into stacked arrays.  This module runs R rigs as:
+per-seed work (noise draws, vibration, error chains, calibration,
+reconstruction, filtering) batches into stacked arrays.  This module
+runs R rigs as:
 
 1. sample the calibration and test trajectories **once**;
 2. draw every rig's noise streams per seed (bit-identical RNG order,
-   see :mod:`repro.sensors.batch`);
-3. sense, calibrate, reconstruct and filter all R runs in lockstep.
+   see :mod:`repro.sensors.batch`) and, for moving tests, synthesize
+   every rig's vibration fields
+   (:mod:`repro.vehicle.batch_vibration`);
+3. sense, calibrate, reconstruct and filter all R runs in lockstep,
+   with per-run motion gating and divergence masking inside
+   :class:`~repro.fusion.batch_boresight.BatchBoresightEstimator`.
 
 Each run's outputs are bit-identical to the serial rig's — the serial
-path stays the verification oracle (``tests/test_batch_kalman.py``
-pins the equality, ``benchmarks/run_batch_kalman.py`` the speedup).
+path stays the verification oracle (``tests/test_batch_kalman.py`` and
+``tests/test_dynamic_ensemble.py`` pin the equality,
+``benchmarks/run_batch_kalman.py`` / ``run_dynamic_ensemble.py`` the
+speedups).  A seed whose filter diverges (e.g. under an injected ACC
+dropout) is flagged and masked out of the aggregation in both engines
+rather than aborting the ensemble.
 
 The laser-boresight truth draw is skipped: it consumes an independent
 child generator (stream 300), so skipping it cannot perturb any other
@@ -24,10 +33,11 @@ stream, and the ensemble statistics compare against simulation truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FusionError
 from repro.experiments.protocol import RigConfig, bench_estimator_config
 from repro.fusion import BoresightConfig
 from repro.fusion.batch_boresight import (
@@ -47,23 +57,30 @@ from repro.sensors.batch import (
     stack_rig_streams,
 )
 from repro.vehicle import Trajectory
+from repro.vehicle.batch_vibration import stack_vibration_fields
 from repro.vehicle.profiles import static_level_profile
 
 
 @dataclass
-class StaticEnsemble:
+class LockstepEnsemble:
     """Everything the Monte-Carlo aggregation needs from R lockstep runs."""
 
     seeds: tuple[int, ...]
     #: The misalignment physically introduced (simulation truth).
     introduced: EulerAngles
-    #: Stacked estimator output (final DCMs, sigmas, residual monitor).
+    #: Stacked estimator output (final DCMs, sigmas, residual monitor,
+    #: divergence flags).
     result: BatchBoresightResult
     #: Per-run biases found during the stacked calibration.
     calibration: StackedSensorCalibration
 
     def errors_vs_truth_deg(self) -> np.ndarray:
-        """Per-run estimate − simulation truth, degrees, (R, 3)."""
+        """Per-run estimate − simulation truth, degrees, (R, 3).
+
+        Rows of diverged runs hold their frozen pre-divergence
+        reference and must not be aggregated; :meth:`outcomes` skips
+        them.
+        """
         introduced = self.introduced.as_array()
         return np.stack(
             [
@@ -73,45 +90,59 @@ class StaticEnsemble:
             axis=0,
         )
 
+    @property
+    def diverged_seeds(self) -> tuple[int, ...]:
+        """Seeds whose filter diverged (masked out of the outcomes)."""
+        return tuple(
+            int(seed)
+            for seed, flag in zip(self.seeds, self.result.diverged)
+            if flag
+        )
+
     def outcomes(self) -> list[tuple[np.ndarray, int, float]]:
         """Per-run ``(error_deg, covered, exceedance)`` tuples.
 
         The exact aggregation inputs the serial Monte-Carlo job
-        produces, computed with the same elementwise expressions.
+        produces, computed with the same elementwise expressions, in
+        seed order.  Diverged runs are skipped — the serial engine
+        masks those seeds the same way.
         """
+        if np.all(self.result.diverged):
+            # Nothing converged; let the aggregation report the seeds
+            # (the serial engine raises the identical error there).
+            return []
         errors = self.errors_vs_truth_deg()
         three_sigma = self.result.three_sigma_deg()
         exceedance = self.result.monitor.exceedance_fraction
+        counts = self.result.monitor.counts
         out = []
         for r in range(len(self.seeds)):
+            if self.result.diverged[r]:
+                continue
+            if counts[r] == 0:
+                # The serial monitor raises on a run that never
+                # recorded an innovation (e.g. fully motion-gated).
+                raise FusionError(
+                    f"run for seed {self.seeds[r]} recorded no innovations; "
+                    "lower motion_gate_rate or lengthen the drive"
+                )
             covered = int(np.sum(np.abs(errors[r]) <= three_sigma[r]))
             out.append((errors[r], covered, float(np.max(exceedance[r]))))
         return out
 
 
-def run_static_ensemble(
-    seeds: list[int] | tuple[int, ...],
-    misalignment: EulerAngles,
-    trajectory: Trajectory,
-    estimator_config: BoresightConfig | None = None,
-    rig_config: RigConfig | None = None,
-) -> StaticEnsemble:
-    """Run the static §11 protocol for every seed, batched in lockstep.
+class StaticEnsemble(LockstepEnsemble):
+    """Lockstep ensemble over the static (bench) §11 protocol."""
 
-    Mirrors ``BoresightTestRig(RigConfig(seed=s)).run(misalignment,
-    trajectory, estimator_config, moving=False)`` for each seed — same
-    calibration recording, same remount between phases, same fusion
-    pipeline — with all per-seed arrays stacked on a leading run axis.
-    ``rig_config`` supplies the shared hardware parameters (its
-    ``seed`` field is ignored; the ensemble seeds come from ``seeds``).
-    """
-    if not seeds:
-        raise ConfigurationError("need at least one seed")
-    config = rig_config if rig_config is not None else RigConfig()
 
-    # Phase trajectories, sampled once and shared by the ensemble.  The
-    # serial rig samples per instrument; with equal IMU/ACC rates one
-    # sampling serves both, and sampling is deterministic either way.
+class DynamicEnsemble(LockstepEnsemble):
+    """Lockstep ensemble over the dynamic (driving) §11 protocol."""
+
+
+def _sampled_phases(
+    config: RigConfig, trajectory: Trajectory
+) -> tuple[list, list]:
+    """Sample the calibration and test trajectories once per rate."""
     calibration_trajectory = static_level_profile(config.calibration_duration)
     rates = {config.imu.sample_rate, config.acc.sample_rate}
     sampled = {
@@ -126,6 +157,23 @@ def run_static_ensemble(
         raise ConfigurationError(
             "batch engine requires equal IMU/ACC sample counts per phase"
         )
+    return list(imu_phases), list(acc_phases)
+
+
+def _run_lockstep(
+    seeds: Sequence[int],
+    misalignment: EulerAngles,
+    trajectory: Trajectory,
+    estimator_config: BoresightConfig | None,
+    rig_config: RigConfig | None,
+    moving: bool,
+    acc_dropout: Mapping[int, float] | None,
+) -> tuple[BatchBoresightResult, StackedSensorCalibration]:
+    """Sense → calibrate → reconstruct → filter R rigs in lockstep."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    config = rig_config if rig_config is not None else RigConfig()
+    imu_phases, acc_phases = _sampled_phases(config, trajectory)
 
     streams = stack_rig_streams(
         seeds,
@@ -133,8 +181,15 @@ def run_static_ensemble(
         config.acc,
         [len(imu_phases[0].time), len(imu_phases[1].time)],
     )
+    vibration = None
+    if moving:
+        fields = stack_vibration_fields(config.vibration, seeds, imu_phases[1])
+        vibration = [[None, fields.imu], [None, fields.acc]]
     imu_calibration, imu_test = sense_imu_stacked(
-        config.imu, streams, imu_phases
+        config.imu,
+        streams,
+        imu_phases,
+        vibration=vibration[0] if vibration else None,
     )
     arm = np.array(config.lever_arm)
     acc_calibration, acc_test = sense_acc_stacked(
@@ -145,22 +200,99 @@ def run_static_ensemble(
             Mounting(lever_arm=arm),
             Mounting(misalignment=misalignment, lever_arm=arm),
         ],
+        vibration=vibration[1] if vibration else None,
     )
+
+    for r, seed in enumerate(seeds):
+        dropout = (
+            acc_dropout.get(int(seed), config.acc_dropout_time)
+            if acc_dropout is not None
+            else config.acc_dropout_time
+        )
+        if dropout is not None:
+            dead = acc_test.time >= dropout
+            acc_test.specific_force[r, dead, :] = np.nan
 
     calibration = calibrate_static_stacked(
         imu_calibration, acc_calibration, window=config.calibration_window
     )
     imu_debiased, acc_debiased = calibration.apply(imu_test, acc_test)
-    fused = reconstruct_stacked(
-        imu_debiased, acc_debiased, config.fusion_rate
-    )
+    fused = reconstruct_stacked(imu_debiased, acc_debiased, config.fusion_rate)
 
     if estimator_config is None:
         estimator_config = bench_estimator_config(arm)
     estimator = BatchBoresightEstimator(len(seeds), estimator_config)
-    result = estimator.run(fused)
+    return estimator.run(fused), calibration
 
+
+def run_static_ensemble(
+    seeds: list[int] | tuple[int, ...],
+    misalignment: EulerAngles,
+    trajectory: Trajectory,
+    estimator_config: BoresightConfig | None = None,
+    rig_config: RigConfig | None = None,
+    acc_dropout: Mapping[int, float] | None = None,
+) -> StaticEnsemble:
+    """Run the static §11 protocol for every seed, batched in lockstep.
+
+    Mirrors ``BoresightTestRig(RigConfig(seed=s)).run(misalignment,
+    trajectory, estimator_config, moving=False)`` for each seed — same
+    calibration recording, same remount between phases, same fusion
+    pipeline — with all per-seed arrays stacked on a leading run axis.
+    ``rig_config`` supplies the shared hardware parameters (its
+    ``seed`` field is ignored; the ensemble seeds come from ``seeds``).
+    ``acc_dropout`` maps seeds to an ACC-failure time (see
+    :class:`~repro.experiments.protocol.RigConfig.acc_dropout_time`);
+    seeds whose filter diverges are masked, not fatal.
+    """
+    result, calibration = _run_lockstep(
+        seeds,
+        misalignment,
+        trajectory,
+        estimator_config,
+        rig_config,
+        moving=False,
+        acc_dropout=acc_dropout,
+    )
     return StaticEnsemble(
+        seeds=tuple(int(s) for s in seeds),
+        introduced=misalignment,
+        result=result,
+        calibration=calibration,
+    )
+
+
+def run_dynamic_ensemble(
+    seeds: list[int] | tuple[int, ...],
+    misalignment: EulerAngles,
+    trajectory: Trajectory,
+    estimator_config: BoresightConfig | None = None,
+    rig_config: RigConfig | None = None,
+    acc_dropout: Mapping[int, float] | None = None,
+) -> DynamicEnsemble:
+    """Run the dynamic §11 protocol for every seed, batched in lockstep.
+
+    Mirrors ``BoresightTestRig(RigConfig(seed=s)).run(misalignment,
+    trajectory, estimator_config, moving=True)`` for each seed: every
+    rig flies the same drive, sees its own vibration environment
+    (stacked synthesis, bit-identical per seed to the serial
+    :class:`~repro.vehicle.vibration.VibrationModel` pair) and, when
+    ``estimator_config`` arms ``motion_gate_rate``, gates its own
+    measurement updates on its own measured body rate.  ``acc_dropout``
+    maps seeds to an ACC-failure time for divergence studies; diverged
+    seeds are flagged on the returned ensemble and masked out of
+    :meth:`~LockstepEnsemble.outcomes`.
+    """
+    result, calibration = _run_lockstep(
+        seeds,
+        misalignment,
+        trajectory,
+        estimator_config,
+        rig_config,
+        moving=True,
+        acc_dropout=acc_dropout,
+    )
+    return DynamicEnsemble(
         seeds=tuple(int(s) for s in seeds),
         introduced=misalignment,
         result=result,

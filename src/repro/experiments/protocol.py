@@ -59,12 +59,20 @@ class RigConfig:
     vibration: VibrationSpec = field(default_factory=VibrationSpec)
     #: Lever arm from IMU to ACC, body frame, meters.
     lever_arm: tuple[float, float, float] = (0.8, 0.2, -0.3)
+    #: ACC failure injection: from this test-phase time (seconds)
+    #: onward the ACC channel reads NaN, modelling a dead sensor or a
+    #: severed harness.  The resulting stream makes the Kalman filter
+    #: diverge — the deliberate-fault input of the Monte-Carlo
+    #: divergence-masking studies.  ``None`` (default) disables.
+    acc_dropout_time: float | None = None
 
     def __post_init__(self) -> None:
         if self.calibration_window > self.calibration_duration:
             raise ConfigurationError(
                 "calibration window longer than the recording"
             )
+        if self.acc_dropout_time is not None and self.acc_dropout_time < 0.0:
+            raise ConfigurationError("ACC dropout time must be >= 0")
 
 
 def bench_estimator_config(lever_arm: np.ndarray) -> BoresightConfig:
@@ -171,6 +179,9 @@ class BoresightTestRig:
         acc_samples = self.acc.sense(
             trajectory.sample(self.config.acc.sample_rate), vib_acc
         )
+        if self.config.acc_dropout_time is not None:
+            dead = acc_samples.time >= self.config.acc_dropout_time
+            acc_samples.specific_force[dead] = np.nan
         imu_cal, acc_cal = calibration.apply(imu_samples, acc_samples)
         fused = reconstruct(imu_cal, acc_cal, self.config.fusion_rate)
 

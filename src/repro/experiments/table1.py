@@ -52,14 +52,24 @@ def static_estimator_config(
 
 
 def dynamic_estimator_config(
-    measurement_sigma: float = 0.03, lever_arm: tuple | None = (0.8, 0.2, -0.3)
+    measurement_sigma: float = 0.03,
+    lever_arm: tuple | None = (0.8, 0.2, -0.3),
+    motion_gate_rate: float | None = None,
 ) -> BoresightConfig:
-    """Estimator tuning for driving tests (paper: R ≥ 0.015)."""
+    """Estimator tuning for driving tests (paper: R ≥ 0.015).
+
+    ``motion_gate_rate`` (rad/s) optionally arms the motion gate:
+    measurement updates are skipped while the body rate magnitude
+    exceeds it, so hard corners — where the lever-arm and timing
+    systematics are at their worst — don't pollute the estimate.  The
+    Monte-Carlo dynamic ensembles arm it by default.
+    """
     return BoresightConfig(
         measurement_sigma=measurement_sigma,
         angle_process_noise=2e-5,
         estimate_biases=True,
         initial_bias_sigma=0.01,
+        motion_gate_rate=motion_gate_rate,
         lever_arm=np.array(lever_arm) if lever_arm is not None else None,
     )
 

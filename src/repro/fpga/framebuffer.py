@@ -8,7 +8,6 @@ the roles at frame boundaries.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import FpgaError
 from repro.fpga.sram import ZbtSram

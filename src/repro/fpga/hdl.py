@@ -16,7 +16,7 @@ producer/consumer video processes — with honest cycle counts.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable
+from typing import Any, Generator
 
 from repro.errors import SimulationError
 

@@ -10,10 +10,21 @@ lever-arm compensation, measurement prediction, Jacobian build, yaw
 observability gate, Joseph update, multiplicative DCM fold — keeping
 each run bit-identical to the serial oracle.
 
-Unsupported serial features are *refused*, never approximated: motion
-gating and adaptive measurement noise introduce per-run control flow
-and raise :class:`~repro.errors.ConfigurationError` here; use the
-serial engine for those studies.
+Per-run control flow is handled by masking, not approximation:
+
+- **motion gating** (``motion_gate_rate``) — each run's gate decision
+  uses the serial ``np.linalg.norm`` call on its own body rate; gated
+  runs skip the measurement update, the reference fold and the monitor
+  record for that tick, exactly like the serial estimator.
+- **divergence masking** — a run whose update goes singular, loses a
+  valid covariance diagonal or produces a non-finite state (the
+  conditions under which the serial filter chain raises at that tick)
+  is flagged and excluded from every subsequent update instead of
+  aborting the ensemble; the surviving runs' math is untouched, so
+  they stay bit-identical to their serial oracles.
+
+Adaptive measurement noise remains refused (per-run stateful sigma
+re-estimation); use the serial engine for those studies.
 """
 
 from __future__ import annotations
@@ -38,7 +49,10 @@ class BatchResidualMonitor:
 
     Accumulates per-run innovation statistics over the lockstep run;
     counters update in tick order so the per-run sums round exactly as
-    the serial monitor's would.
+    the serial monitor's would.  ``record`` takes an optional per-run
+    ``active`` mask — a gated or diverged run's serial monitor never
+    sees that tick, so the stacked counters skip it too, and each run
+    keeps its own recorded-tick count.
     """
 
     runs: int
@@ -47,39 +61,79 @@ class BatchResidualMonitor:
     def __post_init__(self) -> None:
         if self.runs < 1 or self.axes < 1:
             raise FusionError("runs and axes must be >= 1")
-        self._count = 0
+        self._ticks = 0
+        self._counts = np.zeros(self.runs, dtype=np.int64)
         self._exceed = np.zeros((self.runs, self.axes), dtype=np.int64)
         self._nis_sum = np.zeros(self.runs)
 
-    def record(self, innovation: BatchInnovation) -> None:
-        """Ingest one lockstep update's stacked innovation."""
+    def record(
+        self, innovation: BatchInnovation, active: np.ndarray | None = None
+    ) -> None:
+        """Ingest one lockstep update's stacked innovation.
+
+        ``active`` restricts the ingest to a subset of runs (default:
+        all); inactive runs' counters and sums are untouched, which for
+        the active runs leaves every accumulation bit-identical to the
+        serial monitor fed only its own run's recorded ticks.
+        """
         if innovation.residual.shape != (self.runs, self.axes):
             raise FusionError(
                 f"innovation shape {innovation.residual.shape} != "
                 f"({self.runs}, {self.axes})"
             )
-        self._count += 1
-        self._exceed += innovation.exceeds_three_sigma().astype(np.int64)
-        self._nis_sum += innovation.nis
+        if active is None:
+            active = np.ones(self.runs, dtype=bool)
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (self.runs,):
+            raise FusionError(
+                f"active mask shape {active.shape} != ({self.runs},)"
+            )
+        self._ticks += 1
+        self._counts += active
+        self._exceed += (
+            innovation.exceeds_three_sigma() & active[:, None]
+        ).astype(np.int64)
+        self._nis_sum += np.where(active, innovation.nis, 0.0)
+
+    @property
+    def ticks(self) -> int:
+        """Number of lockstep ticks offered to the monitor."""
+        return self._ticks
 
     @property
     def count(self) -> int:
-        """Number of lockstep updates observed."""
-        return self._count
+        """Number of ticks recorded by the busiest run."""
+        return int(self._counts.max())
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-run recorded-tick counts, (R,) — copies."""
+        return self._counts.copy()
 
     @property
     def exceedance_fraction(self) -> np.ndarray:
-        """(R, axes) fraction of samples with |residual| > 3 sigma."""
-        if self._count == 0:
+        """(R, axes) fraction of recorded samples with |residual| > 3σ.
+
+        Runs that never recorded a tick report NaN (the serial monitor
+        raises there; a masked ensemble must keep the healthy runs'
+        statistics reachable).
+        """
+        if not np.any(self._counts):
             raise FusionError("no innovations recorded")
-        return self._exceed / self._count
+        counts = np.where(self._counts > 0, self._counts, 1)[:, None]
+        out = self._exceed / counts
+        out[self._counts == 0] = np.nan
+        return out
 
     @property
     def mean_nis(self) -> np.ndarray:
         """Per-run mean normalized innovation squared, (R,)."""
-        if self._count == 0:
+        if not np.any(self._counts):
             raise FusionError("no innovations recorded")
-        return self._nis_sum / self._count
+        counts = np.where(self._counts > 0, self._counts, 1)
+        out = self._nis_sum / counts
+        out[self._counts == 0] = np.nan
+        return out
 
 
 class BatchMisalignmentModel:
@@ -144,17 +198,36 @@ class BatchMisalignmentModel:
         identity = np.broadcast_to(np.eye(2), (self.runs, 2, 2))
         return np.concatenate([h_rot, identity], axis=2)
 
-    def apply_correction(self, delta: np.ndarray) -> None:
-        """Fold stacked error-state corrections into the references."""
+    def apply_correction(
+        self, delta: np.ndarray, mask: np.ndarray | None = None
+    ) -> None:
+        """Fold stacked error-state corrections into the references.
+
+        ``mask`` restricts the fold to a subset of runs (default: all).
+        Unmasked runs' references are left bit-untouched — re-running
+        the SVD re-orthonormalization on an unchanged DCM would still
+        move its bits, and a gated serial estimator never folds.  The
+        masked-out rows of ``delta`` must be finite (zeros are fine);
+        the stacked SVD rejects NaN slices wholesale.
+        """
         d = np.asarray(delta, dtype=np.float64)
         if d.shape != (self.runs, self.state_dim):
             raise FusionError(
                 f"correction shape {d.shape} != ({self.runs}, {self.state_dim})"
             )
         correction = np.eye(3) - skew_stack(d[:, :3])
-        self._dcm = orthonormalize_stack(np.matmul(correction, self._dcm))
+        folded = orthonormalize_stack(np.matmul(correction, self._dcm))
+        if mask is None:
+            self._dcm = folded
+            if self.estimate_biases:
+                self._bias = self._bias + d[:, 3:5]
+            return
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != (self.runs,):
+            raise FusionError(f"mask shape {m.shape} != ({self.runs},)")
+        self._dcm[m] = folded[m]
         if self.estimate_biases:
-            self._bias = self._bias + d[:, 3:5]
+            self._bias[m] = (self._bias + d[:, 3:5])[m]
 
 
 @dataclass
@@ -169,6 +242,20 @@ class BatchBoresightResult:
     bias: np.ndarray
     #: Residual statistics accumulated across the run.
     monitor: BatchResidualMonitor
+    #: Per-run divergence flags, (R,).  A flagged run was masked out of
+    #: the lockstep math from ``diverged_at_tick`` onward; its final
+    #: estimate fields are meaningless and must not be aggregated.
+    diverged: np.ndarray | None = None
+    #: Fusion tick at which each run diverged, (R,); -1 when it never
+    #: did.
+    diverged_at_tick: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        runs = int(self.angle_sigma.shape[0])
+        if self.diverged is None:
+            self.diverged = np.zeros(runs, dtype=bool)
+        if self.diverged_at_tick is None:
+            self.diverged_at_tick = np.full(runs, -1, dtype=np.int64)
 
     @property
     def runs(self) -> int:
@@ -176,7 +263,11 @@ class BatchBoresightResult:
         return int(self.angle_sigma.shape[0])
 
     def misalignments(self) -> list[EulerAngles]:
-        """Per-run misalignment estimates (serial Euler conversion)."""
+        """Per-run misalignment estimates (serial Euler conversion).
+
+        Diverged runs report their frozen, pre-divergence reference —
+        callers aggregate only runs with ``diverged[r] == False``.
+        """
         return [dcm_to_euler(self.misalignment_dcm[r]) for r in range(self.runs)]
 
     def three_sigma_deg(self) -> np.ndarray:
@@ -189,11 +280,6 @@ class BatchBoresightEstimator:
 
     def __init__(self, runs: int, config: BoresightConfig | None = None) -> None:
         self.config = config if config is not None else BoresightConfig()
-        if self.config.motion_gate_rate is not None:
-            raise ConfigurationError(
-                "motion gating branches per run; the batch engine refuses "
-                "it — use the serial BoresightEstimator"
-            )
         if self.config.adaptive:
             raise ConfigurationError(
                 "adaptive measurement noise is per-run stateful; the batch "
@@ -217,6 +303,9 @@ class BatchBoresightEstimator:
             else None
         )
         self._last_time: float | None = None
+        self._diverged = np.zeros(runs, dtype=bool)
+        self._diverged_at_tick = np.full(runs, -1, dtype=np.int64)
+        self._tick = 0
 
     @property
     def runs(self) -> int:
@@ -227,6 +316,11 @@ class BatchBoresightEstimator:
     def angle_sigma(self) -> np.ndarray:
         """Current 1-sigma of the three angles per run, (R, 3)."""
         return self._kf.sigma[:, :3]
+
+    @property
+    def diverged(self) -> np.ndarray:
+        """Per-run divergence flags, (R,) copy."""
+        return self._diverged.copy()
 
     def _process_noise(self, dt: float) -> np.ndarray:
         n = self._model.state_dim
@@ -247,7 +341,9 @@ class BatchBoresightEstimator:
         """One lockstep predict/update cycle at fusion time ``time``.
 
         All signal arguments are stacked (R, ·) slices of the fused
-        series; returns the stacked innovation statistics.
+        series; returns the stacked innovation statistics (meaningful
+        only for the runs that updated this tick: not gated, not
+        diverged).
         """
         f = np.asarray(specific_force, dtype=np.float64)
         w = np.asarray(body_rate, dtype=np.float64)
@@ -263,6 +359,19 @@ class BatchBoresightEstimator:
             self._kf.predict(process_noise=self._process_noise(dt))
         self._last_time = time
 
+        active = ~self._diverged
+        if self.config.motion_gate_rate is not None:
+            # Per-run serial norm calls: the gate compares against a
+            # threshold, and axis-wise batched norms are not guaranteed
+            # to round like np.linalg.norm on a lone 3-vector.
+            gate = self.config.motion_gate_rate
+            gated = np.fromiter(
+                (float(np.linalg.norm(w[r])) > gate for r in range(self.runs)),
+                dtype=bool,
+                count=self.runs,
+            )
+            active &= ~gated
+
         if self._mounting is not None:
             # The serial helper already handles (N, 3) stacks with the
             # same elementwise cross products — reuse it so the physics
@@ -272,17 +381,34 @@ class BatchBoresightEstimator:
         h = self._model.h_matrix(f)
         sigma = self.config.measurement_sigma
         r = (sigma**2) * np.eye(2)
-        innovation = self._kf.update(z, h, r, predicted_measurement=z_hat)
+        innovation, newly_diverged = self._kf.update_masked(
+            z, h, r, predicted_measurement=z_hat, active=active
+        )
+        if np.any(newly_diverged):
+            self._diverged |= newly_diverged
+            self._diverged_at_tick[newly_diverged] = self._tick
+            active &= ~newly_diverged
         # Multiplicative filter: fold the pending correction into the
         # reference DCM/bias and zero the error state, as the serial
-        # estimator does after every update.
-        self._model.apply_correction(self._kf.state)
-        self._kf.state = np.zeros((self.runs, self._model.state_dim))
-        self._monitor.record(innovation)
+        # estimator does after every update.  Gated and diverged runs
+        # fold nothing — their delta is zeroed so the stacked SVD never
+        # sees their (possibly non-finite) state.
+        delta = np.where(active[:, None], self._kf.state, 0.0)
+        self._model.apply_correction(delta, mask=active)
+        state = self._kf.state
+        state[active] = 0.0
+        self._kf.state = state
+        self._monitor.record(innovation, active=active)
+        self._tick += 1
         return innovation
 
     def run(self, fused: StackedFusedSamples) -> BatchBoresightResult:
-        """Process a full stacked fused series and return the result."""
+        """Process a full stacked fused series and return the result.
+
+        A run that diverges mid-series is masked out of the remaining
+        lockstep math and flagged in the result instead of aborting the
+        ensemble; the surviving runs are unaffected.
+        """
         count = len(fused)
         if count == 0:
             raise FusionError("empty fused series")
@@ -302,9 +428,15 @@ class BatchBoresightEstimator:
                 float(fused.time[i]), force[i], rate[i], rate_dot[i], acc_xy[i]
             )
 
+        with np.errstate(invalid="ignore"):
+            # Diverged runs may hold a non-finite or negative covariance
+            # diagonal; their sigma is reported as NaN, never aggregated.
+            angle_sigma = self.angle_sigma
         return BatchBoresightResult(
             misalignment_dcm=self._model.dcm,
-            angle_sigma=self.angle_sigma,
+            angle_sigma=angle_sigma,
             bias=self._model.bias,
             monitor=self._monitor,
+            diverged=self._diverged.copy(),
+            diverged_at_tick=self._diverged_at_tick.copy(),
         )

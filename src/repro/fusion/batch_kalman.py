@@ -156,10 +156,93 @@ class BatchKalmanFilter:
         ``predicted_measurement`` (R, m) enables extended-filter use
         exactly as in the serial filter.
         """
+        residual, s, h, r = self._innovation_terms(
+            measurement, h_matrix, r_matrix, predicted_measurement
+        )
+        try:
+            s_inv = np.linalg.inv(s)
+        except np.linalg.LinAlgError as exc:
+            raise FilterDivergenceError("innovation covariance singular") from exc
+        x_new, p_new, gain = self._corrected(residual, s_inv, h, r)
+        self._x = x_new
+        self._p = p_new
+        self._check_covariance()
+        return self._innovation(residual, s, s_inv, gain)
+
+    def update_masked(
+        self,
+        measurement: np.ndarray,
+        h_matrix: np.ndarray,
+        r_matrix: np.ndarray,
+        predicted_measurement: np.ndarray | None = None,
+        active: np.ndarray | None = None,
+    ) -> tuple[BatchInnovation, np.ndarray]:
+        """Measurement update restricted to ``active`` runs, never raising.
+
+        The arithmetic is the full-stack :meth:`update` computation —
+        elementwise/per-slice, so each active run's new state and
+        covariance are bit-identical to a solo update — but only
+        ``active`` runs commit, and divergence masks instead of
+        aborting.  Returns ``(innovation, diverged)`` where ``diverged``
+        flags active runs whose update produced a singular innovation
+        covariance, an invalid covariance diagonal, or a non-finite
+        state — exactly the conditions under which the serial filter
+        chain raises at this tick.  Inactive and non-diverged-inactive
+        slices of the innovation are computed but meaningless; callers
+        must mask them.  A run diverging via an invalid covariance or
+        non-finite state commits whatever the update produced (the
+        serial filter also assigns before raising); a run whose S was
+        singular keeps its pre-update state/covariance (the serial
+        filter raises before assigning).  Either way diverged runs are
+        expected to be excluded from every later ``active`` mask.
+        """
+        runs = self.runs
+        if active is None:
+            active = np.ones(runs, dtype=bool)
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (runs,):
+            raise FusionError(f"active mask shape {active.shape} != ({runs},)")
+        residual, s, h, r = self._innovation_terms(
+            measurement, h_matrix, r_matrix, predicted_measurement
+        )
+        singular = np.zeros(runs, dtype=bool)
+        try:
+            s_inv = np.linalg.inv(s)
+        except np.linalg.LinAlgError:
+            # One run's S is exactly singular; LAPACK aborts the whole
+            # stacked call.  Recover per slice so the healthy runs see
+            # the identical per-slice inverse and only the offenders
+            # are flagged.
+            m = s.shape[1]
+            s_inv = np.empty_like(s)
+            for run in range(runs):
+                try:
+                    s_inv[run] = np.linalg.inv(s[run])
+                except np.linalg.LinAlgError:
+                    s_inv[run] = np.eye(m)
+                    singular[run] = True
+        x_new, p_new, gain = self._corrected(residual, s_inv, h, r)
+        commit = active & ~singular
+        self._x[commit] = x_new[commit]
+        self._p[commit] = p_new[commit]
+        diag = np.diagonal(self._p, axis1=1, axis2=2)
+        bad_state = ~np.all(np.isfinite(self._x), axis=1)
+        bad_cov = np.any(~np.isfinite(diag) | (diag < 0.0), axis=1)
+        diverged = active & (singular | bad_cov | bad_state)
+        return self._innovation(residual, s, s_inv, gain), diverged
+
+    def _innovation_terms(
+        self,
+        measurement: np.ndarray,
+        h_matrix: np.ndarray,
+        r_matrix: np.ndarray,
+        predicted_measurement: np.ndarray | None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Validate operands and compute ``residual`` and ``S``."""
         z = np.asarray(measurement, dtype=np.float64)
         if z.ndim != 2 or z.shape[0] != self.runs:
             raise FusionError(f"measurement must be (R, m), got {z.shape}")
-        runs, n = self._x.shape
+        n = self._x.shape[1]
         m = z.shape[1]
         h = self._as_stack(np.asarray(h_matrix, dtype=np.float64), "H", (m, n))
         r = self._as_stack(np.asarray(r_matrix, dtype=np.float64), "R", (m, m))
@@ -174,24 +257,37 @@ class BatchKalmanFilter:
                 )
 
         residual = z - z_hat
-        h_t = np.swapaxes(h, 1, 2)
-        s = np.matmul(np.matmul(h, self._p), h_t) + r
-        try:
-            s_inv = np.linalg.inv(s)
-        except np.linalg.LinAlgError as exc:
-            raise FilterDivergenceError("innovation covariance singular") from exc
-        gain = np.matmul(np.matmul(self._p, h_t), s_inv)
+        s = np.matmul(np.matmul(h, self._p), np.swapaxes(h, 1, 2)) + r
+        return residual, s, h, r
 
-        self._x = self._x + np.matmul(gain, residual[:, :, None])[:, :, 0]
+    def _corrected(
+        self,
+        residual: np.ndarray,
+        s_inv: np.ndarray,
+        h: np.ndarray,
+        r: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Joseph-form corrected ``(state, covariance, gain)`` stacks."""
+        n = self._x.shape[1]
+        gain = np.matmul(np.matmul(self._p, np.swapaxes(h, 1, 2)), s_inv)
+        x_new = self._x + np.matmul(gain, residual[:, :, None])[:, :, 0]
         joseph = np.eye(n) - np.matmul(gain, h)
         joseph_t = np.swapaxes(joseph, 1, 2)
         gain_t = np.swapaxes(gain, 1, 2)
-        self._p = np.matmul(np.matmul(joseph, self._p), joseph_t) + np.matmul(
+        p_new = np.matmul(np.matmul(joseph, self._p), joseph_t) + np.matmul(
             np.matmul(gain, r), gain_t
         )
-        self._p = 0.5 * (self._p + np.swapaxes(self._p, 1, 2))
-        self._check_covariance()
+        p_new = 0.5 * (p_new + np.swapaxes(p_new, 1, 2))
+        return x_new, p_new, gain
 
+    @staticmethod
+    def _innovation(
+        residual: np.ndarray,
+        s: np.ndarray,
+        s_inv: np.ndarray,
+        gain: np.ndarray,
+    ) -> BatchInnovation:
+        """Stacked innovation statistics of one update."""
         sigma = np.sqrt(np.clip(np.diagonal(s, axis1=1, axis2=2), 0.0, None))
         nis = np.matmul(
             np.matmul(residual[:, None, :], s_inv), residual[:, :, None]

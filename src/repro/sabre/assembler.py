@@ -31,7 +31,6 @@ from dataclasses import dataclass, field
 from repro.errors import AssemblerError
 from repro.sabre.isa import (
     B_TYPE,
-    I_TYPE,
     LINK_REGISTER,
     R_TYPE,
     Instruction,

@@ -10,7 +10,7 @@ timer.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import CpuFault
 from repro.sabre import softfloat as sf

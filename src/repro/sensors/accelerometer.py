@@ -15,7 +15,6 @@ real quantization source that this model reproduces.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

@@ -244,23 +244,28 @@ def stack_rig_streams(
 def corrupt_stacked(
     group: StackedGroupStreams, truth: np.ndarray, sample_rate: float
 ) -> np.ndarray:
-    """Apply the serial error chain to shared truth, batched over runs.
+    """Apply the serial error chain to truth series, batched over runs.
 
-    ``truth`` is (axes, total_samples), shared by every run (the
-    trajectory is common to the ensemble); the result is
-    (R, axes, total_samples).  The operation order — scale+bias, drift,
-    white noise, quantization — matches
+    ``truth`` is (axes, total_samples) when shared by every run (the
+    static ensembles: the trajectory is common and noiseless) or
+    (R, axes, total_samples) when each run senses its own truth (the
+    dynamic ensembles: per-seed vibration rides on the shared
+    trajectory); the result is (R, axes, total_samples).  The operation
+    order — scale+bias, drift, white noise, quantization — matches
     :meth:`~repro.sensors.noise.AxisErrorModel.corrupt` exactly.
     """
     spec = group.spec
     t = np.asarray(truth, dtype=np.float64)
-    if t.ndim != 2 or t.shape[0] != group.axes:
-        raise ConfigurationError(
-            f"expected ({group.axes}, N) truth, got {t.shape}"
-        )
     runs, axes = group.runs, group.axes
-    n = t.shape[1]
-    out = (1.0 + group.scale_error[:, :, None]) * t[None, :, :] + (
+    if t.ndim == 2 and t.shape[0] == axes:
+        t = np.broadcast_to(t, (runs, axes, t.shape[1]))
+    if t.ndim != 3 or t.shape[:2] != (runs, axes):
+        raise ConfigurationError(
+            f"expected ({axes}, N) or ({runs}, {axes}, N) truth, got "
+            f"{np.asarray(truth).shape}"
+        )
+    n = t.shape[2]
+    out = (1.0 + group.scale_error[:, :, None]) * t + (
         group.turn_on_bias[:, :, None]
     )
 
@@ -299,27 +304,59 @@ def _split_phases(
     return blocks
 
 
+def _stack_phase_truth(
+    phases: Sequence[TrajectoryData],
+    truths: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Concatenate per-phase truth blocks into a corrupt_stacked layout.
+
+    ``truths[i]`` is the phase's truth series, (N_i, axes) when shared
+    by every run or (R, N_i, axes) when per-run.  Returns (axes, total)
+    if every phase is shared, else (R, axes, total) with shared phases
+    broadcast — either way ready for :func:`corrupt_stacked`.
+    """
+    if all(t.ndim == 2 for t in truths):
+        return np.concatenate(list(truths), axis=0).T
+    runs = max(t.shape[0] for t in truths if t.ndim == 3)
+    blocks = [
+        t if t.ndim == 3 else np.broadcast_to(t, (runs, *t.shape))
+        for t in truths
+    ]
+    return np.swapaxes(np.concatenate(blocks, axis=1), 1, 2)
+
+
 def sense_imu_stacked(
     config: ImuConfig,
     streams: StackedRigStreams,
     phases: Sequence[TrajectoryData],
+    vibration: Sequence[np.ndarray | None] | None = None,
 ) -> list[StackedImuSamples]:
     """Batched :meth:`~repro.sensors.imu.SixDofImu.sense` over phases.
 
     ``phases`` are the trajectories of each sensing phase in rig order
     (they must match ``streams.phase_samples``); the drift state of
     every axis carries across phases exactly as the serial instrument's
-    does.  Vibration is not modelled — the fast Monte-Carlo engine
-    covers the paper's static (bench) protocol.
+    does.  ``vibration`` optionally supplies one per-run (R, N, 3)
+    body-frame acceleration field per phase (``None`` entries for
+    vibration-free phases, e.g. the bench calibration recording) — the
+    stacked twin of passing a :class:`~repro.vehicle.vibration.VibrationModel`
+    to the serial ``sense``.
     """
     _check_phases(config.sample_rate, streams.phase_samples, phases)
+    fields = _check_vibration(phases, vibration)
     g_per_mps2 = dps_to_radps(config.gyro.g_sensitivity_dps_per_mps2)
-    gyro_truth = np.concatenate(
-        [p.body_rate + g_per_mps2 * p.specific_force for p in phases], axis=0
-    ).T
-    accel_truth = np.concatenate(
-        [p.specific_force for p in phases], axis=0
-    ).T
+    force_truths = [
+        p.specific_force if field is None else p.specific_force + field
+        for p, field in zip(phases, fields)
+    ]
+    gyro_truth = _stack_phase_truth(
+        phases,
+        [
+            p.body_rate + g_per_mps2 * force
+            for p, force in zip(phases, force_truths)
+        ],
+    )
+    accel_truth = _stack_phase_truth(phases, force_truths)
 
     rate = config.sample_rate
     gyro_measured = corrupt_stacked(streams.gyro, gyro_truth, rate)
@@ -348,26 +385,44 @@ def sense_acc_stacked(
     streams: StackedRigStreams,
     phases: Sequence[TrajectoryData],
     mountings: Sequence[Mounting],
+    vibration: Sequence[np.ndarray | None] | None = None,
 ) -> list[StackedAccSamples]:
     """Batched :meth:`~repro.sensors.acc2.DualAxisAccelerometer.sense`.
 
     ``mountings[i]`` is the (shared) physical mounting during phase i —
     aligned during calibration, misaligned during the test — mirroring
-    the serial rig's ``remount`` between phases.
+    the serial rig's ``remount`` between phases.  ``vibration``
+    optionally supplies one per-run (R, N, 3) body-frame field per
+    phase, as in :func:`sense_imu_stacked`; lever-arm and frame
+    rotation then run per run through the serial ``Mounting`` helpers,
+    keeping the truth arithmetic bit-identical.
     """
     _check_phases(config.sample_rate, streams.phase_samples, phases)
     if len(mountings) != len(phases):
         raise ConfigurationError("need one mounting per phase")
+    fields = _check_vibration(phases, vibration)
     truth_blocks = []
-    for phase, mounting in zip(phases, mountings):
+    for phase, mounting, field in zip(phases, mountings, fields):
         omega = phase.body_rate
         omega_dot = np.gradient(omega, phase.time, axis=0)
-        force_at_sensor = mounting.specific_force_at_sensor(
-            phase.specific_force, omega, omega_dot
-        )
-        force_sensor_frame = force_at_sensor @ mounting.body_to_sensor.T
-        truth_blocks.append(force_sensor_frame[:, :2])
-    truth = np.concatenate(truth_blocks, axis=0).T
+        if field is None:
+            force_at_sensor = mounting.specific_force_at_sensor(
+                phase.specific_force, omega, omega_dot
+            )
+            force_sensor_frame = force_at_sensor @ mounting.body_to_sensor.T
+            truth_blocks.append(force_sensor_frame[:, :2])
+            continue
+        force_body = phase.specific_force + field
+        per_run = []
+        for r in range(field.shape[0]):
+            force_at_sensor = mounting.specific_force_at_sensor(
+                force_body[r], omega, omega_dot
+            )
+            per_run.append(
+                (force_at_sensor @ mounting.body_to_sensor.T)[:, :2]
+            )
+        truth_blocks.append(np.stack(per_run, axis=0))
+    truth = _stack_phase_truth(phases, truth_blocks)
 
     measured = corrupt_stacked(streams.acc, truth, config.sample_rate)
     out = []
@@ -379,6 +434,31 @@ def sense_acc_stacked(
             )
         )
     return out
+
+
+def _check_vibration(
+    phases: Sequence[TrajectoryData],
+    vibration: Sequence[np.ndarray | None] | None,
+) -> list[np.ndarray | None]:
+    """Validate per-phase vibration fields; None means vibration-free."""
+    if vibration is None:
+        return [None] * len(phases)
+    if len(vibration) != len(phases):
+        raise ConfigurationError(
+            f"got {len(vibration)} vibration fields for {len(phases)} phases"
+        )
+    fields: list[np.ndarray | None] = []
+    for phase, field in zip(phases, vibration):
+        if field is None:
+            fields.append(None)
+            continue
+        f = np.asarray(field, dtype=np.float64)
+        if f.ndim != 3 or f.shape[1:] != (len(phase.time), 3):
+            raise ConfigurationError(
+                f"vibration field shape {f.shape} != (R, {len(phase.time)}, 3)"
+            )
+        fields.append(f)
+    return fields
 
 
 def _check_phases(

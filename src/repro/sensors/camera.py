@@ -12,7 +12,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.geometry import EulerAngles

@@ -35,6 +35,10 @@ from repro.vehicle.profiles import (
     static_level_profile,
     static_tilt_profile,
 )
+from repro.vehicle.batch_vibration import (
+    StackedVibrationFields,
+    stack_vibration_fields,
+)
 from repro.vehicle.testbench import LaserBoresight, LevelTable
 from repro.vehicle.trajectory import Trajectory, TrajectoryData
 from repro.vehicle.vibration import VibrationModel, VibrationSpec
@@ -51,6 +55,8 @@ __all__ = [
     "TrajectoryData",
     "VibrationModel",
     "VibrationSpec",
+    "StackedVibrationFields",
+    "stack_vibration_fields",
     "LevelTable",
     "LaserBoresight",
     "static_level_profile",

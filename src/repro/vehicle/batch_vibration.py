@@ -1,0 +1,215 @@
+"""Stacked per-seed vibration synthesis for lockstep ensembles.
+
+The dynamic Monte-Carlo fast path advances R rigs through the same
+drive in lockstep; each rig owns an independent vibration environment
+(engine harmonics + road roughness, see
+:class:`~repro.vehicle.vibration.VibrationModel`).  This module
+replays every rig's vibration randomness exactly as the serial rig
+draws it — the ``spawn_child(root, 400)`` stream, the three pair
+seeds, the per-model phase draws, the per-tick road shocks — and
+synthesizes the full ``(R, N, 3)`` acceleration fields in stacked
+NumPy, bit-identical per run to sampling the serial model tick by
+tick.
+
+Two things make the vectorization exact:
+
+- the trajectory (time, speed) is shared by the ensemble, so the road
+  recursion coefficients ``alpha``/``drive`` of every tick are scalar
+  and computed once with the serial ``math`` expressions;
+- the per-tick ``standard_normal(3)`` road draws of one generator are
+  the same value stream as one ``standard_normal((draws, 3))`` call,
+  so the shocks pre-draw into stacked arrays without perturbing any
+  run's sequence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import make_rng, spawn_child
+from repro.vehicle.trajectory import TrajectoryData
+from repro.vehicle.vibration import VibrationModel, VibrationSpec
+
+
+@dataclass
+class StackedVibrationFields:
+    """Per-run vibration acceleration at each instrument, body axes.
+
+    ``imu``/``acc`` are ``(R, N, 3)`` m/s² fields sampled on the shared
+    test-trajectory time base — slice ``r`` equals what the serial
+    rig's :meth:`VibrationModel.sample` loop adds to run ``r``'s truth.
+    """
+
+    imu: np.ndarray
+    acc: np.ndarray
+
+    @property
+    def runs(self) -> int:
+        """Ensemble size R."""
+        return int(self.imu.shape[0])
+
+
+def _road_coefficients(
+    spec: VibrationSpec, time: np.ndarray, speed: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared per-tick road-recursion and engine-activity scalars.
+
+    Replays the serial model's ``math``-level arithmetic per tick —
+    ``alpha = exp(-dt/tau)``, ``drive = sigma * sqrt(1 - alpha²)``,
+    the idle/moving engine activity — on the shared (time, speed)
+    arrays, so every run's recursion uses the exact serial scalars.
+    """
+    n = time.shape[0]
+    alphas = np.zeros(n)
+    drives = np.zeros(n)
+    has_draw = np.zeros(n, dtype=bool)
+    activity = np.empty(n)
+    last: float | None = None
+    for i in range(n):
+        t = float(time[i])
+        s = float(speed[i])
+        if s < 0.0:
+            raise ConfigurationError(f"speed must be >= 0, got {s}")
+        dt = 0.0 if last is None else max(0.0, t - last)
+        last = t
+        sigma = spec.road_rms * min(2.0, s / spec.reference_speed)
+        if dt > 0.0:
+            alpha = math.exp(-dt / spec.road_correlation_time)
+            alphas[i] = alpha
+            drives[i] = sigma * math.sqrt(max(0.0, 1.0 - alpha * alpha))
+            has_draw[i] = True
+        activity[i] = VibrationModel._engine_activity(s)
+    return alphas, drives, has_draw, activity
+
+
+def _engine_field(
+    spec: VibrationSpec,
+    time: np.ndarray,
+    common_phases: np.ndarray,
+    own_phases: np.ndarray,
+) -> np.ndarray:
+    """Stacked engine-harmonic field, (R, N, 3).
+
+    Accumulates the harmonics in the serial order with the serial
+    expression shape — ``amp * ((1-d)*sin(phase + common) + d*sin(phase
+    + own))`` — so every element matches the scalar loop bit-for-bit.
+    """
+    runs = common_phases.shape[0]
+    out = np.zeros((runs, time.shape[0], 3))
+    d = spec.decorrelation
+    for k in range(spec.engine_harmonics):
+        freq = spec.engine_frequency_hz * (k + 1)
+        amp = spec.engine_rms * math.sqrt(2.0) * spec.harmonic_rolloff**k
+        phase = 2.0 * math.pi * freq * time
+        common = np.sin(phase[None, :, None] + common_phases[:, None, k, :])
+        own = np.sin(phase[None, :, None] + own_phases[:, None, k, :])
+        out += amp * ((1.0 - d) * common + d * own)
+    return out
+
+
+def _road_field(
+    spec: VibrationSpec,
+    alphas: np.ndarray,
+    drives: np.ndarray,
+    has_draw: np.ndarray,
+    common_shocks: np.ndarray,
+    own_shocks: np.ndarray,
+) -> np.ndarray:
+    """Stacked first-order Gauss-Markov road field, (R, N, 3).
+
+    Per tick the two (R, 3) states advance with the serial elementwise
+    recursion; ticks with ``dt == 0`` (the first sample) hold the state
+    and consume no shock, exactly like the serial ``_road_sample``.
+    """
+    runs = common_shocks.shape[0]
+    n = alphas.shape[0]
+    mix = spec.decorrelation
+    out = np.empty((runs, n, 3))
+    state_common = np.zeros((runs, 3))
+    state_own = np.zeros((runs, 3))
+    draw = 0
+    for i in range(n):
+        if has_draw[i]:
+            alpha = alphas[i]
+            drive = drives[i]
+            state_common = alpha * state_common + drive * common_shocks[:, draw, :]
+            state_own = alpha * state_own + drive * own_shocks[:, draw, :]
+            draw += 1
+        out[:, i, :] = (1.0 - mix) * state_common + mix * state_own
+    return out
+
+
+def stack_vibration_fields(
+    spec: VibrationSpec,
+    seeds: Sequence[int],
+    trajectory: TrajectoryData,
+) -> StackedVibrationFields:
+    """Synthesize every rig's IMU/ACC vibration field for one drive.
+
+    Replays, per seed, the serial rig's randomness tree exactly:
+    ``spawn_child(make_rng(seed), 400)`` yields the pair seeds in
+    :meth:`VibrationModel.make_pair` order (common, own-IMU, own-ACC);
+    each derived generator is consumed phases-first then road shocks,
+    as the serial constructor and ``sample`` loop do.  The returned
+    fields are bit-identical per run to sampling the two serial models
+    over ``trajectory``'s (time, speed) series.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    if len(trajectory.time) == 0:
+        raise ConfigurationError("trajectory has no samples")
+    runs = len(seeds)
+    harmonics = spec.engine_harmonics
+    time = trajectory.time
+    speed = trajectory.speed
+
+    alphas, drives, has_draw, activity = _road_coefficients(spec, time, speed)
+    draws = int(np.count_nonzero(has_draw))
+
+    common_phases = np.empty((runs, harmonics, 3))
+    imu_phases = np.empty((runs, harmonics, 3))
+    acc_phases = np.empty((runs, harmonics, 3))
+    imu_common_shocks = np.empty((runs, draws, 3))
+    acc_common_shocks = np.empty((runs, draws, 3))
+    imu_own_shocks = np.empty((runs, draws, 3))
+    acc_own_shocks = np.empty((runs, draws, 3))
+
+    two_pi = 2.0 * math.pi
+    for r, seed in enumerate(seeds):
+        vib_rng = spawn_child(make_rng(int(seed)), 400)
+        # make_pair draw order: one shared seed, then one own seed per
+        # instrument (IMU first, then ACC).
+        common_seed = int(vib_rng.integers(0, 2**63 - 1))
+        imu_own = np.random.default_rng(int(vib_rng.integers(0, 2**63 - 1)))
+        acc_own = np.random.default_rng(int(vib_rng.integers(0, 2**63 - 1)))
+        imu_common = np.random.default_rng(common_seed)
+        acc_common = np.random.default_rng(common_seed)
+
+        # Each generator: construction-time phase draws first, then the
+        # per-tick road shocks (one standard_normal(3) per dt>0 tick).
+        common_phases[r] = imu_common.uniform(0.0, two_pi, size=(harmonics, 3))
+        acc_common.uniform(0.0, two_pi, size=(harmonics, 3))
+        imu_phases[r] = imu_own.uniform(0.0, two_pi, size=(harmonics, 3))
+        acc_phases[r] = acc_own.uniform(0.0, two_pi, size=(harmonics, 3))
+        imu_common_shocks[r] = imu_common.standard_normal((draws, 3))
+        acc_common_shocks[r] = acc_common.standard_normal((draws, 3))
+        imu_own_shocks[r] = imu_own.standard_normal((draws, 3))
+        acc_own_shocks[r] = acc_own.standard_normal((draws, 3))
+
+    scale = activity[None, :, None]
+    imu_field = _engine_field(
+        spec, time, common_phases, imu_phases
+    ) * scale + _road_field(
+        spec, alphas, drives, has_draw, imu_common_shocks, imu_own_shocks
+    )
+    acc_field = _engine_field(
+        spec, time, common_phases, acc_phases
+    ) * scale + _road_field(
+        spec, alphas, drives, has_draw, acc_common_shocks, acc_own_shocks
+    )
+    return StackedVibrationFields(imu=imu_field, acc=acc_field)

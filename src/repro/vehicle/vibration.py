@@ -20,7 +20,7 @@ part is what inflates the innovation of the misalignment filter.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,6 +11,9 @@ trustworthy:
    (stuff, form or CRC) — never as a silently wrong frame.
 """
 
+# Long-running equivalence/hypothesis suite: CI's fast lane skips
+# it with -m "not slow"; the slow lane and local tier-1 run it.
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -25,6 +28,8 @@ frames = st.builds(
     st.integers(0, 0x7FF),
     st.binary(min_size=0, max_size=8),
 )
+
+pytestmark = pytest.mark.slow
 
 
 class TestStuffing:

@@ -1,6 +1,5 @@
 """Tests for repro.comm: CAN, UART, bridge, protocols, links."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Tests for the Sabre firmware programs (integration with comm/fusion)."""
 
-import numpy as np
 import pytest
 
 import repro.sabre.softfloat as sf

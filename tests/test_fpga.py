@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro.errors import FixedPointError, FpgaError, SimulationError
 from repro.fpga import (
-    AffineEngine,
     Channel,
     DoubleBuffer,
     FixedFormat,

@@ -5,7 +5,6 @@ drop, links delay, vibration changes with the road.  These tests stress
 those seams.
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the Sabre ISA, assembler, CPU, bus and peripherals."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -9,7 +9,6 @@ from repro.errors import ConfigurationError, SensorError
 from repro.geometry import EulerAngles
 from repro.sensors import (
     AdxlPwmEncoder,
-    CapacitiveAccelTriad,
     DualAxisAccelerometer,
     Mounting,
     PinholeCamera,
@@ -18,7 +17,6 @@ from repro.sensors import (
 )
 from repro.sensors.acc2 import AccConfig
 from repro.sensors.accelerometer import (
-    CapacitiveAccelSpec,
     adxl_quantization_series,
     pwm_quantize,
 )

@@ -1,6 +1,5 @@
 """Bit-accuracy tests for repro.sabre.softfloat against numpy float32."""
 
-import math
 import struct
 
 import numpy as np

@@ -2,6 +2,9 @@
 must be bit-for-bit identical to the scalar oracle, including NaN,
 infinity and denormal edges."""
 
+# Long-running equivalence/hypothesis suite: CI's fast lane skips
+# it with -m "not slow"; the slow lane and local tier-1 run it.
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -49,6 +52,8 @@ EDGE_PATTERNS = np.array(
     ],
     dtype=np.uint32,
 )
+
+pytestmark = pytest.mark.slow
 
 EDGE_A = np.repeat(EDGE_PATTERNS, len(EDGE_PATTERNS))
 EDGE_B = np.tile(EDGE_PATTERNS, len(EDGE_PATTERNS))
