@@ -33,6 +33,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.engines import register_engine, resolve_engine
 from repro.errors import (
     ConfigurationError,
     FilterDivergenceError,
@@ -172,10 +173,24 @@ def _run_job(job: EnsembleJob) -> tuple[np.ndarray, int, float] | None:
     return error, covered, exceedance
 
 
+@register_engine(
+    "ensemble",
+    "model",
+    oracle=True,
+    description="one serial rig per seed, optionally process-parallel",
+)
 def _run_serial_engine(
     jobs: list[EnsembleJob], workers: int
 ) -> MonteCarloSummary:
-    """Execute jobs on the oracle engine, serially or process-parallel."""
+    """Execute jobs on the oracle engine, serially or process-parallel.
+
+    The ``"ensemble"`` domain contract: engines take the typed
+    :class:`EnsembleJob` list plus the ``workers`` count and return a
+    :class:`MonteCarloSummary`.  This oracle runs one
+    :class:`~repro.experiments.protocol.BoresightTestRig` per seed —
+    in-process, or fanned out over spawned workers with deterministic
+    seed-order aggregation.
+    """
     if workers > 1 and len(jobs) > 1:
         context = multiprocessing.get_context("spawn")
         try:
@@ -200,18 +215,24 @@ def _run_serial_engine(
     return summarize_outcomes(outcomes, diverged_seeds=diverged)
 
 
-def _check_engine(engine: str, workers: int) -> None:
-    if engine not in ("model", "fast"):
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; expected 'model' or 'fast'"
-        )
+def _resolve_ensemble_engine(engine: str, workers: int):
+    """Resolve the ensemble engine and validate ``workers``.
+
+    Engine-name validation lives in the registry (unknown names raise
+    :class:`~repro.errors.EngineError`, a ``ConfigurationError``);
+    engine-specific ``workers`` constraints live in each engine.
+    """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    if engine == "fast" and workers != 1:
+    impl = resolve_engine("ensemble", engine)
+    if workers != 1 and getattr(impl, "single_process", False):
+        # Fail before the trajectory synthesis and job construction —
+        # the mismatch is knowable from the arguments alone.
         raise ConfigurationError(
-            "engine='fast' batches all runs in one process; use workers=1 "
-            "(process parallelism belongs to engine='model')"
+            f"engine={engine!r} batches all runs in one process; use "
+            "workers=1 (process parallelism belongs to engine='model')"
         )
+    return impl
 
 
 def run_monte_carlo_static(
@@ -246,41 +267,29 @@ def run_monte_carlo_static(
       seeds (per-seed RNG draws are unchanged), roughly ``runs`` times
       faster, and single-process: combining it with ``workers > 1``
       raises :class:`~repro.errors.ConfigurationError`.
+
+    Dispatch runs through the ``"ensemble"`` domain of
+    :mod:`repro.engines`; any further registered backend is selectable
+    by name.
     """
-    _check_engine(engine, workers)
+    engine_impl = _resolve_ensemble_engine(engine, workers)
     if misalignment is None:
         misalignment = EulerAngles.from_degrees(2.0, -1.5, 3.0)
     trajectory = static_tilt_profile(
         duration=duration, dwell_time=dwell_time, slew_time=slew_time
     )
     estimator_config = static_estimator_config(measurement_sigma)
-    seeds = [base_seed + i for i in range(runs)]
-    if engine == "fast":
-        # Imported lazily: the batch engine pulls in the whole stacked
-        # pipeline, which oracle-only users never need.
-        from repro.experiments.batch_protocol import run_static_ensemble
-
-        ensemble = run_static_ensemble(
-            seeds=seeds,
-            misalignment=misalignment,
-            trajectory=trajectory,
-            estimator_config=estimator_config,
-        )
-        return summarize_outcomes(
-            ensemble.outcomes(), diverged_seeds=ensemble.diverged_seeds
-        )
-
     jobs = [
         EnsembleJob(
-            seed=seed,
+            seed=base_seed + i,
             trajectory=trajectory,
             misalignment=misalignment,
             estimator_config=estimator_config,
             moving=False,
         )
-        for seed in seeds
+        for i in range(runs)
     ]
-    return _run_serial_engine(jobs, workers)
+    return engine_impl(jobs, workers)
 
 
 def run_monte_carlo_dynamic(
@@ -292,6 +301,7 @@ def run_monte_carlo_dynamic(
     route_seed: int = 50,
     motion_gate_rate: float | None = DYNAMIC_MOTION_GATE_RATE,
     acc_dropout: Mapping[int, float] | None = None,
+    adaptive: bool = False,
     workers: int = 1,
     engine: str = "model",
 ) -> MonteCarloSummary:
@@ -311,45 +321,40 @@ def run_monte_carlo_dynamic(
     ``MonteCarloSummary.diverged_seeds`` and the aggregates cover the
     surviving runs — identically in both engines.
 
+    ``adaptive`` switches on innovation-matching measurement-noise
+    adaptation (:mod:`repro.fusion.adaptive`) — the automated version
+    of the paper's manual R retune.  It runs in **both** engines: the
+    batched ensemble carries one lockstep noise matcher per run,
+    bit-identical to the serial estimator's.
+
     ``workers`` and ``engine`` behave exactly as in
     :func:`run_monte_carlo_static`; the fast engine's summary is
     bit-identical to the serial oracle's for the same seeds.
     """
-    _check_engine(engine, workers)
+    engine_impl = _resolve_ensemble_engine(engine, workers)
     if misalignment is None:
         misalignment = EulerAngles.from_degrees(2.0, -1.5, 3.0)
     trajectory = city_drive_profile(
         duration=duration, rng=make_rng(route_seed)
     )
     estimator_config = dynamic_estimator_config(
-        measurement_sigma, motion_gate_rate=motion_gate_rate
+        measurement_sigma,
+        motion_gate_rate=motion_gate_rate,
+        adaptive=adaptive,
     )
-    seeds = [base_seed + i for i in range(runs)]
-    if engine == "fast":
-        from repro.experiments.batch_protocol import run_dynamic_ensemble
-
-        ensemble = run_dynamic_ensemble(
-            seeds=seeds,
-            misalignment=misalignment,
-            trajectory=trajectory,
-            estimator_config=estimator_config,
-            acc_dropout=acc_dropout,
-        )
-        return summarize_outcomes(
-            ensemble.outcomes(), diverged_seeds=ensemble.diverged_seeds
-        )
-
     jobs = [
         EnsembleJob(
-            seed=seed,
+            seed=base_seed + i,
             trajectory=trajectory,
             misalignment=misalignment,
             estimator_config=estimator_config,
             moving=True,
             acc_dropout_time=(
-                acc_dropout.get(seed) if acc_dropout is not None else None
+                acc_dropout.get(base_seed + i)
+                if acc_dropout is not None
+                else None
             ),
         )
-        for seed in seeds
+        for i in range(runs)
     ]
-    return _run_serial_engine(jobs, workers)
+    return engine_impl(jobs, workers)

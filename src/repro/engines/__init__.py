@@ -1,0 +1,40 @@
+"""``repro.engines`` — the oracle/fast engine dispatch subsystem.
+
+Single source of truth for the ``engine="model" | "fast"`` convention:
+every interchangeable implementation pair registers here
+(:func:`register_engine`), every call site dispatches here
+(:func:`resolve_engine`), and the registry equivalence harness
+(``tests/test_engine_registry.py``) sweeps every registered pair for
+bit-identity against its domain oracle via per-engine probes
+(:func:`get_probe`).  See :mod:`repro.engines.registry` for the full
+contract and :mod:`repro.engines.probes` for the built-in probes.
+"""
+
+from repro.engines.payloads import assert_payloads_equal, payloads_equal
+from repro.engines.registry import (
+    EngineSpec,
+    bit_exact_pairs,
+    domains,
+    engine_names,
+    engine_spec,
+    get_probe,
+    oracle_name,
+    register_engine,
+    register_probe,
+    resolve_engine,
+)
+
+__all__ = [
+    "EngineSpec",
+    "register_engine",
+    "register_probe",
+    "resolve_engine",
+    "engine_spec",
+    "engine_names",
+    "oracle_name",
+    "domains",
+    "bit_exact_pairs",
+    "get_probe",
+    "payloads_equal",
+    "assert_payloads_equal",
+]

@@ -1,0 +1,68 @@
+"""Bitwise comparison of engine-probe payloads.
+
+Probes return nested structures of dicts, sequences, ndarrays and
+scalars.  The registry harness compares a fast engine's payload to the
+oracle's **bit-for-bit**: arrays via ``array_equal`` (with NaNs
+matching positionally — diverged/inactive slots are NaN by
+convention), never ``allclose``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def payloads_equal(a: Any, b: Any) -> bool:
+    """Structural, bitwise equality of two probe payloads."""
+    if isinstance(a, dict) or isinstance(b, dict):
+        if not (isinstance(a, dict) and isinstance(b, dict)):
+            return False
+        if a.keys() != b.keys():
+            return False
+        return all(payloads_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) or isinstance(b, (list, tuple)):
+        if not (
+            isinstance(a, (list, tuple)) and isinstance(b, (list, tuple))
+        ):
+            return False
+        if len(a) != len(b):
+            return False
+        return all(payloads_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a_arr = np.asarray(a)
+        b_arr = np.asarray(b)
+        if a_arr.shape != b_arr.shape or a_arr.dtype != b_arr.dtype:
+            return False
+        if a_arr.dtype.kind == "f":
+            return bool(np.array_equal(a_arr, b_arr, equal_nan=True))
+        return bool(np.array_equal(a_arr, b_arr))
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (np.isnan(a) and np.isnan(b))
+    return bool(a == b)
+
+
+def assert_payloads_equal(fast: Any, oracle: Any, path: str = "payload") -> None:
+    """Assert bitwise payload equality with a localized failure message."""
+    if isinstance(oracle, dict):
+        assert isinstance(fast, dict), f"{path}: {type(fast)} vs dict"
+        assert fast.keys() == oracle.keys(), (
+            f"{path}: keys {sorted(fast)} != {sorted(oracle)}"
+        )
+        for k in oracle:
+            assert_payloads_equal(fast[k], oracle[k], f"{path}[{k!r}]")
+        return
+    if isinstance(oracle, (list, tuple)):
+        assert isinstance(fast, (list, tuple)), (
+            f"{path}: {type(fast)} vs sequence"
+        )
+        assert len(fast) == len(oracle), (
+            f"{path}: length {len(fast)} != {len(oracle)}"
+        )
+        for i, (x, y) in enumerate(zip(fast, oracle)):
+            assert_payloads_equal(x, y, f"{path}[{i}]")
+        return
+    assert payloads_equal(fast, oracle), (
+        f"{path}: fast engine differs from the oracle (bitwise)"
+    )

@@ -15,6 +15,17 @@ class ConfigurationError(ReproError):
     """A component was constructed or configured with invalid parameters."""
 
 
+class EngineError(ConfigurationError):
+    """Invalid use of the engine registry (:mod:`repro.engines`).
+
+    Raised for unknown domains, unknown engine names, duplicate
+    registrations and oracle conflicts.  Subclasses
+    :class:`ConfigurationError` because selecting a nonexistent engine
+    is a configuration mistake — callers that already catch
+    ``ConfigurationError`` keep working.
+    """
+
+
 class GeometryError(ReproError):
     """Invalid rotation, frame, or angle operation."""
 

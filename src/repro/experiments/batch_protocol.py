@@ -37,6 +37,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.engines import register_engine
 from repro.errors import ConfigurationError, FusionError
 from repro.experiments.protocol import RigConfig, bench_estimator_config
 from repro.fusion import BoresightConfig
@@ -223,6 +224,79 @@ def _run_lockstep(
         estimator_config = bench_estimator_config(arm)
     estimator = BatchBoresightEstimator(len(seeds), estimator_config)
     return estimator.run(fused), calibration
+
+
+@register_engine(
+    "ensemble",
+    "fast",
+    description="all seeds advanced in lockstep over stacked arrays",
+)
+def run_lockstep_jobs(jobs, workers: int = 1):
+    """The ``"ensemble"`` domain contract over the lockstep engine.
+
+    Takes the same typed :class:`~repro.analysis.montecarlo.EnsembleJob`
+    list as the serial oracle and returns the bit-identical
+    :class:`~repro.analysis.montecarlo.MonteCarloSummary`.  The
+    lockstep engine batches every job into one stacked pipeline, so
+    the jobs must be homogeneous — same trajectory, misalignment,
+    estimator config and ``moving`` flag, differing only by seed and
+    ACC-dropout time — and single-process (``workers`` must be 1).
+    """
+    # Imported here: montecarlo imports the protocol layer this module
+    # sits on top of, so a module-level import would be circular when
+    # the registry loads this engine first.
+    from repro.analysis.montecarlo import summarize_outcomes
+
+    if not jobs:
+        raise ConfigurationError("need at least one job")
+    if workers != 1:
+        raise ConfigurationError(
+            "engine='fast' batches all runs in one process; use workers=1 "
+            "(process parallelism belongs to engine='model')"
+        )
+    first = jobs[0]
+    for job in jobs[1:]:
+        if (
+            job.trajectory is not first.trajectory
+            or job.misalignment is not first.misalignment
+            or job.estimator_config is not first.estimator_config
+            or job.moving != first.moving
+        ):
+            raise ConfigurationError(
+                "the lockstep engine requires homogeneous jobs: shared "
+                "trajectory, misalignment and estimator config objects "
+                "and one moving flag (only seeds and dropout times vary)"
+            )
+    seeds = [job.seed for job in jobs]
+    if len(set(seeds)) != len(seeds):
+        # Per-job state (dropout times) is keyed by seed downstream;
+        # duplicate seeds would silently share it, diverging from the
+        # serial oracle's job-by-job behavior.
+        raise ConfigurationError(
+            "the lockstep engine requires distinct seeds per job"
+        )
+    acc_dropout = {
+        job.seed: job.acc_dropout_time
+        for job in jobs
+        if job.acc_dropout_time is not None
+    }
+    runner = run_dynamic_ensemble if first.moving else run_static_ensemble
+    ensemble = runner(
+        seeds=seeds,
+        misalignment=first.misalignment,
+        trajectory=first.trajectory,
+        estimator_config=first.estimator_config,
+        acc_dropout=acc_dropout or None,
+    )
+    return summarize_outcomes(
+        ensemble.outcomes(), diverged_seeds=ensemble.diverged_seeds
+    )
+
+
+#: Dispatchers check this before building the (expensive) job list so
+#: an engine/workers mismatch fails fast; the in-engine check above
+#: still guards direct callers.
+run_lockstep_jobs.single_process = True
 
 
 def run_static_ensemble(

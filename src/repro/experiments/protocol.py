@@ -20,9 +20,11 @@ the calibration and test phases, like real hardware) and runs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.engines import register_engine
 from repro.errors import ConfigurationError
 from repro.fusion import (
     BoresightConfig,
@@ -89,6 +91,68 @@ def bench_estimator_config(lever_arm: np.ndarray) -> BoresightConfig:
         angle_process_noise=2e-5,
         lever_arm=np.asarray(lever_arm, dtype=np.float64),
     )
+
+
+@register_engine(
+    "sensing",
+    "model",
+    oracle=True,
+    description="per-seed serial instruments over the rig's RNG tree",
+)
+def sense_rigs_serial(
+    seeds: Sequence[int],
+    imu_config: ImuConfig,
+    acc_config: AccConfig,
+    imu_phases: Sequence,
+    acc_phases: Sequence,
+    mountings: Sequence[Mounting],
+) -> dict[str, list[np.ndarray]]:
+    """Sense every phase with one serial instrument set per seed.
+
+    The ``"sensing"`` domain contract: given per-phase trajectories
+    (sampled at each instrument's rate) and the physical ACC mounting
+    of each phase, return the stacked measured streams
+    ``{"imu_rate": [(R, N, 3) per phase], "imu_force": [...],
+    "acc": [(R, N, 2) per phase]}``.  This oracle builds each seed's
+    instruments on the exact :class:`BoresightTestRig` child-generator
+    tree (ids 100/200) and senses the phases in rig order, remounting
+    the ACC between phases as the rig does — the reference the stacked
+    engine (:mod:`repro.sensors.batch`) is verified against.
+    """
+    if len(mountings) != len(acc_phases):
+        raise ConfigurationError("need one ACC mounting per phase")
+    if len(imu_phases) != len(acc_phases):
+        raise ConfigurationError("need matching IMU and ACC phase lists")
+    per_seed: list[tuple[list, list, list]] = []
+    for seed in seeds:
+        root = make_rng(int(seed))
+        imu = SixDofImu(imu_config, spawn_child(root, 100))
+        acc = DualAxisAccelerometer(
+            acc_config, mountings[0], spawn_child(root, 200)
+        )
+        rates, forces, accs = [], [], []
+        for imu_phase, acc_phase, mounting in zip(
+            imu_phases, acc_phases, mountings
+        ):
+            imu_samples = imu.sense(imu_phase)
+            acc.remount(mounting)
+            acc_samples = acc.sense(acc_phase)
+            rates.append(imu_samples.body_rate)
+            forces.append(imu_samples.specific_force)
+            accs.append(acc_samples.specific_force)
+        per_seed.append((rates, forces, accs))
+    phases = len(imu_phases)
+    return {
+        "imu_rate": [
+            np.stack([run[0][i] for run in per_seed]) for i in range(phases)
+        ],
+        "imu_force": [
+            np.stack([run[1][i] for run in per_seed]) for i in range(phases)
+        ],
+        "acc": [
+            np.stack([run[2][i] for run in per_seed]) for i in range(phases)
+        ],
+    }
 
 
 @dataclass

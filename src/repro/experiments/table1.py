@@ -55,6 +55,8 @@ def dynamic_estimator_config(
     measurement_sigma: float = 0.03,
     lever_arm: tuple | None = (0.8, 0.2, -0.3),
     motion_gate_rate: float | None = None,
+    adaptive: bool = False,
+    adaptive_window: int = 100,
 ) -> BoresightConfig:
     """Estimator tuning for driving tests (paper: R ≥ 0.015).
 
@@ -63,6 +65,11 @@ def dynamic_estimator_config(
     exceeds it, so hard corners — where the lever-arm and timing
     systematics are at their worst — don't pollute the estimate.  The
     Monte-Carlo dynamic ensembles arm it by default.
+
+    ``adaptive`` switches ``measurement_sigma`` from a fixed value to
+    the innovation-matching estimator of :mod:`repro.fusion.adaptive`
+    (windowed over ``adaptive_window`` updates) — supported identically
+    by the serial estimator and the lockstep batch engine.
     """
     return BoresightConfig(
         measurement_sigma=measurement_sigma,
@@ -70,6 +77,8 @@ def dynamic_estimator_config(
         estimate_biases=True,
         initial_bias_sigma=0.01,
         motion_gate_rate=motion_gate_rate,
+        adaptive=adaptive,
+        adaptive_window=adaptive_window,
         lever_arm=np.array(lever_arm) if lever_arm is not None else None,
     )
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engines import register_engine, resolve_engine
 from repro.errors import FpgaError
 from repro.fpga.fixedpoint import (
     TRIG_FORMAT,
@@ -171,6 +172,101 @@ def transform_frame_fast(
     return out, cycles
 
 
+@register_engine(
+    "affine",
+    "fast",
+    description="vectorized array path, bit-identical pixels and cycles",
+)
+def _transform_frame_array(
+    hw, source: np.ndarray, phase: int, bx: int, by: int
+) -> tuple[np.ndarray, int]:
+    """The ``"affine"`` domain contract over the vectorized path.
+
+    Same ``(hw, source, phase, bx, by) -> (pixels, cycles)`` contract
+    as the cycle-accurate oracle registered in
+    :mod:`repro.fpga.affine_hw`.
+    """
+    return transform_frame_fast(
+        source,
+        phase=phase,
+        bx=bx,
+        by=by,
+        center=hw.pipeline.center,
+        lut=hw.pipeline.lut,
+        fill_level=hw.fill_level,
+        coord_format=hw.pipeline.coord_format,
+        trig_format=hw.pipeline.trig_format,
+    )
+
+
+@register_engine(
+    "warp",
+    "model",
+    oracle=True,
+    description="fixed-point warp through the cycle-accurate pipeline",
+)
+def _warp_frame_model(
+    frame: Frame,
+    params: AffineParams,
+    lut: SinCosLut | None = None,
+    fill: int = 0,
+) -> Frame:
+    """The ``"warp"`` domain oracle: the pipeline over a scratch buffer.
+
+    Engines of the domain take ``(frame, params, lut=None, fill=0)``
+    and return the warped :class:`Frame`.
+    """
+    # Imported lazily: affine_hw imports this module at load time.
+    from repro.fpga.affine_hw import AffineEngine
+    from repro.fpga.framebuffer import DoubleBuffer
+    from repro.fpga.sram import ZbtSram
+
+    # Fall back to the process-wide cached LUT: per-frame callers (the
+    # stabilizer) must not rebuild the 1024-entry ROM on every warp.
+    lut = lut if lut is not None else default_lut()
+    size = frame.width * frame.height
+    buffer = DoubleBuffer(
+        frame.width,
+        frame.height,
+        ZbtSram(size, "scratch-a"),
+        ZbtSram(size, "scratch-b"),
+    )
+    buffer.store_frame(frame)
+    buffer.swap()
+    hw = AffineEngine(buffer, lut=lut, fill_level=fill, engine="model")
+    out, _ = hw.transform_frame(params)
+    return out
+
+
+@register_engine(
+    "warp",
+    "fast",
+    description="fixed-point warp through the vectorized array path",
+)
+def _warp_frame_array(
+    frame: Frame,
+    params: AffineParams,
+    lut: SinCosLut | None = None,
+    fill: int = 0,
+) -> Frame:
+    """The ``"warp"`` domain fast engine, bit-identical to the oracle."""
+    if not 0 <= fill <= 255:
+        raise FpgaError(f"fill level out of range: {fill}")
+    lut = lut if lut is not None else default_lut()
+    phase, bx, by = quantize_affine_params(params, lut)
+    pixels, _ = transform_frame_fast(
+        frame.pixels,
+        phase=phase,
+        bx=bx,
+        by=by,
+        center=(frame.width // 2, frame.height // 2),
+        lut=lut,
+        fill_level=fill,
+        trig_format=lut.value_format,
+    )
+    return Frame(pixels)
+
+
 def warp_frame_fixed(
     frame: Frame,
     params: AffineParams,
@@ -185,41 +281,12 @@ def warp_frame_fixed(
     through the hardware arithmetic: ``engine="fast"`` uses the
     vectorized path, ``engine="model"`` drives the cycle-accurate
     pipeline over a scratch double buffer (the oracle; both return
-    identical frames).
+    identical frames).  Dispatch runs through the registry's ``"warp"``
+    domain, restricted to the fixed-point pair (the float
+    ``"reference"`` engine belongs to :class:`~repro.video.stabilizer.
+    VideoStabilizer`).
     """
     if not 0 <= fill <= 255:
         raise FpgaError(f"fill level out of range: {fill}")
-    if engine == "model":
-        # Imported lazily: affine_hw imports this module at load time.
-        from repro.fpga.affine_hw import AffineEngine
-        from repro.fpga.framebuffer import DoubleBuffer
-        from repro.fpga.sram import ZbtSram
-
-        size = frame.width * frame.height
-        buffer = DoubleBuffer(
-            frame.width,
-            frame.height,
-            ZbtSram(size, "scratch-a"),
-            ZbtSram(size, "scratch-b"),
-        )
-        buffer.store_frame(frame)
-        buffer.swap()
-        hw = AffineEngine(buffer, lut=lut, fill_level=fill, engine="model")
-        out, _ = hw.transform_frame(params)
-        return out
-    if engine != "fast":
-        raise FpgaError(f"unknown warp engine: {engine!r}")
-
-    lut = lut if lut is not None else default_lut()
-    phase, bx, by = quantize_affine_params(params, lut)
-    pixels, _ = transform_frame_fast(
-        frame.pixels,
-        phase=phase,
-        bx=bx,
-        by=by,
-        center=(frame.width // 2, frame.height // 2),
-        lut=lut,
-        fill_level=fill,
-        trig_format=lut.value_format,
-    )
-    return Frame(pixels)
+    impl = resolve_engine("warp", engine, allowed=("model", "fast"))
+    return impl(frame, params, lut=lut, fill=fill)

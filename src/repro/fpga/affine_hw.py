@@ -23,8 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engines import engine_spec, register_engine, resolve_engine
 from repro.errors import FpgaError
-from repro.fpga.affine_fast import quantize_affine_params, transform_frame_fast
+from repro.fpga.affine_fast import quantize_affine_params
 from repro.fpga.framebuffer import DoubleBuffer
 from repro.fpga.pipeline import (
     PIPELINE_DEPTH,
@@ -35,7 +36,9 @@ from repro.fpga.trig_lut import SinCosLut
 from repro.video.affine import AffineParams
 from repro.video.frame import Frame
 
-#: Valid values for the engine-selection switch.
+#: The built-in engine-selection values (the registry's ``"affine"``
+#: domain is authoritative; this tuple survives for documentation and
+#: back-compat).
 ENGINES = ("model", "fast")
 
 
@@ -82,8 +85,7 @@ class AffineEngine:
             self.pipeline = RotateCoordinatesPipeline(center=center)
         if not 0 <= fill_level <= 255:
             raise FpgaError(f"fill level out of range: {fill_level}")
-        if engine not in ENGINES:
-            raise FpgaError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        engine_spec("affine", engine)  # validate against the registry
         self.fill_level = fill_level
         self.engine = engine
 
@@ -101,59 +103,63 @@ class AffineEngine:
         counters.
         """
         engine = self.engine if engine is None else engine
-        if engine not in ENGINES:
-            raise FpgaError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        impl = resolve_engine("affine", engine)
         phase, bx, by = quantize_affine_params(params, self.pipeline.lut)
 
         width, height = self.buffer.width, self.buffer.height
         source = self.buffer.read_frame().pixels
+        pixels, cycles = impl(self, source, phase, bx, by)
+        stats = AffineJobStats(pixels=width * height, cycles=cycles)
+        return Frame(pixels), stats
 
-        if engine == "fast":
-            pixels, cycles = transform_frame_fast(
-                source,
-                phase=phase,
-                bx=bx,
-                by=by,
-                center=self.pipeline.center,
-                lut=self.pipeline.lut,
-                fill_level=self.fill_level,
-                coord_format=self.pipeline.coord_format,
-                trig_format=self.pipeline.trig_format,
-            )
-            stats = AffineJobStats(pixels=width * height, cycles=cycles)
-            return Frame(pixels), stats
 
-        out = np.full((height, width), self.fill_level, dtype=np.uint8)
+@register_engine(
+    "affine",
+    "model",
+    oracle=True,
+    description="cycle-accurate rotation pipeline, one tick per clock",
+)
+def _transform_frame_model(
+    hw: AffineEngine, source: np.ndarray, phase: int, bx: int, by: int
+) -> tuple[np.ndarray, int]:
+    """The ``"affine"`` domain contract over the cycle-accurate model.
 
-        self.pipeline.flush()
-        start_cycles = self.pipeline.cycles
+    Engines of the domain take the owning :class:`AffineEngine`, the
+    front-buffer pixel array and the quantized registers, and return
+    ``(pixels, cycles)``.  This oracle drives the Figure-5 pipeline one
+    clock at a time and asserts the fill + throughput law.
+    """
+    height, width = source.shape
+    out = np.full((height, width), hw.fill_level, dtype=np.uint8)
 
-        def handle(output) -> None:
-            dest_x, dest_y = output.tag
-            src_x = output.out_x + bx
-            src_y = output.out_y + by
-            if 0 <= src_x < width and 0 <= src_y < height:
-                out[dest_y, dest_x] = source[src_y, src_x]
+    hw.pipeline.flush()
+    start_cycles = hw.pipeline.cycles
 
-        for dest_y in range(height):
-            for dest_x in range(width):
-                result = self.pipeline.tick(
-                    PipelineInput(
-                        in_x=dest_x, in_y=dest_y, phase=phase, tag=(dest_x, dest_y)
-                    )
+    def handle(output) -> None:
+        dest_x, dest_y = output.tag
+        src_x = output.out_x + bx
+        src_y = output.out_y + by
+        if 0 <= src_x < width and 0 <= src_y < height:
+            out[dest_y, dest_x] = source[src_y, src_x]
+
+    for dest_y in range(height):
+        for dest_x in range(width):
+            result = hw.pipeline.tick(
+                PipelineInput(
+                    in_x=dest_x, in_y=dest_y, phase=phase, tag=(dest_x, dest_y)
                 )
-                if result is not None:
-                    handle(result)
-        while self.pipeline.busy:
-            result = self.pipeline.tick(None)
+            )
             if result is not None:
                 handle(result)
+    while hw.pipeline.busy:
+        result = hw.pipeline.tick(None)
+        if result is not None:
+            handle(result)
 
-        cycles = self.pipeline.cycles - start_cycles
-        stats = AffineJobStats(pixels=width * height, cycles=cycles)
-        if cycles != width * height + PIPELINE_DEPTH:
-            raise FpgaError(
-                f"pipeline throughput broke: {cycles} cycles for "
-                f"{width * height} pixels"
-            )
-        return Frame(out), stats
+    cycles = hw.pipeline.cycles - start_cycles
+    if cycles != width * height + PIPELINE_DEPTH:
+        raise FpgaError(
+            f"pipeline throughput broke: {cycles} cycles for "
+            f"{width * height} pixels"
+        )
+    return out, cycles

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engines import engine_spec
 from repro.errors import ConfigurationError
-from repro.fpga.affine_hw import ENGINES, AffineEngine
+from repro.fpga.affine_hw import AffineEngine
 from repro.fpga.framebuffer import DoubleBuffer
 from repro.fpga.sram import ZbtSram
 from repro.fpga.trig_lut import SinCosLut
@@ -44,10 +45,9 @@ class RC200Config:
             raise ConfigurationError("clock must be positive")
         if self.video_width * self.video_height > self.sram_bytes:
             raise ConfigurationError("frame does not fit in one SRAM bank")
-        if self.affine_engine not in ENGINES:
-            raise ConfigurationError(
-                f"unknown affine engine {self.affine_engine!r}"
-            )
+        # Registry validation: unknown engines raise EngineError, a
+        # ConfigurationError subclass.
+        engine_spec("affine", self.affine_engine)
 
 
 class RC200Board:

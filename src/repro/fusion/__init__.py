@@ -30,7 +30,10 @@ sensor with respect to the IMU axes, with associated covariance values."
   filters (which remain the verification oracle).
 """
 
-from repro.fusion.adaptive import InnovationAdaptiveNoise
+from repro.fusion.adaptive import (
+    BatchInnovationAdaptiveNoise,
+    InnovationAdaptiveNoise,
+)
 from repro.fusion.batch_boresight import (
     BatchBoresightEstimator,
     BatchBoresightResult,
@@ -98,6 +101,7 @@ __all__ = [
     "ResidualMonitor",
     "ConvergenceDetector",
     "InnovationAdaptiveNoise",
+    "BatchInnovationAdaptiveNoise",
     "MultiSensorAligner",
     "MultiSensorResult",
     "Backend",

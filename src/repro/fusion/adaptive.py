@@ -9,6 +9,12 @@ innovation-covariance matching estimator:
 
 clamped to a configured floor/ceiling.  It is listed in DESIGN.md as an
 extension (the paper calls the tuning manual).
+
+:class:`BatchInnovationAdaptiveNoise` is the lockstep ensemble twin: R
+independent windowed estimators advanced together, each bit-identical
+to a serial :class:`InnovationAdaptiveNoise` fed only its own run's
+recorded ticks — gated and diverged runs simply skip a tick via the
+``active`` mask, exactly as their serial estimator would.
 """
 
 from __future__ import annotations
@@ -86,3 +92,127 @@ class InnovationAdaptiveNoise:
                 np.clip(np.sqrt(variance), self.floor_sigma, self.ceiling_sigma)
             )
         return self._sigma
+
+
+class BatchInnovationAdaptiveNoise:
+    """R windowed innovation-matching estimators in lockstep.
+
+    Each run keeps its own window ring, fill count and sigma; a
+    :meth:`record` with an ``active`` mask advances only the selected
+    runs, replaying the serial :class:`InnovationAdaptiveNoise`
+    arithmetic per run — same per-tick ``mean(r*r)`` / ``mean(diag
+    HPH')`` scalars, same oldest-first window mean, same clamp — so
+    every run's sigma trajectory is bit-identical to a serial
+    estimator fed only that run's recorded ticks.
+
+    The per-run state is inherently sequential (each run's window
+    fills at its own gated pace), so :meth:`record` walks the active
+    runs in a Python loop; with the windows at play (R ≈ tens, window
+    ≈ 100) this is a negligible slice of a fusion tick.
+    """
+
+    def __init__(
+        self,
+        runs: int,
+        initial_sigma: float = 0.005,
+        window: int = 100,
+        floor_sigma: float = 0.001,
+        ceiling_sigma: float = 0.2,
+    ) -> None:
+        if runs < 1:
+            raise FusionError(f"runs must be >= 1, got {runs}")
+        if window < 2:
+            raise FusionError("window must be >= 2")
+        if not 0.0 < floor_sigma <= initial_sigma <= ceiling_sigma:
+            raise FusionError(
+                "need 0 < floor_sigma <= initial_sigma <= ceiling_sigma"
+            )
+        self.runs = runs
+        self.window = window
+        self.initial_sigma = float(initial_sigma)
+        self.floor_sigma = float(floor_sigma)
+        self.ceiling_sigma = float(ceiling_sigma)
+        self._rr = np.zeros((runs, window))
+        self._hph = np.zeros((runs, window))
+        self._count = np.zeros(runs, dtype=np.int64)
+        self._pos = np.zeros(runs, dtype=np.int64)
+        self._sigma = np.full(runs, float(initial_sigma))
+
+    @property
+    def sigma(self) -> np.ndarray:
+        """Current per-run measurement sigmas, (R,) copy."""
+        return self._sigma.copy()
+
+    def r_matrix(self, axes: int = 2) -> np.ndarray:
+        """Current per-run measurement covariances ``sigma² I``, (R, axes, axes).
+
+        Each slice is the elementwise ``sigma² * eye`` product the
+        serial :meth:`InnovationAdaptiveNoise.r_matrix` computes, so
+        the stacked matrix is bit-identical per run.
+        """
+        return (self._sigma**2)[:, None, None] * np.eye(axes)
+
+    def record(
+        self,
+        residual: np.ndarray,
+        hph: np.ndarray,
+        active: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Ingest one lockstep tick's stacked innovations; returns sigmas.
+
+        ``residual`` is (R, m), ``hph`` the stacked prior ``H P Hᵀ``
+        (R, m, m).  ``active`` restricts the ingest (default: all
+        runs); a skipped run's window, count and sigma are untouched —
+        its serial twin never saw the tick.
+        """
+        r_all = np.asarray(residual, dtype=np.float64)
+        hph_all = np.asarray(hph, dtype=np.float64)
+        if r_all.ndim != 2 or r_all.shape[0] != self.runs:
+            raise FusionError(
+                f"residual must be (R, m), got {r_all.shape}"
+            )
+        m = r_all.shape[1]
+        if hph_all.shape != (self.runs, m, m):
+            raise FusionError(
+                f"HPH' shape {hph_all.shape} does not match residual "
+                f"stack {r_all.shape}"
+            )
+        if active is None:
+            active = np.ones(self.runs, dtype=bool)
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (self.runs,):
+            raise FusionError(
+                f"active mask shape {active.shape} != ({self.runs},)"
+            )
+        for run in np.flatnonzero(active):
+            r = r_all[run]
+            # The exact serial per-tick scalars.
+            rr = float(np.mean(r * r))
+            hph_mean = float(np.mean(np.diag(hph_all[run])))
+            pos = int(self._pos[run])
+            self._rr[run, pos] = rr
+            self._hph[run, pos] = hph_mean
+            self._pos[run] = (pos + 1) % self.window
+            self._count[run] = min(self._count[run] + 1, self.window)
+            if self._count[run] == self.window:
+                # The serial mean runs over the deque in insertion
+                # order; rotate the ring to oldest-first so the
+                # pairwise summation matches bit-for-bit.
+                head = int(self._pos[run])
+                rr_ordered = np.concatenate(
+                    (self._rr[run, head:], self._rr[run, :head])
+                )
+                hph_ordered = np.concatenate(
+                    (self._hph[run, head:], self._hph[run, :head])
+                )
+                mean_rr = float(np.mean(rr_ordered))
+                mean_hph = float(np.mean(hph_ordered))
+                variance = max(mean_rr - mean_hph, self.floor_sigma**2)
+                self._sigma[run] = float(
+                    np.clip(
+                        np.sqrt(variance),
+                        self.floor_sigma,
+                        self.ceiling_sigma,
+                    )
+                )
+        return self.sigma

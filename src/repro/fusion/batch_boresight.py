@@ -22,9 +22,12 @@ Per-run control flow is handled by masking, not approximation:
   is flagged and excluded from every subsequent update instead of
   aborting the ensemble; the surviving runs' math is untouched, so
   they stay bit-identical to their serial oracles.
-
-Adaptive measurement noise remains refused (per-run stateful sigma
-re-estimation); use the serial engine for those studies.
+- **adaptive measurement noise** (``config.adaptive``) — each run owns
+  a lockstep slot of
+  :class:`~repro.fusion.adaptive.BatchInnovationAdaptiveNoise`; gated
+  and diverged runs skip the record (their serial twin never saw the
+  tick), and each run's sigma trajectory — hence its R matrix and its
+  filter — stays bit-identical to the serial adaptive estimator.
 """
 
 from __future__ import annotations
@@ -33,7 +36,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConfigurationError, FusionError
+from repro.engines import register_engine
+from repro.errors import FusionError
+from repro.fusion.adaptive import BatchInnovationAdaptiveNoise
 from repro.fusion.batch_kalman import BatchInnovation, BatchKalmanFilter
 from repro.fusion.boresight import BoresightConfig
 from repro.fusion.models import PROJECT_XY
@@ -275,16 +280,16 @@ class BatchBoresightResult:
         return np.degrees(3.0 * self.angle_sigma)
 
 
+@register_engine(
+    "boresight",
+    "fast",
+    description="R misalignment MEKFs in lockstep with masking",
+)
 class BatchBoresightEstimator:
     """Multiplicative EKF ensemble advanced tick-by-tick in lockstep."""
 
     def __init__(self, runs: int, config: BoresightConfig | None = None) -> None:
         self.config = config if config is not None else BoresightConfig()
-        if self.config.adaptive:
-            raise ConfigurationError(
-                "adaptive measurement noise is per-run stateful; the batch "
-                "engine refuses it — use the serial BoresightEstimator"
-            )
         self._model = BatchMisalignmentModel(
             runs,
             estimate_biases=self.config.estimate_biases,
@@ -297,6 +302,15 @@ class BatchBoresightEstimator:
             p0[3:, 3:] = np.eye(2) * self.config.initial_bias_sigma**2
         self._kf = BatchKalmanFilter(np.zeros((runs, n)), p0)
         self._monitor = BatchResidualMonitor(runs, axes=2)
+        self._adaptive = (
+            BatchInnovationAdaptiveNoise(
+                runs,
+                initial_sigma=self.config.measurement_sigma,
+                window=self.config.adaptive_window,
+            )
+            if self.config.adaptive
+            else None
+        )
         self._mounting = (
             Mounting(lever_arm=self.config.lever_arm)
             if self.config.lever_arm is not None
@@ -321,6 +335,13 @@ class BatchBoresightEstimator:
     def diverged(self) -> np.ndarray:
         """Per-run divergence flags, (R,) copy."""
         return self._diverged.copy()
+
+    @property
+    def measurement_sigma(self) -> np.ndarray:
+        """Per-run measurement sigma in use (adaptive or fixed), (R,)."""
+        if self._adaptive is not None:
+            return self._adaptive.sigma
+        return np.full(self.runs, self.config.measurement_sigma)
 
     def _process_noise(self, dt: float) -> np.ndarray:
         n = self._model.state_dim
@@ -379,8 +400,17 @@ class BatchBoresightEstimator:
             f = self._mounting.specific_force_at_sensor(f, w, wd)
         z_hat = self._model.predict_measurement(f)
         h = self._model.h_matrix(f)
-        sigma = self.config.measurement_sigma
-        r = (sigma**2) * np.eye(2)
+        hph_prior = None
+        if self._adaptive is not None:
+            # Per-run R from each run's adapted sigma, plus the prior
+            # H P H' the serial estimator hands the noise matcher —
+            # both per-slice identical to the serial expressions.
+            r = self._adaptive.r_matrix(axes=2)
+            hph_prior = np.matmul(
+                np.matmul(h, self._kf.covariance), np.swapaxes(h, 1, 2)
+            )
+        else:
+            r = (self.config.measurement_sigma**2) * np.eye(2)
         innovation, newly_diverged = self._kf.update_masked(
             z, h, r, predicted_measurement=z_hat, active=active
         )
@@ -399,6 +429,12 @@ class BatchBoresightEstimator:
         state[active] = 0.0
         self._kf.state = state
         self._monitor.record(innovation, active=active)
+        if self._adaptive is not None:
+            # Gated and diverged runs skip the record, exactly as the
+            # serial estimator's adaptive loop never sees those ticks.
+            self._adaptive.record(
+                innovation.residual, hph_prior, active=active
+            )
         self._tick += 1
         return innovation
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engines import register_engine
 from repro.errors import FilterDivergenceError, FusionError
 
 
@@ -54,6 +55,11 @@ class BatchInnovation:
         return np.abs(self.residual) > self.three_sigma()
 
 
+@register_engine(
+    "kalman",
+    "fast",
+    description="R filters advanced in lockstep over (R, n) stacks",
+)
 class BatchKalmanFilter:
     """R discrete Kalman filters sharing one stacked state.
 
@@ -156,14 +162,20 @@ class BatchKalmanFilter:
         ``predicted_measurement`` (R, m) enables extended-filter use
         exactly as in the serial filter.
         """
-        residual, s, h, r = self._innovation_terms(
+        z, h, r, z_hat = self._update_operands(
             measurement, h_matrix, r_matrix, predicted_measurement
         )
+        if z_hat is None:
+            z_hat = np.matmul(h, self._x[:, :, None])[:, :, 0]
+        residual = z - z_hat
+        s = np.matmul(np.matmul(h, self._p), np.swapaxes(h, 1, 2)) + r
         try:
             s_inv = np.linalg.inv(s)
         except np.linalg.LinAlgError as exc:
             raise FilterDivergenceError("innovation covariance singular") from exc
-        x_new, p_new, gain = self._corrected(residual, s_inv, h, r)
+        x_new, p_new, gain = self._corrected(
+            self._x, self._p, residual, s_inv, h, r
+        )
         self._x = x_new
         self._p = p_new
         self._check_covariance()
@@ -179,66 +191,126 @@ class BatchKalmanFilter:
     ) -> tuple[BatchInnovation, np.ndarray]:
         """Measurement update restricted to ``active`` runs, never raising.
 
-        The arithmetic is the full-stack :meth:`update` computation —
-        elementwise/per-slice, so each active run's new state and
-        covariance are bit-identical to a solo update — but only
-        ``active`` runs commit, and divergence masks instead of
-        aborting.  Returns ``(innovation, diverged)`` where ``diverged``
-        flags active runs whose update produced a singular innovation
+        The arithmetic is the :meth:`update` computation restricted to
+        the ``active`` sub-stack — per-slice, so each active run's new
+        state and covariance are bit-identical to a solo update — and
+        divergence masks instead of aborting.  Inactive runs are
+        **skipped entirely**: a gated or long-diverged run costs no
+        innovation algebra, no inverse and no Joseph update, and its
+        slices of the returned innovation are NaN (they were never
+        meaningful; callers must mask them either way).
+
+        Returns ``(innovation, diverged)`` where ``diverged`` flags
+        active runs whose update produced a singular innovation
         covariance, an invalid covariance diagonal, or a non-finite
         state — exactly the conditions under which the serial filter
-        chain raises at this tick.  Inactive and non-diverged-inactive
-        slices of the innovation are computed but meaningless; callers
-        must mask them.  A run diverging via an invalid covariance or
-        non-finite state commits whatever the update produced (the
-        serial filter also assigns before raising); a run whose S was
-        singular keeps its pre-update state/covariance (the serial
-        filter raises before assigning).  Either way diverged runs are
-        expected to be excluded from every later ``active`` mask.
+        chain raises at this tick.  A run diverging via an invalid
+        covariance or non-finite state commits whatever the update
+        produced (the serial filter also assigns before raising); a
+        run whose S was singular keeps its pre-update state/covariance
+        (the serial filter raises before assigning).  Either way
+        diverged runs are expected to be excluded from every later
+        ``active`` mask.
         """
         runs = self.runs
+        n = self.state_dim
         if active is None:
             active = np.ones(runs, dtype=bool)
         active = np.asarray(active, dtype=bool)
         if active.shape != (runs,):
             raise FusionError(f"active mask shape {active.shape} != ({runs},)")
-        residual, s, h, r = self._innovation_terms(
+
+        z, h, r, z_hat = self._update_operands(
             measurement, h_matrix, r_matrix, predicted_measurement
         )
-        singular = np.zeros(runs, dtype=bool)
+        m = z.shape[1]
+
+        idx = np.flatnonzero(active)
+        if idx.size == runs:
+            # Every run updates: operate on the stacks as-is (this is
+            # the exact full-stack path, gather-free).
+            x_a, p_a = self._x, self._p
+            z_a, h_a, r_a, z_hat_a = z, h, r, z_hat
+        else:
+            # Gather the active slices into contiguous sub-stacks; the
+            # per-slice BLAS/LAPACK dispatch (and therefore the
+            # rounding) is unchanged, but inactive runs cost nothing.
+            x_a = np.ascontiguousarray(self._x[idx])
+            p_a = np.ascontiguousarray(self._p[idx])
+            z_a = np.ascontiguousarray(z[idx])
+            h_a = np.ascontiguousarray(h[idx])
+            r_a = np.ascontiguousarray(r[idx])
+            z_hat_a = None if z_hat is None else np.ascontiguousarray(z_hat[idx])
+
+        if z_hat_a is None:
+            z_hat_a = np.matmul(h_a, x_a[:, :, None])[:, :, 0]
+        residual_a = z_a - z_hat_a
+        s_a = np.matmul(np.matmul(h_a, p_a), np.swapaxes(h_a, 1, 2)) + r_a
+
+        singular_a = np.zeros(idx.size, dtype=bool)
         try:
-            s_inv = np.linalg.inv(s)
+            s_inv_a = np.linalg.inv(s_a)
         except np.linalg.LinAlgError:
             # One run's S is exactly singular; LAPACK aborts the whole
             # stacked call.  Recover per slice so the healthy runs see
             # the identical per-slice inverse and only the offenders
             # are flagged.
-            m = s.shape[1]
-            s_inv = np.empty_like(s)
-            for run in range(runs):
+            s_inv_a = np.empty_like(s_a)
+            for k in range(idx.size):
                 try:
-                    s_inv[run] = np.linalg.inv(s[run])
+                    s_inv_a[k] = np.linalg.inv(s_a[k])
                 except np.linalg.LinAlgError:
-                    s_inv[run] = np.eye(m)
-                    singular[run] = True
-        x_new, p_new, gain = self._corrected(residual, s_inv, h, r)
-        commit = active & ~singular
-        self._x[commit] = x_new[commit]
-        self._p[commit] = p_new[commit]
+                    s_inv_a[k] = np.eye(m)
+                    singular_a[k] = True
+        x_new_a, p_new_a, gain_a = self._corrected(
+            x_a, p_a, residual_a, s_inv_a, h_a, r_a
+        )
+        commit = idx[~singular_a]
+        self._x[commit] = x_new_a[~singular_a]
+        self._p[commit] = p_new_a[~singular_a]
+
         diag = np.diagonal(self._p, axis1=1, axis2=2)
         bad_state = ~np.all(np.isfinite(self._x), axis=1)
         bad_cov = np.any(~np.isfinite(diag) | (diag < 0.0), axis=1)
+        singular = np.zeros(runs, dtype=bool)
+        singular[idx] = singular_a
         diverged = active & (singular | bad_cov | bad_state)
-        return self._innovation(residual, s, s_inv, gain), diverged
 
-    def _innovation_terms(
+        sub = self._innovation(residual_a, s_a, s_inv_a, gain_a)
+        if idx.size == runs:
+            return sub, diverged
+        # Scatter the active statistics into NaN-filled full stacks so
+        # the innovation keeps its (R, ...) shape contract.
+        innovation = BatchInnovation(
+            residual=self._scatter(sub.residual, idx, (runs, m)),
+            covariance=self._scatter(sub.covariance, idx, (runs, m, m)),
+            sigma=self._scatter(sub.sigma, idx, (runs, m)),
+            nis=self._scatter(sub.nis, idx, (runs,)),
+            gain=self._scatter(sub.gain, idx, (runs, n, m)),
+        )
+        return innovation, diverged
+
+    @staticmethod
+    def _scatter(
+        values: np.ndarray, idx: np.ndarray, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Place sub-stack slices at ``idx`` of a NaN-filled stack."""
+        out = np.full(shape, np.nan)
+        out[idx] = values
+        return out
+
+    def _update_operands(
         self,
         measurement: np.ndarray,
         h_matrix: np.ndarray,
         r_matrix: np.ndarray,
         predicted_measurement: np.ndarray | None,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Validate operands and compute ``residual`` and ``S``."""
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        """Validate and broadcast the full-stack update operands.
+
+        Returns ``(z, h, r, z_hat)`` with ``z_hat`` left ``None`` when
+        the caller should derive it from the (possibly gathered) state.
+        """
         z = np.asarray(measurement, dtype=np.float64)
         if z.ndim != 2 or z.shape[0] != self.runs:
             raise FusionError(f"measurement must be (R, m), got {z.shape}")
@@ -248,33 +320,35 @@ class BatchKalmanFilter:
         r = self._as_stack(np.asarray(r_matrix, dtype=np.float64), "R", (m, m))
 
         if predicted_measurement is None:
-            z_hat = np.matmul(h, self._x[:, :, None])[:, :, 0]
-        else:
-            z_hat = np.asarray(predicted_measurement, dtype=np.float64)
-            if z_hat.shape != z.shape:
-                raise FusionError(
-                    f"predicted measurement shape {z_hat.shape} != {z.shape}"
-                )
+            return z, h, r, None
+        z_hat = np.asarray(predicted_measurement, dtype=np.float64)
+        if z_hat.shape != z.shape:
+            raise FusionError(
+                f"predicted measurement shape {z_hat.shape} != {z.shape}"
+            )
+        return z, h, r, z_hat
 
-        residual = z - z_hat
-        s = np.matmul(np.matmul(h, self._p), np.swapaxes(h, 1, 2)) + r
-        return residual, s, h, r
-
+    @staticmethod
     def _corrected(
-        self,
+        x: np.ndarray,
+        p: np.ndarray,
         residual: np.ndarray,
         s_inv: np.ndarray,
         h: np.ndarray,
         r: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Joseph-form corrected ``(state, covariance, gain)`` stacks."""
-        n = self._x.shape[1]
-        gain = np.matmul(np.matmul(self._p, np.swapaxes(h, 1, 2)), s_inv)
-        x_new = self._x + np.matmul(gain, residual[:, :, None])[:, :, 0]
+        """Joseph-form corrected ``(state, covariance, gain)`` stacks.
+
+        Operates on explicit ``(x, p)`` stacks so :meth:`update_masked`
+        can hand it the gathered active sub-stack.
+        """
+        n = x.shape[1]
+        gain = np.matmul(np.matmul(p, np.swapaxes(h, 1, 2)), s_inv)
+        x_new = x + np.matmul(gain, residual[:, :, None])[:, :, 0]
         joseph = np.eye(n) - np.matmul(gain, h)
         joseph_t = np.swapaxes(joseph, 1, 2)
         gain_t = np.swapaxes(gain, 1, 2)
-        p_new = np.matmul(np.matmul(joseph, self._p), joseph_t) + np.matmul(
+        p_new = np.matmul(np.matmul(joseph, p), joseph_t) + np.matmul(
             np.matmul(gain, r), gain_t
         )
         p_new = 0.5 * (p_new + np.swapaxes(p_new, 1, 2))

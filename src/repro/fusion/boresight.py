@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engines import register_engine
 from repro.errors import ConfigurationError, FusionError
 from repro.fusion.adaptive import InnovationAdaptiveNoise
 from repro.fusion.confidence import ResidualMonitor
@@ -119,6 +120,12 @@ class BoresightResult:
         return self.misalignment - truth
 
 
+@register_engine(
+    "boresight",
+    "model",
+    oracle=True,
+    description="serial per-run misalignment MEKF (verification oracle)",
+)
 class BoresightEstimator:
     """Multiplicative EKF tracking the sensor mounting misalignment."""
 

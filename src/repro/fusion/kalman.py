@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engines import register_engine
 from repro.errors import FilterDivergenceError, FusionError
 
 
@@ -51,6 +52,12 @@ class Innovation:
         return np.abs(self.residual) > self.three_sigma()
 
 
+@register_engine(
+    "kalman",
+    "model",
+    oracle=True,
+    description="serial per-run Joseph-form filter (verification oracle)",
+)
 class KalmanFilter:
     """Discrete Kalman filter over a random-walk / linear process.
 

@@ -14,8 +14,10 @@ mirroring SoftFloat's ``float_exception_flags``.
 from __future__ import annotations
 
 import struct
+import sys
 from dataclasses import dataclass
 
+from repro.engines import register_engine
 from repro.errors import SoftFloatError
 
 #: Default quiet NaN produced by invalid operations.
@@ -470,3 +472,13 @@ def _order_key(bits: int) -> int:
         return 0
     magnitude = bits & ~_SIGN_MASK
     return -magnitude if _sign(bits) else magnitude
+
+# The scalar module itself is the ``"softfloat"`` domain's oracle
+# engine: one bit-twiddled op per call, exactly what the Sabre
+# executes.  (Call-form registration: modules can't be decorated.)
+register_engine(
+    "softfloat",
+    "model",
+    oracle=True,
+    description="scalar bit-twiddled IEEE-754 binary32 (verification oracle)",
+)(sys.modules[__name__])

@@ -23,8 +23,11 @@ Differences from the scalar oracle, by design of a fast path:
 
 from __future__ import annotations
 
+import sys
+
 import numpy as np
 
+from repro.engines import register_engine
 from repro.errors import SoftFloatError
 from repro.sabre.softfloat import DEFAULT_NAN
 
@@ -193,3 +196,13 @@ def f32_le_array(a: object, b: object) -> np.ndarray:
     """Element-wise :func:`repro.sabre.softfloat.f32_le` (boolean)."""
     with np.errstate(invalid="ignore"):
         return _floats(_as_bits(a)) <= _floats(_as_bits(b))
+
+
+# The array module is the ``"softfloat"`` domain's fast engine:
+# whole-ndarray ops, bit-identical to mapping the scalar oracle
+# element-wise (sticky flags excepted — see the module docstring).
+register_engine(
+    "softfloat",
+    "fast",
+    description="vectorized uint32 array kernels over the host FPU",
+)(sys.modules[__name__])

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engines import register_engine
 from repro.errors import ConfigurationError
 from repro.rng import make_rng, spawn_child
 from repro.sensors.acc2 import AccConfig
@@ -434,6 +435,50 @@ def sense_acc_stacked(
             )
         )
     return out
+
+
+@register_engine(
+    "sensing",
+    "fast",
+    description="stacked per-seed noise streams and batched sensing",
+)
+def sense_rigs_stacked(
+    seeds: Sequence[int],
+    imu_config: ImuConfig,
+    acc_config: AccConfig,
+    imu_phases: Sequence[TrajectoryData],
+    acc_phases: Sequence[TrajectoryData],
+    mountings: Sequence[Mounting],
+) -> dict[str, list[np.ndarray]]:
+    """The ``"sensing"`` domain contract over the stacked engine.
+
+    Same signature and return shape as the serial oracle
+    (:func:`repro.experiments.protocol.sense_rigs_serial`): draw every
+    seed's noise streams once (:func:`stack_rig_streams`) and sense all
+    phases batched.  Requires equal IMU/ACC sample counts per phase,
+    like the lockstep ensemble driver.
+    """
+    if len(imu_phases) != len(acc_phases):
+        raise ConfigurationError("need matching IMU and ACC phase lists")
+    for imu_phase, acc_phase in zip(imu_phases, acc_phases):
+        if len(imu_phase.time) != len(acc_phase.time):
+            raise ConfigurationError(
+                "stacked sensing requires equal IMU/ACC sample counts "
+                "per phase"
+            )
+    streams = stack_rig_streams(
+        seeds,
+        imu_config,
+        acc_config,
+        [len(phase.time) for phase in imu_phases],
+    )
+    imu_out = sense_imu_stacked(imu_config, streams, imu_phases)
+    acc_out = sense_acc_stacked(acc_config, streams, acc_phases, mountings)
+    return {
+        "imu_rate": [s.body_rate for s in imu_out],
+        "imu_force": [s.specific_force for s in imu_out],
+        "acc": [s.specific_force for s in acc_out],
+    }
 
 
 def _check_vibration(

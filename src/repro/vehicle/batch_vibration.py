@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.engines import register_engine
 from repro.errors import ConfigurationError
 from repro.rng import make_rng, spawn_child
 from repro.vehicle.trajectory import TrajectoryData
@@ -144,6 +145,11 @@ def _road_field(
     return out
 
 
+@register_engine(
+    "vibration",
+    "fast",
+    description="stacked per-seed vibration synthesis for lockstep ensembles",
+)
 def stack_vibration_fields(
     spec: VibrationSpec,
     seeds: Sequence[int],

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engines import register_engine
 from repro.errors import ConfigurationError
 
 
@@ -62,6 +63,12 @@ class VibrationSpec:
             raise ConfigurationError("road correlation time must be positive")
 
 
+@register_engine(
+    "vibration",
+    "model",
+    oracle=True,
+    description="per-tick scalar vibration sampling (verification oracle)",
+)
 class VibrationModel:
     """Sampled vibration acceleration for one instrument location.
 

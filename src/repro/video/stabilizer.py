@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.engines import register_engine, resolve_engine
 from repro.geometry import EulerAngles
 from repro.sensors.camera import PinholeCamera
 from repro.video.affine import (
@@ -40,8 +40,27 @@ from repro.video.affine import (
 from repro.video.frame import Frame
 from repro.video.metrics import corner_error_px, frame_mae
 
-#: Engines accepted by :class:`VideoStabilizer`.
+#: Engines accepted by :class:`VideoStabilizer` (the registry's
+#: ``"warp"`` domain is authoritative; this tuple survives for
+#: documentation and back-compat).
 WARP_ENGINES = ("reference", "fast", "model")
+
+
+@register_engine(
+    "warp",
+    "reference",
+    bit_exact=False,
+    description=(
+        "double-precision float warp — differs from the fixed-point "
+        "pair by quantization, so it is exempt from the bit-identity "
+        "sweep"
+    ),
+)
+def _warp_reference(
+    frame: Frame, params: AffineParams, lut=None, fill: int = 0
+) -> Frame:
+    """The ``"warp"`` contract over the float reference (lut unused)."""
+    return apply_affine(frame, params)
 
 
 @dataclass
@@ -58,26 +77,15 @@ class VideoStabilizer:
     """Applies the misalignment correction to camera frames."""
 
     def __init__(self, camera: PinholeCamera, engine: str = "reference") -> None:
-        if engine not in WARP_ENGINES:
-            raise ConfigurationError(
-                f"unknown warp engine {engine!r}; expected one of {WARP_ENGINES}"
-            )
         self.camera = camera
         self.engine = engine
-        self._lut = None
-        if engine != "reference":
-            # Imported lazily so the float reference path keeps the
-            # video package independent of the fpga package.
-            from repro.fpga.affine_fast import default_lut
-
-            self._lut = default_lut()
+        # Registry resolution is lazy per engine name, so the float
+        # reference path keeps the video package independent of the
+        # fpga package.
+        self._warp_impl = resolve_engine("warp", engine)
 
     def _warp(self, frame: Frame, params: AffineParams) -> Frame:
-        if self.engine == "reference":
-            return apply_affine(frame, params)
-        from repro.fpga.affine_fast import warp_frame_fixed
-
-        return warp_frame_fixed(frame, params, engine=self.engine, lut=self._lut)
+        return self._warp_impl(frame, params)
 
     def distort(self, scene: Frame, true_misalignment: EulerAngles) -> Frame:
         """What the misaligned camera actually captures."""

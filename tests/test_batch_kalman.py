@@ -366,12 +366,16 @@ class TestMonteCarloFastEngine:
         with pytest.raises(ConfigurationError):
             run_monte_carlo_static(runs=2, engine="fast", workers=2)
 
-    def test_batch_estimator_refuses_serial_only_features(self):
+    def test_batch_estimator_supports_every_serial_feature(self):
         # Motion gating is batched (per-run masks) since the dynamic
-        # ensemble engine; adaptive noise remains serial-only.
+        # ensemble engine; adaptive measurement noise joined it with
+        # the engine registry (its bit-identity is pinned in
+        # tests/test_dynamic_ensemble.py and the registry harness).
         BatchBoresightEstimator(2, BoresightConfig(motion_gate_rate=0.1))
-        with pytest.raises(ConfigurationError):
-            BatchBoresightEstimator(2, BoresightConfig(adaptive=True))
+        estimator = BatchBoresightEstimator(2, BoresightConfig(adaptive=True))
+        assert np.array_equal(
+            estimator.measurement_sigma, np.full(2, 0.005)
+        )
 
     def test_coverage_denominator_follows_error_dimension(self):
         # Satellite regression: the 3-sigma coverage denominator derives

@@ -150,6 +150,23 @@ class TestMonteCarloDynamicFastEngine:
         # finite and unpolluted by the NaN stream.
         assert np.all(np.isfinite(fast.rms_error_deg))
 
+    def test_adaptive_noise_bit_identical_to_serial(self):
+        # The PR-4 port: innovation-matching measurement noise runs in
+        # the lockstep engine — one windowed matcher per run, advanced
+        # only on that run's recorded ticks — bit-identical to the
+        # serial oracle.
+        serial = run_monte_carlo_dynamic(
+            engine="model", adaptive=True, **MC_KWARGS
+        )
+        fast = run_monte_carlo_dynamic(
+            engine="fast", adaptive=True, **MC_KWARGS
+        )
+        assert serial == fast
+        # And the adaptation must actually engage: a fixed-R ensemble
+        # lands on a different summary.
+        fixed = run_monte_carlo_dynamic(engine="fast", **MC_KWARGS)
+        assert fast != fixed
+
     def test_workers_match_serial(self):
         # Satellite regression: process-parallel dynamic summaries are
         # bit-identical to the in-process serial engine.
@@ -175,6 +192,25 @@ class TestMonteCarloDynamicFastEngine:
             run_monte_carlo_dynamic(
                 runs=2, duration=110.0, engine="fast", acc_dropout=dropout
             )
+
+    def test_lockstep_engine_rejects_duplicate_seeds(self, short_drive):
+        from repro.engines import resolve_engine
+
+        trajectory = short_drive
+        config = dynamic_estimator_config(0.03)
+        jobs = [
+            EnsembleJob(
+                seed=5,
+                trajectory=trajectory,
+                misalignment=MISALIGNMENT,
+                estimator_config=config,
+                moving=True,
+                acc_dropout_time=dropout,
+            )
+            for dropout in (10.0, None)
+        ]
+        with pytest.raises(ConfigurationError, match="distinct seeds"):
+            resolve_engine("ensemble", "fast")(jobs, workers=1)
 
     def test_job_payload_is_typed_and_picklable(self):
         import pickle
@@ -250,6 +286,65 @@ class TestMaskedFilterPrimitives:
         serial.update(z[0], h[0], 0.04 * np.eye(m))
         assert np.array_equal(serial.state, kf.state[0])
         assert np.array_equal(serial.covariance, kf.covariance[0])
+
+    def test_update_masked_skips_inactive_but_matches_full(self, rng):
+        # Satellite regression for the masked-update skip: a partial
+        # mask gathers only the active slices, yet every committed
+        # state/covariance and every active innovation slice must stay
+        # bit-identical to the full-stack update; inactive innovation
+        # slices are NaN, and inactive filters are frozen.
+        runs, n, m = 5, 3, 2
+        x0 = rng.normal(size=(runs, n))
+        p0 = np.stack(
+            [
+                (lambda a: a @ a.T + np.eye(n))(rng.normal(size=(n, n)))
+                for _ in range(runs)
+            ]
+        )
+        z = rng.normal(size=(runs, m))
+        h = rng.normal(size=(runs, m, n))
+        r = 0.04 * np.eye(m)
+        active = np.array([True, False, True, False, True])
+
+        full = BatchKalmanFilter(x0, p0)
+        masked = BatchKalmanFilter(x0, p0)
+        reference = full.update(z, h, r)
+        innovation, diverged = masked.update_masked(z, h, r, active=active)
+        assert not np.any(diverged)
+
+        assert np.array_equal(masked.state[active], full.state[active])
+        assert np.array_equal(
+            masked.covariance[active], full.covariance[active]
+        )
+        assert np.array_equal(masked.state[~active], x0[~active])
+        assert np.array_equal(masked.covariance[~active], p0[~active])
+
+        for got, want in (
+            (innovation.residual, reference.residual),
+            (innovation.covariance, reference.covariance),
+            (innovation.sigma, reference.sigma),
+            (innovation.nis, reference.nis),
+            (innovation.gain, reference.gain),
+        ):
+            assert np.array_equal(got[active], want[active])
+            assert np.all(np.isnan(got[~active]))
+
+    def test_update_masked_all_inactive_is_a_no_op(self, rng):
+        runs, n, m = 3, 3, 2
+        x0 = rng.normal(size=(runs, n))
+        p0 = np.stack([np.eye(n)] * runs)
+        kf = BatchKalmanFilter(x0, p0)
+        innovation, diverged = kf.update_masked(
+            rng.normal(size=(runs, m)),
+            rng.normal(size=(runs, m, n)),
+            0.04 * np.eye(m),
+            active=np.zeros(runs, dtype=bool),
+        )
+        assert not np.any(diverged)
+        assert np.array_equal(kf.state, x0)
+        assert np.array_equal(kf.covariance, p0)
+        assert np.all(np.isnan(innovation.residual))
+        assert np.all(np.isnan(innovation.nis))
 
     def test_update_masked_flags_nan_measurement(self, rng):
         runs, n, m = 3, 3, 2

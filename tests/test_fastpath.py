@@ -17,7 +17,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import run_monte_carlo_static
-from repro.errors import ConfigurationError, FixedPointError, FpgaError
+from repro.errors import (
+    ConfigurationError,
+    EngineError,
+    FixedPointError,
+    FpgaError,
+)
 from repro.fpga import (
     AffineEngine,
     DoubleBuffer,
@@ -341,14 +346,16 @@ class TestFrameEquivalence:
 
 class TestEngineSelection:
     def test_unknown_engine_rejected_at_construction(self):
+        # Validation now runs through the engine registry, whose
+        # EngineError is a ConfigurationError.
         scene = checkerboard(8, 8, 4)
-        with pytest.raises(FpgaError):
+        with pytest.raises(EngineError):
             _engine_for_frame(8, 8, scene, engine="warp9")
 
     def test_unknown_engine_rejected_per_call(self):
         scene = checkerboard(8, 8, 4)
         hw = _engine_for_frame(8, 8, scene)
-        with pytest.raises(FpgaError):
+        with pytest.raises(EngineError):
             hw.transform_frame(AffineParams(0.0, 0.0, 0.0), engine="warp9")
 
     def test_board_config_selects_engine(self):
@@ -399,8 +406,12 @@ class TestWarpFrameFixed:
 
     def test_validation(self):
         scene = checkerboard(8, 8, 4)
-        with pytest.raises(FpgaError):
+        with pytest.raises(EngineError):
             warp_frame_fixed(scene, AffineParams(0, 0, 0), engine="warp9")
+        with pytest.raises(EngineError):
+            # The float reference engine is registered in the "warp"
+            # domain but excluded from the fixed-point entry point.
+            warp_frame_fixed(scene, AffineParams(0, 0, 0), engine="reference")
         with pytest.raises(FpgaError):
             warp_frame_fixed(scene, AffineParams(0, 0, 0), fill=300)
 

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.errors import FilterDivergenceError, FusionError
 from repro.fusion import (
+    BatchInnovationAdaptiveNoise,
     BoresightConfig,
     BoresightEstimator,
     ConvergenceDetector,
@@ -315,6 +316,59 @@ class TestAdaptiveNoise:
     def test_validation(self):
         with pytest.raises(FusionError):
             InnovationAdaptiveNoise(window=1)
+
+
+class TestBatchAdaptiveNoise:
+    def test_lockstep_twin_matches_serial_under_masks(self, rng):
+        # Each run's sigma trajectory must equal a serial estimator
+        # fed only that run's recorded ticks — bit-for-bit, through
+        # window fill, ring wrap-around and the clamp.
+        runs, window = 3, 6
+        batch = BatchInnovationAdaptiveNoise(
+            runs, initial_sigma=0.05, window=window
+        )
+        serial = [
+            InnovationAdaptiveNoise(initial_sigma=0.05, window=window)
+            for _ in range(runs)
+        ]
+        for _ in range(40):
+            active = rng.uniform(size=runs) < 0.7
+            residual = rng.normal(0.0, 0.3, size=(runs, 2))
+            sqrt_hph = rng.normal(0.0, 0.1, size=(runs, 2, 2))
+            hph = np.matmul(sqrt_hph, np.swapaxes(sqrt_hph, 1, 2))
+            sigmas = batch.record(residual, hph, active=active)
+            for r in range(runs):
+                if active[r]:
+                    serial[r].record(residual[r], hph[r])
+                assert sigmas[r] == serial[r].sigma
+        assert np.array_equal(
+            batch.sigma, np.array([s.sigma for s in serial])
+        )
+        # The stacked R matrices equal the serial per-run products.
+        r_stack = batch.r_matrix(axes=2)
+        for r in range(runs):
+            assert np.array_equal(r_stack[r], serial[r].r_matrix(axes=2))
+
+    def test_validation(self):
+        with pytest.raises(FusionError):
+            BatchInnovationAdaptiveNoise(0)
+        with pytest.raises(FusionError):
+            BatchInnovationAdaptiveNoise(2, window=1)
+        with pytest.raises(FusionError):
+            BatchInnovationAdaptiveNoise(
+                2, initial_sigma=0.5, ceiling_sigma=0.2
+            )
+        adaptive = BatchInnovationAdaptiveNoise(2, window=4)
+        with pytest.raises(FusionError):
+            adaptive.record(np.zeros((3, 2)), np.zeros((3, 2, 2)))
+        with pytest.raises(FusionError):
+            adaptive.record(np.zeros((2, 2)), np.zeros((2, 3, 3)))
+        with pytest.raises(FusionError):
+            adaptive.record(
+                np.zeros((2, 2)),
+                np.zeros((2, 2, 2)),
+                active=np.ones(3, dtype=bool),
+            )
 
 
 def _synthetic_fused(
