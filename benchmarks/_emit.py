@@ -1,0 +1,42 @@
+"""Shared ``BENCH_*.json`` emitter for the benchmark runners.
+
+Every ``benchmarks/run_*.py`` times a fast path against its oracle and
+persists the measurement at the repo root so successive PRs can track
+the perf trajectory.  This module is the single place that writes
+those reports, pinning the cross-runner schema: every report carries
+``speedup`` (oracle seconds / fast seconds) and ``identical`` (the
+bit-identity verdict, which must be ``true``).
+``benchmarks/test_emit_schema.py`` guards the contract.
+"""
+
+import json
+import numbers
+from pathlib import Path
+
+#: Repo root, where every ``BENCH_*.json`` lands.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Keys every benchmark report must carry.
+REQUIRED_KEYS = ("speedup", "identical")
+
+
+def write_report(path: "Path | str", result: dict) -> Path:
+    """Validate a benchmark result against the schema and write it."""
+    path = Path(path)
+    missing = [key for key in REQUIRED_KEYS if key not in result]
+    if missing:
+        raise ValueError(
+            f"benchmark report {path.name} is missing required keys {missing}"
+        )
+    if not isinstance(result["identical"], bool):
+        raise ValueError(
+            "'identical' must be a bool, got "
+            f"{type(result['identical']).__name__}"
+        )
+    speedup = result["speedup"]
+    if isinstance(speedup, bool) or not isinstance(speedup, numbers.Real):
+        raise ValueError(
+            f"'speedup' must be a real number, got {type(speedup).__name__}"
+        )
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    return path

@@ -1,0 +1,51 @@
+"""Vectorized comm stack vs serial oracles — the PR-5 speedup contract.
+
+The packed-register CAN codec must beat the per-bit serial oracle by
+≥50× on a realistic telemetry trace of ≥10k CAN frames (the full run
+uses 50k) while producing bit-identical wire streams and decoded
+frames; the UART, lossy-link and softfloat sticky-flag legs carry
+their own floors and identity checks.  Run ``python
+benchmarks/run_comm.py`` to persist the measurement to
+``BENCH_comm.json``.
+
+``BENCH_SMOKE=1`` shrinks the trace for CI smoke lanes; the floors
+scale down with it (the fast path's fixed per-call costs stop
+amortizing on a short trace).
+"""
+
+import os
+
+import pytest
+
+from run_comm import measure_comm
+
+pytestmark = pytest.mark.bench
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+if SMOKE:
+    SAMPLES, FLAG_OPS = 1500, 1500
+    MIN_CAN, MIN_UART, MIN_LINK, MIN_FLAGS = 6.0, 3.0, 1.5, 5.0
+else:
+    SAMPLES, FLAG_OPS = 25000, 6000
+    MIN_CAN, MIN_UART, MIN_LINK, MIN_FLAGS = 50.0, 10.0, 3.0, 10.0
+
+
+def test_comm_fast_path_speedups(once):
+    result = once(measure_comm, samples=SAMPLES, flag_ops=FLAG_OPS)
+    print()
+    for leg in ("can", "uart", "link", "softfloat_flags"):
+        stats = result[leg]
+        print(
+            f"{leg}: model {stats['model_seconds']:.3f}s vs fast "
+            f"{stats['fast_seconds'] * 1e3:.1f}ms -> {stats['speedup']:.1f}x"
+        )
+    assert result["identical"], "a comm fast path diverged from its oracle"
+    assert result["can_frames"] >= (3000 if SMOKE else 10_000)
+    assert result["can"]["identical"], "CAN codec diverged"
+    assert result["uart"]["identical"], "UART framer diverged"
+    assert result["link"]["identical"], "LossyLink.send_many diverged"
+    assert result["softfloat_flags"]["identical"], "sticky flags diverged"
+    assert result["speedup"] >= MIN_CAN
+    assert result["uart"]["speedup"] >= MIN_UART
+    assert result["link"]["speedup"] >= MIN_LINK
+    assert result["softfloat_flags"]["speedup"] >= MIN_FLAGS

@@ -11,13 +11,12 @@ the perf trajectory::
 pytest with the ≥10× speedup assertion.
 """
 
-import json
 import time
-from pathlib import Path
 
+from _emit import REPO_ROOT, write_report
 from repro.analysis import run_monte_carlo_static
 
-REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batchkalman.json"
+REPORT_PATH = REPO_ROOT / "BENCH_batchkalman.json"
 
 
 def measure_batch_kalman(runs: int = 32, duration: float = 160.0) -> dict:
@@ -56,7 +55,7 @@ def measure_batch_kalman(runs: int = 32, duration: float = 160.0) -> dict:
 
 def main() -> None:
     result = measure_batch_kalman()
-    REPORT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_report(REPORT_PATH, result)
     print(
         f"{result['runs']}-run ensemble: model {result['model_seconds']:.1f}s, "
         f"fast {result['fast_seconds']:.2f}s "

@@ -13,13 +13,12 @@ under pytest with the ≥10× speedup assertion (reduced size with
 ``BENCH_SMOKE=1``).
 """
 
-import json
 import time
-from pathlib import Path
 
+from _emit import REPO_ROOT, write_report
 from repro.analysis import run_monte_carlo_dynamic
 
-REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dynamicensemble.json"
+REPORT_PATH = REPO_ROOT / "BENCH_dynamicensemble.json"
 
 
 def measure_dynamic_ensemble(runs: int = 32, duration: float = 160.0) -> dict:
@@ -60,7 +59,7 @@ def measure_dynamic_ensemble(runs: int = 32, duration: float = 160.0) -> dict:
 
 def main() -> None:
     result = measure_dynamic_ensemble()
-    REPORT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_report(REPORT_PATH, result)
     print(
         f"{result['runs']}-run dynamic ensemble: "
         f"model {result['model_seconds']:.1f}s, "

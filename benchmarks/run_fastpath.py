@@ -10,18 +10,17 @@ so successive PRs can track the perf trajectory::
 with the ≥50× speedup assertion.
 """
 
-import json
 import math
 import time
-from pathlib import Path
 
 import numpy as np
 
+from _emit import REPO_ROOT, write_report
 from repro.fpga import RC200Board, RC200Config
 from repro.fpga.pipeline import PIPELINE_DEPTH
 from repro.video import AffineParams, checkerboard
 
-REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+REPORT_PATH = REPO_ROOT / "BENCH_fastpath.json"
 
 
 def measure_fastpath(
@@ -74,7 +73,7 @@ def measure_fastpath(
 
 def main() -> None:
     result = measure_fastpath()
-    REPORT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_report(REPORT_PATH, result)
     print(
         f"QVGA transform_frame: model {result['model_seconds']:.3f}s, "
         f"fast {result['fast_seconds'] * 1e3:.2f}ms "

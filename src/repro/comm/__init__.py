@@ -9,15 +9,30 @@ incorporating a second serial interface".
 - :mod:`repro.comm.can` — CAN 2.0A data frames: encode/decode with bit
   stuffing, a multi-node bus with priority arbitration.
 - :mod:`repro.comm.uart` — 8N1 byte framing at configurable baud.
+- :mod:`repro.comm.fast` — the vectorized fast engines of the two
+  codecs above (registry domains ``can`` and ``uart``): batched
+  stuffing scans, table-driven CRC-15, :class:`CanFrameBatch` field
+  arrays and :class:`FastUartFramer`, bit-identical to the serial
+  oracles.
 - :mod:`repro.comm.converter` — the CAN→RS232 bridge.
 - :mod:`repro.comm.protocol` — the DMU and ACC application packets.
 - :mod:`repro.comm.link` — message-level channel with latency/jitter/
-  drop injection for robustness testing.
+  drop injection for robustness testing; ``LossyLink.send_many``
+  pushes whole message batches RNG-order-exactly.
 """
 
 from repro.comm.bits import crc15_can, xor_checksum
 from repro.comm.can import CanBus, CanFrame, CanNode
 from repro.comm.converter import CanSerialBridge
+from repro.comm.fast import (
+    CanFrameBatch,
+    FastUartFramer,
+    crc15_can_array,
+    decode_frames,
+    encode_frames,
+    stuff_bits_array,
+    unstuff_bits_array,
+)
 from repro.comm.link import LossyLink
 from repro.comm.protocol import (
     AccPacket,
@@ -31,12 +46,19 @@ from repro.comm.uart import UartConfig, UartFramer
 
 __all__ = [
     "crc15_can",
+    "crc15_can_array",
     "xor_checksum",
     "CanFrame",
+    "CanFrameBatch",
     "CanBus",
     "CanNode",
+    "encode_frames",
+    "decode_frames",
+    "stuff_bits_array",
+    "unstuff_bits_array",
     "UartConfig",
     "UartFramer",
+    "FastUartFramer",
     "CanSerialBridge",
     "LossyLink",
     "DmuPacket",

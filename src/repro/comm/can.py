@@ -9,10 +9,12 @@ verification failures raising :class:`BusError` at the receiver.
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from dataclasses import dataclass, field
 
 from repro.comm.bits import bits_to_int, crc15_can, int_to_bits
+from repro.engines import register_engine
 from repro.errors import BusError, ProtocolError
 
 #: Number of equal consecutive bits that triggers stuffing.
@@ -206,3 +208,18 @@ class CanBus:
                 return moved
             moved += 1
         raise BusError("bus flush did not terminate")
+
+
+# The serial module itself is the ``"can"`` domain's oracle engine:
+# one frame at a time, one bit at a time — ``CanFrame.to_bits()`` /
+# ``stuff_bits`` / ``unstuff_bits`` / ``frame_from_bits`` exactly as
+# the wire model executes them.  The fast engine
+# (:mod:`repro.comm.fast`) reproduces the same wire bits and decode
+# errors over whole frame batches as vectorized uint8 ops.
+# (Call-form registration: modules can't be decorated.)
+register_engine(
+    "can",
+    "model",
+    oracle=True,
+    description="per-bit CAN 2.0A frame codec (verification oracle)",
+)(sys.modules[__name__])

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -65,6 +65,82 @@ class LossyLink:
         self._last_scheduled = max(self._last_scheduled, arrival)
         self._sequence += 1
         heapq.heappush(self._queue, (arrival, self._sequence, message))
+
+    def send_many(self, times: Sequence[float], messages: Sequence[Any]) -> None:
+        """Offer a batch of messages to the link, one per transmit time.
+
+        Equivalent to ``for t, m in zip(times, messages): link.send(t, m)``
+        — bit-for-bit, including the random stream: the batch consumes
+        exactly the uniform draws the serial loop would (one drop draw
+        per message, one jitter draw per *kept* message, interleaved),
+        so serial and batched senders sharing a seed stay
+        indistinguishable, before, during and after the batch.  The
+        Monte-Carlo ensembles use this to push per-seed telemetry
+        through the link without a Python-level loop per message.
+        """
+        times_arr = np.asarray(times, dtype=np.float64).reshape(-1)
+        count = times_arr.size
+        if len(messages) != count:
+            raise ConfigurationError(
+                f"send_many got {count} times for {len(messages)} messages"
+            )
+        if count == 0:
+            return
+        self._sent += count
+        dropped = np.zeros(count, dtype=bool)
+        jitter_draws = np.zeros(count, dtype=np.float64)
+        if self.drop_probability > 0.0 and self.jitter > 0.0:
+            dropped, jitter_draws = self._interleaved_draws(count)
+        elif self.drop_probability > 0.0:
+            dropped = self.rng.uniform(size=count) < self.drop_probability
+        elif self.jitter > 0.0:
+            jitter_draws = self.rng.uniform(size=count)
+        self._dropped += int(dropped.sum())
+        kept = ~dropped
+        if not kept.any():
+            return
+        delays = self.latency + self.jitter * jitter_draws[kept]
+        arrivals = times_arr[kept] + delays
+        if not self.allow_reordering:
+            # The serial FIFO clamp, cumulatively: nothing overtakes an
+            # earlier message (or anything already scheduled).
+            arrivals = np.maximum.accumulate(
+                np.maximum(arrivals, self._last_scheduled)
+            )
+        self._last_scheduled = max(self._last_scheduled, float(arrivals.max()))
+        kept_messages = [m for m, keep in zip(messages, kept) if keep]
+        for arrival, message in zip(arrivals, kept_messages):
+            self._sequence += 1
+            self._queue.append((float(arrival), self._sequence, message))
+        heapq.heapify(self._queue)
+
+    def _interleaved_draws(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Reproduce the serial drop/jitter draw interleaving in bulk.
+
+        The serial loop draws one uniform per message (drop decision)
+        plus one more per kept message (jitter) from a single stream,
+        so which draw belongs to which message depends on earlier drop
+        outcomes.  Over-draw ``2 * count`` uniforms, label each draw
+        drop-or-jitter (a jitter draw follows exactly each *kept* drop
+        draw, so within a run of keeps the labels alternate and every
+        drop resets the parity), then rewind the generator and replay
+        exactly the draws the serial loop would have consumed.
+        """
+        state = self.rng.bit_generator.state
+        u = self.rng.uniform(size=2 * count)
+        kept_if_drop = u >= self.drop_probability
+        idx = np.arange(2 * count)
+        last_drop_reset = np.concatenate(
+            ([-1], np.maximum.accumulate(np.where(~kept_if_drop, idx, -1))[:-1])
+        )
+        is_jitter = ((idx - last_drop_reset) % 2) == 0
+        drop_positions = np.flatnonzero(~is_jitter)[:count]
+        dropped = ~kept_if_drop[drop_positions]
+        jitter_draws = np.where(dropped, 0.0, u[drop_positions + 1])
+        consumed = int(drop_positions[-1]) + (1 if dropped[-1] else 2)
+        self.rng.bit_generator.state = state
+        self.rng.uniform(size=consumed)
+        return dropped, jitter_draws
 
     def receive_until(self, time: float) -> list[tuple[float, Any]]:
         """Pop all messages that have arrived by ``time``."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engines import register_engine
 from repro.errors import ConfigurationError, ProtocolError
 
 #: Line idle level (RS232 mark).
@@ -41,8 +42,24 @@ class UartConfig:
         return self.baud_rate / 10.0
 
 
+@register_engine(
+    "uart",
+    "model",
+    oracle=True,
+    description="per-bit 8N1 framer (verification oracle)",
+)
 class UartFramer:
-    """Stateless encode / stateful decode of the 8N1 line discipline."""
+    """Stateless encode / stateful decode of the 8N1 line discipline.
+
+    The ``"uart"`` domain's calling contract (both engines): construct
+    with an optional :class:`UartConfig`; ``encode(data) -> bits`` maps
+    a byte string to a line-level bit sequence and ``decode(bits) ->
+    bytes`` inverts it, raising :class:`ProtocolError` on framing
+    errors, truncation and non-binary symbols.  The oracle works one
+    bit at a time over Python lists; the fast engine
+    (:class:`repro.comm.fast.FastUartFramer`) returns uint8 ndarrays
+    from ``encode`` and accepts any bit sequence in ``decode``.
+    """
 
     def __init__(self, config: UartConfig | None = None) -> None:
         self.config = config if config is not None else UartConfig()
@@ -69,21 +86,36 @@ class UartFramer:
 
         Leading idle (mark) bits are skipped; a missing stop bit raises
         :class:`ProtocolError` (framing error).  Trailing partial bytes
-        also raise — the caller owns re-synchronisation policy.
+        also raise — the caller owns re-synchronisation policy.  Symbols
+        outside {0, 1} are rejected with :class:`ProtocolError` at the
+        position they are read (an RS232 line carries marks and spaces,
+        nothing else), instead of being silently masked to their low
+        bit.
         """
         out = bytearray()
         i = 0
         n = len(bits)
         while i < n:
-            if bits[i] == IDLE:
+            bit = bits[i]
+            if bit not in (0, 1):
+                raise ProtocolError(f"non-binary symbol {bit!r} at bit {i}")
+            if bit == IDLE:
                 i += 1
                 continue
             if i + 10 > n:
                 raise ProtocolError("truncated UART frame")
             byte = 0
             for k in range(8):
-                byte |= (bits[i + 1 + k] & 1) << k
-            if bits[i + 9] != 1:
+                symbol = bits[i + 1 + k]
+                if symbol not in (0, 1):
+                    raise ProtocolError(
+                        f"non-binary symbol {symbol!r} at bit {i + 1 + k}"
+                    )
+                byte |= symbol << k
+            stop = bits[i + 9]
+            if stop not in (0, 1):
+                raise ProtocolError(f"non-binary symbol {stop!r} at bit {i + 9}")
+            if stop != 1:
                 raise ProtocolError(f"framing error at bit {i + 9}: no stop bit")
             out.append(byte)
             i += 10

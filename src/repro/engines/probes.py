@@ -392,32 +392,46 @@ def _softfloat_scenario(seed: int):
 def _probe_softfloat_model(seed: int) -> dict:
     sf = resolve_engine("softfloat", "model")
     a, b = _softfloat_scenario(seed)
+    payload: dict = {}
 
-    def mapped(op) -> np.ndarray:
-        return np.array(
-            [op(int(x), int(y)) for x, y in zip(a, b)], dtype=np.uint32
-        )
+    def mapped(name: str, op, unary: bool = False) -> None:
+        # Per-op sticky-flag capture: clear, map the op over the
+        # corpus, snapshot — the fast engine must reproduce the
+        # reduced flags exactly (its per-element masks OR together).
+        sf.flags.clear()
+        if unary:
+            payload[name] = np.array([op(int(x)) for x in a], dtype=np.uint32)
+        else:
+            payload[name] = np.array(
+                [op(int(x), int(y)) for x, y in zip(a, b)], dtype=np.uint32
+            )
+        payload[f"{name}_flags"] = sf.flags.as_dict()
 
-    return {
-        "add": mapped(sf.f32_add),
-        "sub": mapped(sf.f32_sub),
-        "mul": mapped(sf.f32_mul),
-        "div": mapped(sf.f32_div),
-        "sqrt": np.array([sf.f32_sqrt(int(x)) for x in a], dtype=np.uint32),
-    }
+    mapped("add", sf.f32_add)
+    mapped("sub", sf.f32_sub)
+    mapped("mul", sf.f32_mul)
+    mapped("div", sf.f32_div)
+    mapped("sqrt", sf.f32_sqrt, unary=True)
+    return payload
 
 
 @register_probe("softfloat", "fast")
 def _probe_softfloat_fast(seed: int) -> dict:
     sfa = resolve_engine("softfloat", "fast")
     a, b = _softfloat_scenario(seed)
-    return {
-        "add": sfa.f32_add_array(a, b),
-        "sub": sfa.f32_sub_array(a, b),
-        "mul": sfa.f32_mul_array(a, b),
-        "div": sfa.f32_div_array(a, b),
-        "sqrt": sfa.f32_sqrt_array(a),
-    }
+    payload: dict = {}
+
+    def run(name: str, op, *operands) -> None:
+        sfa.flags.clear()
+        payload[name] = op(*operands)
+        payload[f"{name}_flags"] = sfa.flags.as_dict()
+
+    run("add", sfa.f32_add_array, a, b)
+    run("sub", sfa.f32_sub_array, a, b)
+    run("mul", sfa.f32_mul_array, a, b)
+    run("div", sfa.f32_div_array, a, b)
+    run("sqrt", sfa.f32_sqrt_array, a)
+    return payload
 
 
 # --------------------------------------------------------------------
@@ -452,3 +466,102 @@ def _ensemble_probe(name: str):
 
 register_probe("ensemble", "model")(_ensemble_probe("model"))
 register_probe("ensemble", "fast")(_ensemble_probe("fast"))
+
+
+# --------------------------------------------------------------------
+# can — per-bit frame codec vs batched uint8 scans.  The payload pins
+# the stuffed wire bits, their lengths, and the decoded fields of a
+# mixed-DLC frame population.
+# --------------------------------------------------------------------
+
+
+def _can_scenario(seed: int):
+    from repro.comm.can import CanFrame
+
+    rng = make_rng(seed)
+    count = 24
+    ids = rng.integers(0, 0x800, size=count)
+    dlcs = rng.integers(0, 9, size=count)
+    return [
+        CanFrame(
+            int(can_id),
+            rng.integers(0, 256, size=int(dlc), dtype=np.uint8).tobytes(),
+        )
+        for can_id, dlc in zip(ids, dlcs)
+    ]
+
+
+@register_probe("can", "model")
+def _probe_can_model(seed: int) -> dict:
+    can = resolve_engine("can", "model")
+    frames = _can_scenario(seed)
+    wires = [frame.to_bits() for frame in frames]
+    lengths = np.array([len(wire) for wire in wires], dtype=np.int64)
+    bits = np.zeros((len(wires), int(lengths.max())), dtype=np.uint8)
+    for i, wire in enumerate(wires):
+        bits[i, : len(wire)] = wire
+    decoded = [can.frame_from_bits(wire) for wire in wires]
+    data = np.zeros((len(decoded), 8), dtype=np.uint8)
+    for i, frame in enumerate(decoded):
+        data[i, : frame.dlc] = np.frombuffer(frame.data, dtype=np.uint8)
+    return {
+        "bits": bits,
+        "lengths": lengths,
+        "can_id": np.array([f.can_id for f in decoded], dtype=np.int64),
+        "dlc": np.array([f.dlc for f in decoded], dtype=np.int64),
+        "data": data,
+    }
+
+
+@register_probe("can", "fast")
+def _probe_can_fast(seed: int) -> dict:
+    fast = resolve_engine("can", "fast")
+    frames = _can_scenario(seed)
+    bits, lengths = fast.encode_frames(fast.CanFrameBatch.from_frames(frames))
+    decoded = fast.decode_frames(bits, lengths)
+    return {
+        "bits": bits,
+        "lengths": lengths,
+        "can_id": decoded.can_id,
+        "dlc": decoded.dlc,
+        "data": decoded.data,
+    }
+
+
+# --------------------------------------------------------------------
+# uart — per-bit 8N1 framer vs vectorized codec.  The two engines
+# share one calling contract, so one probe body serves both; the
+# idle-gapped stream exercises resynchronisation.
+# --------------------------------------------------------------------
+
+
+def _uart_scenario(seed: int):
+    rng = make_rng(seed)
+    data = rng.integers(0, 256, size=48, dtype=np.uint8).tobytes()
+    gaps = rng.integers(0, 6, size=len(data) + 1)
+    return data, gaps
+
+
+def _uart_probe(name: str):
+    def probe(seed: int) -> dict:
+        framer = resolve_engine("uart", name)()
+        data, gaps = _uart_scenario(seed)
+        bits = np.asarray(framer.encode(data), dtype=np.uint8)
+        segments = [np.ones(int(gaps[0]), dtype=np.uint8)]
+        for i in range(len(data)):
+            segments.append(bits[10 * i : 10 * i + 10])
+            segments.append(np.ones(int(gaps[i + 1]), dtype=np.uint8))
+        gapped = np.concatenate(segments)
+        return {
+            "bits": bits,
+            "decoded": np.frombuffer(framer.decode(bits), dtype=np.uint8),
+            "decoded_gapped": np.frombuffer(
+                framer.decode(gapped), dtype=np.uint8
+            ),
+        }
+
+    return probe
+
+
+register_probe("uart", "model")(_uart_probe("model"))
+register_probe("uart", "fast")(_uart_probe("fast"))

@@ -80,6 +80,10 @@ _BUILTIN_MODULES: dict[tuple[str, str], str] = {
     ("softfloat", "fast"): "repro.sabre.softfloat_array",
     ("ensemble", "model"): "repro.analysis.montecarlo",
     ("ensemble", "fast"): "repro.experiments.batch_protocol",
+    ("can", "model"): "repro.comm.can",
+    ("can", "fast"): "repro.comm.fast",
+    ("uart", "model"): "repro.comm.uart",
+    ("uart", "fast"): "repro.comm.fast",
 }
 
 

@@ -47,6 +47,16 @@ class Flags:
         self.underflow = False
         self.inexact = False
 
+    def as_dict(self) -> dict[str, bool]:
+        """The five flags as a plain dict (probe payload form)."""
+        return {
+            "invalid": self.invalid,
+            "divide_by_zero": self.divide_by_zero,
+            "overflow": self.overflow,
+            "underflow": self.underflow,
+            "inexact": self.inexact,
+        }
+
 
 #: Module-level flag accumulator.
 flags = Flags()

@@ -14,16 +14,27 @@ against NumPy float32 — and then patches NaN results with SoftFloat's
 propagation rule (quieted first-operand payload, else quieted second,
 else the default NaN), which hardware does not guarantee.
 
-Differences from the scalar oracle, by design of a fast path:
+Exception flags are tracked exactly like the scalar oracle's: every
+op computes a **per-element** flag mask (:data:`FLAG_INVALID` ...
+:data:`FLAG_INEXACT` bits) and OR-reduces it into the module-level
+sticky :data:`flags` accumulator (:class:`ArrayFlags`, mirroring
+:class:`repro.sabre.softfloat.Flags`).  The masks are derived from
+exact float64 arithmetic — a binary32 product/quotient-check/square
+fits float64 losslessly, and addition uses the 2Sum error term — so
+per-element flags match mapping the scalar op bit-for-bit, which the
+equivalence suite and the registry harness pin.  The ``*_flags_array``
+variants return ``(result, mask)`` for callers that need the
+per-element view.
 
-- the sticky :data:`repro.sabre.softfloat.flags` accumulator is NOT
-  updated (batch callers that need flags must use the scalar ops);
-- inputs are whole arrays, so per-element Python objects never exist.
+The only remaining difference from the scalar oracle, by design of a
+fast path: inputs are whole arrays, so per-element Python objects
+never exist.
 """
 
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -39,6 +50,69 @@ _DEFAULT_NAN = np.uint32(DEFAULT_NAN)
 
 _INT32_MIN = -(1 << 31)
 _INT32_MAX = (1 << 31) - 1
+
+#: Per-element exception-flag bits (SoftFloat's flag set).
+FLAG_INVALID = np.uint8(0x01)
+FLAG_DIVIDE_BY_ZERO = np.uint8(0x02)
+FLAG_OVERFLOW = np.uint8(0x04)
+FLAG_UNDERFLOW = np.uint8(0x08)
+FLAG_INEXACT = np.uint8(0x10)
+
+#: Smallest normal binary32 magnitude, exact in float64 — the
+#: before-rounding tininess threshold the scalar oracle's
+#: ``_round_pack`` uses (its denormal path is ``exp <= 0``).
+_MIN_NORMAL32 = np.float64(2.0**-126)
+
+
+@dataclass
+class ArrayFlags:
+    """Sticky IEEE exception flags for the array fast path.
+
+    Mirrors :class:`repro.sabre.softfloat.Flags`: each array op
+    computes a per-element flag mask and :meth:`accumulate` OR-reduces
+    it in, so after any op sequence the booleans here equal the scalar
+    oracle's after the element-wise equivalent sequence.
+    """
+
+    invalid: bool = False
+    divide_by_zero: bool = False
+    overflow: bool = False
+    underflow: bool = False
+    inexact: bool = False
+
+    def clear(self) -> None:
+        """Reset all flags."""
+        self.invalid = False
+        self.divide_by_zero = False
+        self.overflow = False
+        self.underflow = False
+        self.inexact = False
+
+    def accumulate(self, mask: np.ndarray) -> None:
+        """OR a per-element flag mask into the sticky booleans."""
+        if mask.size == 0:
+            return
+        bits = int(np.bitwise_or.reduce(mask, axis=None))
+        self.invalid |= bool(bits & FLAG_INVALID)
+        self.divide_by_zero |= bool(bits & FLAG_DIVIDE_BY_ZERO)
+        self.overflow |= bool(bits & FLAG_OVERFLOW)
+        self.underflow |= bool(bits & FLAG_UNDERFLOW)
+        self.inexact |= bool(bits & FLAG_INEXACT)
+
+    def as_dict(self) -> dict[str, bool]:
+        """The five flags as a plain dict (probe payload form)."""
+        return {
+            "invalid": self.invalid,
+            "divide_by_zero": self.divide_by_zero,
+            "overflow": self.overflow,
+            "underflow": self.underflow,
+            "inexact": self.inexact,
+        }
+
+
+#: Module-level sticky flag accumulator (the array twin of
+#: :data:`repro.sabre.softfloat.flags`).
+flags = ArrayFlags()
 
 
 def _as_bits(values: object) -> np.ndarray:
@@ -65,6 +139,13 @@ def is_nan_array(bits: object) -> np.ndarray:
     """Element-wise :func:`repro.sabre.softfloat.is_nan`."""
     arr = _as_bits(bits)
     return ((arr & _EXP_MASK) == _EXP_MASK) & ((arr & _FRAC_MASK) != 0)
+
+
+def is_signaling_nan_array(bits: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.is_signaling_nan`."""
+    arr = _as_bits(bits)
+    frac = arr & _FRAC_MASK
+    return ((arr & _EXP_MASK) == _EXP_MASK) & (frac != 0) & (frac < _QUIET_BIT)
 
 
 def is_inf_array(bits: object) -> np.ndarray:
@@ -104,6 +185,123 @@ def _patch_nans(
     return np.where(nan_result, propagated, result)
 
 
+def _pack_mask(**flag_conditions: np.ndarray) -> np.ndarray:
+    """Assemble boolean per-flag conditions into a uint8 bit mask."""
+    bits = {
+        "invalid": FLAG_INVALID,
+        "divide_by_zero": FLAG_DIVIDE_BY_ZERO,
+        "overflow": FLAG_OVERFLOW,
+        "underflow": FLAG_UNDERFLOW,
+        "inexact": FLAG_INEXACT,
+    }
+    mask = None
+    for name, condition in flag_conditions.items():
+        contribution = condition.astype(np.uint8) * bits[name]
+        mask = contribution if mask is None else mask | contribution
+    return mask
+
+
+def _wide(bits: np.ndarray) -> np.ndarray:
+    """Bit patterns to exact float64 values (binary32 ⊂ binary64)."""
+    return _floats(bits).astype(np.float64)
+
+
+def _add_flag_mask(a: np.ndarray, b: np.ndarray, result: np.ndarray) -> np.ndarray:
+    """Per-element flags of ``f32_add(a, b)``.
+
+    Inexactness comes from the 2Sum identity: for the float64 sum ``s``
+    of the (exactly converted) operands, the rounding error ``e`` is
+    itself exactly representable, and the real sum equals the binary32
+    result iff ``s`` equals it and ``e == 0``.  Tininess is judged
+    before rounding, as SoftFloat does.
+    """
+    nan_a, nan_b = is_nan_array(a), is_nan_array(b)
+    any_nan = nan_a | nan_b
+    snan = is_signaling_nan_array(a) | is_signaling_nan_array(b)
+    inf_a, inf_b = is_inf_array(a), is_inf_array(b)
+    opposite = ((a ^ b) & _SIGN_MASK) != 0
+    finite = ~any_nan & ~inf_a & ~inf_b
+    invalid = snan | (~any_nan & inf_a & inf_b & opposite)
+    af, bf = _wide(a), _wide(b)
+    s = af + bf
+    bv = s - af
+    err = (bf - bv) + (af - (s - bv))
+    rf = _wide(result)
+    overflow = finite & np.isinf(rf)
+    inexact = finite & ~((s == rf) & (err == 0.0))
+    tiny = (np.abs(s) < _MIN_NORMAL32) | (
+        (np.abs(s) == _MIN_NORMAL32)
+        & (err != 0.0)
+        & (np.signbit(err) != np.signbit(s))
+    )
+    underflow = finite & ~overflow & tiny & inexact
+    return _pack_mask(
+        invalid=invalid, overflow=overflow, underflow=underflow, inexact=inexact
+    )
+
+
+def _mul_flag_mask(a: np.ndarray, b: np.ndarray, result: np.ndarray) -> np.ndarray:
+    """Per-element flags of ``f32_mul(a, b)`` (the float64 product of
+    two binary32 values is exact, so every check is a comparison)."""
+    nan_a, nan_b = is_nan_array(a), is_nan_array(b)
+    any_nan = nan_a | nan_b
+    snan = is_signaling_nan_array(a) | is_signaling_nan_array(b)
+    inf_either = is_inf_array(a) | is_inf_array(b)
+    zero_either = is_zero_array(a) | is_zero_array(b)
+    finite = ~any_nan & ~inf_either
+    invalid = snan | (~any_nan & inf_either & zero_either)
+    product = _wide(a) * _wide(b)
+    rf = _wide(result)
+    overflow = finite & np.isinf(rf)
+    inexact = finite & (product != rf)
+    underflow = finite & (np.abs(product) < _MIN_NORMAL32) & inexact
+    return _pack_mask(
+        invalid=invalid, overflow=overflow, underflow=underflow, inexact=inexact
+    )
+
+
+def _div_flag_mask(a: np.ndarray, b: np.ndarray, result: np.ndarray) -> np.ndarray:
+    """Per-element flags of ``f32_div(a, b)``.
+
+    The quotient is exact iff ``a == result * b`` (that product is
+    exact in float64); tininess iff ``|a| < 2**-126 * |b|`` (ditto).
+    """
+    nan_a, nan_b = is_nan_array(a), is_nan_array(b)
+    any_nan = nan_a | nan_b
+    snan = is_signaling_nan_array(a) | is_signaling_nan_array(b)
+    inf_a, inf_b = is_inf_array(a), is_inf_array(b)
+    zero_a, zero_b = is_zero_array(a), is_zero_array(b)
+    invalid = snan | (~any_nan & inf_a & inf_b) | (~any_nan & zero_a & zero_b)
+    divide_by_zero = ~any_nan & ~inf_a & ~inf_b & zero_b & ~zero_a
+    regular = ~any_nan & ~inf_a & ~inf_b & ~zero_b
+    af, bf = _wide(a), _wide(b)
+    rf = _wide(result)
+    overflow = regular & np.isinf(rf)
+    inexact = regular & (af != rf * bf)
+    tiny = np.abs(af) < _MIN_NORMAL32 * np.abs(bf)
+    underflow = regular & tiny & inexact
+    return _pack_mask(
+        invalid=invalid,
+        divide_by_zero=divide_by_zero,
+        overflow=overflow,
+        underflow=underflow,
+        inexact=inexact,
+    )
+
+
+def _sqrt_flag_mask(a: np.ndarray, result: np.ndarray) -> np.ndarray:
+    """Per-element flags of ``f32_sqrt(a)`` (the square of the binary32
+    root is exact in float64, so inexactness is one comparison)."""
+    nan_a = is_nan_array(a)
+    zero_a = is_zero_array(a)
+    negative = ((a & _SIGN_MASK) != 0) & ~zero_a & ~nan_a
+    invalid = is_signaling_nan_array(a) | negative
+    regular = ~nan_a & ~zero_a & ~negative & ~is_inf_array(a)
+    rf = _wide(result)
+    inexact = regular & (rf * rf != _wide(a))
+    return _pack_mask(invalid=invalid, inexact=inexact)
+
+
 def f32_neg_array(a: object) -> np.ndarray:
     """Element-wise :func:`repro.sabre.softfloat.f32_neg`."""
     return _as_bits(a) ^ _SIGN_MASK
@@ -114,48 +312,85 @@ def f32_abs_array(a: object) -> np.ndarray:
     return _as_bits(a) & ~_SIGN_MASK
 
 
-def f32_add_array(a: object, b: object) -> np.ndarray:
-    """Element-wise :func:`repro.sabre.softfloat.f32_add`."""
+def f32_add_flags_array(a: object, b: object) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`f32_add_array` plus its per-element flag mask."""
     a = _as_bits(a)
     b = _as_bits(b)
     with np.errstate(all="ignore"):
         result = _bits(_floats(a) + _floats(b))
-    return _patch_nans(result, a, b)
+        mask = _add_flag_mask(a, b, result)
+    flags.accumulate(mask)
+    return _patch_nans(result, a, b), mask
 
 
-def f32_sub_array(a: object, b: object) -> np.ndarray:
-    """Element-wise :func:`repro.sabre.softfloat.f32_sub`."""
+def f32_add_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_add`."""
+    return f32_add_flags_array(a, b)[0]
+
+
+def f32_sub_flags_array(a: object, b: object) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`f32_sub_array` plus its per-element flag mask."""
     a = _as_bits(a)
     b = _as_bits(b)
     with np.errstate(all="ignore"):
         result = _bits(_floats(a) - _floats(b))
-    return _patch_nans(result, a, b)
+        # Subtraction is addition of the negated subtrahend (NaN
+        # classification is sign-blind, so the mask carries over).
+        mask = _add_flag_mask(a, b ^ _SIGN_MASK, result)
+    flags.accumulate(mask)
+    return _patch_nans(result, a, b), mask
 
 
-def f32_mul_array(a: object, b: object) -> np.ndarray:
-    """Element-wise :func:`repro.sabre.softfloat.f32_mul`."""
+def f32_sub_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_sub`."""
+    return f32_sub_flags_array(a, b)[0]
+
+
+def f32_mul_flags_array(a: object, b: object) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`f32_mul_array` plus its per-element flag mask."""
     a = _as_bits(a)
     b = _as_bits(b)
     with np.errstate(all="ignore"):
         result = _bits(_floats(a) * _floats(b))
-    return _patch_nans(result, a, b)
+        mask = _mul_flag_mask(a, b, result)
+    flags.accumulate(mask)
+    return _patch_nans(result, a, b), mask
 
 
-def f32_div_array(a: object, b: object) -> np.ndarray:
-    """Element-wise :func:`repro.sabre.softfloat.f32_div`."""
+def f32_mul_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_mul`."""
+    return f32_mul_flags_array(a, b)[0]
+
+
+def f32_div_flags_array(a: object, b: object) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`f32_div_array` plus its per-element flag mask."""
     a = _as_bits(a)
     b = _as_bits(b)
     with np.errstate(all="ignore"):
         result = _bits(_floats(a) / _floats(b))
-    return _patch_nans(result, a, b)
+        mask = _div_flag_mask(a, b, result)
+    flags.accumulate(mask)
+    return _patch_nans(result, a, b), mask
+
+
+def f32_div_array(a: object, b: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_div`."""
+    return f32_div_flags_array(a, b)[0]
+
+
+def f32_sqrt_flags_array(a: object) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`f32_sqrt_array` plus its per-element flag mask."""
+    a = _as_bits(a)
+    with np.errstate(all="ignore"):
+        result = _bits(np.sqrt(_floats(a)))
+        mask = _sqrt_flag_mask(a, result)
+    flags.accumulate(mask)
+    return _patch_nans(result, a), mask
 
 
 def f32_sqrt_array(a: object) -> np.ndarray:
     """Element-wise :func:`repro.sabre.softfloat.f32_sqrt`."""
-    a = _as_bits(a)
-    with np.errstate(all="ignore"):
-        result = _bits(np.sqrt(_floats(a)))
-    return _patch_nans(result, a)
+    return f32_sqrt_flags_array(a)[0]
 
 
 def i32_to_f32_array(values: object) -> np.ndarray:
@@ -165,7 +400,12 @@ def i32_to_f32_array(values: object) -> np.ndarray:
         raise SoftFloatError(f"not int32 values: dtype {arr.dtype}")
     if arr.size and (int(arr.min()) < _INT32_MIN or int(arr.max()) > _INT32_MAX):
         raise SoftFloatError("value outside the int32 range")
-    return _bits(arr.astype(np.int32).astype(np.float32))
+    result = _bits(arr.astype(np.int32).astype(np.float32))
+    # Rounding is the only possible event: both the integer and the
+    # rounded binary32 are exact in float64.
+    inexact = arr.astype(np.float64) != _wide(result)
+    flags.accumulate(_pack_mask(inexact=inexact))
+    return result
 
 
 def f32_to_i32_array(bits: object) -> np.ndarray:
@@ -176,6 +416,9 @@ def f32_to_i32_array(bits: object) -> np.ndarray:
         values = _floats(arr).astype(np.float64)
     nan = np.isnan(values)
     truncated = np.trunc(np.where(nan, 0.0, values))
+    invalid = nan | (truncated > _INT32_MAX) | (truncated < _INT32_MIN)
+    inexact = ~invalid & (truncated != values)
+    flags.accumulate(_pack_mask(invalid=invalid, inexact=inexact))
     clamped = np.clip(truncated, float(_INT32_MIN), float(_INT32_MAX))
     result = clamped.astype(np.int64)
     return np.where(nan, np.int64(_INT32_MIN), result).astype(np.int64)
@@ -183,24 +426,36 @@ def f32_to_i32_array(bits: object) -> np.ndarray:
 
 def f32_eq_array(a: object, b: object) -> np.ndarray:
     """Element-wise :func:`repro.sabre.softfloat.f32_eq` (boolean)."""
-    return _floats(_as_bits(a)) == _floats(_as_bits(b))
+    a = _as_bits(a)
+    b = _as_bits(b)
+    invalid = is_signaling_nan_array(a) | is_signaling_nan_array(b)
+    flags.accumulate(_pack_mask(invalid=invalid))
+    return _floats(a) == _floats(b)
 
 
 def f32_lt_array(a: object, b: object) -> np.ndarray:
     """Element-wise :func:`repro.sabre.softfloat.f32_lt` (boolean)."""
+    a = _as_bits(a)
+    b = _as_bits(b)
+    invalid = is_nan_array(a) | is_nan_array(b)
+    flags.accumulate(_pack_mask(invalid=invalid))
     with np.errstate(invalid="ignore"):
-        return _floats(_as_bits(a)) < _floats(_as_bits(b))
+        return _floats(a) < _floats(b)
 
 
 def f32_le_array(a: object, b: object) -> np.ndarray:
     """Element-wise :func:`repro.sabre.softfloat.f32_le` (boolean)."""
+    a = _as_bits(a)
+    b = _as_bits(b)
+    invalid = is_nan_array(a) | is_nan_array(b)
+    flags.accumulate(_pack_mask(invalid=invalid))
     with np.errstate(invalid="ignore"):
-        return _floats(_as_bits(a)) <= _floats(_as_bits(b))
+        return _floats(a) <= _floats(b)
 
 
 # The array module is the ``"softfloat"`` domain's fast engine:
 # whole-ndarray ops, bit-identical to mapping the scalar oracle
-# element-wise (sticky flags excepted — see the module docstring).
+# element-wise — sticky exception flags included (:data:`flags`).
 register_engine(
     "softfloat",
     "fast",

@@ -7,8 +7,13 @@ trustworthy:
    bit streams;
 2. frame → wire bits → frame round-trips losslessly for every valid
    id/payload;
-3. any single corrupted wire bit surfaces as a :class:`BusError`
-   (stuff, form or CRC) — never as a silently wrong frame.
+3. a single corrupted wire bit almost always surfaces as a
+   :class:`BusError` (stuff, form or CRC).  *Almost*: a flip at a
+   stuff boundary can resynchronise unstuffing, shift the whole tail,
+   and leave the shifted CRC field coincidentally valid — the
+   documented bit-stuffing/CRC interaction of real CAN (Unruh's
+   cascade errors), which the wire model reproduces faithfully.  Such
+   escapes must be rare and deterministic, never crashes.
 """
 
 # Long-running equivalence/hypothesis suite: CI's fast lane skips
@@ -76,13 +81,42 @@ class TestFrameRoundTrip:
 class TestSingleBitCorruption:
     @given(frames)
     @settings(max_examples=50, deadline=None)
-    def test_every_single_bit_flip_raises(self, frame):
+    def test_single_bit_flips_raise_or_resync_rarely(self, frame):
         # Exhaustive over positions for each generated frame: a flipped
-        # wire bit must never decode silently — the stuffing rule, the
-        # form checks (SOF/RTR/IDE/r0) or the CRC has to catch it.
+        # wire bit must be caught by the stuffing rule, the form checks
+        # (SOF/RTR/IDE/r0) or the CRC — except the genuine CAN
+        # weakness, where a flip at a stuff boundary resynchronises
+        # unstuffing and the shifted CRC happens to validate.  Escapes
+        # must be rare, never the original frame resurfacing with a
+        # clean bill, and always deterministic decodes.
         bits = frame.to_bits()
+        escapes = 0
         for position in range(len(bits)):
             corrupted = list(bits)
             corrupted[position] ^= 1
-            with pytest.raises(BusError):
-                frame_from_bits(corrupted)
+            try:
+                decoded = frame_from_bits(corrupted)
+            except BusError:
+                continue
+            escapes += 1
+            assert decoded != frame
+            assert frame_from_bits(corrupted) == decoded
+        assert escapes <= max(1, len(bits) // 20)
+
+    def test_known_stuff_boundary_escape_is_deterministic(self):
+        # The hypothesis-found instance of the weakness, pinned: both
+        # engines must agree on the (wrong but well-formed) decode.
+        import numpy as np
+
+        from repro.comm.fast import CanFrameBatch, decode_frames
+
+        frame = CanFrame(667, b"\xef\xf5\x00\x00\x00\x00\x02\x01")
+        corrupted = frame.to_bits()
+        corrupted[24] ^= 1
+        escaped = frame_from_bits(corrupted)
+        assert escaped == CanFrame(667, b"\xeb\xba\x80\x00\x00\x00\x01\x00")
+        batch = decode_frames(
+            np.array([corrupted], dtype=np.uint8),
+            np.array([len(corrupted)]),
+        )
+        assert batch == CanFrameBatch.from_frames([escaped])

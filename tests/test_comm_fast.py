@@ -1,0 +1,352 @@
+"""Serial-vs-vectorized comm-stack equivalence.
+
+The batched CAN codec (`repro.comm.fast`), the vectorized UART framer
+and ``LossyLink.send_many`` must be **bit-for-bit** identical to the
+serial oracles — wire bits, decoded fields, error messages for the
+first offending frame, and (for the link) the consumed random stream.
+The registry harness sweeps the ``can``/``uart`` probe scenarios; this
+suite drives the edges the probes cannot: corruption at every wire
+position, non-binary symbols, ragged batches, and RNG interleaving.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    CanFrame,
+    CanFrameBatch,
+    FastUartFramer,
+    LossyLink,
+    UartFramer,
+    crc15_can,
+    crc15_can_array,
+    decode_frames,
+    encode_frames,
+    stuff_bits_array,
+    unstuff_bits_array,
+)
+from repro.comm.can import frame_from_bits, stuff_bits, unstuff_bits
+from repro.errors import BusError, ProtocolError
+from repro.rng import make_rng
+
+bit_rows = st.lists(st.integers(0, 1), min_size=1, max_size=160)
+
+frame_lists = st.lists(
+    st.tuples(st.integers(0, 0x7FF), st.binary(min_size=0, max_size=8)),
+    min_size=1,
+    max_size=24,
+).map(lambda items: [CanFrame(i, d) for i, d in items])
+
+
+def _pad_rows(rows: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+    lengths = np.array([len(r) for r in rows], dtype=np.int64)
+    out = np.zeros((len(rows), int(lengths.max())), dtype=np.uint8)
+    for i, row in enumerate(rows):
+        out[i, : len(row)] = row
+    return out, lengths
+
+
+class TestCrc15Array:
+    def test_known_zero(self):
+        assert int(crc15_can_array(np.zeros(10, dtype=np.uint8))) == 0
+
+    @given(bits=bit_rows)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar(self, bits):
+        assert int(crc15_can_array(np.array(bits, dtype=np.uint8))) == crc15_can(
+            bits
+        )
+
+    def test_batched_rows(self):
+        rng = make_rng(5)
+        rows = rng.integers(0, 2, size=(50, 83)).astype(np.uint8)
+        got = crc15_can_array(rows)
+        want = np.array([crc15_can(r.tolist()) for r in rows], dtype=np.int64)
+        assert np.array_equal(got, want)
+
+    def test_rejects_mixed_lengths_and_bad_bits(self):
+        with pytest.raises(ValueError, match="share one length"):
+            crc15_can_array(
+                np.zeros((2, 8), dtype=np.uint8), np.array([8, 5])
+            )
+        with pytest.raises(ValueError, match="bits must be 0/1"):
+            crc15_can_array(np.array([0, 2], dtype=np.uint8))
+
+
+class TestStuffingArray:
+    @given(bits=bit_rows)
+    @settings(max_examples=100, deadline=None)
+    def test_stream_matches_oracle(self, bits):
+        stuffed, _ = stuff_bits_array(np.array(bits, dtype=np.uint8))
+        assert stuffed.tolist() == stuff_bits(bits)
+        back, _ = unstuff_bits_array(stuffed)
+        assert back.tolist() == bits
+
+    @given(rows=st.lists(bit_rows, min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_ragged_batch_matches_oracle_per_row(self, rows):
+        matrix, lengths = _pad_rows(rows)
+        stuffed, out_lengths = stuff_bits_array(matrix, lengths)
+        for i, row in enumerate(rows):
+            want = stuff_bits(row)
+            assert stuffed[i, : out_lengths[i]].tolist() == want
+            assert not stuffed[i, out_lengths[i] :].any()
+        back, back_lengths = unstuff_bits_array(stuffed, out_lengths)
+        assert np.array_equal(back_lengths, lengths)
+        for i, row in enumerate(rows):
+            assert back[i, : len(row)].tolist() == row
+
+    def test_violation_raises_like_oracle(self):
+        bad = [0, 0, 0, 0, 0, 0, 0]
+        with pytest.raises(BusError, match="six equal"):
+            unstuff_bits(bad)
+        with pytest.raises(BusError, match="six equal"):
+            unstuff_bits_array(np.array(bad, dtype=np.uint8))
+
+    def test_trailing_five_run_is_legal(self):
+        row = [1, 0, 0, 0, 0, 0]
+        assert unstuff_bits(row) == row
+        back, _ = unstuff_bits_array(np.array(row, dtype=np.uint8))
+        assert back.tolist() == row
+
+
+class TestFrameCodec:
+    @given(frames=frame_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_matches_to_bits(self, frames):
+        bits, lengths = encode_frames(frames)
+        for i, frame in enumerate(frames):
+            want = frame.to_bits()
+            assert bits[i, : lengths[i]].tolist() == want
+            assert not bits[i, lengths[i] :].any()
+
+    @given(frames=frame_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_decode_round_trip(self, frames):
+        bits, lengths = encode_frames(frames)
+        decoded = decode_frames(bits, lengths)
+        assert decoded == CanFrameBatch.from_frames(frames)
+        assert decoded.to_frames() == frames
+
+    def test_corruption_error_parity_every_wire_bit(self):
+        # Flip every single wire bit of a frame: the batched decoder
+        # must fail (or pass) exactly like the oracle, message included.
+        frame = CanFrame(0x2A5, b"\x12\x34\xf0\x0d")
+        wire = frame.to_bits()
+        for pos in range(len(wire)):
+            mutated = list(wire)
+            mutated[pos] ^= 1
+            model_error = model_frame = None
+            try:
+                model_frame = frame_from_bits(mutated)
+            except BusError as err:
+                model_error = str(err)
+            fast_error = fast_frame = None
+            try:
+                fast_frame = decode_frames(
+                    np.array([mutated], dtype=np.uint8),
+                    np.array([len(mutated)]),
+                )
+            except BusError as err:
+                fast_error = str(err)
+            assert model_error == fast_error, pos
+            if model_error is None:
+                assert fast_frame.to_frames() == [model_frame]
+
+    def test_first_offending_frame_wins(self):
+        # Oracle order: frames are decoded front to back, so the first
+        # bad row's error surfaces even when later rows are worse.
+        good = CanFrame(0x100, b"ok")
+        wire = good.to_bits()
+        crc_broken = list(wire)
+        crc_broken[-1] ^= 1  # CRC region
+        stuff_broken = [0, 0, 0, 0, 0, 0, 0]
+        rows = [crc_broken, stuff_broken]
+        matrix, lengths = _pad_rows(rows)
+        with pytest.raises(BusError, match="CRC mismatch"):
+            decode_frames(matrix, lengths)
+        with pytest.raises(BusError, match="six equal"):
+            decode_frames(*_pad_rows(rows[::-1]))
+
+    def test_batch_validation(self):
+        with pytest.raises(ProtocolError, match="out of range"):
+            CanFrameBatch(
+                can_id=np.array([0x800]),
+                dlc=np.array([0]),
+                data=np.zeros((1, 8), dtype=np.uint8),
+            )
+        with pytest.raises(ProtocolError, match="limited to 8"):
+            CanFrameBatch(
+                can_id=np.array([1]),
+                dlc=np.array([9]),
+                data=np.zeros((1, 8), dtype=np.uint8),
+            )
+        with pytest.raises(ProtocolError, match="zero past"):
+            CanFrameBatch(
+                can_id=np.array([1]),
+                dlc=np.array([1]),
+                data=np.full((1, 8), 7, dtype=np.uint8),
+            )
+
+    def test_empty_batch(self):
+        bits, lengths = encode_frames([])
+        assert bits.shape == (0, 0)
+        assert len(decode_frames(bits, lengths)) == 0
+
+
+class TestFastUart:
+    def test_round_trip_all_bytes(self):
+        data = bytes(range(256))
+        model = UartFramer()
+        fast = FastUartFramer()
+        enc = fast.encode(data)
+        assert enc.tolist() == model.encode(data)
+        assert fast.decode(enc) == data
+
+    @given(
+        data=st.binary(min_size=0, max_size=60),
+        gap_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_idle_gapped_streams_match(self, data, gap_seed):
+        rng = make_rng(gap_seed)
+        model = UartFramer()
+        fast = FastUartFramer()
+        enc = model.encode(data)
+        stream: list[int] = []
+        for i in range(0, len(enc), 10):
+            stream += [1] * int(rng.integers(0, 8))
+            stream += enc[i : i + 10]
+        stream += [1] * int(rng.integers(0, 8))
+        assert model.decode(stream) == data
+        assert fast.decode(np.array(stream, dtype=np.uint8)) == data
+
+    def test_error_message_parity(self):
+        # Corrupt a healthy stream every way the line can fail: bit
+        # flips, non-binary symbols, truncation.  Oracle and fast
+        # decoder must agree on the exact first error.
+        rng = make_rng(31)
+        model = UartFramer()
+        fast = FastUartFramer()
+        for _ in range(300):
+            data = bytes(
+                rng.integers(0, 256, size=int(rng.integers(1, 12)), dtype=np.uint8)
+            )
+            stream = list(model.encode(data))
+            if rng.uniform() < 0.4:
+                stream = [1] * int(rng.integers(1, 6)) + stream
+            mode = int(rng.integers(0, 3))
+            if mode == 0:
+                stream[int(rng.integers(0, len(stream)))] ^= 1
+            elif mode == 1:
+                stream[int(rng.integers(0, len(stream)))] = int(
+                    rng.integers(2, 9)
+                )
+            else:
+                stream = stream[: int(rng.integers(0, len(stream)))]
+            model_error = model_result = None
+            try:
+                model_result = model.decode(stream)
+            except ProtocolError as err:
+                model_error = str(err)
+            fast_error = fast_result = None
+            try:
+                fast_result = fast.decode(np.array(stream))
+            except ProtocolError as err:
+                fast_error = str(err)
+            assert model_error == fast_error, (stream, model_error, fast_error)
+            if model_error is None:
+                assert model_result == fast_result
+
+    def test_non_binary_symbol_rejected_both_engines(self):
+        # Satellite regression: the oracle used to mask symbol 2 to 0
+        # via `& 1`; both engines now reject it at the exact position.
+        stream = UartFramer().encode(b"\x41")
+        stream[3] = 2
+        with pytest.raises(ProtocolError, match="non-binary symbol 2 at bit 3"):
+            UartFramer().decode(stream)
+        with pytest.raises(ProtocolError, match="non-binary symbol 2 at bit 3"):
+            FastUartFramer().decode(np.array(stream))
+
+    def test_transfer_time_matches(self):
+        assert FastUartFramer().transfer_time(1152) == UartFramer().transfer_time(
+            1152
+        )
+        with pytest.raises(ProtocolError):
+            FastUartFramer().transfer_time(-1)
+
+
+def _exercise_send_many(seed, p, latency, jitter, reorder, times):
+    messages = [f"m{i}" for i in range(len(times))]
+    serial = LossyLink(
+        make_rng(seed),
+        drop_probability=p,
+        latency=latency,
+        jitter=jitter,
+        allow_reordering=reorder,
+    )
+    batched = LossyLink(
+        make_rng(seed),
+        drop_probability=p,
+        latency=latency,
+        jitter=jitter,
+        allow_reordering=reorder,
+    )
+    for t, m in zip(times, messages):
+        serial.send(float(t), m)
+    batched.send_many(np.asarray(times), messages)
+    assert serial.loss_fraction == batched.loss_fraction
+    assert serial.in_flight == batched.in_flight
+    assert serial._last_scheduled == batched._last_scheduled
+    # The random stream must sit at the same position afterwards...
+    assert serial.rng.uniform() == batched.rng.uniform()
+    # ...and the delivered messages must be identical in time and order.
+    horizon = float(np.max(times)) + latency + jitter + 1.0
+    assert serial.receive_until(horizon / 2) == batched.receive_until(horizon / 2)
+    serial.send(horizon, "tail")
+    batched.send(horizon, "tail")
+    assert serial.receive_until(2 * horizon) == batched.receive_until(2 * horizon)
+
+
+class TestSendManyRngExact:
+    @pytest.mark.parametrize("p", [0.0, 0.35, 1.0])
+    @pytest.mark.parametrize("jitter", [0.0, 0.25])
+    @pytest.mark.parametrize("reorder", [False, True])
+    def test_matches_serial_send_loop(self, p, jitter, reorder):
+        rng = make_rng(hash((p, jitter, reorder)) % 2**31)
+        for trial in range(20):
+            n = int(rng.integers(1, 50))
+            times = rng.uniform(0.0, 4.0, size=n)
+            if trial % 2 == 0:
+                times = np.sort(times)
+            _exercise_send_many(
+                int(rng.integers(0, 2**31)), p, 0.05, jitter, reorder, times
+            )
+
+    def test_empty_batch_is_a_no_op(self, rng):
+        link = LossyLink(rng, drop_probability=0.5, jitter=0.1)
+        state = link.rng.bit_generator.state
+        link.send_many(np.zeros(0), [])
+        assert link._sent == 0 and link.in_flight == 0
+        assert link.rng.bit_generator.state == state
+
+    def test_length_mismatch_rejected(self, rng):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="send_many"):
+            LossyLink(rng).send_many(np.zeros(3), ["a", "b"])
+
+    @pytest.mark.slow
+    @given(
+        seed=st.integers(0, 2**20),
+        p=st.floats(0.0, 1.0),
+        jitter=st.floats(0.0, 0.5),
+        reorder=st.booleans(),
+        count=st.integers(1, 80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_configs(self, seed, p, jitter, reorder, count):
+        times = make_rng(seed ^ 0x5EED).uniform(0.0, 3.0, size=count)
+        _exercise_send_many(seed, p, 0.01, jitter, reorder, times)

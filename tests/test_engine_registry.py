@@ -42,9 +42,10 @@ PAIRS = bit_exact_pairs()
 
 class TestRegistryMechanics:
     def test_discovers_all_builtin_pairs(self):
-        # The tentpole contract: at least the six historical
-        # oracle/fast pairs plus the protocol layers are discovered.
-        assert len(PAIRS) >= 6
+        # The tentpole contract: every registered oracle/fast pair is
+        # discovered — the eight historical domains plus the comm
+        # stack (can/uart) that PR 5 vectorized.
+        assert len(PAIRS) >= 10
         discovered = {domain for domain, _, _ in PAIRS}
         assert {
             "kalman",
@@ -55,6 +56,8 @@ class TestRegistryMechanics:
             "softfloat",
             "warp",
             "ensemble",
+            "can",
+            "uart",
         } <= discovered
 
     def test_every_domain_has_one_oracle(self):
@@ -67,6 +70,8 @@ class TestRegistryMechanics:
             "softfloat",
             "warp",
             "ensemble",
+            "can",
+            "uart",
         ):
             assert domain in domains()
             oracle = oracle_name(domain)
@@ -116,7 +121,7 @@ class TestRegistryMechanics:
         # pair discovery skips the orphan domain and keeps covering
         # every healthy one.
         pairs = bit_exact_pairs()
-        assert len(pairs) >= 6
+        assert len(pairs) >= 10
         assert all(d != "registry-test-oracle-free" for d, _, _ in pairs)
 
     def test_empty_names_rejected(self):

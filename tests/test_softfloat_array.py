@@ -183,6 +183,141 @@ class TestComparisonsBitExact:
         ]
 
 
+def _scalar_flag_mask(scalar_op, *operands) -> int:
+    """Run one scalar op from clean flags; snapshot as a FLAG_* mask."""
+    sf.flags.clear()
+    scalar_op(*(int(v) for v in operands))
+    mask = 0
+    if sf.flags.invalid:
+        mask |= int(sfa.FLAG_INVALID)
+    if sf.flags.divide_by_zero:
+        mask |= int(sfa.FLAG_DIVIDE_BY_ZERO)
+    if sf.flags.overflow:
+        mask |= int(sfa.FLAG_OVERFLOW)
+    if sf.flags.underflow:
+        mask |= int(sfa.FLAG_UNDERFLOW)
+    if sf.flags.inexact:
+        mask |= int(sfa.FLAG_INEXACT)
+    return mask
+
+
+FLAGGED_BINARY_OPS = [
+    (sfa.f32_add_flags_array, sf.f32_add),
+    (sfa.f32_sub_flags_array, sf.f32_sub),
+    (sfa.f32_mul_flags_array, sf.f32_mul),
+    (sfa.f32_div_flags_array, sf.f32_div),
+]
+
+
+def assert_flags_match(array_flags_op, scalar_op, *operand_arrays):
+    _, mask = array_flags_op(*operand_arrays)
+    want = np.array(
+        [
+            _scalar_flag_mask(scalar_op, *row)
+            for row in zip(*operand_arrays)
+        ],
+        dtype=np.uint8,
+    )
+    mismatches = np.nonzero(mask != want)[0]
+    assert mismatches.size == 0, (
+        f"{array_flags_op.__name__}: flag mismatch at {mismatches[:3]}: "
+        f"operands "
+        f"{[hex(int(arr[mismatches[0]])) for arr in operand_arrays]} "
+        f"got={int(mask[mismatches[0]]):#04x} "
+        f"want={int(want[mismatches[0]]):#04x}"
+    )
+
+
+class TestStickyFlagParity:
+    """The ArrayFlags accumulator must reproduce the scalar oracle's
+    sticky exception flags exactly — per element and after reduction."""
+
+    @pytest.mark.parametrize("array_op,scalar_op", FLAGGED_BINARY_OPS)
+    def test_edge_pattern_grid(self, array_op, scalar_op):
+        assert_flags_match(array_op, scalar_op, EDGE_A, EDGE_B)
+
+    def test_sqrt_edges(self):
+        assert_flags_match(sfa.f32_sqrt_flags_array, sf.f32_sqrt, EDGE_PATTERNS)
+
+    @given(a=bit_arrays, b=bit_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_random_patterns(self, a, b):
+        n = min(len(a), len(b))
+        for array_op, scalar_op in FLAGGED_BINARY_OPS:
+            assert_flags_match(array_op, scalar_op, a[:n], b[:n])
+        assert_flags_match(sfa.f32_sqrt_flags_array, sf.f32_sqrt, a)
+
+    @given(a=bit_arrays, b=bit_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_sticky_accumulation_over_sequences(self, a, b):
+        # Run a whole op sequence without clearing: the reduced sticky
+        # booleans must equal the scalar module's after the same walk.
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        sf.flags.clear()
+        sfa.flags.clear()
+        for x, y in zip(a, b):
+            sf.f32_add(int(x), int(y))
+            sf.f32_mul(int(x), int(y))
+            sf.f32_div(int(x), int(y))
+            sf.f32_sqrt(int(x))
+            sf.f32_to_i32(int(y))
+            sf.f32_le(int(x), int(y))
+        sfa.f32_add_array(a, b)
+        sfa.f32_mul_array(a, b)
+        sfa.f32_div_array(a, b)
+        sfa.f32_sqrt_array(a)
+        sfa.f32_to_i32_array(b)
+        sfa.f32_le_array(a, b)
+        assert sfa.flags.as_dict() == sf.flags.as_dict()
+
+    def test_conversion_flags(self):
+        values = np.array([0, 1, (1 << 24) + 1, -(1 << 24) - 1], dtype=np.int64)
+        sf.flags.clear()
+        sfa.flags.clear()
+        for v in values:
+            sf.i32_to_f32(int(v))
+        sfa.i32_to_f32_array(values)
+        assert sfa.flags.as_dict() == sf.flags.as_dict()
+        assert sfa.flags.inexact and not sfa.flags.invalid
+
+        sf.flags.clear()
+        sfa.flags.clear()
+        for x in EDGE_PATTERNS:
+            sf.f32_to_i32(int(x))
+        sfa.f32_to_i32_array(EDGE_PATTERNS)
+        assert sfa.flags.as_dict() == sf.flags.as_dict()
+
+    def test_comparison_flags(self):
+        for fast_op, scalar_op in [
+            (sfa.f32_eq_array, sf.f32_eq),
+            (sfa.f32_lt_array, sf.f32_lt),
+            (sfa.f32_le_array, sf.f32_le),
+        ]:
+            sf.flags.clear()
+            sfa.flags.clear()
+            for x, y in zip(EDGE_A, EDGE_B):
+                scalar_op(int(x), int(y))
+            fast_op(EDGE_A, EDGE_B)
+            assert sfa.flags.as_dict() == sf.flags.as_dict(), fast_op.__name__
+
+    def test_clear_and_accumulate_mechanics(self):
+        acc = sfa.ArrayFlags()
+        acc.accumulate(np.array([], dtype=np.uint8))
+        assert acc.as_dict() == sfa.ArrayFlags().as_dict()
+        acc.accumulate(
+            np.array([sfa.FLAG_INVALID | sfa.FLAG_INEXACT], dtype=np.uint8)
+        )
+        assert acc.invalid and acc.inexact and not acc.overflow
+        acc.clear()
+        assert not any(acc.as_dict().values())
+
+    def test_signaling_nan_classifier(self):
+        assert sfa.is_signaling_nan_array(EDGE_PATTERNS).tolist() == [
+            sf.is_signaling_nan(int(x)) for x in EDGE_PATTERNS
+        ]
+
+
 class TestValidation:
     def test_bad_dtype_rejected(self):
         with pytest.raises(SoftFloatError):
