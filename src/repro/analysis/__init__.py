@@ -8,7 +8,12 @@ from repro.analysis.montecarlo import (
     run_monte_carlo_static,
     summarize_outcomes,
 )
-from repro.analysis.reporting import markdown_table
+from repro.analysis.reporting import (
+    EXCEEDANCE_DEGRADED_THRESHOLD,
+    classify_cell,
+    degradation_report,
+    markdown_table,
+)
 
 __all__ = [
     "run_monte_carlo_static",
@@ -18,4 +23,7 @@ __all__ = [
     "EnsembleJob",
     "MonteCarloSummary",
     "markdown_table",
+    "classify_cell",
+    "degradation_report",
+    "EXCEEDANCE_DEGRADED_THRESHOLD",
 ]

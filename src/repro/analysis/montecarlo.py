@@ -28,7 +28,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -47,7 +47,8 @@ from repro.experiments.table1 import (
 from repro.fusion import BoresightConfig
 from repro.geometry import EulerAngles
 from repro.rng import make_rng
-from repro.vehicle import Trajectory
+from repro.scenarios.faults import Fault
+from repro.vehicle import Trajectory, VibrationSpec
 from repro.vehicle.profiles import city_drive_profile, static_tilt_profile
 
 #: Default body-rate magnitude (rad/s) above which the dynamic
@@ -73,6 +74,20 @@ class MonteCarloSummary:
     mean_exceedance: float
     #: Seeds whose filter diverged; masked out of every aggregate above.
     diverged_seeds: tuple[int, ...] = ()
+    #: Per converged run, in seed order: ``"degraded"`` when the run
+    #: spent any tick on the dead-reckoning hold rung of the
+    #: degradation ladder (``fallback_hold``), else ``"full"``.
+    fallback_states: tuple[str, ...] = ()
+
+    @property
+    def fallback_counts(self) -> dict[str, int]:
+        """Occurrences of each fallback label (including diverged)."""
+        counts: dict[str, int] = {}
+        for label in self.fallback_states:
+            counts[label] = counts.get(label, 0) + 1
+        if self.diverged_seeds:
+            counts["diverged"] = len(self.diverged_seeds)
+        return counts
 
     def __eq__(self, other: object) -> bool:
         # The dataclass-generated __eq__ would raise on the ndarray
@@ -87,19 +102,23 @@ class MonteCarloSummary:
             and self.coverage_3sigma == other.coverage_3sigma
             and self.mean_exceedance == other.mean_exceedance
             and self.diverged_seeds == other.diverged_seeds
+            and self.fallback_states == other.fallback_states
         )
 
 
 def summarize_outcomes(
-    outcomes: list[tuple[np.ndarray, int, float]],
+    outcomes: Sequence[tuple],
     diverged_seeds: Sequence[int] = (),
 ) -> MonteCarloSummary:
-    """Aggregate per-run ``(error_deg, covered, exceedance)`` outcomes.
+    """Aggregate per-run outcome tuples.
 
-    Shared by every execution engine (serial, process-parallel and
-    batched) so the aggregation arithmetic — and therefore the
-    bit-identity contract between engines — lives in exactly one place.
-    The 3-sigma coverage denominator is ``runs`` times the error
+    Each outcome is ``(error_deg, covered, exceedance)`` or, with the
+    degradation ladder armed, ``(error_deg, covered, exceedance,
+    hold_ticks)``; a 3-tuple counts as zero hold ticks.  Shared by
+    every execution engine (serial, process-parallel and batched) so
+    the aggregation arithmetic — and therefore the bit-identity
+    contract between engines — lives in exactly one place.  The
+    3-sigma coverage denominator is ``runs`` times the error
     dimensionality taken from the error vectors themselves.
     ``diverged_seeds`` records seeds already masked out of
     ``outcomes``; ``runs`` counts only the converged runs.
@@ -115,6 +134,9 @@ def summarize_outcomes(
     errors = [outcome[0] for outcome in outcomes]
     covered = sum(outcome[1] for outcome in outcomes)
     exceedances = [outcome[2] for outcome in outcomes]
+    hold_ticks = [
+        int(outcome[3]) if len(outcome) > 3 else 0 for outcome in outcomes
+    ]
     error_matrix = np.array(errors)
     axis_count = error_matrix.shape[1]
     return MonteCarloSummary(
@@ -124,6 +146,9 @@ def summarize_outcomes(
         coverage_3sigma=covered / (runs * axis_count),
         mean_exceedance=float(np.mean(exceedances)),
         diverged_seeds=tuple(int(s) for s in diverged_seeds),
+        fallback_states=tuple(
+            "degraded" if ticks > 0 else "full" for ticks in hold_ticks
+        ),
     )
 
 
@@ -144,9 +169,14 @@ class EnsembleJob:
     moving: bool
     #: ACC failure-injection time for this seed, seconds; None disables.
     acc_dropout_time: float | None = None
+    #: Fault injectors applied to the run's test-phase streams.
+    faults: tuple[Fault, ...] = ()
+    #: Vibration environment override for moving runs; None keeps the
+    #: rig default.
+    vibration: VibrationSpec | None = None
 
 
-def _run_job(job: EnsembleJob) -> tuple[np.ndarray, int, float] | None:
+def _run_job(job: EnsembleJob) -> tuple[np.ndarray, int, float, int] | None:
     """One seeded protocol run; module-level so spawn can pickle it.
 
     Returns ``None`` when the run's filter diverges — the covariance
@@ -154,9 +184,14 @@ def _run_job(job: EnsembleJob) -> tuple[np.ndarray, int, float] | None:
     non-finite state poisons a LAPACK call (``LinAlgError``).  The
     caller masks such seeds instead of aborting the ensemble.
     """
-    rig = BoresightTestRig(
-        RigConfig(seed=job.seed, acc_dropout_time=job.acc_dropout_time)
+    config_kwargs = dict(
+        seed=job.seed,
+        acc_dropout_time=job.acc_dropout_time,
+        faults=job.faults,
     )
+    if job.vibration is not None:
+        config_kwargs["vibration"] = job.vibration
+    rig = BoresightTestRig(RigConfig(**config_kwargs))
     try:
         run = rig.run(
             job.misalignment,
@@ -170,7 +205,7 @@ def _run_job(job: EnsembleJob) -> tuple[np.ndarray, int, float] | None:
     three_sigma = run.result.three_sigma_deg()
     covered = int(np.sum(np.abs(error) <= three_sigma))
     exceedance = float(np.max(run.result.monitor.exceedance_fraction))
-    return error, covered, exceedance
+    return error, covered, exceedance, run.result.history.hold_ticks()
 
 
 @register_engine(
@@ -245,6 +280,8 @@ def run_monte_carlo_static(
     slew_time: float = 3.0,
     workers: int = 1,
     engine: str = "model",
+    faults: Sequence[Fault] = (),
+    fallback_hold: bool = False,
 ) -> MonteCarloSummary:
     """Repeat the static protocol across seeds and aggregate.
 
@@ -268,6 +305,11 @@ def run_monte_carlo_static(
       faster, and single-process: combining it with ``workers > 1``
       raises :class:`~repro.errors.ConfigurationError`.
 
+    ``faults`` injects a :mod:`repro.scenarios.faults` chain into every
+    run; ``fallback_hold`` arms the dead-reckoning rung of the
+    degradation ladder (see
+    :class:`~repro.fusion.boresight.BoresightConfig.fallback_hold`).
+
     Dispatch runs through the ``"ensemble"`` domain of
     :mod:`repro.engines`; any further registered backend is selectable
     by name.
@@ -279,6 +321,8 @@ def run_monte_carlo_static(
         duration=duration, dwell_time=dwell_time, slew_time=slew_time
     )
     estimator_config = static_estimator_config(measurement_sigma)
+    if fallback_hold:
+        estimator_config = replace(estimator_config, fallback_hold=True)
     jobs = [
         EnsembleJob(
             seed=base_seed + i,
@@ -286,6 +330,7 @@ def run_monte_carlo_static(
             misalignment=misalignment,
             estimator_config=estimator_config,
             moving=False,
+            faults=tuple(faults),
         )
         for i in range(runs)
     ]
@@ -304,6 +349,9 @@ def run_monte_carlo_dynamic(
     adaptive: bool = False,
     workers: int = 1,
     engine: str = "model",
+    faults: Sequence[Fault] = (),
+    fallback_hold: bool = False,
+    vibration: VibrationSpec | None = None,
 ) -> MonteCarloSummary:
     """Repeat the dynamic (driving) protocol across seeds and aggregate.
 
@@ -330,6 +378,11 @@ def run_monte_carlo_dynamic(
     ``workers`` and ``engine`` behave exactly as in
     :func:`run_monte_carlo_static`; the fast engine's summary is
     bit-identical to the serial oracle's for the same seeds.
+
+    ``faults`` injects a :mod:`repro.scenarios.faults` chain into every
+    run, ``fallback_hold`` arms the dead-reckoning rung of the
+    degradation ladder, and ``vibration`` overrides the rigs' default
+    vibration environment (rough-road scenarios).
     """
     engine_impl = _resolve_ensemble_engine(engine, workers)
     if misalignment is None:
@@ -342,6 +395,8 @@ def run_monte_carlo_dynamic(
         motion_gate_rate=motion_gate_rate,
         adaptive=adaptive,
     )
+    if fallback_hold:
+        estimator_config = replace(estimator_config, fallback_hold=True)
     jobs = [
         EnsembleJob(
             seed=base_seed + i,
@@ -354,6 +409,8 @@ def run_monte_carlo_dynamic(
                 if acc_dropout is not None
                 else None
             ),
+            faults=tuple(faults),
+            vibration=vibration,
         )
         for i in range(runs)
     ]

@@ -20,6 +20,21 @@ from repro.errors import BusError, ProtocolError
 #: Number of equal consecutive bits that triggers stuffing.
 STUFF_LIMIT = 5
 
+#: Recessive bits between frames on the wire: CRC delimiter, ACK slot
+#: and delimiter, 7-bit EOF, 3-bit intermission.  All fixed-form and
+#: unstuffed, so the interframe space is the only place a legal stream
+#: carries more than ``STUFF_LIMIT`` equal consecutive bits.
+INTERFRAME_GAP = 13
+
+#: Worst-case frames lost per corruption burst under gap
+#: resynchronisation (``CanStreamDecoder(resync="gap")``): the
+#: corrupted frame itself, plus at most one phantom when the
+#: corruption decodes as a CRC-valid frame (the stuff-boundary escape
+#: pinned by ``tests/test_can_roundtrip.py``) whose end lands past the
+#: next frame's start.  Bit-at-a-time resync has no such bound — a
+#: single flip can cascade through every following frame.
+RESYNC_FRAME_BOUND = 2
+
 
 @dataclass(frozen=True)
 class CanFrame:
@@ -106,7 +121,11 @@ def unstuff_bits(bits: list[int]) -> list[int]:
 
 def frame_from_bits(stuffed: list[int]) -> CanFrame:
     """Decode a stuffed bit stream back into a frame, checking CRC."""
-    bits = unstuff_bits(stuffed)
+    return _frame_from_unstuffed(unstuff_bits(stuffed))
+
+
+def _frame_from_unstuffed(bits: list[int]) -> CanFrame:
+    """Validate and decode an already-unstuffed frame bit sequence."""
     if len(bits) < 1 + 11 + 3 + 4 + 15:
         raise BusError(f"frame too short: {len(bits)} bits")
     if bits[0] != 0:
@@ -135,6 +154,138 @@ def frame_from_bits(stuffed: list[int]) -> CanFrame:
             f"CRC mismatch: got {crc_received:#06x}, want {crc_computed:#06x}"
         )
     return CanFrame(can_id=can_id, data=data)
+
+
+def frames_to_stream(frames: list[CanFrame]) -> list[int]:
+    """Serialize frames onto one wire: stuffed bits + interframe gaps.
+
+    Each frame's stuffed bits are followed by :data:`INTERFRAME_GAP`
+    recessive bits — the fixed-form tail (CRC/ACK delimiters, EOF,
+    intermission) a receiver sees between back-to-back frames.
+    """
+    out: list[int] = []
+    for frame in frames:
+        out += frame.to_bits()
+        out += [1] * INTERFRAME_GAP
+    return out
+
+
+def _unstuff_frame_at(stream: list[int], start: int) -> tuple[list[int], int]:
+    """Incrementally unstuff one frame starting at ``stream[start]``.
+
+    Unlike :func:`unstuff_bits` the frame's extent is unknown in a
+    stream: the unstuffed length is discovered from the DLC field once
+    19 bits are out.  Returns the unstuffed frame bits and the stream
+    index just past the frame's last wire bit (including a trailing
+    stuff bit, if the CRC ends on a full run).
+    """
+    out: list[int] = []
+    run_value = None
+    run_length = 0
+    need: int | None = None
+    i = start
+    while need is None or len(out) < need:
+        if i >= len(stream):
+            raise BusError("frame truncated")
+        bit = stream[i]
+        out.append(bit)
+        i += 1
+        if bit == run_value:
+            run_length += 1
+        else:
+            run_value = bit
+            run_length = 1
+        if run_length == STUFF_LIMIT:
+            if i < len(stream):
+                if stream[i] == bit:
+                    raise BusError("stuff error: six equal consecutive bits")
+                run_value = stream[i]
+                run_length = 1
+                i += 1
+        if need is None and len(out) == 19:
+            dlc = bits_to_int(out[15:19])
+            if dlc > 8:
+                raise BusError(f"invalid DLC {dlc}")
+            need = 19 + dlc * 8 + 15
+    return out, i
+
+
+@dataclass
+class StreamDecodeResult:
+    """Outcome of decoding one wire stream."""
+
+    #: Frames recovered, in wire order (may include phantoms decoded
+    #: from corrupted bits — CRC-15 is not proof against every flip).
+    frames: list[CanFrame]
+    #: Number of decode errors (each followed by a resync).
+    errors: int
+
+
+class CanStreamDecoder:
+    """Decode back-to-back frames from a raw wire bit stream.
+
+    ``resync`` selects the error-recovery strategy:
+
+    - ``"gap"`` (default) — after a decode error, discard bits until a
+      run of more than :data:`STUFF_LIMIT` recessive bits followed by
+      a dominant edge.  Stuffing caps in-frame runs at
+      ``STUFF_LIMIT``, so only the interframe space can look like
+      that: the dominant edge is the next frame's SOF and the loss per
+      corruption burst is bounded by :data:`RESYNC_FRAME_BOUND`.
+    - ``"bit"`` — the naive strategy: slip a single bit and retry.
+      Retries from inside the corrupted frame can hit CRC-valid
+      phantom decodes (the stuff-boundary escape the round-trip suite
+      pins) whose extent swallows the next frame's start — one flip
+      can cascade down the rest of the stream.  Kept as the
+      documented failure mode the campaign's CAN error-storm fault
+      models from above.
+    """
+
+    def __init__(self, resync: str = "gap") -> None:
+        if resync not in ("gap", "bit"):
+            raise ProtocolError(
+                f"unknown resync strategy {resync!r}; "
+                "expected 'gap' or 'bit'"
+            )
+        self.resync = resync
+
+    @staticmethod
+    def _skip_recessive(stream: list[int], i: int) -> int:
+        while i < len(stream) and stream[i] == 1:
+            i += 1
+        return i
+
+    @staticmethod
+    def _next_gap_edge(stream: list[int], i: int) -> int:
+        """First dominant bit after a run of > STUFF_LIMIT recessives."""
+        run = 0
+        while i < len(stream):
+            if stream[i] == 1:
+                run += 1
+            else:
+                if run > STUFF_LIMIT:
+                    return i
+                run = 0
+            i += 1
+        return i
+
+    def decode(self, stream: list[int]) -> StreamDecodeResult:
+        """Decode every recoverable frame in ``stream``."""
+        frames: list[CanFrame] = []
+        errors = 0
+        i = self._skip_recessive(stream, 0)
+        while i < len(stream):
+            try:
+                bits, end = _unstuff_frame_at(stream, i)
+                frames.append(_frame_from_unstuffed(bits))
+                i = self._skip_recessive(stream, end)
+            except BusError:
+                errors += 1
+                if self.resync == "gap":
+                    i = self._next_gap_edge(stream, i + 1)
+                else:
+                    i = self._skip_recessive(stream, i + 1)
+        return StreamDecodeResult(frames=frames, errors=errors)
 
 
 @dataclass

@@ -469,6 +469,73 @@ register_probe("ensemble", "fast")(_ensemble_probe("fast"))
 
 
 # --------------------------------------------------------------------
+# campaign — serial-cell oracle vs lockstep cells.  A compressed grid
+# (one bench scenario × healthy/faulted recipes × two seeds) with the
+# degradation ladder armed; the payload pins every cell summary plus
+# its classification.
+# --------------------------------------------------------------------
+
+
+def _campaign_probe(name: str):
+    def probe(seed: int) -> dict:
+        from repro.scenarios.campaign import (
+            CampaignSpec,
+            FaultSpec,
+            run_campaign,
+        )
+        from repro.scenarios.faults import SensorDropout
+        from repro.scenarios.spec import ScenarioSpec
+
+        base = 300 + (seed % 97)
+        spec = CampaignSpec(
+            name="probe",
+            scenarios=(
+                ScenarioSpec(
+                    name="bench",
+                    profile="static_tilt",
+                    duration=80.0,
+                    profile_args=(("dwell_time", 6.0), ("slew_time", 2.0)),
+                    moving=False,
+                    measurement_sigma=0.006,
+                    motion_gate_rate=None,
+                ),
+            ),
+            faults=(
+                FaultSpec(name="nominal"),
+                FaultSpec(
+                    name="dropout",
+                    faults=(
+                        SensorDropout(
+                            sensor="acc", start=45.0, duration=10.0
+                        ),
+                    ),
+                ),
+            ),
+            seeds=(base, base + 1),
+        )
+        result = run_campaign(spec, engine=name)
+        payload = {"classifications": tuple(result.classifications())}
+        for cell, summary in zip(result.cells, result.summaries):
+            key = f"{cell.scenario.name}/{cell.fault.name}"
+            payload[key] = {
+                "runs": summary.runs,
+                "rms_error_deg": summary.rms_error_deg,
+                "max_error_deg": summary.max_error_deg,
+                "coverage_3sigma": summary.coverage_3sigma,
+                "mean_exceedance": summary.mean_exceedance,
+                "diverged_seeds": summary.diverged_seeds,
+                "fallback_states": summary.fallback_states,
+            }
+        return payload
+
+    return probe
+
+
+register_probe("campaign", "model")(_campaign_probe("model"))
+register_probe("campaign", "fast")(_campaign_probe("fast"))
+
+
+# --------------------------------------------------------------------
 # can — per-bit frame codec vs batched uint8 scans.  The payload pins
 # the stuffed wire bits, their lengths, and the decoded fields of a
 # mixed-DLC frame population.

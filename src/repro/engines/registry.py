@@ -80,6 +80,8 @@ _BUILTIN_MODULES: dict[tuple[str, str], str] = {
     ("softfloat", "fast"): "repro.sabre.softfloat_array",
     ("ensemble", "model"): "repro.analysis.montecarlo",
     ("ensemble", "fast"): "repro.experiments.batch_protocol",
+    ("campaign", "model"): "repro.scenarios.campaign",
+    ("campaign", "fast"): "repro.scenarios.campaign",
     ("can", "model"): "repro.comm.can",
     ("can", "fast"): "repro.comm.fast",
     ("uart", "model"): "repro.comm.uart",

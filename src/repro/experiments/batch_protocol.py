@@ -51,6 +51,12 @@ from repro.fusion.calibration import (
 )
 from repro.fusion.reconstruction import reconstruct_stacked
 from repro.geometry import EulerAngles
+from repro.scenarios.faults import (
+    Fault,
+    RunStreams,
+    SensorDropout,
+    apply_faults,
+)
 from repro.sensors import Mounting
 from repro.sensors.batch import (
     sense_acc_stacked,
@@ -100,8 +106,8 @@ class LockstepEnsemble:
             if flag
         )
 
-    def outcomes(self) -> list[tuple[np.ndarray, int, float]]:
-        """Per-run ``(error_deg, covered, exceedance)`` tuples.
+    def outcomes(self) -> list[tuple[np.ndarray, int, float, int]]:
+        """Per-run ``(error_deg, covered, exceedance, hold_ticks)``.
 
         The exact aggregation inputs the serial Monte-Carlo job
         produces, computed with the same elementwise expressions, in
@@ -116,6 +122,7 @@ class LockstepEnsemble:
         three_sigma = self.result.three_sigma_deg()
         exceedance = self.result.monitor.exceedance_fraction
         counts = self.result.monitor.counts
+        hold_ticks = self.result.hold_ticks()
         out = []
         for r in range(len(self.seeds)):
             if self.result.diverged[r]:
@@ -128,7 +135,14 @@ class LockstepEnsemble:
                     "lower motion_gate_rate or lengthen the drive"
                 )
             covered = int(np.sum(np.abs(errors[r]) <= three_sigma[r]))
-            out.append((errors[r], covered, float(np.max(exceedance[r]))))
+            out.append(
+                (
+                    errors[r],
+                    covered,
+                    float(np.max(exceedance[r])),
+                    int(hold_ticks[r]),
+                )
+            )
         return out
 
 
@@ -169,6 +183,7 @@ def _run_lockstep(
     rig_config: RigConfig | None,
     moving: bool,
     acc_dropout: Mapping[int, float] | None,
+    faults: Sequence[Fault] = (),
 ) -> tuple[BatchBoresightResult, StackedSensorCalibration]:
     """Sense → calibrate → reconstruct → filter R rigs in lockstep."""
     if not seeds:
@@ -204,15 +219,36 @@ def _run_lockstep(
         vibration=vibration[1] if vibration else None,
     )
 
+    # Inject faults per run, on the row views of the stacked test
+    # streams — the identical NumPy expressions the serial rig runs on
+    # its per-seed arrays, so faulted ensembles stay bit-exact.  The
+    # legacy per-seed ``acc_dropout`` map rides along as the same
+    # open-ended SensorDropout the RigConfig alias builds, appended
+    # last exactly like :meth:`RigConfig.effective_faults`.
+    shared_faults = config.faults + tuple(faults)
     for r, seed in enumerate(seeds):
         dropout = (
             acc_dropout.get(int(seed), config.acc_dropout_time)
             if acc_dropout is not None
             else config.acc_dropout_time
         )
+        run_faults = shared_faults
         if dropout is not None:
-            dead = acc_test.time >= dropout
-            acc_test.specific_force[r, dead, :] = np.nan
+            run_faults = run_faults + (
+                SensorDropout(sensor="acc", start=dropout),
+            )
+        if run_faults:
+            apply_faults(
+                run_faults,
+                RunStreams(
+                    imu_time=imu_test.time,
+                    imu_rate=imu_test.body_rate[r],
+                    imu_force=imu_test.specific_force[r],
+                    acc_time=acc_test.time,
+                    acc_force=acc_test.specific_force[r],
+                ),
+                int(seed),
+            )
 
     calibration = calibrate_static_stacked(
         imu_calibration, acc_calibration, window=config.calibration_window
@@ -261,11 +297,14 @@ def run_lockstep_jobs(jobs, workers: int = 1):
             or job.misalignment is not first.misalignment
             or job.estimator_config is not first.estimator_config
             or job.moving != first.moving
+            or job.faults != first.faults
+            or job.vibration != first.vibration
         ):
             raise ConfigurationError(
                 "the lockstep engine requires homogeneous jobs: shared "
-                "trajectory, misalignment and estimator config objects "
-                "and one moving flag (only seeds and dropout times vary)"
+                "trajectory, misalignment and estimator config objects, "
+                "one moving flag and one fault/vibration set (only seeds "
+                "and dropout times vary)"
             )
     seeds = [job.seed for job in jobs]
     if len(set(seeds)) != len(seeds):
@@ -280,13 +319,20 @@ def run_lockstep_jobs(jobs, workers: int = 1):
         for job in jobs
         if job.acc_dropout_time is not None
     }
+    rig_config = (
+        RigConfig(vibration=first.vibration)
+        if first.vibration is not None
+        else None
+    )
     runner = run_dynamic_ensemble if first.moving else run_static_ensemble
     ensemble = runner(
         seeds=seeds,
         misalignment=first.misalignment,
         trajectory=first.trajectory,
         estimator_config=first.estimator_config,
+        rig_config=rig_config,
         acc_dropout=acc_dropout or None,
+        faults=first.faults,
     )
     return summarize_outcomes(
         ensemble.outcomes(), diverged_seeds=ensemble.diverged_seeds
@@ -306,6 +352,7 @@ def run_static_ensemble(
     estimator_config: BoresightConfig | None = None,
     rig_config: RigConfig | None = None,
     acc_dropout: Mapping[int, float] | None = None,
+    faults: Sequence[Fault] = (),
 ) -> StaticEnsemble:
     """Run the static §11 protocol for every seed, batched in lockstep.
 
@@ -317,7 +364,9 @@ def run_static_ensemble(
     ``seed`` field is ignored; the ensemble seeds come from ``seeds``).
     ``acc_dropout`` maps seeds to an ACC-failure time (see
     :class:`~repro.experiments.protocol.RigConfig.acc_dropout_time`);
-    seeds whose filter diverges are masked, not fatal.
+    seeds whose filter diverges are masked, not fatal.  ``faults``
+    injects the same :mod:`repro.scenarios.faults` chain into every
+    run (per-seed randomness comes from each fault's own RNG).
     """
     result, calibration = _run_lockstep(
         seeds,
@@ -327,6 +376,7 @@ def run_static_ensemble(
         rig_config,
         moving=False,
         acc_dropout=acc_dropout,
+        faults=faults,
     )
     return StaticEnsemble(
         seeds=tuple(int(s) for s in seeds),
@@ -343,6 +393,7 @@ def run_dynamic_ensemble(
     estimator_config: BoresightConfig | None = None,
     rig_config: RigConfig | None = None,
     acc_dropout: Mapping[int, float] | None = None,
+    faults: Sequence[Fault] = (),
 ) -> DynamicEnsemble:
     """Run the dynamic §11 protocol for every seed, batched in lockstep.
 
@@ -355,7 +406,8 @@ def run_dynamic_ensemble(
     measurement updates on its own measured body rate.  ``acc_dropout``
     maps seeds to an ACC-failure time for divergence studies; diverged
     seeds are flagged on the returned ensemble and masked out of
-    :meth:`~LockstepEnsemble.outcomes`.
+    :meth:`~LockstepEnsemble.outcomes`.  ``faults`` injects the same
+    :mod:`repro.scenarios.faults` chain into every run.
     """
     result, calibration = _run_lockstep(
         seeds,
@@ -365,6 +417,7 @@ def run_dynamic_ensemble(
         rig_config,
         moving=True,
         acc_dropout=acc_dropout,
+        faults=faults,
     )
     return DynamicEnsemble(
         seeds=tuple(int(s) for s in seeds),

@@ -40,7 +40,13 @@ from repro.engines import register_engine
 from repro.errors import FusionError
 from repro.fusion.adaptive import BatchInnovationAdaptiveNoise
 from repro.fusion.batch_kalman import BatchInnovation, BatchKalmanFilter
-from repro.fusion.boresight import BoresightConfig
+from repro.fusion.boresight import (
+    FALLBACK_DIVERGED,
+    FALLBACK_FULL,
+    FALLBACK_GATED,
+    FALLBACK_HOLD,
+    BoresightConfig,
+)
 from repro.fusion.models import PROJECT_XY
 from repro.fusion.reconstruction import StackedFusedSamples
 from repro.geometry import EulerAngles, dcm_to_euler
@@ -254,6 +260,10 @@ class BatchBoresightResult:
     #: Fusion tick at which each run diverged, (R,); -1 when it never
     #: did.
     diverged_at_tick: np.ndarray | None = None
+    #: Per-run, per-tick degradation-ladder codes (``FALLBACK_*`` of
+    #: :mod:`repro.fusion.boresight`), (R, N) int8 — the stacked twin
+    #: of ``BoresightHistory.fallback``.
+    fallback_timeline: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         runs = int(self.angle_sigma.shape[0])
@@ -278,6 +288,18 @@ class BatchBoresightResult:
     def three_sigma_deg(self) -> np.ndarray:
         """Per-run 3-sigma confidence of each angle, degrees, (R, 3)."""
         return np.degrees(3.0 * self.angle_sigma)
+
+    def hold_ticks(self) -> np.ndarray:
+        """Per-run count of dead-reckoning hold ticks, (R,) int64.
+
+        Equals ``BoresightHistory.hold_ticks()`` of each run's serial
+        twin; zeros when the timeline was not recorded.
+        """
+        if self.fallback_timeline is None:
+            return np.zeros(self.runs, dtype=np.int64)
+        return np.sum(
+            self.fallback_timeline == FALLBACK_HOLD, axis=1, dtype=np.int64
+        )
 
 
 @register_engine(
@@ -319,6 +341,7 @@ class BatchBoresightEstimator:
         self._last_time: float | None = None
         self._diverged = np.zeros(runs, dtype=bool)
         self._diverged_at_tick = np.full(runs, -1, dtype=np.int64)
+        self._last_fallback = np.zeros(runs, dtype=np.int8)
         self._tick = 0
 
     @property
@@ -381,6 +404,22 @@ class BatchBoresightEstimator:
         self._last_time = time
 
         active = ~self._diverged
+        # Per-run degradation-ladder labels for this tick, rung order
+        # exactly as the serial estimator assigns them: diverged >
+        # hold > gated > full.
+        fallback = np.where(
+            self._diverged, FALLBACK_DIVERGED, FALLBACK_FULL
+        ).astype(np.int8)
+        if self.config.fallback_hold:
+            finite = (
+                np.isfinite(f).all(axis=1)
+                & np.isfinite(w).all(axis=1)
+                & np.isfinite(wd).all(axis=1)
+                & np.isfinite(z).all(axis=1)
+            )
+            hold = ~finite & active
+            fallback[hold] = FALLBACK_HOLD
+            active &= ~hold
         if self.config.motion_gate_rate is not None:
             # Per-run serial norm calls: the gate compares against a
             # threshold, and axis-wise batched norms are not guaranteed
@@ -391,6 +430,7 @@ class BatchBoresightEstimator:
                 dtype=bool,
                 count=self.runs,
             )
+            fallback[gated & active] = FALLBACK_GATED
             active &= ~gated
 
         if self._mounting is not None:
@@ -418,6 +458,7 @@ class BatchBoresightEstimator:
             self._diverged |= newly_diverged
             self._diverged_at_tick[newly_diverged] = self._tick
             active &= ~newly_diverged
+            fallback[newly_diverged] = FALLBACK_DIVERGED
         # Multiplicative filter: fold the pending correction into the
         # reference DCM/bias and zero the error state, as the serial
         # estimator does after every update.  Gated and diverged runs
@@ -435,6 +476,7 @@ class BatchBoresightEstimator:
             self._adaptive.record(
                 innovation.residual, hph_prior, active=active
             )
+        self._last_fallback = fallback
         self._tick += 1
         return innovation
 
@@ -459,10 +501,12 @@ class BatchBoresightEstimator:
         rate_dot = np.ascontiguousarray(np.swapaxes(fused.body_rate_dot, 0, 1))
         acc_xy = np.ascontiguousarray(np.swapaxes(fused.acc_xy, 0, 1))
 
+        timeline = np.zeros((self.runs, count), dtype=np.int8)
         for i in range(count):
             self.step(
                 float(fused.time[i]), force[i], rate[i], rate_dot[i], acc_xy[i]
             )
+            timeline[:, i] = self._last_fallback
 
         with np.errstate(invalid="ignore"):
             # Diverged runs may hold a non-finite or negative covariance
@@ -475,4 +519,5 @@ class BatchBoresightEstimator:
             monitor=self._monitor,
             diverged=self._diverged.copy(),
             diverged_at_tick=self._diverged_at_tick.copy(),
+            fallback_timeline=timeline,
         )

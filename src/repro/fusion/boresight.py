@@ -24,6 +24,18 @@ from repro.fusion.reconstruction import FusedSamples
 from repro.geometry import EulerAngles
 from repro.sensors.mounting import Mounting
 
+#: Graceful-degradation ladder codes, one per fusion tick.  The rungs
+#: order by how much of the filter ran: a full predict+update, a
+#: motion-gated predict, a dead-reckoning hold on non-finite data
+#: (``fallback_hold``), or nothing at all after divergence.
+FALLBACK_FULL = 0
+FALLBACK_GATED = 1
+FALLBACK_HOLD = 2
+FALLBACK_DIVERGED = 3
+
+#: Human-readable names of the ladder codes, index-aligned.
+FALLBACK_LABELS = ("full", "gated", "hold", "diverged")
+
 
 @dataclass(frozen=True)
 class BoresightConfig:
@@ -59,6 +71,13 @@ class BoresightConfig:
     #: Horizontal-force magnitude below which the yaw column of H is
     #: zeroed (m/s²); see MisalignmentModel.yaw_threshold.
     yaw_observability_threshold: float = 0.5
+    #: Arm the dead-reckoning rung of the degradation ladder: a tick
+    #: whose inputs are not all finite (sensor dropout, link outage)
+    #: skips the measurement update and coasts on the prediction,
+    #: labelled ``FALLBACK_HOLD``, instead of feeding NaN into the
+    #: filter and diverging.  Off by default — the historical
+    #: fault-divergence studies rely on NaN reaching the filter.
+    fallback_hold: bool = False
 
     def __post_init__(self) -> None:
         if self.measurement_sigma <= 0.0:
@@ -83,6 +102,8 @@ class StepResult:
     angle_sigma: np.ndarray
     innovation: Innovation | None
     gated: bool
+    #: Degradation-ladder rung of this tick (``FALLBACK_*`` code).
+    fallback: int = FALLBACK_FULL
 
 
 @dataclass
@@ -96,9 +117,17 @@ class BoresightHistory:
     residual_sigma: np.ndarray
     nis: np.ndarray
     gated: np.ndarray
+    #: Per-tick degradation-ladder codes (``FALLBACK_*``), int8.
+    fallback: np.ndarray | None = None
 
     def __len__(self) -> int:
         return int(self.time.shape[0])
+
+    def hold_ticks(self) -> int:
+        """Number of ticks spent on the dead-reckoning hold rung."""
+        if self.fallback is None:
+            return 0
+        return int(np.sum(self.fallback == FALLBACK_HOLD))
 
 
 @dataclass
@@ -209,12 +238,24 @@ class BoresightEstimator:
             self._kf.predict(process_noise=self._process_noise(dt))
         self._last_time = time
 
+        # The degradation ladder, most-degraded rung first: a
+        # dead-reckoning hold on non-finite inputs (when armed), then
+        # the motion-gated predict, then the full update.  Both hold
+        # and gate are predict-only ticks — the covariance keeps
+        # growing, honestly reporting the coast.
+        hold = self.config.fallback_hold and not bool(
+            np.isfinite(f).all()
+            and np.isfinite(w).all()
+            and np.isfinite(wd).all()
+            and np.isfinite(z).all()
+        )
         gated = (
-            self.config.motion_gate_rate is not None
+            not hold
+            and self.config.motion_gate_rate is not None
             and float(np.linalg.norm(w)) > self.config.motion_gate_rate
         )
         innovation: Innovation | None = None
-        if not gated:
+        if not hold and not gated:
             if self.config.lever_arm is not None:
                 mounting = Mounting(lever_arm=self.config.lever_arm)
                 f = mounting.specific_force_at_sensor(f, w, wd)
@@ -233,12 +274,19 @@ class BoresightEstimator:
             if self._adaptive is not None:
                 self._adaptive.record(innovation.residual, hph_prior)
 
+        if hold:
+            fallback = FALLBACK_HOLD
+        elif gated:
+            fallback = FALLBACK_GATED
+        else:
+            fallback = FALLBACK_FULL
         return StepResult(
             time=time,
             misalignment=self.misalignment,
             angle_sigma=self.angle_sigma,
             innovation=innovation,
             gated=gated,
+            fallback=fallback,
         )
 
     def run(self, fused: FusedSamples) -> BoresightResult:
@@ -253,6 +301,7 @@ class BoresightEstimator:
         residual_sigma = np.full((count, 2), np.nan)
         nis = np.full(count, np.nan)
         gated = np.zeros(count, dtype=bool)
+        fallback = np.zeros(count, dtype=np.int8)
 
         for i in range(count):
             result = self.step(
@@ -266,6 +315,7 @@ class BoresightEstimator:
             angles[i] = result.misalignment.as_array()
             angle_sigma[i] = result.angle_sigma
             gated[i] = result.gated
+            fallback[i] = result.fallback
             if result.innovation is not None:
                 residual[i] = result.innovation.residual
                 residual_sigma[i] = result.innovation.sigma
@@ -279,6 +329,7 @@ class BoresightEstimator:
             residual_sigma=residual_sigma,
             nis=nis,
             gated=gated,
+            fallback=fallback,
         )
         return BoresightResult(
             misalignment=self.misalignment,

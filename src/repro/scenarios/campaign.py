@@ -1,0 +1,355 @@
+"""Fault-injection campaigns: scenario × fault × seed grids.
+
+A campaign crosses a scenario corpus (:mod:`repro.scenarios.spec`)
+with a set of named fault recipes and a seed list.  Every *cell* of
+the grid is one Monte-Carlo ensemble — the same
+:class:`~repro.analysis.montecarlo.EnsembleJob` contract the ensemble
+engines already share — run with the cell's faults injected and the
+degradation ladder armed, and summarized into the usual
+:class:`~repro.analysis.montecarlo.MonteCarloSummary` (plus its
+per-run ``fallback_states``).
+
+Execution goes through the ``"campaign"`` engine pair:
+
+- ``"model"`` — the oracle: every cell runs through the serial
+  per-seed ensemble oracle, in grid order, one process;
+- ``"fast"`` — every cell runs through the lockstep ensemble engine
+  and, with ``workers > 1``, the *cells* are sharded over spawned
+  worker processes (each cell stays single-process lockstep inside
+  its shard).  Bit-identical to ``"model"`` cell by cell, because the
+  underlying ensemble engines are.
+
+A cell where every seed diverges is not fatal: its summary is ``None``
+and the degradation report (:mod:`repro.analysis.reporting`)
+classifies it ``"diverged"``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.analysis.montecarlo import EnsembleJob, MonteCarloSummary
+from repro.engines import register_engine, resolve_engine
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.table1 import DEFAULT_MISALIGNMENT
+from repro.scenarios.faults import (
+    CanBusErrorStorm,
+    ClockSkew,
+    Fault,
+    LossyLinkBurst,
+    SensorDropout,
+    StuckAxis,
+)
+from repro.scenarios.spec import ScenarioSpec, scenario_library
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A named, ordered fault recipe a campaign injects into a cell."""
+
+    name: str
+    faults: tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise ConfigurationError(
+                    f"faults must be Fault instances, got "
+                    f"{type(fault).__name__}"
+                )
+
+
+def fault_library() -> dict[str, FaultSpec]:
+    """The built-in fault recipes, keyed by name.
+
+    One recipe per failure family the ladder and monitor must absorb:
+    the healthy baseline, a windowed sensor outage, a stuck channel, a
+    CAN error storm on the IMU telemetry, and a lossy ACC link
+    compounded with clock skew.
+    """
+    specs = [
+        FaultSpec(name="nominal"),
+        FaultSpec(
+            name="acc_dropout_window",
+            faults=(SensorDropout(sensor="acc", start=45.0, duration=10.0),),
+        ),
+        FaultSpec(
+            name="stuck_acc_axis",
+            faults=(StuckAxis(sensor="acc", axis=0, start=40.0,
+                              duration=20.0),),
+        ),
+        FaultSpec(
+            name="can_error_storm",
+            faults=(CanBusErrorStorm(start=50.0, duration=2.0),),
+        ),
+        FaultSpec(
+            name="lossy_burst_skew",
+            faults=(
+                ClockSkew(sensor="acc", ppm=150.0),
+                LossyLinkBurst(
+                    start=35.0, duration=15.0, drop_probability=0.4
+                ),
+            ),
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (scenario, fault recipe, seed list) grid cell, picklable.
+
+    The unit the campaign engines execute: everything a worker shard
+    needs to rebuild the cell's :class:`EnsembleJob` list from scratch
+    (trajectories are materialized inside the worker, not pickled).
+    """
+
+    scenario: ScenarioSpec
+    fault: FaultSpec
+    seeds: tuple[int, ...]
+    #: Arm the dead-reckoning rung of the degradation ladder.
+    fallback_hold: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "seeds", tuple(int(s) for s in self.seeds)
+        )
+        if not self.seeds:
+            raise ConfigurationError("a campaign cell needs seeds")
+
+    def jobs(self) -> list[EnsembleJob]:
+        """The cell's ensemble jobs: scenario faults, then recipe faults."""
+        trajectory = self.scenario.build_trajectory()
+        estimator_config = self.scenario.build_estimator_config(
+            fallback_hold=self.fallback_hold
+        )
+        faults = self.scenario.faults + self.fault.faults
+        return [
+            EnsembleJob(
+                seed=seed,
+                trajectory=trajectory,
+                misalignment=DEFAULT_MISALIGNMENT,
+                estimator_config=estimator_config,
+                moving=self.scenario.moving,
+                faults=faults,
+                vibration=self.scenario.vibration,
+            )
+            for seed in self.seeds
+        ]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A full campaign grid: scenarios × fault recipes × seeds."""
+
+    name: str
+    scenarios: tuple[ScenarioSpec, ...]
+    faults: tuple[FaultSpec, ...]
+    seeds: tuple[int, ...]
+    #: Arm the degradation ladder in every cell (the campaign default:
+    #: campaigns measure graceful degradation, not raw divergence).
+    fallback_hold: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        object.__setattr__(self, "faults", tuple(self.faults))
+        object.__setattr__(
+            self, "seeds", tuple(int(s) for s in self.seeds)
+        )
+        if not self.scenarios or not self.faults or not self.seeds:
+            raise ConfigurationError(
+                "a campaign needs scenarios, fault recipes and seeds"
+            )
+        for label, names in (
+            ("scenario", [s.name for s in self.scenarios]),
+            ("fault recipe", [f.name for f in self.faults]),
+        ):
+            if len(set(names)) != len(names):
+                raise ConfigurationError(f"duplicate {label} names: {names}")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigurationError("campaign seeds must be distinct")
+
+    def cells(self) -> tuple[CampaignCell, ...]:
+        """The grid in scenario-major, fault-minor order."""
+        return tuple(
+            CampaignCell(
+                scenario=scenario,
+                fault=fault,
+                seeds=self.seeds,
+                fallback_hold=self.fallback_hold,
+            )
+            for scenario in self.scenarios
+            for fault in self.faults
+        )
+
+
+def smoke_campaign_spec(seeds: tuple[int, ...] = tuple(range(900, 908))):
+    """The CI smoke grid: the full built-in corpus × recipes × 8 seeds."""
+    return CampaignSpec(
+        name="campaign_smoke",
+        scenarios=tuple(scenario_library().values()),
+        faults=tuple(fault_library().values()),
+        seeds=seeds,
+    )
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Cell-by-cell outcome of a campaign run.
+
+    ``summaries`` aligns with ``cells``; an entry is ``None`` when
+    every seed of that cell diverged.  Classification and reporting
+    live in :mod:`repro.analysis.reporting`.
+    """
+
+    spec: CampaignSpec
+    cells: tuple[CampaignCell, ...]
+    summaries: tuple[MonteCarloSummary | None, ...]
+
+    def classifications(self) -> list[str]:
+        """Per-cell ``absorbed`` / ``degraded`` / ``diverged`` labels."""
+        from repro.analysis.reporting import classify_cell
+
+        return [
+            classify_cell(summary, expected_runs=len(cell.seeds))
+            for cell, summary in zip(self.cells, self.summaries)
+        ]
+
+    def to_golden(self) -> dict:
+        """The platform-stable golden form of this result.
+
+        Only discrete observables — classifications, divergence and
+        fallback counts — so the artifact compares exactly across
+        BLAS/libm builds.
+        """
+        cells = []
+        for cell, summary, label in zip(
+            self.cells, self.summaries, self.classifications()
+        ):
+            cells.append(
+                {
+                    "scenario": cell.scenario.name,
+                    "fault": cell.fault.name,
+                    "seeds": len(cell.seeds),
+                    "classification": label,
+                    "diverged": (
+                        len(summary.diverged_seeds)
+                        if summary is not None
+                        else len(cell.seeds)
+                    ),
+                    "fallback_counts": (
+                        summary.fallback_counts if summary is not None else {}
+                    ),
+                }
+            )
+        return {"name": self.spec.name, "cells": cells}
+
+
+def _run_cell(cell: CampaignCell, engine: str) -> MonteCarloSummary | None:
+    """Run one cell through an ``"ensemble"`` engine; None = all diverged."""
+    jobs = cell.jobs()
+    impl = resolve_engine("ensemble", engine)
+    try:
+        return impl(jobs, 1)
+    except ConfigurationError as exc:
+        if "every run diverged" not in str(exc):
+            raise
+        return None
+
+
+def _run_cell_fast(cell: CampaignCell) -> MonteCarloSummary | None:
+    """Module-level shard worker (spawn must pickle it by name)."""
+    return _run_cell(cell, "fast")
+
+
+@register_engine(
+    "campaign",
+    "model",
+    oracle=True,
+    description="cells in grid order through the serial ensemble oracle",
+)
+def run_campaign_cells_serial(
+    cells: list[CampaignCell], workers: int = 1
+) -> list[MonteCarloSummary | None]:
+    """The ``"campaign"`` domain contract on the oracle path.
+
+    Engines take the cell list plus a ``workers`` count and return one
+    summary (or ``None``) per cell, in cell order.  The oracle runs
+    every cell through the serial per-seed ensemble engine in one
+    process; sharding belongs to the fast engine.
+    """
+    if workers != 1:
+        raise ConfigurationError(
+            "the campaign oracle is single-process; cell sharding "
+            "belongs to engine='fast'"
+        )
+    return [_run_cell(cell, "model") for cell in cells]
+
+
+run_campaign_cells_serial.single_process = True
+
+
+@register_engine(
+    "campaign",
+    "fast",
+    description="lockstep cells, optionally sharded over worker processes",
+)
+def run_campaign_cells_sharded(
+    cells: list[CampaignCell], workers: int = 1
+) -> list[MonteCarloSummary | None]:
+    """Lockstep cells, fanned over ``workers`` spawned shards.
+
+    Each cell runs the lockstep ensemble engine (single-process, all
+    seeds stacked); ``workers > 1`` distributes whole cells over a
+    spawn pool.  Aggregation follows cell order regardless of shard
+    completion order, so the result is identical for any ``workers``.
+    """
+    if workers > 1 and len(cells) > 1:
+        context = multiprocessing.get_context("spawn")
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(cells)), mp_context=context
+            ) as pool:
+                return list(pool.map(_run_cell_fast, cells))
+        except BrokenProcessPool as exc:
+            raise SimulationError(
+                "campaign shard pool died; see the chained exception for "
+                "the real cause. One common one: spawned workers re-import "
+                "the caller's __main__, which fails from REPL/stdin "
+                "contexts — there, use workers=1."
+            ) from exc
+    return [_run_cell_fast(cell) for cell in cells]
+
+
+def run_campaign(
+    spec: CampaignSpec, engine: str = "fast", workers: int = 1
+) -> CampaignResult:
+    """Execute every cell of ``spec`` and collect the grid result.
+
+    ``engine`` selects the ``"campaign"`` backend (``"model"`` oracle
+    or the default ``"fast"`` lockstep path); ``workers > 1`` shards
+    cells over spawned processes on the fast engine.  Cell summaries
+    are bit-identical across engines and worker counts.
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    impl = resolve_engine("campaign", engine)
+    if workers != 1 and getattr(impl, "single_process", False):
+        raise ConfigurationError(
+            f"engine={engine!r} is single-process; use workers=1 "
+            "(cell sharding belongs to engine='fast')"
+        )
+    cells = spec.cells()
+    summaries = impl(list(cells), workers)
+    if len(summaries) != len(cells):
+        raise SimulationError(
+            f"campaign engine returned {len(summaries)} summaries for "
+            f"{len(cells)} cells"
+        )
+    return CampaignResult(
+        spec=spec, cells=cells, summaries=tuple(summaries)
+    )

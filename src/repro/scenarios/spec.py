@@ -1,0 +1,195 @@
+"""The scenario half of the campaign DSL.
+
+A :class:`ScenarioSpec` declares *where the vehicle drives and how the
+estimator is tuned for it* — a named, frozen, picklable recipe over the
+profile builders of :mod:`repro.vehicle.profiles` plus the estimator
+tuning knobs of :mod:`repro.experiments.table1`.  Crossing a scenario
+with a fault recipe (:mod:`repro.scenarios.campaign`) and a seed list
+yields one campaign cell.
+
+Scenarios are declarative on purpose: the spec stores the builder
+*name* and scalar arguments, not a :class:`~repro.vehicle.Trajectory`,
+so specs hash, compare, pickle across process shards and serialize
+into golden artifacts; :meth:`ScenarioSpec.build_trajectory`
+materializes the (deterministic) trajectory on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fusion import BoresightConfig
+from repro.rng import make_rng
+from repro.scenarios.faults import DriftRamp, Fault
+from repro.vehicle import Trajectory, VibrationSpec
+from repro.vehicle.profiles import (
+    braking_profile,
+    city_drive_profile,
+    highway_profile,
+    mountain_switchback_profile,
+    static_tilt_profile,
+    stop_and_go_profile,
+)
+
+#: Named trajectory builders a scenario may reference.
+PROFILE_BUILDERS = {
+    "static_tilt": static_tilt_profile,
+    "city_drive": city_drive_profile,
+    "highway": highway_profile,
+    "mountain_switchbacks": mountain_switchback_profile,
+    "stop_and_go": stop_and_go_profile,
+    "braking": braking_profile,
+}
+
+#: Builders that accept an ``rng`` (route randomization).
+_RNG_PROFILES = frozenset({"city_drive"})
+
+#: Body-rate gate (rad/s) the dynamic scenarios arm by default —
+#: the same value the dynamic Monte-Carlo ensembles use.
+SCENARIO_MOTION_GATE_RATE = 0.4
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named operating condition of the vehicle and estimator.
+
+    ``profile`` names a :data:`PROFILE_BUILDERS` entry; ``profile_args``
+    carries extra scalar keyword arguments for it as sorted
+    ``(name, value)`` pairs (kept as a tuple so the spec stays hashable
+    and picklable).  ``route_seed`` feeds the builder's ``rng`` for
+    randomized routes — the route is generated *once* per cell, so
+    every seed of the cell drives the same road, exactly like the
+    dynamic Monte-Carlo ensembles.
+    """
+
+    name: str
+    profile: str
+    duration: float = 120.0
+    #: Extra keyword arguments for the profile builder.
+    profile_args: tuple[tuple[str, float], ...] = ()
+    #: Seed of the route-randomizing RNG; None for deterministic routes.
+    route_seed: int | None = None
+    #: Whether the §11 dynamic protocol applies (vibration on).
+    moving: bool = True
+    #: Kalman measurement sigma for this condition, m/s².
+    measurement_sigma: float = 0.03
+    #: Motion gate (rad/s); None disables gating.
+    motion_gate_rate: float | None = SCENARIO_MOTION_GATE_RATE
+    #: Vibration environment override; None keeps the rig default.
+    vibration: VibrationSpec | None = None
+    #: Faults intrinsic to the scenario itself (e.g. a thermal drift
+    #: ramp) — applied before any campaign-injected faults.
+    faults: tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILE_BUILDERS:
+            raise ConfigurationError(
+                f"unknown profile {self.profile!r}; expected one of "
+                f"{sorted(PROFILE_BUILDERS)}"
+            )
+        if self.duration <= 0.0:
+            raise ConfigurationError("scenario duration must be positive")
+        if self.route_seed is not None and self.profile not in _RNG_PROFILES:
+            raise ConfigurationError(
+                f"profile {self.profile!r} takes no route rng; "
+                "route_seed must be None"
+            )
+        object.__setattr__(
+            self, "profile_args", tuple(sorted(tuple(self.profile_args)))
+        )
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise ConfigurationError(
+                    f"scenario faults must be Fault instances, got "
+                    f"{type(fault).__name__}"
+                )
+
+    def build_trajectory(self) -> Trajectory:
+        """Materialize the scenario's trajectory (deterministically)."""
+        kwargs = dict(self.profile_args)
+        if self.route_seed is not None:
+            kwargs["rng"] = make_rng(self.route_seed)
+        return PROFILE_BUILDERS[self.profile](duration=self.duration, **kwargs)
+
+    def build_estimator_config(
+        self, fallback_hold: bool = False
+    ) -> BoresightConfig:
+        """The estimator tuning this scenario calls for.
+
+        Static scenarios get the bench tuning
+        (:func:`~repro.experiments.table1.static_estimator_config`),
+        dynamic ones the driving tuning with this spec's motion gate.
+        ``fallback_hold`` arms the dead-reckoning rung of the
+        degradation ladder.
+        """
+        # Imported here: table1 sits on the protocol layer, which
+        # imports repro.scenarios.faults — keep this module importable
+        # without dragging the full experiments stack in at import time.
+        from dataclasses import replace
+
+        from repro.experiments.table1 import (
+            dynamic_estimator_config,
+            static_estimator_config,
+        )
+
+        if self.moving:
+            config = dynamic_estimator_config(
+                self.measurement_sigma,
+                motion_gate_rate=self.motion_gate_rate,
+            )
+        else:
+            config = static_estimator_config(self.measurement_sigma)
+        if fallback_hold:
+            config = replace(config, fallback_hold=True)
+        return config
+
+
+def scenario_library() -> dict[str, ScenarioSpec]:
+    """The built-in scenario corpus, keyed by name.
+
+    Spans the operating envelope the campaign exercises: a bench
+    reference, four driving styles with distinct excitation signatures,
+    a rough-road vibration stress and a thermal drift ramp.
+    """
+    specs = [
+        ScenarioSpec(
+            name="static_bench",
+            profile="static_tilt",
+            duration=80.0,
+            profile_args=(("dwell_time", 6.0), ("slew_time", 2.0)),
+            moving=False,
+            measurement_sigma=0.006,
+            motion_gate_rate=None,
+        ),
+        ScenarioSpec(
+            name="city_drive",
+            profile="city_drive",
+            duration=110.0,
+            route_seed=50,
+        ),
+        ScenarioSpec(name="highway", profile="highway", duration=110.0),
+        ScenarioSpec(
+            name="mountain_switchbacks",
+            profile="mountain_switchbacks",
+            duration=120.0,
+        ),
+        ScenarioSpec(
+            name="stop_and_go", profile="stop_and_go", duration=100.0
+        ),
+        ScenarioSpec(
+            name="off_road",
+            profile="city_drive",
+            duration=110.0,
+            route_seed=53,
+            vibration=VibrationSpec(road_rms=0.35, engine_rms=0.12),
+        ),
+        ScenarioSpec(
+            name="thermal_ramp",
+            profile="highway",
+            duration=110.0,
+            faults=(DriftRamp(sensor="acc", rate=4e-4),),
+        ),
+    ]
+    return {spec.name: spec for spec in specs}

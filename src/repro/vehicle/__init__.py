@@ -32,8 +32,10 @@ from repro.vehicle.profiles import (
     braking_profile,
     city_drive_profile,
     highway_profile,
+    mountain_switchback_profile,
     static_level_profile,
     static_tilt_profile,
+    stop_and_go_profile,
 )
 from repro.vehicle.batch_vibration import (
     StackedVibrationFields,
@@ -63,5 +65,7 @@ __all__ = [
     "static_tilt_profile",
     "city_drive_profile",
     "highway_profile",
+    "mountain_switchback_profile",
+    "stop_and_go_profile",
     "braking_profile",
 ]

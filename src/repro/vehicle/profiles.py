@@ -171,6 +171,55 @@ def highway_profile(duration: float = 300.0, speed_kmh: float = 110.0) -> Trajec
     return Trajectory(maneuvers)
 
 
+def mountain_switchback_profile(
+    duration: float = 300.0,
+    speed_kmh: float = 35.0,
+    hairpin_angle_deg: float = 160.0,
+) -> Trajectory:
+    """Alternating hairpins on a climbing mountain road.
+
+    Sustained high yaw rates with short straights between them: the
+    motion gate trips on every hairpin, so most of the drive is spent
+    on the gated rung — the stress case for gated-predict coasting.
+    """
+    speed = kmh_to_mps(speed_kmh)
+    hairpin = deg_to_rad(hairpin_angle_deg)
+    maneuvers: list[Maneuver] = [Accelerate(speed, 8.0)]
+    elapsed = 8.0
+    sign = 1.0
+    while elapsed + 22.0 <= duration:
+        maneuvers.append(Dwell(10.0))
+        maneuvers.append(Turn(sign * hairpin, speed, 12.0))
+        sign = -sign
+        elapsed += 22.0
+    if duration - elapsed > 1.0:
+        maneuvers.append(Dwell(duration - elapsed))
+    return Trajectory(maneuvers)
+
+
+def stop_and_go_profile(
+    duration: float = 300.0, speed_kmh: float = 30.0
+) -> Trajectory:
+    """Congested traffic: short creeps separated by full stops.
+
+    Heavy longitudinal excitation at low speed with long zero-motion
+    windows — pitch converges fast, yaw mostly from the launch/brake
+    transients, and dropouts during the stopped phases cost little.
+    """
+    speed = kmh_to_mps(speed_kmh)
+    maneuvers: list[Maneuver] = [Dwell(4.0)]
+    elapsed = 4.0
+    while elapsed + 22.0 <= duration:
+        maneuvers.append(Accelerate(speed, 5.0))
+        maneuvers.append(Dwell(8.0))
+        maneuvers.append(Brake(speed, 4.0))
+        maneuvers.append(Dwell(5.0))
+        elapsed += 22.0
+    if duration - elapsed > 1.0:
+        maneuvers.append(Dwell(duration - elapsed))
+    return Trajectory(maneuvers)
+
+
 def braking_profile(
     duration: float = 120.0, speed_kmh: float = 60.0, pulses: int = 4
 ) -> Trajectory:

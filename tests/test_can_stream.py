@@ -1,0 +1,164 @@
+"""Stream-level CAN decoding and bounded error recovery.
+
+PR 5's round-trip suite pinned a frame-level escape: one well-placed
+bit flip can survive unstuffing AND the CRC-15 check, silently
+decoding as a different frame.  At frame level that is an accepted
+wire-model limitation; at *stream* level it is a cascade hazard — a
+phantom decode mis-places the frame boundary and a naive resync can
+corrupt every subsequent frame on the wire.
+
+This suite pins the fix: :func:`frames_to_stream` serializes frames
+with real interframe gaps, and :class:`CanStreamDecoder` with the
+default ``"gap"`` resync bounds the damage of any corruption burst to
+:data:`RESYNC_FRAME_BOUND` frames.  The naive ``"bit"`` strategy is
+kept and pinned as the documented failure mode (it is what the
+campaign's :class:`~repro.scenarios.faults.CanBusErrorStorm` models).
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.can import (
+    INTERFRAME_GAP,
+    RESYNC_FRAME_BOUND,
+    STUFF_LIMIT,
+    CanFrame,
+    CanStreamDecoder,
+    StreamDecodeResult,
+    frame_from_bits,
+    frames_to_stream,
+    stuff_bits,
+)
+from repro.errors import ProtocolError
+
+#: The frame whose stuffed image is one flip away from another CRC-valid
+#: frame — the escape PR 5's exhaustive search surfaced and pinned.
+ESCAPE_FRAME = CanFrame(667, b"\xef\xf5\x00\x00\x00\x00\x02\x01")
+ESCAPE_FLIP_BIT = 24
+PHANTOM_FRAME = CanFrame(667, b"\xeb\xba\x80\x00\x00\x00\x01\x00")
+
+
+def _wire(n_filler: int = 6) -> tuple[list[CanFrame], list[int], int]:
+    """A wire carrying the escape frame between filler traffic.
+
+    Returns the frame list, the serialized stream and the stream index
+    of the escape frame's first bit.
+    """
+    filler = [CanFrame(100 + k, bytes([k] * 4)) for k in range(n_filler)]
+    head, tail = filler[: n_filler // 2], filler[n_filler // 2 :]
+    frames = head + [ESCAPE_FRAME] + tail
+    stream = frames_to_stream(frames)
+    start = sum(len(f.to_bits()) + INTERFRAME_GAP for f in head)
+    return frames, stream, start
+
+
+class TestWireSerialization:
+    def test_clean_stream_roundtrips_every_frame(self):
+        frames, stream, _ = _wire()
+        result = CanStreamDecoder().decode(stream)
+        assert result.frames == frames
+        assert result.errors == 0
+
+    def test_gap_is_long_enough_to_be_unambiguous(self):
+        # The resync heuristic requires that only interframe space can
+        # hold a run of more than STUFF_LIMIT recessive bits; the gap
+        # must clear that threshold with margin.
+        assert INTERFRAME_GAP > STUFF_LIMIT + 1
+
+    def test_empty_and_idle_streams(self):
+        assert CanStreamDecoder().decode([]) == StreamDecodeResult([], 0)
+        assert CanStreamDecoder().decode([1] * 40) == StreamDecodeResult(
+            [], 0
+        )
+
+    def test_unknown_resync_strategy_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown resync strategy"):
+            CanStreamDecoder(resync="prayer")
+
+
+class TestPhantomEscape:
+    def test_frame_level_escape_still_decodes_silently(self):
+        # The PR 5 pin, restated: the flip survives unstuff + CRC.
+        flipped = stuff_bits(ESCAPE_FRAME.unstuffed_bits())
+        flipped[ESCAPE_FLIP_BIT] ^= 1
+        assert frame_from_bits(flipped) == PHANTOM_FRAME
+
+    def test_stream_level_escape_decodes_the_phantom(self):
+        frames, stream, start = _wire()
+        stream[start + ESCAPE_FLIP_BIT] ^= 1
+        result = CanStreamDecoder().decode(stream)
+        # The phantom replaces the real frame in wire order ...
+        assert result.frames[len(frames) // 2] == PHANTOM_FRAME
+        # ... and the gap resync contains the boundary damage: every
+        # other frame on the wire is recovered.
+        others = [f for f in frames if f != ESCAPE_FRAME]
+        assert [f for f in result.frames if f in others] == others
+
+
+class TestBoundedRecovery:
+    def test_every_single_flip_loses_at_most_the_bound(self):
+        # Exhaustive over the whole wire: no single-bit corruption can
+        # make the gap decoder lose more than RESYNC_FRAME_BOUND frames.
+        frames, stream, _ = _wire()
+        decoder = CanStreamDecoder("gap")
+        worst = 0
+        for pos in range(len(stream)):
+            corrupted = list(stream)
+            corrupted[pos] ^= 1
+            result = decoder.decode(corrupted)
+            recovered = [f for f in result.frames if f in frames]
+            worst = max(worst, len(frames) - len(recovered))
+        assert worst <= RESYNC_FRAME_BOUND
+
+    def test_gapless_wire_is_why_gaps_are_required(self):
+        # The PR 5 wire model packed frames back-to-back.  On such a
+        # wire the gap heuristic has nothing to lock onto: one flip
+        # mid-stream costs the entire tail.  This is the weakness the
+        # interframe gap closes.
+        frames, _, _ = _wire()
+        gapless: list[int] = []
+        for frame in frames:
+            gapless += frame.to_bits()
+        start = sum(len(f.to_bits()) for f in frames[:3])
+        gapless[start + 10] ^= 1
+        result = CanStreamDecoder("gap").decode(gapless)
+        assert len(result.frames) < len(frames) - RESYNC_FRAME_BOUND
+        assert result.errors >= 1
+
+    def test_seeded_error_storms_stay_bounded(self):
+        # Dense multi-bit storms confined to a window: the gap decoder
+        # loses at most the frames the storm physically touches plus
+        # the resync bound — never the tail.
+        frames, stream, start = _wire(n_filler=8)
+        decoder = CanStreamDecoder("gap")
+        span = len(ESCAPE_FRAME.to_bits())
+        for seed in range(50):
+            rng = np.random.default_rng(seed)
+            corrupted = list(stream)
+            for offset in rng.integers(0, span, size=30):
+                corrupted[start + int(offset)] ^= 1
+            result = decoder.decode(corrupted)
+            recovered = [f for f in result.frames if f in frames]
+            lost = len(frames) - len(recovered)
+            assert lost <= 1 + RESYNC_FRAME_BOUND, f"seed {seed}: {lost}"
+
+
+class TestErrorAmplification:
+    def test_bit_resync_amplifies_storm_error_events(self):
+        # The cascade signature: under the same storm, bit-slip resync
+        # re-attempts a decode at nearly every offset inside the
+        # corrupted region, producing an order of magnitude more error
+        # events than gap resync.  This is the behavior the campaign's
+        # CanBusErrorStorm fault abstracts as a dead window.
+        frames, stream, start = _wire()
+        rng = np.random.default_rng(0)
+        corrupted = list(stream)
+        for offset in rng.integers(0, 60, size=40):
+            corrupted[start + int(offset)] ^= 1
+        gap = CanStreamDecoder("gap").decode(corrupted)
+        bit = CanStreamDecoder("bit").decode(corrupted)
+        assert gap.errors <= RESYNC_FRAME_BOUND
+        assert bit.errors >= 10 * gap.errors
+        # Both still deliver the frames outside the storm window.
+        others = [f for f in frames if f != ESCAPE_FRAME]
+        assert [f for f in gap.frames if f in others] == others

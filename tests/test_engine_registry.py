@@ -43,9 +43,10 @@ PAIRS = bit_exact_pairs()
 class TestRegistryMechanics:
     def test_discovers_all_builtin_pairs(self):
         # The tentpole contract: every registered oracle/fast pair is
-        # discovered — the eight historical domains plus the comm
-        # stack (can/uart) that PR 5 vectorized.
-        assert len(PAIRS) >= 10
+        # discovered — the eight historical domains, the comm stack
+        # (can/uart) that PR 5 vectorized, and the campaign grid
+        # engine this PR adds on top of the ensembles.
+        assert len(PAIRS) >= 11
         discovered = {domain for domain, _, _ in PAIRS}
         assert {
             "kalman",
@@ -58,6 +59,7 @@ class TestRegistryMechanics:
             "ensemble",
             "can",
             "uart",
+            "campaign",
         } <= discovered
 
     def test_every_domain_has_one_oracle(self):
@@ -72,6 +74,7 @@ class TestRegistryMechanics:
             "ensemble",
             "can",
             "uart",
+            "campaign",
         ):
             assert domain in domains()
             oracle = oracle_name(domain)
@@ -121,7 +124,7 @@ class TestRegistryMechanics:
         # pair discovery skips the orphan domain and keeps covering
         # every healthy one.
         pairs = bit_exact_pairs()
-        assert len(pairs) >= 10
+        assert len(pairs) >= 11
         assert all(d != "registry-test-oracle-free" for d, _, _ in pairs)
 
     def test_empty_names_rejected(self):
@@ -228,3 +231,91 @@ class TestEquivalenceHarness:
         fast = get_probe(domain, name)(seed)
         reference = get_probe(domain, oracle)(seed)
         assert_payloads_equal(fast, reference, path=f"{domain}/{name}")
+
+
+def _fault_matrix(seed: int):
+    """A deterministic random fault stack drawn from ``seed``.
+
+    Crosses the three fault families whose serial/batched application
+    must stay bit-identical: windowed (jittered) dropouts, stuck axes
+    and clock skew — the ensembles' full injection surface.
+    """
+    import numpy as np
+
+    from repro.scenarios.faults import ClockSkew, SensorDropout, StuckAxis
+
+    rng = np.random.default_rng(seed)
+    faults = []
+    if rng.uniform() < 0.8:
+        faults.append(
+            SensorDropout(
+                sensor="acc",
+                start=float(rng.uniform(20.0, 55.0)),
+                duration=float(rng.uniform(2.0, 12.0)),
+                jitter=float(rng.uniform(0.0, 3.0)),
+                salt=int(rng.integers(0, 8)),
+            )
+        )
+    if rng.uniform() < 0.8:
+        faults.append(
+            StuckAxis(
+                sensor="acc",
+                axis=int(rng.integers(0, 2)),
+                start=float(rng.uniform(20.0, 60.0)),
+                duration=float(rng.uniform(3.0, 15.0)),
+            )
+        )
+    if rng.uniform() < 0.8:
+        faults.append(
+            ClockSkew(
+                sensor="acc",
+                ppm=float(rng.uniform(-400.0, 400.0)),
+                jitter_ppm=float(rng.uniform(0.0, 50.0)),
+                salt=int(rng.integers(0, 8)),
+            )
+        )
+    return tuple(faults)
+
+
+class TestFaultedEnsembleBitIdentity:
+    """Serial vs batched ensembles stay bit-identical *under injection*.
+
+    The registry harness covers the nominal path; these sweep random
+    fault matrices (dropout windows × stuck axes × clock skew) through
+    both ``"ensemble"`` engines with the degradation ladder armed and
+    assert the summaries — including the per-run ``fallback_states`` —
+    compare equal.
+    """
+
+    @staticmethod
+    def _run(engine: str, seed: int):
+        from repro.analysis.montecarlo import run_monte_carlo_dynamic
+
+        return run_monte_carlo_dynamic(
+            runs=2,
+            duration=80.0,
+            base_seed=500 + (seed % 89),
+            engine=engine,
+            faults=_fault_matrix(seed),
+            fallback_hold=True,
+        )
+
+    def test_faulted_summaries_bit_identical_on_pinned_seed(self):
+        fast = self._run("fast", 7)
+        reference = self._run("model", 7)
+        assert fast == reference
+        assert len(fast.fallback_states) == fast.runs
+
+    @pytest.mark.slow
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**16 - 1))
+    def test_faulted_summaries_bit_identical_on_random_matrices(
+        self, seed
+    ):
+        fast = self._run("fast", seed)
+        reference = self._run("model", seed)
+        assert fast == reference

@@ -1,0 +1,371 @@
+"""The fault DSL and the graceful-degradation ladder.
+
+Three clusters:
+
+- **Fault mechanics** — each injector's window arithmetic, per-seed
+  randomness and validation, on bare arrays (no rig needed);
+- **Alias regression** — ``RigConfig.acc_dropout_time`` now builds a
+  :class:`~repro.scenarios.faults.SensorDropout`; the trajectories of
+  the alias and the explicit fault must be bit-identical, serial and
+  batched;
+- **Degradation ladder** — ``fallback_hold`` turns NaN inputs into
+  labelled dead-reckoning holds instead of divergence, off by default.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.protocol import BoresightTestRig, RigConfig
+from repro.experiments.table1 import (
+    DEFAULT_MISALIGNMENT,
+    dynamic_estimator_config,
+)
+from repro.fusion.boresight import (
+    FALLBACK_FULL,
+    FALLBACK_GATED,
+    FALLBACK_HOLD,
+    FALLBACK_LABELS,
+)
+from repro.rng import make_rng
+from repro.scenarios.faults import (
+    CanBusErrorStorm,
+    ClockSkew,
+    DriftRamp,
+    Fault,
+    LossyLinkBurst,
+    RunStreams,
+    SaturatedAxis,
+    SensorDropout,
+    StuckAxis,
+    apply_faults,
+    fault_rng,
+)
+from repro.vehicle.profiles import city_drive_profile
+
+
+def _streams(n: int = 200, m: int = 100) -> RunStreams:
+    rng = make_rng(42)
+    return RunStreams(
+        imu_time=np.linspace(0.0, 20.0, n),
+        imu_rate=rng.normal(size=(n, 3)),
+        imu_force=rng.normal(size=(n, 3)),
+        acc_time=np.linspace(0.0, 20.0, m),
+        acc_force=rng.normal(size=(m, 2)),
+    )
+
+
+class TestFaultMechanics:
+    def test_dropout_window_nans_only_the_window(self):
+        s = _streams()
+        SensorDropout(sensor="acc", start=5.0, duration=5.0).apply(s, 1)
+        inside = (s.acc_time >= 5.0) & (s.acc_time < 10.0)
+        assert np.isnan(s.acc_force[inside]).all()
+        assert np.isfinite(s.acc_force[~inside]).all()
+        assert np.isfinite(s.imu_rate).all()
+
+    def test_open_ended_dropout_matches_legacy_mask(self):
+        s = _streams()
+        SensorDropout(sensor="acc", start=7.5).apply(s, 1)
+        dead = s.acc_time >= 7.5
+        assert np.isnan(s.acc_force[dead]).all()
+        assert np.isfinite(s.acc_force[~dead]).all()
+
+    def test_dropout_axes_subset(self):
+        s = _streams()
+        SensorDropout(sensor="acc", start=5.0, duration=5.0, axes=(1,)).apply(
+            s, 1
+        )
+        inside = (s.acc_time >= 5.0) & (s.acc_time < 10.0)
+        assert np.isnan(s.acc_force[inside, 1]).all()
+        assert np.isfinite(s.acc_force[inside, 0]).all()
+
+    def test_dropout_jitter_is_per_seed_deterministic(self):
+        windows = []
+        for seed in (1, 2, 1):
+            s = _streams()
+            SensorDropout(
+                sensor="acc", start=8.0, duration=4.0, jitter=2.0
+            ).apply(s, seed)
+            windows.append(np.isnan(s.acc_force[:, 0]))
+        assert np.array_equal(windows[0], windows[2])
+        assert not np.array_equal(windows[0], windows[1])
+
+    def test_stuck_axis_holds_last_healthy_value(self):
+        s = _streams()
+        held = s.acc_force[np.argmax(s.acc_time >= 5.0) - 1, 0]
+        StuckAxis(sensor="acc", axis=0, start=5.0, duration=5.0).apply(s, 1)
+        inside = (s.acc_time >= 5.0) & (s.acc_time < 10.0)
+        assert (s.acc_force[inside, 0] == held).all()
+
+    def test_saturated_axis_clips_to_level(self):
+        s = _streams()
+        s.acc_force[:, 0] *= 10.0
+        SaturatedAxis(sensor="acc", axis=0, start=0.0, level=1.0).apply(s, 1)
+        assert np.abs(s.acc_force[:, 0]).max() <= 1.0
+
+    def test_clock_skew_shifts_values_not_time(self):
+        s = _streams()
+        time_before = s.acc_time.copy()
+        original = s.acc_force.copy()
+        ClockSkew(sensor="acc", ppm=5000.0).apply(s, 1)
+        assert np.array_equal(s.acc_time, time_before)
+        assert not np.array_equal(s.acc_force, original)
+
+    def test_zero_skew_is_identity(self):
+        s = _streams()
+        original = s.acc_force.copy()
+        ClockSkew(sensor="acc", ppm=0.0).apply(s, 1)
+        assert np.array_equal(s.acc_force, original)
+
+    def test_can_storm_blanks_imu_window_plus_resync_tail(self):
+        from repro.comm.can import RESYNC_FRAME_BOUND
+
+        from repro.scenarios.faults import FRAMES_PER_IMU_SAMPLE
+
+        s = _streams()
+        CanBusErrorStorm(start=5.0, duration=2.0).apply(s, 1)
+        mask = (s.imu_time >= 5.0) & (s.imu_time < 7.0)
+        tail = int(np.ceil(RESYNC_FRAME_BOUND / FRAMES_PER_IMU_SAMPLE))
+        last = int(np.flatnonzero(mask)[-1])
+        mask[last + 1 : last + 1 + tail] = True
+        assert np.isnan(s.imu_rate[mask]).all()
+        assert np.isnan(s.imu_force[mask]).all()
+        assert np.isfinite(s.imu_rate[~mask]).all()
+        assert np.isfinite(s.acc_force).all()
+
+    def test_lossy_burst_drops_i_i_d_per_seed(self):
+        s1, s2 = _streams(), _streams()
+        burst = LossyLinkBurst(start=0.0, duration=20.0, drop_probability=0.5)
+        burst.apply(s1, 1)
+        burst.apply(s2, 2)
+        d1 = np.isnan(s1.acc_force[:, 0])
+        d2 = np.isnan(s2.acc_force[:, 0])
+        assert 0 < d1.sum() < len(d1)
+        assert not np.array_equal(d1, d2)
+
+    def test_drift_ramp_grows_linearly_from_start(self):
+        s = _streams()
+        original = s.acc_force.copy()
+        DriftRamp(sensor="acc", rate=0.1, start=10.0).apply(s, 1)
+        delta = s.acc_force - original
+        expected = 0.1 * np.maximum(0.0, s.acc_time - 10.0)
+        assert np.allclose(delta, expected[:, None])
+
+    def test_gyro_and_imu_targets(self):
+        s = _streams()
+        SensorDropout(sensor="gyro", start=0.0).apply(s, 1)
+        assert np.isnan(s.imu_rate).all()
+        assert np.isfinite(s.imu_force).all()
+        s = _streams()
+        SensorDropout(sensor="imu", start=0.0).apply(s, 1)
+        assert np.isnan(s.imu_rate).all()
+        assert np.isnan(s.imu_force).all()
+
+    def test_fault_rng_independent_of_salt_and_seed(self):
+        a = fault_rng(1, 0).uniform(size=4)
+        b = fault_rng(1, 1).uniform(size=4)
+        c = fault_rng(2, 0).uniform(size=4)
+        d = fault_rng(1, 0).uniform(size=4)
+        assert np.array_equal(a, d)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            SensorDropout(sensor="camera")
+        with pytest.raises(ConfigurationError):
+            SensorDropout(start=-1.0)
+        with pytest.raises(ConfigurationError):
+            SensorDropout(start=0.0, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            SensorDropout(jitter=-0.1)
+        with pytest.raises(ConfigurationError):
+            SaturatedAxis(level=0.0)
+        with pytest.raises(ConfigurationError):
+            LossyLinkBurst(drop_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            ClockSkew(jitter_ppm=-1.0)
+        with pytest.raises(ConfigurationError):
+            apply_faults(("not a fault",), _streams(), 1)
+        with pytest.raises(ConfigurationError):
+            RigConfig(faults=(object(),))
+
+    def test_apply_order_matters(self):
+        ramp = DriftRamp(sensor="acc", rate=0.5, start=0.0)
+        drop = SensorDropout(sensor="acc", start=5.0, duration=5.0)
+        s1, s2 = _streams(), _streams()
+        apply_faults((ramp, drop), s1, 1)
+        apply_faults((drop, ramp), s2, 1)
+        inside = (s1.acc_time >= 5.0) & (s1.acc_time < 10.0)
+        # drop-last leaves NaN; ramp-last turns NaN + ramp into NaN too,
+        # but outside the window the ramped values must agree.
+        assert np.isnan(s1.acc_force[inside]).all()
+        assert np.array_equal(
+            s1.acc_force[~inside], s2.acc_force[~inside]
+        )
+
+
+class TestDropoutAliasRegression:
+    """``acc_dropout_time`` and the explicit fault are bit-identical."""
+
+    def test_serial_rig_trajectories_identical(self):
+        from dataclasses import replace
+
+        trajectory = city_drive_profile(duration=80.0, rng=make_rng(50))
+        # The ladder keeps the open-ended dropout from diverging so the
+        # full trajectories can be compared; both sides share it.
+        config = replace(
+            dynamic_estimator_config(0.03, motion_gate_rate=0.4),
+            fallback_hold=True,
+        )
+
+        def run(rig_config):
+            rig = BoresightTestRig(rig_config)
+            return rig.run(
+                DEFAULT_MISALIGNMENT,
+                trajectory,
+                estimator_config=config,
+                moving=True,
+            )
+
+        alias = run(RigConfig(seed=11, acc_dropout_time=60.0))
+        explicit = run(
+            RigConfig(
+                seed=11, faults=(SensorDropout(sensor="acc", start=60.0),)
+            )
+        )
+        assert np.array_equal(
+            alias.result.history.angles, explicit.result.history.angles
+        )
+        assert np.array_equal(
+            alias.result.history.residual,
+            explicit.result.history.residual,
+            equal_nan=True,
+        )
+        assert np.array_equal(
+            alias.result.history.nis,
+            explicit.result.history.nis,
+            equal_nan=True,
+        )
+
+    def test_effective_faults_appends_alias_last(self):
+        skew = ClockSkew(sensor="acc", ppm=100.0)
+        config = RigConfig(seed=1, acc_dropout_time=30.0, faults=(skew,))
+        assert config.effective_faults() == (
+            skew,
+            SensorDropout(sensor="acc", start=30.0),
+        )
+        assert RigConfig(seed=1).effective_faults() == ()
+
+    def test_batched_ensemble_honors_explicit_faults(self):
+        from repro.analysis.montecarlo import run_monte_carlo_dynamic
+
+        alias = run_monte_carlo_dynamic(
+            runs=2,
+            duration=80.0,
+            base_seed=700,
+            acc_dropout={700: 60.0, 701: 60.0},
+            fallback_hold=True,
+            engine="fast",
+        )
+        explicit = run_monte_carlo_dynamic(
+            runs=2,
+            duration=80.0,
+            base_seed=700,
+            faults=(SensorDropout(sensor="acc", start=60.0),),
+            fallback_hold=True,
+            engine="fast",
+        )
+        assert alias == explicit
+
+
+class TestDegradationLadder:
+    def _run(self, fallback_hold: bool, faults: tuple[Fault, ...]):
+        trajectory = city_drive_profile(duration=80.0, rng=make_rng(50))
+        config = dynamic_estimator_config(0.03, motion_gate_rate=0.4)
+        if fallback_hold:
+            from dataclasses import replace
+
+            config = replace(config, fallback_hold=True)
+        rig = BoresightTestRig(RigConfig(seed=11, faults=faults))
+        return rig.run(
+            DEFAULT_MISALIGNMENT,
+            trajectory,
+            estimator_config=config,
+            moving=True,
+        )
+
+    def test_ladder_codes_are_ordered_and_labelled(self):
+        assert FALLBACK_LABELS[FALLBACK_FULL] == "full"
+        assert FALLBACK_LABELS[FALLBACK_GATED] == "gated"
+        assert FALLBACK_LABELS[FALLBACK_HOLD] == "hold"
+        assert FALLBACK_LABELS[3] == "diverged"
+
+    def test_hold_rung_survives_a_dropout_window(self):
+        drop = SensorDropout(sensor="acc", start=40.0, duration=10.0)
+        run = self._run(True, (drop,))
+        history = run.result.history
+        assert history.hold_ticks() > 0
+        hold = history.fallback == FALLBACK_HOLD
+        # Holds sit inside the dropout window (reconstruction averages
+        # spread NaN one fusion tick around it).
+        assert history.time[hold].min() >= 39.0
+        assert history.time[hold].max() <= 51.0
+        # The filter recovers: the final estimate stays finite and the
+        # last tick is not a hold.
+        assert np.isfinite(run.result.misalignment.as_array()).all()
+        assert history.fallback[-1] != FALLBACK_HOLD
+
+    def test_ladder_off_keeps_legacy_nan_behavior(self):
+        # Historical contract: without fallback_hold an open-ended
+        # dropout still poisons the filter (the divergence-masking
+        # studies rely on it).
+        from repro.errors import FilterDivergenceError
+
+        drop = SensorDropout(sensor="acc", start=40.0)
+        with pytest.raises(
+            (FilterDivergenceError, np.linalg.LinAlgError)
+        ):
+            self._run(False, (drop,))
+
+    def test_gate_and_hold_compose(self):
+        drop = SensorDropout(sensor="acc", start=40.0, duration=10.0)
+        run = self._run(True, (drop,))
+        fallback = run.result.history.fallback
+        gated = run.result.history.gated
+        # Gated ticks carry the gated code unless the tick is a hold.
+        assert (
+            fallback[gated & (fallback != FALLBACK_HOLD)] == FALLBACK_GATED
+        ).all()
+        # Every code used is one of the ladder's.
+        assert set(np.unique(fallback)) <= {
+            FALLBACK_FULL,
+            FALLBACK_GATED,
+            FALLBACK_HOLD,
+        }
+
+    def test_nominal_run_is_all_full_or_gated(self):
+        run = self._run(True, ())
+        fallback = run.result.history.fallback
+        assert run.result.history.hold_ticks() == 0
+        assert set(np.unique(fallback)) <= {FALLBACK_FULL, FALLBACK_GATED}
+
+    def test_summary_fallback_states_label_every_run(self):
+        from repro.analysis.montecarlo import run_monte_carlo_dynamic
+
+        drop = SensorDropout(sensor="acc", start=40.0, duration=10.0)
+        summary = run_monte_carlo_dynamic(
+            runs=3,
+            duration=80.0,
+            base_seed=710,
+            faults=(drop,),
+            fallback_hold=True,
+            engine="fast",
+        )
+        assert summary.fallback_states == ("degraded",) * 3
+        assert summary.fallback_counts == {"degraded": 3}
+        nominal = run_monte_carlo_dynamic(
+            runs=3, duration=80.0, base_seed=710, engine="fast"
+        )
+        assert nominal.fallback_states == ("full",) * 3
