@@ -4,6 +4,7 @@ from repro.analysis.montecarlo import (
     DYNAMIC_MOTION_GATE_RATE,
     EnsembleJob,
     MonteCarloSummary,
+    OutcomeAccumulator,
     run_monte_carlo_dynamic,
     run_monte_carlo_static,
     summarize_outcomes,
@@ -22,6 +23,7 @@ __all__ = [
     "DYNAMIC_MOTION_GATE_RATE",
     "EnsembleJob",
     "MonteCarloSummary",
+    "OutcomeAccumulator",
     "markdown_table",
     "classify_cell",
     "degradation_report",

@@ -78,6 +78,13 @@ class MonteCarloSummary:
     #: spent any tick on the dead-reckoning hold rung of the
     #: degradation ladder (``fallback_hold``), else ``"full"``.
     fallback_states: tuple[str, ...] = ()
+    #: Average normalized estimation error squared over the converged
+    #: runs — the χ²-style filter-calibration statistic, computed
+    #: vectorized over the ``(R, n)`` error/sigma stacks.  A perfectly
+    #: calibrated filter scores near the error dimensionality ``n``.
+    #: ``None`` when the outcomes carried no 3-sigma vectors (legacy
+    #: 3-/4-tuple producers).
+    anees: float | None = None
 
     @property
     def fallback_counts(self) -> dict[str, int]:
@@ -103,6 +110,7 @@ class MonteCarloSummary:
             and self.mean_exceedance == other.mean_exceedance
             and self.diverged_seeds == other.diverged_seeds
             and self.fallback_states == other.fallback_states
+            and self.anees == other.anees
         )
 
 
@@ -112,16 +120,20 @@ def summarize_outcomes(
 ) -> MonteCarloSummary:
     """Aggregate per-run outcome tuples.
 
-    Each outcome is ``(error_deg, covered, exceedance)`` or, with the
-    degradation ladder armed, ``(error_deg, covered, exceedance,
-    hold_ticks)``; a 3-tuple counts as zero hold ticks.  Shared by
-    every execution engine (serial, process-parallel and batched) so
-    the aggregation arithmetic — and therefore the bit-identity
-    contract between engines — lives in exactly one place.  The
-    3-sigma coverage denominator is ``runs`` times the error
-    dimensionality taken from the error vectors themselves.
-    ``diverged_seeds`` records seeds already masked out of
-    ``outcomes``; ``runs`` counts only the converged runs.
+    Each outcome is ``(error_deg, covered, exceedance)``, ``(...,
+    hold_ticks)`` with the degradation ladder armed, or ``(...,
+    hold_ticks, three_sigma_deg)`` when the producer also reports the
+    per-run 3-sigma vector; shorter tuples count as zero hold ticks
+    and no calibration statistic.  Shared by every execution engine
+    (serial, process-parallel, batched and chunked) so the aggregation
+    arithmetic — and therefore the bit-identity contract between
+    engines — lives in exactly one place.  The 3-sigma coverage
+    denominator is ``runs`` times the error dimensionality taken from
+    the error vectors themselves.  When every outcome carries a
+    3-sigma vector, ANEES is computed vectorized over the stacked
+    ``(R, n)`` error/sigma matrices.  ``diverged_seeds`` records seeds
+    already masked out of ``outcomes``; ``runs`` counts only the
+    converged runs.
     """
     if not outcomes:
         if diverged_seeds:
@@ -137,8 +149,18 @@ def summarize_outcomes(
     hold_ticks = [
         int(outcome[3]) if len(outcome) > 3 else 0 for outcome in outcomes
     ]
+    sigmas = [
+        outcome[4] if len(outcome) > 4 else None for outcome in outcomes
+    ]
     error_matrix = np.array(errors)
     axis_count = error_matrix.shape[1]
+    anees = None
+    if all(sigma is not None for sigma in sigmas):
+        # One-sigma from the reported 3-sigma bound; NEES per run over
+        # the whitened (R, n) stack, then the ensemble average.
+        sigma_matrix = np.array(sigmas) / 3.0
+        nees = np.sum((error_matrix / sigma_matrix) ** 2, axis=1)
+        anees = float(np.mean(nees))
     return MonteCarloSummary(
         runs=runs,
         rms_error_deg=np.sqrt(np.mean(error_matrix**2, axis=0)),
@@ -149,7 +171,79 @@ def summarize_outcomes(
         fallback_states=tuple(
             "degraded" if ticks > 0 else "full" for ticks in hold_ticks
         ),
+        anees=anees,
     )
+
+
+class OutcomeAccumulator:
+    """Chunked outcome reduction, bit-identical to the monolithic sum.
+
+    The chunked scheduler (:mod:`repro.experiments.arena`) finishes
+    each seed block before the next one starts, so the heavy per-chunk
+    state (stream buffers, covariance stacks) can be recycled while
+    only the per-run outcome rows — a handful of scalars and
+    length-``n`` vectors per seed — survive to the final reduction.
+
+    Two reduction regimes keep the result exactly equal to
+    :func:`summarize_outcomes` over the whole ``R`` at every chunk
+    size:
+
+    - integer statistics (covered-axis counts, hold ticks, diverged
+      seeds, the run count) are chunk-associative and fold
+      incrementally — ``coverage_3sigma`` divides the folded integers
+      exactly once at :meth:`finalize`;
+    - floating-point statistics (RMS/max error, mean exceedance,
+      ANEES) are **not** chunk-associative under NumPy's pairwise
+      summation, so the per-run rows are kept in arrival order and
+      reduced in one shot by the same expressions the monolithic path
+      runs.
+    """
+
+    def __init__(self) -> None:
+        self._outcomes: list[tuple] = []
+        self._diverged: list[int] = []
+        self._covered = 0
+        self._axis_slots = 0
+
+    def extend(
+        self,
+        outcomes: Sequence[tuple],
+        diverged_seeds: Sequence[int] = (),
+    ) -> None:
+        """Fold one chunk's outcome tuples and diverged seeds in."""
+        for outcome in outcomes:
+            self._covered += int(outcome[1])
+            self._axis_slots += len(outcome[0])
+        self._outcomes.extend(outcomes)
+        self._diverged.extend(int(s) for s in diverged_seeds)
+
+    @property
+    def runs(self) -> int:
+        """Converged runs folded so far."""
+        return len(self._outcomes)
+
+    @property
+    def coverage_so_far(self) -> float:
+        """Incrementally-folded 3-sigma coverage over the runs so far.
+
+        Exact at every chunk boundary: the numerator and denominator
+        are integers, so the single division here equals the
+        monolithic computation over the same prefix.
+        """
+        if self._axis_slots == 0:
+            raise ConfigurationError("no outcomes folded yet")
+        return self._covered / self._axis_slots
+
+    def finalize(self) -> MonteCarloSummary:
+        """Reduce everything folded so far into one summary.
+
+        Delegates to :func:`summarize_outcomes` so the float
+        arithmetic (and the every-run-diverged error path) is the
+        monolithic code, not a copy of it.
+        """
+        return summarize_outcomes(
+            self._outcomes, diverged_seeds=self._diverged
+        )
 
 
 @dataclass(frozen=True)
@@ -176,7 +270,9 @@ class EnsembleJob:
     vibration: VibrationSpec | None = None
 
 
-def _run_job(job: EnsembleJob) -> tuple[np.ndarray, int, float, int] | None:
+def _run_job(
+    job: EnsembleJob,
+) -> tuple[np.ndarray, int, float, int, np.ndarray] | None:
     """One seeded protocol run; module-level so spawn can pickle it.
 
     Returns ``None`` when the run's filter diverges — the covariance
@@ -205,7 +301,8 @@ def _run_job(job: EnsembleJob) -> tuple[np.ndarray, int, float, int] | None:
     three_sigma = run.result.three_sigma_deg()
     covered = int(np.sum(np.abs(error) <= three_sigma))
     exceedance = float(np.max(run.result.monitor.exceedance_fraction))
-    return error, covered, exceedance, run.result.history.hold_ticks()
+    hold = run.result.history.hold_ticks()
+    return error, covered, exceedance, hold, three_sigma
 
 
 @register_engine(

@@ -458,6 +458,7 @@ def _ensemble_probe(name: str):
             "max_error_deg": summary.max_error_deg,
             "coverage_3sigma": summary.coverage_3sigma,
             "mean_exceedance": summary.mean_exceedance,
+            "anees": summary.anees,
             "diverged_seeds": summary.diverged_seeds,
         }
 
@@ -466,6 +467,10 @@ def _ensemble_probe(name: str):
 
 register_probe("ensemble", "model")(_ensemble_probe("model"))
 register_probe("ensemble", "fast")(_ensemble_probe("fast"))
+# The chunked variant forces the two-run probe ensemble through >= 2
+# arena chunks, putting the chunk boundary itself (and arena-buffer
+# reuse across chunks) under the registry's automatic oracle sweep.
+register_probe("ensemble", "chunked")(_ensemble_probe("chunked"))
 
 
 # --------------------------------------------------------------------

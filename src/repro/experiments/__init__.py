@@ -12,6 +12,12 @@ One module per artifact (see DESIGN.md §4 for the experiment index):
   resolution sweep, arithmetic-backend sweep.
 """
 
+from repro.experiments.arena import (
+    DEFAULT_CHUNK_SIZE,
+    StateArena,
+    iter_chunks,
+    run_ensemble_chunked,
+)
 from repro.experiments.batch_protocol import (
     DynamicEnsemble,
     LockstepEnsemble,
@@ -28,6 +34,10 @@ from repro.experiments.table1 import (
 )
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "StateArena",
+    "iter_chunks",
+    "run_ensemble_chunked",
     "BoresightTestRig",
     "RigConfig",
     "TestRun",

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.engines import register_engine
 from repro.errors import ConfigurationError, FusionError
+from repro.experiments.arena import StateArena, run_ensemble_chunked
 from repro.experiments.protocol import RigConfig, bench_estimator_config
 from repro.fusion import BoresightConfig
 from repro.fusion.batch_boresight import (
@@ -106,8 +107,11 @@ class LockstepEnsemble:
             if flag
         )
 
-    def outcomes(self) -> list[tuple[np.ndarray, int, float, int]]:
-        """Per-run ``(error_deg, covered, exceedance, hold_ticks)``.
+    def outcomes(
+        self,
+    ) -> list[tuple[np.ndarray, int, float, int, np.ndarray]]:
+        """Per-run ``(error_deg, covered, exceedance, hold_ticks,
+        three_sigma_deg)``.
 
         The exact aggregation inputs the serial Monte-Carlo job
         produces, computed with the same elementwise expressions, in
@@ -141,6 +145,7 @@ class LockstepEnsemble:
                     covered,
                     float(np.max(exceedance[r])),
                     int(hold_ticks[r]),
+                    three_sigma[r],
                 )
             )
         return out
@@ -184,8 +189,18 @@ def _run_lockstep(
     moving: bool,
     acc_dropout: Mapping[int, float] | None,
     faults: Sequence[Fault] = (),
+    arena: StateArena | None = None,
 ) -> tuple[BatchBoresightResult, StackedSensorCalibration]:
-    """Sense → calibrate → reconstruct → filter R rigs in lockstep."""
+    """Sense → calibrate → reconstruct → filter R rigs in lockstep.
+
+    ``arena`` supplies the reusable scratch pool the stacked stages
+    draw their ``(R, …)`` buffers from; ``None`` keeps every stage on
+    private allocations (single-shot callers).  With an arena, the
+    returned result's monitor counters and fallback timeline are pool
+    views — valid until the next lockstep run on the same arena, so
+    chunked callers must extract their per-run outcome rows before
+    starting the next seed block (the scheduler does).
+    """
     if not seeds:
         raise ConfigurationError("need at least one seed")
     config = rig_config if rig_config is not None else RigConfig()
@@ -196,10 +211,13 @@ def _run_lockstep(
         config.imu,
         config.acc,
         [len(imu_phases[0].time), len(imu_phases[1].time)],
+        arena=arena,
     )
     vibration = None
     if moving:
-        fields = stack_vibration_fields(config.vibration, seeds, imu_phases[1])
+        fields = stack_vibration_fields(
+            config.vibration, seeds, imu_phases[1], arena=arena
+        )
         vibration = [[None, fields.imu], [None, fields.acc]]
     imu_calibration, imu_test = sense_imu_stacked(
         config.imu,
@@ -258,31 +276,66 @@ def _run_lockstep(
 
     if estimator_config is None:
         estimator_config = bench_estimator_config(arm)
-    estimator = BatchBoresightEstimator(len(seeds), estimator_config)
+    estimator = BatchBoresightEstimator(
+        len(seeds), estimator_config, arena=arena
+    )
     return estimator.run(fused), calibration
+
+
+def _ensemble_for_jobs(jobs, arena: StateArena | None = None):
+    """Run one homogeneous job block as a single lockstep ensemble.
+
+    The per-chunk unit of the chunked scheduler
+    (:func:`repro.experiments.arena.run_ensemble_chunked`): unpacks a
+    validated :class:`~repro.analysis.montecarlo.EnsembleJob` block
+    into the static or dynamic lockstep runner, drawing every stacked
+    scratch array from ``arena``.
+    """
+    first = jobs[0]
+    seeds = [job.seed for job in jobs]
+    acc_dropout = {
+        job.seed: job.acc_dropout_time
+        for job in jobs
+        if job.acc_dropout_time is not None
+    }
+    rig_config = (
+        RigConfig(vibration=first.vibration)
+        if first.vibration is not None
+        else None
+    )
+    runner = run_dynamic_ensemble if first.moving else run_static_ensemble
+    return runner(
+        seeds=seeds,
+        misalignment=first.misalignment,
+        trajectory=first.trajectory,
+        estimator_config=first.estimator_config,
+        rig_config=rig_config,
+        acc_dropout=acc_dropout or None,
+        faults=first.faults,
+        arena=arena,
+    )
 
 
 @register_engine(
     "ensemble",
     "fast",
-    description="all seeds advanced in lockstep over stacked arrays",
+    description="seed-block chunks advanced in lockstep over one arena",
 )
-def run_lockstep_jobs(jobs, workers: int = 1):
+def run_lockstep_jobs(jobs, workers: int = 1, chunk_size: int | None = None):
     """The ``"ensemble"`` domain contract over the lockstep engine.
 
     Takes the same typed :class:`~repro.analysis.montecarlo.EnsembleJob`
     list as the serial oracle and returns the bit-identical
-    :class:`~repro.analysis.montecarlo.MonteCarloSummary`.  The
-    lockstep engine batches every job into one stacked pipeline, so
-    the jobs must be homogeneous — same trajectory, misalignment,
+    :class:`~repro.analysis.montecarlo.MonteCarloSummary`.  Jobs run
+    in lockstep seed-block chunks of ``chunk_size`` (default
+    :data:`~repro.experiments.arena.DEFAULT_CHUNK_SIZE`) over one
+    reused :class:`~repro.experiments.arena.StateArena`, so arbitrary
+    R streams through bounded memory; chunking only partitions the
+    job list, so the summary is bit-identical at every chunk size.
+    The jobs must be homogeneous — same trajectory, misalignment,
     estimator config and ``moving`` flag, differing only by seed and
     ACC-dropout time — and single-process (``workers`` must be 1).
     """
-    # Imported here: montecarlo imports the protocol layer this module
-    # sits on top of, so a module-level import would be circular when
-    # the registry loads this engine first.
-    from repro.analysis.montecarlo import summarize_outcomes
-
     if not jobs:
         raise ConfigurationError("need at least one job")
     if workers != 1:
@@ -314,35 +367,37 @@ def run_lockstep_jobs(jobs, workers: int = 1):
         raise ConfigurationError(
             "the lockstep engine requires distinct seeds per job"
         )
-    acc_dropout = {
-        job.seed: job.acc_dropout_time
-        for job in jobs
-        if job.acc_dropout_time is not None
-    }
-    rig_config = (
-        RigConfig(vibration=first.vibration)
-        if first.vibration is not None
-        else None
-    )
-    runner = run_dynamic_ensemble if first.moving else run_static_ensemble
-    ensemble = runner(
-        seeds=seeds,
-        misalignment=first.misalignment,
-        trajectory=first.trajectory,
-        estimator_config=first.estimator_config,
-        rig_config=rig_config,
-        acc_dropout=acc_dropout or None,
-        faults=first.faults,
-    )
-    return summarize_outcomes(
-        ensemble.outcomes(), diverged_seeds=ensemble.diverged_seeds
-    )
+    return run_ensemble_chunked(jobs, chunk_size=chunk_size)
 
 
 #: Dispatchers check this before building the (expensive) job list so
 #: an engine/workers mismatch fails fast; the in-engine check above
 #: still guards direct callers.
 run_lockstep_jobs.single_process = True
+#: Dispatchers may forward a ``chunk_size`` keyword to this engine.
+run_lockstep_jobs.accepts_chunk_size = True
+
+
+@register_engine(
+    "ensemble",
+    "chunked",
+    description="the lockstep engine forced through >= 2 arena chunks",
+)
+def run_lockstep_jobs_chunked(jobs, workers: int = 1):
+    """The lockstep engine with chunking forced on.
+
+    Identical contract and (bit-identical) results to the ``"fast"``
+    engine, but the chunk size is pinned to half the job list so even
+    tiny ensembles cross at least one chunk boundary — registering it
+    puts the boundary crossing itself under the registry's automatic
+    oracle verification.
+    """
+    return run_lockstep_jobs(
+        jobs, workers, chunk_size=max(1, (len(jobs) + 1) // 2)
+    )
+
+
+run_lockstep_jobs_chunked.single_process = True
 
 
 def run_static_ensemble(
@@ -353,6 +408,7 @@ def run_static_ensemble(
     rig_config: RigConfig | None = None,
     acc_dropout: Mapping[int, float] | None = None,
     faults: Sequence[Fault] = (),
+    arena: StateArena | None = None,
 ) -> StaticEnsemble:
     """Run the static §11 protocol for every seed, batched in lockstep.
 
@@ -377,6 +433,7 @@ def run_static_ensemble(
         moving=False,
         acc_dropout=acc_dropout,
         faults=faults,
+        arena=arena,
     )
     return StaticEnsemble(
         seeds=tuple(int(s) for s in seeds),
@@ -394,6 +451,7 @@ def run_dynamic_ensemble(
     rig_config: RigConfig | None = None,
     acc_dropout: Mapping[int, float] | None = None,
     faults: Sequence[Fault] = (),
+    arena: StateArena | None = None,
 ) -> DynamicEnsemble:
     """Run the dynamic §11 protocol for every seed, batched in lockstep.
 
@@ -418,6 +476,7 @@ def run_dynamic_ensemble(
         moving=True,
         acc_dropout=acc_dropout,
         faults=faults,
+        arena=arena,
     )
     return DynamicEnsemble(
         seeds=tuple(int(s) for s in seeds),

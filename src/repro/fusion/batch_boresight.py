@@ -68,14 +68,28 @@ class BatchResidualMonitor:
 
     runs: int
     axes: int = 2
+    #: Optional scratch pool the counter stacks come from; the
+    #: counters are then valid until the pool's next monitor take.
+    arena: object | None = None
 
     def __post_init__(self) -> None:
         if self.runs < 1 or self.axes < 1:
             raise FusionError("runs and axes must be >= 1")
         self._ticks = 0
-        self._counts = np.zeros(self.runs, dtype=np.int64)
-        self._exceed = np.zeros((self.runs, self.axes), dtype=np.int64)
-        self._nis_sum = np.zeros(self.runs)
+        if self.arena is None:
+            self._counts = np.zeros(self.runs, dtype=np.int64)
+            self._exceed = np.zeros((self.runs, self.axes), dtype=np.int64)
+            self._nis_sum = np.zeros(self.runs)
+        else:
+            self._counts = self.arena.zeros(
+                "boresight.monitor.counts", self.runs, np.int64
+            )
+            self._exceed = self.arena.zeros(
+                "boresight.monitor.exceed", (self.runs, self.axes), np.int64
+            )
+            self._nis_sum = self.arena.zeros(
+                "boresight.monitor.nis", self.runs
+            )
 
     def record(
         self, innovation: BatchInnovation, active: np.ndarray | None = None
@@ -308,10 +322,25 @@ class BatchBoresightResult:
     description="R misalignment MEKFs in lockstep with masking",
 )
 class BatchBoresightEstimator:
-    """Multiplicative EKF ensemble advanced tick-by-tick in lockstep."""
+    """Multiplicative EKF ensemble advanced tick-by-tick in lockstep.
 
-    def __init__(self, runs: int, config: BoresightConfig | None = None) -> None:
+    ``arena`` (a :class:`~repro.experiments.arena.StateArena`) backs
+    the filter state/covariance stacks, the residual-monitor counters
+    and the per-tick signal staging with reused pool views, so chunked
+    callers construct one estimator per seed block without fresh
+    ``(R, …)`` allocations.  Arena-backed pieces that escape through
+    the result (the monitor, the fallback timeline) stay valid until
+    the next estimator runs on the same arena.
+    """
+
+    def __init__(
+        self,
+        runs: int,
+        config: BoresightConfig | None = None,
+        arena=None,
+    ) -> None:
         self.config = config if config is not None else BoresightConfig()
+        self._arena = arena
         self._model = BatchMisalignmentModel(
             runs,
             estimate_biases=self.config.estimate_biases,
@@ -322,8 +351,13 @@ class BatchBoresightEstimator:
         p0[:3, :3] = np.eye(3) * self.config.initial_angle_sigma**2
         if self.config.estimate_biases:
             p0[3:, 3:] = np.eye(2) * self.config.initial_bias_sigma**2
-        self._kf = BatchKalmanFilter(np.zeros((runs, n)), p0)
-        self._monitor = BatchResidualMonitor(runs, axes=2)
+        self._kf = BatchKalmanFilter(
+            np.zeros((runs, n)),
+            p0,
+            out_state=self._take("boresight.kf.x", (runs, n)),
+            out_covariance=self._take("boresight.kf.p", (runs, n, n)),
+        )
+        self._monitor = BatchResidualMonitor(runs, axes=2, arena=arena)
         self._adaptive = (
             BatchInnovationAdaptiveNoise(
                 runs,
@@ -343,6 +377,27 @@ class BatchBoresightEstimator:
         self._diverged_at_tick = np.full(runs, -1, dtype=np.int64)
         self._last_fallback = np.zeros(runs, dtype=np.int8)
         self._tick = 0
+
+    def _take(self, name: str, shape, dtype=np.float64):
+        """An arena view, or ``None`` for allocate-your-own callers."""
+        if self._arena is None:
+            return None
+        return self._arena.take(name, shape, dtype)
+
+    def _staged(self, name: str, source: np.ndarray) -> np.ndarray:
+        """A tick-contiguous ``(N, R, …)`` copy of a ``(R, N, …)`` stack.
+
+        The per-tick slices feed the stacked matmuls, so they must be
+        contiguous for the BLAS fast path; with an arena the staging
+        buffer recycles chunk over chunk (``np.copyto`` from the
+        transposed view reproduces ``np.ascontiguousarray`` exactly).
+        """
+        shape = (source.shape[1], source.shape[0]) + source.shape[2:]
+        if self._arena is None:
+            return np.ascontiguousarray(np.swapaxes(source, 0, 1))
+        view = self._arena.take(name, shape)
+        np.copyto(view, np.swapaxes(source, 0, 1))
+        return view
 
     @property
     def runs(self) -> int:
@@ -447,7 +502,7 @@ class BatchBoresightEstimator:
             # both per-slice identical to the serial expressions.
             r = self._adaptive.r_matrix(axes=2)
             hph_prior = np.matmul(
-                np.matmul(h, self._kf.covariance), np.swapaxes(h, 1, 2)
+                np.matmul(h, self._kf.covariance_view), np.swapaxes(h, 1, 2)
             )
         else:
             r = (self.config.measurement_sigma**2) * np.eye(2)
@@ -464,11 +519,9 @@ class BatchBoresightEstimator:
         # estimator does after every update.  Gated and diverged runs
         # fold nothing — their delta is zeroed so the stacked SVD never
         # sees their (possibly non-finite) state.
-        delta = np.where(active[:, None], self._kf.state, 0.0)
+        delta = np.where(active[:, None], self._kf.state_view, 0.0)
         self._model.apply_correction(delta, mask=active)
-        state = self._kf.state
-        state[active] = 0.0
-        self._kf.state = state
+        self._kf.zero_state(active)
         self._monitor.record(innovation, active=active)
         if self._adaptive is not None:
             # Gated and diverged runs skip the record, exactly as the
@@ -495,13 +548,18 @@ class BatchBoresightEstimator:
                 f"fused series has {fused.runs} runs, estimator {self.runs}"
             )
         # (N, R, 3) layouts make the per-tick slices contiguous, which
-        # keeps every stacked matmul on the BLAS fast path.
-        force = np.ascontiguousarray(np.swapaxes(fused.specific_force, 0, 1))
-        rate = np.ascontiguousarray(np.swapaxes(fused.body_rate, 0, 1))
-        rate_dot = np.ascontiguousarray(np.swapaxes(fused.body_rate_dot, 0, 1))
-        acc_xy = np.ascontiguousarray(np.swapaxes(fused.acc_xy, 0, 1))
+        # keeps every stacked matmul on the BLAS fast path; the staging
+        # buffers are arena views when a pool was supplied.
+        force = self._staged("boresight.force", fused.specific_force)
+        rate = self._staged("boresight.rate", fused.body_rate)
+        rate_dot = self._staged("boresight.rate_dot", fused.body_rate_dot)
+        acc_xy = self._staged("boresight.acc_xy", fused.acc_xy)
 
-        timeline = np.zeros((self.runs, count), dtype=np.int8)
+        timeline = self._take(
+            "boresight.timeline", (self.runs, count), np.int8
+        )
+        if timeline is None:
+            timeline = np.zeros((self.runs, count), dtype=np.int8)
         for i in range(count):
             self.step(
                 float(fused.time[i]), force[i], rate[i], rate_dot[i], acc_xy[i]

@@ -71,10 +71,22 @@ class BatchKalmanFilter:
         Stacked covariances, shape (R, n, n), or a single (n, n) matrix
         shared by every run (it is copied per run, as the serial
         constructor would).
+    out_state, out_covariance:
+        Optional preallocated float64 buffers — (R, n) and (R, n, n) —
+        the filter adopts as its live state and covariance instead of
+        allocating its own (arena views, typically).  They must not
+        alias the initial arrays; their prior contents are
+        overwritten.  All mutating methods then write through these
+        buffers in place, so the adopted views stay current for the
+        filter's whole life.
     """
 
     def __init__(
-        self, initial_state: np.ndarray, initial_covariance: np.ndarray
+        self,
+        initial_state: np.ndarray,
+        initial_covariance: np.ndarray,
+        out_state: np.ndarray | None = None,
+        out_covariance: np.ndarray | None = None,
     ) -> None:
         x = np.asarray(initial_state, dtype=np.float64)
         if x.ndim != 2:
@@ -87,9 +99,34 @@ class BatchKalmanFilter:
             raise FusionError(
                 f"covariance shape {p.shape} does not match states {x.shape}"
             )
-        self._x = x.copy()
-        self._p = 0.5 * (p + np.swapaxes(p, 1, 2))
+        if out_state is None:
+            self._x = x.copy()
+        else:
+            self._adopt_check(out_state, (runs, n), "out_state")
+            np.copyto(out_state, x)
+            self._x = out_state
+        if out_covariance is None:
+            self._p = 0.5 * (p + np.swapaxes(p, 1, 2))
+        else:
+            # The same (P + Pᵀ) then scalar-multiply as the allocating
+            # expression (IEEE multiplication commutes), written into
+            # the adopted buffer.
+            self._adopt_check(out_covariance, (runs, n, n), "out_covariance")
+            np.add(p, np.swapaxes(p, 1, 2), out=out_covariance)
+            np.multiply(out_covariance, 0.5, out=out_covariance)
+            self._p = out_covariance
+        self._sym_scratch: np.ndarray | None = None
         self._check_covariance()
+
+    @staticmethod
+    def _adopt_check(
+        buffer: np.ndarray, shape: tuple[int, ...], name: str
+    ) -> None:
+        if buffer.shape != shape or buffer.dtype != np.float64:
+            raise FusionError(
+                f"{name} must be float64 with shape {shape}, got "
+                f"{buffer.dtype} {buffer.shape}"
+            )
 
     @property
     def runs(self) -> int:
@@ -111,7 +148,30 @@ class BatchKalmanFilter:
         v = np.asarray(value, dtype=np.float64)
         if v.shape != self._x.shape:
             raise FusionError(f"state shape {v.shape} != {self._x.shape}")
-        self._x = v.copy()
+        np.copyto(self._x, v)
+
+    @property
+    def state_view(self) -> np.ndarray:
+        """The live (R, n) state buffer — no copy.
+
+        For per-tick readers (the boresight fold) that would otherwise
+        copy every step; treat it as read-only and mutate state only
+        through the setter or :meth:`zero_state`.
+        """
+        return self._x
+
+    @property
+    def covariance_view(self) -> np.ndarray:
+        """The live (R, n, n) covariance buffer — no copy, read-only."""
+        return self._p
+
+    def zero_state(self, mask: np.ndarray) -> None:
+        """Zero the masked runs' error states in place.
+
+        The multiplicative-filter reset after a reference fold, without
+        the copy-modify-write round trip of the ``state`` property.
+        """
+        self._x[np.asarray(mask, dtype=bool)] = 0.0
 
     @property
     def covariance(self) -> np.ndarray:
@@ -137,16 +197,33 @@ class BatchKalmanFilter:
         runs, n = self._x.shape
         if transition is not None:
             f = self._as_stack(transition, "transition")
-            self._x = np.matmul(f, self._x[:, :, None])[:, :, 0]
-            self._p = np.matmul(np.matmul(f, self._p), np.swapaxes(f, 1, 2))
+            np.copyto(self._x, np.matmul(f, self._x[:, :, None])[:, :, 0])
+            np.copyto(
+                self._p,
+                np.matmul(np.matmul(f, self._p), np.swapaxes(f, 1, 2)),
+            )
         if process_noise is not None:
             q = np.asarray(process_noise, dtype=np.float64)
             if q.shape not in ((n, n), (runs, n, n)):
                 raise FusionError(
                     f"process noise shape {q.shape} != ({n}, {n}) or stacked"
                 )
-            self._p = self._p + q
-        self._p = 0.5 * (self._p + np.swapaxes(self._p, 1, 2))
+            np.add(self._p, q, out=self._p)
+        self._symmetrize()
+
+    def _symmetrize(self) -> None:
+        """``P = 0.5 * (P + Pᵀ)`` in place, buffers stable.
+
+        Snapshots the transpose into a reused scratch stack, then runs
+        the same add and scalar multiply as the allocating expression
+        (the multiply commutes bit-exactly), so adopted arena buffers
+        keep backing ``self._p``.
+        """
+        if self._sym_scratch is None:
+            self._sym_scratch = np.empty_like(self._p)
+        np.copyto(self._sym_scratch, np.swapaxes(self._p, 1, 2))
+        np.add(self._p, self._sym_scratch, out=self._p)
+        np.multiply(self._p, 0.5, out=self._p)
 
     def update(
         self,
@@ -176,8 +253,8 @@ class BatchKalmanFilter:
         x_new, p_new, gain = self._corrected(
             self._x, self._p, residual, s_inv, h, r
         )
-        self._x = x_new
-        self._p = p_new
+        np.copyto(self._x, x_new)
+        np.copyto(self._p, p_new)
         self._check_covariance()
         return self._innovation(residual, s, s_inv, gain)
 

@@ -36,6 +36,8 @@ _EXPORTS = {
     "fault_rng": "repro.scenarios.faults",
     "ScenarioSpec": "repro.scenarios.spec",
     "scenario_library": "repro.scenarios.spec",
+    "CampaignCache": "repro.scenarios.cache",
+    "canonical_digest": "repro.scenarios.cache",
     "FaultSpec": "repro.scenarios.campaign",
     "CampaignSpec": "repro.scenarios.campaign",
     "CampaignCell": "repro.scenarios.campaign",

@@ -1,0 +1,149 @@
+"""Content-addressed caching of campaign cell results.
+
+A campaign cell is a pure function of its inputs: the scenario spec,
+the fault recipe and the seed list fully determine the cell's
+:class:`~repro.analysis.montecarlo.MonteCarloSummary` (the engines are
+bit-identical across implementations and worker counts, so the engine
+choice is deliberately *not* part of the key).  That makes cell
+results safe to memoize — re-running a campaign after editing one
+scenario re-executes only the cells whose inputs actually changed.
+
+The cache key is a **canonical digest**: the cell's dataclass tree is
+lowered to a tagged token stream (type names, field names, and
+bit-exact scalar encodings — floats are hashed via their IEEE-754
+little-endian bytes, never via ``repr``) and SHA-256 hashed.  Any
+field change anywhere in the tree — a fault window nudged by one ULP,
+a renamed scenario, a reordered seed list — produces a different
+digest; equal trees always produce the same digest regardless of how
+their floats were computed.
+
+``tests/test_campaign_cache.py`` pins both directions with a
+hypothesis sweep (two specs differing in a single field never collide)
+and a stale-cache regression (an edited cell is re-run, not served
+stale).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import fields, is_dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Bump when the canonical form (or the meaning of a cell) changes, so
+#: digests from older builds can never alias into newer ones.
+DIGEST_VERSION = "campaign-cell-v1"
+
+
+def _canonical_tokens(value, out: list[str]) -> None:
+    """Append ``value``'s canonical token stream to ``out``.
+
+    Every token is prefixed with a type tag so values of different
+    types can never produce the same stream (``1`` vs ``1.0`` vs
+    ``True`` vs ``"1"`` all differ), and containers emit explicit
+    open/close markers so nesting is unambiguous.
+    """
+    # bool first: it subclasses int.
+    if isinstance(value, bool):
+        out.append(f"b:{int(value)}")
+    elif isinstance(value, (int, np.integer)):
+        out.append(f"i:{int(value)}")
+    elif isinstance(value, (float, np.floating)):
+        out.append(f"f:{struct.pack('<d', float(value)).hex()}")
+    elif isinstance(value, str):
+        out.append(f"s:{len(value)}:{value}")
+    elif isinstance(value, bytes):
+        out.append(f"y:{value.hex()}")
+    elif value is None:
+        out.append("n")
+    elif is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        out.append(f"d<{cls.__module__}.{cls.__qualname__}")
+        for field in fields(value):
+            out.append(f"k:{field.name}")
+            _canonical_tokens(getattr(value, field.name), out)
+        out.append("d>")
+    elif isinstance(value, (tuple, list)):
+        out.append(f"t<{len(value)}")
+        for item in value:
+            _canonical_tokens(item, out)
+        out.append("t>")
+    elif isinstance(value, dict):
+        out.append(f"m<{len(value)}")
+        for key in sorted(value):
+            out.append(f"k:{key}")
+            _canonical_tokens(value[key], out)
+        out.append("m>")
+    elif isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        out.append(f"a<{array.dtype.str}:{array.shape}")
+        out.append(array.tobytes().hex())
+        out.append("a>")
+    else:
+        raise ConfigurationError(
+            f"cannot canonicalize {type(value).__name__} for a campaign "
+            "digest; extend repro.scenarios.cache._canonical_tokens"
+        )
+
+
+def canonical_digest(value) -> str:
+    """The SHA-256 hex digest of ``value``'s canonical form.
+
+    Deterministic across processes and platforms: dataclass trees are
+    tokenized by type name, field name and bit-exact scalar encoding
+    (no ``repr``, no ``hash()``), then hashed.  Equal trees digest
+    equal; any differing field digests different.
+    """
+    tokens: list[str] = [DIGEST_VERSION]
+    _canonical_tokens(value, tokens)
+    digest = hashlib.sha256()
+    for token in tokens:
+        digest.update(token.encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class CampaignCache:
+    """In-memory memo of campaign cell summaries, keyed by digest.
+
+    Lookup is by :func:`canonical_digest` of the
+    :class:`~repro.scenarios.campaign.CampaignCell`, so a hit is only
+    possible when the scenario, fault recipe, seeds and ladder arming
+    are all identical down to the bit.  ``None`` summaries (every seed
+    diverged) are cached too — divergence is as deterministic as
+    convergence.
+
+    Pass an instance to :func:`~repro.scenarios.campaign.run_campaign`
+    and reuse it across runs; ``hits``/``misses`` expose the economics.
+    """
+
+    #: Distinguishes a cached ``None`` summary from an absent entry.
+    _MISS = object()
+
+    def __init__(self) -> None:
+        self._entries: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, cell):
+        """``(hit, summary)`` for ``cell``; counts the hit or miss."""
+        entry = self._entries.get(canonical_digest(cell), self._MISS)
+        if entry is self._MISS:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, entry
+
+    def store(self, cell, summary) -> None:
+        """Memoize ``cell``'s summary (``None`` = every seed diverged)."""
+        self._entries[canonical_digest(cell)] = summary
+
+    def clear(self) -> None:
+        """Drop every entry; the hit/miss counters keep accumulating."""
+        self._entries.clear()

@@ -35,6 +35,7 @@ from repro.analysis.montecarlo import EnsembleJob, MonteCarloSummary
 from repro.engines import register_engine, resolve_engine
 from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.table1 import DEFAULT_MISALIGNMENT
+from repro.scenarios.cache import CampaignCache
 from repro.scenarios.faults import (
     CanBusErrorStorm,
     ClockSkew,
@@ -326,14 +327,22 @@ def run_campaign_cells_sharded(
 
 
 def run_campaign(
-    spec: CampaignSpec, engine: str = "fast", workers: int = 1
+    spec: CampaignSpec,
+    engine: str = "fast",
+    workers: int = 1,
+    cache: CampaignCache | None = None,
 ) -> CampaignResult:
     """Execute every cell of ``spec`` and collect the grid result.
 
     ``engine`` selects the ``"campaign"`` backend (``"model"`` oracle
     or the default ``"fast"`` lockstep path); ``workers > 1`` shards
     cells over spawned processes on the fast engine.  Cell summaries
-    are bit-identical across engines and worker counts.
+    are bit-identical across engines and worker counts — which is what
+    makes ``cache`` (a :class:`~repro.scenarios.cache.CampaignCache`)
+    sound: cells whose canonical digest hits the cache are served
+    without running, only the missing cells go to the engine, and the
+    grid is stitched back in cell order.  Fresh results are stored
+    back, so iterating on one scenario re-runs only its cells.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -344,12 +353,28 @@ def run_campaign(
             "(cell sharding belongs to engine='fast')"
         )
     cells = spec.cells()
-    summaries = impl(list(cells), workers)
-    if len(summaries) != len(cells):
-        raise SimulationError(
-            f"campaign engine returned {len(summaries)} summaries for "
-            f"{len(cells)} cells"
-        )
+    summaries: list[MonteCarloSummary | None] = [None] * len(cells)
+    if cache is None:
+        missing = list(range(len(cells)))
+    else:
+        missing = []
+        for index, cell in enumerate(cells):
+            hit, summary = cache.lookup(cell)
+            if hit:
+                summaries[index] = summary
+            else:
+                missing.append(index)
+    if missing:
+        fresh = impl([cells[i] for i in missing], workers)
+        if len(fresh) != len(missing):
+            raise SimulationError(
+                f"campaign engine returned {len(fresh)} summaries for "
+                f"{len(missing)} cells"
+            )
+        for index, summary in zip(missing, fresh):
+            summaries[index] = summary
+            if cache is not None:
+                cache.store(cells[index], summary)
     return CampaignResult(
         spec=spec, cells=cells, summaries=tuple(summaries)
     )

@@ -74,6 +74,17 @@ class StackedRigStreams:
     acc: StackedGroupStreams
     #: Samples per sensing phase (calibration, test, ...).
     phase_samples: tuple[int, ...]
+    #: The scratch pool the draw buffers came from (``None`` when the
+    #: caller didn't supply one); the sensing stages reuse it for their
+    #: own scratch so one arena serves the whole chunk.
+    arena: object | None = None
+
+
+def _take(arena, name: str, shape) -> np.ndarray:
+    """An arena view when a pool is supplied, a fresh array otherwise."""
+    if arena is None:
+        return np.empty(shape)
+    return arena.take(name, shape)
 
 
 @dataclass
@@ -112,7 +123,12 @@ class StackedAccSamples:
 
 
 def gauss_markov_stack(
-    alpha: float, drive: float, drift_init: np.ndarray, shocks: np.ndarray
+    alpha: float,
+    drive: float,
+    drift_init: np.ndarray,
+    shocks: np.ndarray,
+    arena=None,
+    slot: str = "gm",
 ) -> np.ndarray:
     """Advance G first-order Gauss-Markov drift states in lockstep.
 
@@ -120,16 +136,21 @@ def gauss_markov_stack(
     :meth:`~repro.sensors.noise.AxisErrorModel.corrupt` —
     ``drift = alpha * drift + drive * shock`` — as one elementwise
     update per tick over a (G,) vector, so every element reproduces the
-    serial scalar recursion bit-for-bit.
+    serial scalar recursion bit-for-bit.  The transposed working
+    arrays and the returned drift stack come from ``arena`` when one
+    is supplied (the result is valid until the slot's next take).
     """
     g, n = shocks.shape
-    shocks_t = np.ascontiguousarray(shocks.T)
-    drifts_t = np.empty_like(shocks_t)
+    shocks_t = _take(arena, f"{slot}.shocks_t", (n, g))
+    np.copyto(shocks_t, shocks.T)
+    drifts_t = _take(arena, f"{slot}.drifts_t", (n, g))
     drift = np.array(drift_init, dtype=np.float64).reshape(g)
     for i in range(n):
         drift = alpha * drift + drive * shocks_t[i]
         drifts_t[i] = drift
-    return np.ascontiguousarray(drifts_t.T)
+    out = _take(arena, f"{slot}.drifts", (g, n))
+    np.copyto(out, drifts_t.T)
+    return out
 
 
 def _draw_group(
@@ -138,12 +159,17 @@ def _draw_group(
     axes_per_rng: int,
     phase_samples: Sequence[int],
     sample_rate: float,
+    arena=None,
+    slot: str = "group",
 ) -> StackedGroupStreams:
     """Replay one group's serial draw order for every run.
 
     ``rngs`` holds each run's generator(s) for the group: a single
     generator shared by ``axes_per_rng`` axes (triads) or one generator
-    per axis (``axes_per_rng == 1``, the dual-axis ACC).
+    per axis (``axes_per_rng == 1``, the dual-axis ACC).  Buffers come
+    from ``arena`` under ``slot``-prefixed names when a pool is
+    supplied; every element is overwritten by the draw loops below, so
+    recycled contents never leak through.
     """
     per_run = [list(r) if isinstance(r, (list, tuple)) else [r] for r in rngs]
     runs = len(per_run)
@@ -151,11 +177,19 @@ def _draw_group(
     total = int(sum(phase_samples))
     sigma = spec.white_sigma(sample_rate)
 
-    turn_on = np.empty((runs, axes))
-    scale = np.empty((runs, axes))
-    drift0 = np.empty((runs, axes))
-    shocks = np.empty((runs, axes, total)) if spec.bias_instability > 0.0 else None
-    white = np.empty((runs, axes, total)) if sigma > 0.0 else None
+    turn_on = _take(arena, f"{slot}.turn_on", (runs, axes))
+    scale = _take(arena, f"{slot}.scale", (runs, axes))
+    drift0 = _take(arena, f"{slot}.drift0", (runs, axes))
+    shocks = (
+        _take(arena, f"{slot}.shocks", (runs, axes, total))
+        if spec.bias_instability > 0.0
+        else None
+    )
+    white = (
+        _take(arena, f"{slot}.white", (runs, axes, total))
+        if sigma > 0.0
+        else None
+    )
 
     for r, generators in enumerate(per_run):
         # Power-up draws, axis by axis, as AxisErrorModel.__init__ does.
@@ -192,6 +226,7 @@ def stack_rig_streams(
     imu_config: ImuConfig,
     acc_config: AccConfig,
     phase_samples: Sequence[int],
+    arena=None,
 ) -> StackedRigStreams:
     """Draw every noise stream the serial rig would, for each seed.
 
@@ -199,7 +234,11 @@ def stack_rig_streams(
     rig order (calibration recording first, then the test run).  The
     child-generator tree and per-generator call order replicate
     :class:`~repro.experiments.protocol.BoresightTestRig` exactly, so
-    the draws equal the serial rig's draws bit-for-bit.
+    the draws equal the serial rig's draws bit-for-bit.  ``arena``
+    (a :class:`~repro.experiments.arena.StateArena`) supplies every
+    stream buffer and travels on the returned streams so downstream
+    sensing stages share the pool; the buffers are valid until the
+    next ``stack_rig_streams`` call on the same arena.
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
@@ -223,6 +262,8 @@ def stack_rig_streams(
             axes_per_rng=3,
             phase_samples=phase_samples,
             sample_rate=imu_config.sample_rate,
+            arena=arena,
+            slot="streams.gyro",
         ),
         imu_accel=_draw_group(
             accel_rngs,
@@ -230,6 +271,8 @@ def stack_rig_streams(
             axes_per_rng=3,
             phase_samples=phase_samples,
             sample_rate=imu_config.sample_rate,
+            arena=arena,
+            slot="streams.imu_accel",
         ),
         acc=_draw_group(
             acc_rngs,
@@ -237,13 +280,20 @@ def stack_rig_streams(
             axes_per_rng=1,
             phase_samples=phase_samples,
             sample_rate=acc_config.sample_rate,
+            arena=arena,
+            slot="streams.acc",
         ),
         phase_samples=tuple(int(n) for n in phase_samples),
+        arena=arena,
     )
 
 
 def corrupt_stacked(
-    group: StackedGroupStreams, truth: np.ndarray, sample_rate: float
+    group: StackedGroupStreams,
+    truth: np.ndarray,
+    sample_rate: float,
+    arena=None,
+    slot: str = "corrupt",
 ) -> np.ndarray:
     """Apply the serial error chain to truth series, batched over runs.
 
@@ -253,7 +303,11 @@ def corrupt_stacked(
     dynamic ensembles: per-seed vibration rides on the shared
     trajectory); the result is (R, axes, total_samples).  The operation
     order — scale+bias, drift, white noise, quantization — matches
-    :meth:`~repro.sensors.noise.AxisErrorModel.corrupt` exactly.
+    :meth:`~repro.sensors.noise.AxisErrorModel.corrupt` exactly; with
+    an ``arena`` the chain synthesizes into one reused output buffer
+    via the same elementwise expressions with ``out=`` (every step is
+    the identical ufunc on the identical operands, so the rounding is
+    unchanged).
     """
     spec = group.spec
     t = np.asarray(truth, dtype=np.float64)
@@ -266,9 +320,9 @@ def corrupt_stacked(
             f"{np.asarray(truth).shape}"
         )
     n = t.shape[2]
-    out = (1.0 + group.scale_error[:, :, None]) * t + (
-        group.turn_on_bias[:, :, None]
-    )
+    out = _take(arena, f"{slot}.out", (runs, axes, n))
+    np.multiply(1.0 + group.scale_error[:, :, None], t, out=out)
+    np.add(out, group.turn_on_bias[:, :, None], out=out)
 
     if spec.bias_instability > 0.0:
         dt = 1.0 / sample_rate
@@ -281,6 +335,8 @@ def corrupt_stacked(
             drive,
             group.drift_init.reshape(runs * axes),
             group.shocks.reshape(runs * axes, n),
+            arena=arena,
+            slot=f"{slot}.gm",
         ).reshape(runs, axes, n)
         out += drifts
 
@@ -288,7 +344,9 @@ def corrupt_stacked(
         out += group.white
 
     if spec.quantization > 0.0:
-        out = np.round(out / spec.quantization) * spec.quantization
+        np.divide(out, spec.quantization, out=out)
+        np.round(out, out=out)
+        np.multiply(out, spec.quantization, out=out)
     return out
 
 
@@ -360,8 +418,16 @@ def sense_imu_stacked(
     accel_truth = _stack_phase_truth(phases, force_truths)
 
     rate = config.sample_rate
-    gyro_measured = corrupt_stacked(streams.gyro, gyro_truth, rate)
-    accel_measured = corrupt_stacked(streams.imu_accel, accel_truth, rate)
+    gyro_measured = corrupt_stacked(
+        streams.gyro, gyro_truth, rate, arena=streams.arena, slot="sense.gyro"
+    )
+    accel_measured = corrupt_stacked(
+        streams.imu_accel,
+        accel_truth,
+        rate,
+        arena=streams.arena,
+        slot="sense.imu_accel",
+    )
 
     gyro_fs = dps_to_radps(config.gyro.full_scale_dps)
     accel_fs = g_to_mps2(config.accel.full_scale_g)
@@ -425,7 +491,13 @@ def sense_acc_stacked(
         truth_blocks.append(np.stack(per_run, axis=0))
     truth = _stack_phase_truth(phases, truth_blocks)
 
-    measured = corrupt_stacked(streams.acc, truth, config.sample_rate)
+    measured = corrupt_stacked(
+        streams.acc,
+        truth,
+        config.sample_rate,
+        arena=streams.arena,
+        slot="sense.acc",
+    )
     out = []
     for phase, xy in zip(phases, _split_phases(measured, streams.phase_samples)):
         out.append(

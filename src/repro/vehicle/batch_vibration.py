@@ -88,20 +88,32 @@ def _road_coefficients(
     return alphas, drives, has_draw, activity
 
 
+def _take(arena, name: str, shape) -> np.ndarray:
+    """An arena view when a pool is supplied, a fresh array otherwise."""
+    if arena is None:
+        return np.empty(shape)
+    return arena.take(name, shape)
+
+
 def _engine_field(
     spec: VibrationSpec,
     time: np.ndarray,
     common_phases: np.ndarray,
     own_phases: np.ndarray,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Stacked engine-harmonic field, (R, N, 3).
 
     Accumulates the harmonics in the serial order with the serial
     expression shape — ``amp * ((1-d)*sin(phase + common) + d*sin(phase
     + own))`` — so every element matches the scalar loop bit-for-bit.
+    ``out`` optionally supplies the (zeroed-here) accumulation buffer.
     """
     runs = common_phases.shape[0]
-    out = np.zeros((runs, time.shape[0], 3))
+    if out is None:
+        out = np.zeros((runs, time.shape[0], 3))
+    else:
+        out[...] = 0.0
     d = spec.decorrelation
     for k in range(spec.engine_harmonics):
         freq = spec.engine_frequency_hz * (k + 1)
@@ -120,17 +132,20 @@ def _road_field(
     has_draw: np.ndarray,
     common_shocks: np.ndarray,
     own_shocks: np.ndarray,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Stacked first-order Gauss-Markov road field, (R, N, 3).
 
     Per tick the two (R, 3) states advance with the serial elementwise
     recursion; ticks with ``dt == 0`` (the first sample) hold the state
     and consume no shock, exactly like the serial ``_road_sample``.
+    ``out`` optionally supplies the output buffer (fully overwritten).
     """
     runs = common_shocks.shape[0]
     n = alphas.shape[0]
     mix = spec.decorrelation
-    out = np.empty((runs, n, 3))
+    if out is None:
+        out = np.empty((runs, n, 3))
     state_common = np.zeros((runs, 3))
     state_own = np.zeros((runs, 3))
     draw = 0
@@ -154,6 +169,7 @@ def stack_vibration_fields(
     spec: VibrationSpec,
     seeds: Sequence[int],
     trajectory: TrajectoryData,
+    arena=None,
 ) -> StackedVibrationFields:
     """Synthesize every rig's IMU/ACC vibration field for one drive.
 
@@ -163,7 +179,11 @@ def stack_vibration_fields(
     each derived generator is consumed phases-first then road shocks,
     as the serial constructor and ``sample`` loop do.  The returned
     fields are bit-identical per run to sampling the two serial models
-    over ``trajectory``'s (time, speed) series.
+    over ``trajectory``'s (time, speed) series.  With an ``arena``
+    (a :class:`~repro.experiments.arena.StateArena`) every stacked
+    buffer — phase/shock draws, the road scratch and the two returned
+    fields — is a reused pool view, valid until the next synthesis on
+    the same arena.
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
@@ -177,13 +197,13 @@ def stack_vibration_fields(
     alphas, drives, has_draw, activity = _road_coefficients(spec, time, speed)
     draws = int(np.count_nonzero(has_draw))
 
-    common_phases = np.empty((runs, harmonics, 3))
-    imu_phases = np.empty((runs, harmonics, 3))
-    acc_phases = np.empty((runs, harmonics, 3))
-    imu_common_shocks = np.empty((runs, draws, 3))
-    acc_common_shocks = np.empty((runs, draws, 3))
-    imu_own_shocks = np.empty((runs, draws, 3))
-    acc_own_shocks = np.empty((runs, draws, 3))
+    common_phases = _take(arena, "vib.common_phases", (runs, harmonics, 3))
+    imu_phases = _take(arena, "vib.imu_phases", (runs, harmonics, 3))
+    acc_phases = _take(arena, "vib.acc_phases", (runs, harmonics, 3))
+    imu_common_shocks = _take(arena, "vib.imu_common", (runs, draws, 3))
+    acc_common_shocks = _take(arena, "vib.acc_common", (runs, draws, 3))
+    imu_own_shocks = _take(arena, "vib.imu_own", (runs, draws, 3))
+    acc_own_shocks = _take(arena, "vib.acc_own", (runs, draws, 3))
 
     two_pi = 2.0 * math.pi
     for r, seed in enumerate(seeds):
@@ -207,15 +227,37 @@ def stack_vibration_fields(
         imu_own_shocks[r] = imu_own.standard_normal((draws, 3))
         acc_own_shocks[r] = acc_own.standard_normal((draws, 3))
 
+    # Combine engine harmonics and road roughness in place — the same
+    # ``engine * activity + road`` ufuncs in the same order as the
+    # allocating expression, written through ``out=`` so the two field
+    # buffers and the road scratch recycle chunk over chunk.
     scale = activity[None, :, None]
+    n = time.shape[0]
+    road = _take(arena, "vib.road", (runs, n, 3))
     imu_field = _engine_field(
-        spec, time, common_phases, imu_phases
-    ) * scale + _road_field(
-        spec, alphas, drives, has_draw, imu_common_shocks, imu_own_shocks
+        spec,
+        time,
+        common_phases,
+        imu_phases,
+        out=_take(arena, "vib.field.imu", (runs, n, 3)),
     )
+    np.multiply(imu_field, scale, out=imu_field)
+    _road_field(
+        spec, alphas, drives, has_draw, imu_common_shocks, imu_own_shocks,
+        out=road,
+    )
+    np.add(imu_field, road, out=imu_field)
     acc_field = _engine_field(
-        spec, time, common_phases, acc_phases
-    ) * scale + _road_field(
-        spec, alphas, drives, has_draw, acc_common_shocks, acc_own_shocks
+        spec,
+        time,
+        common_phases,
+        acc_phases,
+        out=_take(arena, "vib.field.acc", (runs, n, 3)),
     )
+    np.multiply(acc_field, scale, out=acc_field)
+    _road_field(
+        spec, alphas, drives, has_draw, acc_common_shocks, acc_own_shocks,
+        out=road,
+    )
+    np.add(acc_field, road, out=acc_field)
     return StackedVibrationFields(imu=imu_field, acc=acc_field)

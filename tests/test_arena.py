@@ -1,0 +1,249 @@
+"""State arena, chunked scheduler and incremental-reduction contracts.
+
+The load-bearing claim of :mod:`repro.experiments.arena` is
+bit-identity by construction: chunking only partitions the job list —
+every run's RNG tree is rooted at its own seed — and the reduction
+folds integers incrementally while deferring float statistics to the
+monolithic :func:`~repro.analysis.montecarlo.summarize_outcomes`.
+These tests pin that claim at the unit level (arena buffer reuse,
+chunk iteration, accumulator equality at every chunk size) and end to
+end (chunk=1 vs chunk=R vs the serial oracle, R not divisible by the
+chunk size, a faulted campaign cell crossing chunk boundaries).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import (
+    EnsembleJob,
+    OutcomeAccumulator,
+    run_monte_carlo_static,
+    summarize_outcomes,
+)
+from repro.engines import resolve_engine
+from repro.errors import ConfigurationError
+from repro.experiments.arena import (
+    DEFAULT_CHUNK_SIZE,
+    StateArena,
+    iter_chunks,
+    run_ensemble_chunked,
+)
+from repro.experiments.batch_protocol import run_lockstep_jobs
+from repro.experiments.table1 import static_estimator_config
+from repro.geometry import EulerAngles
+from repro.vehicle.profiles import static_tilt_profile
+
+
+class TestStateArena:
+    def test_take_shape_dtype_contiguity(self):
+        arena = StateArena()
+        view = arena.take("a", (3, 4))
+        assert view.shape == (3, 4)
+        assert view.dtype == np.float64
+        assert view.flags["C_CONTIGUOUS"]
+
+    def test_same_slot_reuses_backing(self):
+        arena = StateArena()
+        first = arena.take("a", (4, 8))
+        first[...] = 7.0
+        second = arena.take("a", (2, 8))
+        assert np.shares_memory(first, second)
+        # Never cleared on reuse: the old bits are still there.
+        assert np.all(second == 7.0)
+
+    def test_growth_reallocates(self):
+        arena = StateArena()
+        small = arena.take("a", 8)
+        big = arena.take("a", 64)
+        assert big.size == 64
+        assert not np.shares_memory(small, big)
+
+    def test_dtype_change_reallocates(self):
+        arena = StateArena()
+        floats = arena.take("a", 8)
+        ints = arena.take("a", 8, np.int64)
+        assert ints.dtype == np.int64
+        assert not np.shares_memory(floats, ints)
+
+    def test_distinct_slots_are_independent(self):
+        arena = StateArena()
+        a = arena.take("a", 16)
+        b = arena.take("b", 16)
+        assert not np.shares_memory(a, b)
+        assert sorted(arena.slot_names) == ["a", "b"]
+        assert arena.nbytes == 2 * 16 * 8
+
+    def test_zeros_clears_only_the_view(self):
+        arena = StateArena()
+        arena.take("a", 8)[...] = 5.0
+        assert np.all(arena.zeros("a", 8) == 0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            StateArena().take("", 4)
+
+
+class TestIterChunks:
+    def test_uneven_tail(self):
+        chunks = list(iter_chunks(list(range(5)), 2))
+        assert chunks == [[0, 1], [2, 3], [4]]
+
+    def test_single_chunk_when_large(self):
+        assert list(iter_chunks([1, 2, 3], 10)) == [[1, 2, 3]]
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ConfigurationError, match="chunk"):
+            list(iter_chunks([1], 0))
+
+
+class TestOutcomeAccumulator:
+    """Chunked reduction == monolithic reduction, at every chunk size."""
+
+    @staticmethod
+    def _outcomes(count: int, axes: int = 3) -> list[tuple]:
+        rng = np.random.default_rng(42)
+        outcomes = []
+        for i in range(count):
+            three_sigma = rng.uniform(0.5, 2.0, axes)
+            error = rng.normal(0.0, 0.4, axes)
+            covered = int(np.sum(np.abs(error) <= three_sigma))
+            outcomes.append(
+                (error, covered, float(rng.uniform(0, 0.2)), i % 2,
+                 three_sigma)
+            )
+        return outcomes
+
+    def test_chunk_size_sweep_matches_monolithic(self):
+        outcomes = self._outcomes(7)
+        expected = summarize_outcomes(outcomes, diverged_seeds=(99,))
+        for chunk_size in range(1, len(outcomes) + 1):
+            accumulator = OutcomeAccumulator()
+            accumulator.extend([], diverged_seeds=(99,))
+            for chunk in iter_chunks(outcomes, chunk_size):
+                accumulator.extend(chunk)
+            got = accumulator.finalize()
+            # MonteCarloSummary.__eq__ is exact (array_equal, not
+            # allclose) — bit-identity at every chunk size.
+            assert got == expected, f"chunk_size={chunk_size}"
+            assert got.coverage_3sigma == accumulator.coverage_so_far
+
+    def test_coverage_fold_is_exact_integer_arithmetic(self):
+        outcomes = self._outcomes(5)
+        accumulator = OutcomeAccumulator()
+        covered = slots = 0
+        for outcome in outcomes:
+            accumulator.extend([outcome])
+            covered += outcome[1]
+            slots += len(outcome[0])
+            assert accumulator.coverage_so_far == covered / slots
+
+    def test_empty_accumulator_raises(self):
+        accumulator = OutcomeAccumulator()
+        with pytest.raises(ConfigurationError, match="no outcomes"):
+            accumulator.coverage_so_far
+        with pytest.raises(ConfigurationError, match="no outcomes"):
+            accumulator.finalize()
+
+    def test_all_diverged_raises_the_engine_contract_error(self):
+        accumulator = OutcomeAccumulator()
+        accumulator.extend([], diverged_seeds=(7, 8))
+        with pytest.raises(ConfigurationError, match="every run diverged"):
+            accumulator.finalize()
+
+
+class TestAnees:
+    def test_whitened_errors_give_dimensionality(self):
+        # error exactly one sigma (= three_sigma / 3) on every axis
+        # makes each run's NEES equal the axis count exactly.
+        three_sigma = np.array([0.9, 1.5, 3.0])
+        outcomes = [
+            (three_sigma / 3.0, 3, 0.0, 0, three_sigma) for _ in range(4)
+        ]
+        assert summarize_outcomes(outcomes).anees == 3.0
+
+    def test_legacy_tuples_have_no_anees(self):
+        outcomes = [(np.array([0.1, 0.2]), 2, 0.0)]
+        summary = summarize_outcomes(outcomes)
+        assert summary.anees is None
+        assert summary.fallback_states == ("full",)
+
+
+def _static_jobs(runs: int) -> list[EnsembleJob]:
+    """Compressed static-protocol jobs, mirroring run_monte_carlo_static."""
+    trajectory = static_tilt_profile(
+        duration=60.0, dwell_time=3.0, slew_time=1.5
+    )
+    # Shared objects, not per-job copies: the lockstep engine checks
+    # homogeneity by identity.
+    misalignment = EulerAngles.from_degrees(2.0, -1.5, 3.0)
+    estimator_config = static_estimator_config(0.006)
+    return [
+        EnsembleJob(
+            seed=700 + i,
+            trajectory=trajectory,
+            misalignment=misalignment,
+            estimator_config=estimator_config,
+            moving=False,
+        )
+        for i in range(runs)
+    ]
+
+
+@pytest.mark.slow
+class TestChunkBoundaryBitIdentity:
+    def test_every_chunking_matches_the_serial_oracle(self):
+        jobs = _static_jobs(5)
+        oracle = resolve_engine("ensemble", "model")(jobs, 1)
+        assert oracle.anees is not None
+        # chunk=1, an uneven 2+2+1 split, chunk=R, and the default.
+        for chunk_size in (1, 2, 5, None):
+            summary = run_lockstep_jobs(jobs, 1, chunk_size=chunk_size)
+            assert summary == oracle, f"chunk_size={chunk_size}"
+
+    def test_explicit_arena_reuse_across_ensembles(self):
+        jobs = _static_jobs(4)
+        arena = StateArena()
+        first = run_ensemble_chunked(jobs, chunk_size=2, arena=arena)
+        slots_after_first = set(arena.slot_names)
+        second = run_ensemble_chunked(jobs, chunk_size=3, arena=arena)
+        assert first == second
+        # Reuse, not growth: a second pass takes the same slots.
+        assert set(arena.slot_names) == slots_after_first
+
+    def test_chunked_equals_monolithic_through_public_entry(self):
+        monolithic = run_monte_carlo_static(
+            runs=4, duration=60.0, dwell_time=3.0, slew_time=1.5,
+            base_seed=700, engine="fast",
+        )
+        chunked = run_lockstep_jobs(_static_jobs(4), 1, chunk_size=3)
+        assert chunked == monolithic
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="chunk"):
+            run_lockstep_jobs(_static_jobs(2), 1, chunk_size=0)
+        with pytest.raises(ConfigurationError, match="at least one"):
+            run_ensemble_chunked([])
+
+
+@pytest.mark.slow
+class TestFaultedCampaignCellChunking:
+    def test_faulted_cell_across_chunk_boundaries(self):
+        from repro.scenarios.campaign import CampaignCell, fault_library
+        from repro.scenarios.spec import scenario_library
+
+        scenario = scenario_library()["highway"]
+        cell = CampaignCell(
+            scenario=scenario,
+            fault=fault_library()["acc_dropout_window"],
+            seeds=(910, 911, 912),
+        )
+        jobs = cell.jobs()
+        oracle = resolve_engine("ensemble", "model")(jobs, 1)
+        for chunk_size in (1, 2):
+            summary = run_lockstep_jobs(jobs, 1, chunk_size=chunk_size)
+            assert summary == oracle, f"chunk_size={chunk_size}"
+
+
+def test_default_chunk_size_sane():
+    assert isinstance(DEFAULT_CHUNK_SIZE, int)
+    assert DEFAULT_CHUNK_SIZE >= 1

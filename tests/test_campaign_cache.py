@@ -1,0 +1,241 @@
+"""Campaign result caching: digest sensitivity and cache soundness.
+
+Two failure modes would silently corrupt a cached campaign:
+
+- a **collision** — two cells that differ somewhere in their spec
+  tree hashing equal, serving one cell's results for the other; the
+  hypothesis sweep and the single-field mutation matrix pin that any
+  one changed field (down to one ULP of a float) changes the digest;
+- a **stale hit** — an edited spec still hitting the old entry; the
+  regression test edits a fault recipe between runs and requires the
+  edited cell to re-execute.
+
+The digest is deliberately bit-exact, not ``==``-exact: ``0.0`` and
+``-0.0`` digest differently, equal-bit NaNs digest equally.  Cached
+summaries are engine-independent because the engines are bit-identical
+(the registry harness pins that); the cache key therefore excludes
+the engine name.
+"""
+
+import dataclasses
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.scenarios.cache import CampaignCache, canonical_digest
+from repro.scenarios.campaign import (
+    CampaignCell,
+    CampaignSpec,
+    FaultSpec,
+    run_campaign,
+)
+from repro.scenarios.faults import ClockSkew, SensorDropout
+from repro.scenarios.spec import ScenarioSpec
+
+
+def _base_scenario(**overrides) -> ScenarioSpec:
+    kwargs = dict(
+        name="cache_static",
+        profile="static_tilt",
+        duration=60.0,
+        profile_args=(("dwell_time", 3.0), ("slew_time", 1.5)),
+        moving=False,
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def _base_cell(**overrides) -> CampaignCell:
+    kwargs = dict(
+        scenario=_base_scenario(),
+        fault=FaultSpec(
+            name="dropout",
+            faults=(SensorDropout(sensor="acc", start=20.0, duration=5.0),),
+        ),
+        seeds=(900, 901),
+        fallback_hold=True,
+    )
+    kwargs.update(overrides)
+    return CampaignCell(**kwargs)
+
+
+class TestCanonicalDigest:
+    def test_equal_trees_digest_equal(self):
+        assert canonical_digest(_base_cell()) == canonical_digest(_base_cell())
+
+    def test_type_tags_separate_lookalike_scalars(self):
+        digests = {canonical_digest(v) for v in (1, 1.0, True, "1")}
+        assert len(digests) == 4
+
+    def test_float_hashing_is_bit_exact(self):
+        assert canonical_digest(0.0) != canonical_digest(-0.0)
+        assert canonical_digest(float("nan")) == canonical_digest(
+            float("nan")
+        )
+
+    def test_nesting_is_unambiguous(self):
+        assert canonical_digest(((1, 2), 3)) != canonical_digest((1, (2, 3)))
+        assert canonical_digest((1, 2, 3)) != canonical_digest(((1, 2, 3),))
+
+    def test_dict_order_insensitive(self):
+        assert canonical_digest({"a": 1, "b": 2}) == canonical_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_ndarray_supported(self):
+        a = np.arange(6, dtype=np.float64).reshape(2, 3)
+        assert canonical_digest(a) == canonical_digest(a.copy())
+        assert canonical_digest(a) != canonical_digest(a.T)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="canonicalize"):
+            canonical_digest(object())
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda c: dataclasses.replace(
+                c, scenario=dataclasses.replace(c.scenario, name="renamed")
+            ),
+            lambda c: dataclasses.replace(
+                c,
+                scenario=dataclasses.replace(
+                    c.scenario,
+                    duration=float(np.nextafter(c.scenario.duration, np.inf)),
+                ),
+            ),
+            lambda c: dataclasses.replace(
+                c,
+                scenario=dataclasses.replace(
+                    c.scenario, measurement_sigma=0.031
+                ),
+            ),
+            lambda c: dataclasses.replace(
+                c, fault=dataclasses.replace(c.fault, name="renamed")
+            ),
+            lambda c: dataclasses.replace(
+                c,
+                fault=FaultSpec(
+                    name=c.fault.name,
+                    faults=(
+                        dataclasses.replace(
+                            c.fault.faults[0],
+                            start=float(
+                                np.nextafter(c.fault.faults[0].start, np.inf)
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+            lambda c: dataclasses.replace(
+                c,
+                fault=FaultSpec(
+                    name=c.fault.name,
+                    faults=c.fault.faults + (ClockSkew(ppm=50.0),),
+                ),
+            ),
+            lambda c: dataclasses.replace(c, seeds=(901, 900)),
+            lambda c: dataclasses.replace(c, seeds=(900, 902)),
+            lambda c: dataclasses.replace(c, seeds=(900,)),
+            lambda c: dataclasses.replace(c, fallback_hold=False),
+        ],
+        ids=[
+            "scenario-name",
+            "scenario-duration-ulp",
+            "estimator-sigma",
+            "fault-name",
+            "fault-window-ulp",
+            "fault-appended",
+            "seed-order",
+            "seed-value",
+            "seed-count",
+            "ladder-flag",
+        ],
+    )
+    def test_any_single_field_change_changes_the_digest(self, mutate):
+        base = _base_cell()
+        assert canonical_digest(mutate(base)) != canonical_digest(base)
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        b=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_one_float_field_collides_iff_bits_equal(self, a, b):
+        cell_a = _base_cell(
+            fault=FaultSpec(name="w", faults=(SensorDropout(start=a),))
+        )
+        cell_b = _base_cell(
+            fault=FaultSpec(name="w", faults=(SensorDropout(start=b),))
+        )
+        same_bits = struct.pack("<d", a) == struct.pack("<d", b)
+        assert (
+            canonical_digest(cell_a) == canonical_digest(cell_b)
+        ) == same_bits
+
+
+class TestCampaignCacheUnit:
+    def test_none_summary_is_a_hit_not_a_miss(self):
+        cache = CampaignCache()
+        cell = _base_cell()
+        hit, _ = cache.lookup(cell)
+        assert not hit and cache.misses == 1
+        cache.store(cell, None)  # every-seed-diverged is cacheable too
+        hit, summary = cache.lookup(cell)
+        assert hit and summary is None and cache.hits == 1
+
+    def test_clear_drops_entries_keeps_counters(self):
+        cache = CampaignCache()
+        cache.store(_base_cell(), None)
+        cache.lookup(_base_cell())
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1
+        hit, _ = cache.lookup(_base_cell())
+        assert not hit
+
+
+def _spec(fault: FaultSpec) -> CampaignSpec:
+    return CampaignSpec(
+        name="cache_grid",
+        scenarios=(_base_scenario(),),
+        faults=(FaultSpec(name="nominal"), fault),
+        seeds=(900, 901),
+        fallback_hold=True,
+    )
+
+
+@pytest.mark.slow
+class TestRunCampaignWithCache:
+    def test_second_run_is_all_hits_and_identical(self):
+        spec = _spec(_base_cell().fault)
+        cache = CampaignCache()
+        first = run_campaign(spec, cache=cache)
+        assert cache.misses == len(spec.cells()) and cache.hits == 0
+        second = run_campaign(spec, cache=cache)
+        assert cache.hits == len(spec.cells())
+        assert first.summaries == second.summaries
+        assert first.to_golden() == second.to_golden()
+        # And cached results equal a cache-free run bit for bit.
+        assert run_campaign(spec).summaries == first.summaries
+
+    def test_stale_cache_regression_edited_cell_reruns(self):
+        original = _base_cell().fault
+        edited = FaultSpec(
+            name=original.name,
+            faults=(
+                dataclasses.replace(original.faults[0], duration=10.0),
+            ),
+        )
+        cache = CampaignCache()
+        stale = run_campaign(_spec(original), cache=cache)
+        misses_before = cache.misses
+        fresh = run_campaign(_spec(edited), cache=cache)
+        # The nominal cell hit; the edited cell missed and re-ran.
+        assert cache.misses == misses_before + 1
+        assert fresh.summaries[0] == stale.summaries[0]
+        truth = run_campaign(_spec(edited))
+        assert fresh.summaries == truth.summaries
+        assert fresh.summaries[1] != stale.summaries[1]
