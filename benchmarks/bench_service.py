@@ -1,0 +1,58 @@
+"""Scenario-service benchmark — identity first, throughput second.
+
+The hard contract is bit-identity: every request served from a
+coalesced batch must carry exactly the summary the one-at-a-time
+oracle computes for it alone.  The throughput floor is *not*
+parallelism-dependent — coalescing wins by merging a compatibility
+group's single-seed requests into one vectorized lockstep batch (one
+trajectory materialization, one batched filter pass, instead of N
+serial runs), which pays off on a single core.  The full burst must
+clear the acceptance floor of 5x; the smoke burst is too small to
+amortize as well and only has to clear 2x.
+
+The warm-cache pass is gated absolutely: re-submitting the identical
+burst must add **zero** batches — every request is served from the
+result cache without touching compute.
+
+``BENCH_SMOKE=1`` shrinks the burst for CI smoke lanes.  Run ``python
+benchmarks/run_service.py`` to persist ``BENCH_service.json``.
+"""
+
+import os
+
+import pytest
+
+from run_service import measure_service
+
+pytestmark = [pytest.mark.bench, pytest.mark.service]
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+if SMOKE:
+    BURST = dict(groups=2, per_group=8)
+    MIN_SPEEDUP = 2.0
+else:
+    BURST = dict(groups=4, per_group=16)
+    MIN_SPEEDUP = 5.0
+
+
+def test_coalescing_identical_and_faster(once):
+    result = once(measure_service, **BURST)
+    print()
+    print(
+        f"{result['requests']} requests in {result['groups']} groups: "
+        f"one-at-a-time {result['one_at_a_time_seconds']:.1f}s, "
+        f"coalesced {result['coalesced_seconds']:.1f}s "
+        f"({result['batches']} batches) -> {result['speedup']:.2f}x; "
+        f"warm {result['warm_seconds']*1e3:.0f}ms"
+    )
+    assert result["identical"], "coalesced summaries diverged from oracle"
+    # Coalescing actually coalesced: one batch per compatibility
+    # group, not one per request.
+    assert result["batches"] == result["groups"]
+    assert result["batch_occupancy"] == pytest.approx(result["per_group"])
+    assert result["speedup"] >= MIN_SPEEDUP
+    # Warm pass: served entirely from the cache, zero new batches.
+    assert result["warm_all_cached"], "warm burst missed the cache"
+    assert result["warm_batches_added"] == 0
+    assert result["warm_seconds"] < result["coalesced_seconds"]

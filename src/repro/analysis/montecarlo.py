@@ -46,10 +46,8 @@ from repro.experiments.table1 import (
 )
 from repro.fusion import BoresightConfig
 from repro.geometry import EulerAngles
-from repro.rng import make_rng
 from repro.scenarios.faults import Fault
 from repro.vehicle import Trajectory, VibrationSpec
-from repro.vehicle.profiles import city_drive_profile, static_tilt_profile
 
 #: Default body-rate magnitude (rad/s) above which the dynamic
 #: ensembles skip measurement updates.  City-drive corners peak around
@@ -379,6 +377,8 @@ def run_monte_carlo_static(
     engine: str = "model",
     faults: Sequence[Fault] = (),
     fallback_hold: bool = False,
+    chunk_size: int | None = None,
+    cache=None,
 ) -> MonteCarloSummary:
     """Repeat the static protocol across seeds and aggregate.
 
@@ -407,31 +407,49 @@ def run_monte_carlo_static(
     degradation ladder (see
     :class:`~repro.fusion.boresight.BoresightConfig.fallback_hold`).
 
-    Dispatch runs through the ``"ensemble"`` domain of
-    :mod:`repro.engines`; any further registered backend is selectable
-    by name.
+    This is a thin shim over :func:`repro.api.execute` — the ensemble
+    is phrased as a :class:`~repro.service.requests.ScenarioRequest`
+    and executed through the façade, so the uniform knobs apply:
+    ``chunk_size`` streams the seeds in blocks (chunk-accepting
+    engines only) and ``cache`` (a
+    :class:`~repro.scenarios.cache.CampaignCache`) serves bit-exact
+    repeats without recomputing.  Dispatch runs through the
+    ``"ensemble"`` domain of :mod:`repro.engines`; any further
+    registered backend is selectable by name.
     """
-    engine_impl = _resolve_ensemble_engine(engine, workers)
-    if misalignment is None:
-        misalignment = EulerAngles.from_degrees(2.0, -1.5, 3.0)
-    trajectory = static_tilt_profile(
-        duration=duration, dwell_time=dwell_time, slew_time=slew_time
+    # Imported lazily: repro.api sits on top of this module.
+    from repro.api import execute
+    from repro.scenarios.campaign import FaultSpec
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.service.requests import ScenarioRequest
+
+    scenario = ScenarioSpec(
+        name="static_ensemble",
+        profile="static_tilt",
+        duration=duration,
+        profile_args=(("dwell_time", dwell_time), ("slew_time", slew_time)),
+        moving=False,
+        measurement_sigma=measurement_sigma,
+        motion_gate_rate=None,
     )
     estimator_config = static_estimator_config(measurement_sigma)
     if fallback_hold:
         estimator_config = replace(estimator_config, fallback_hold=True)
-    jobs = [
-        EnsembleJob(
-            seed=base_seed + i,
-            trajectory=trajectory,
-            misalignment=misalignment,
-            estimator_config=estimator_config,
-            moving=False,
-            faults=tuple(faults),
-        )
-        for i in range(runs)
-    ]
-    return engine_impl(jobs, workers)
+    request = ScenarioRequest(
+        scenario=scenario,
+        seeds=tuple(base_seed + i for i in range(runs)),
+        fault=FaultSpec(name="injected", faults=tuple(faults)),
+        misalignment=misalignment,
+        estimator_config=estimator_config,
+        fallback_hold=fallback_hold,
+    )
+    return execute(
+        request,
+        engine=engine,
+        workers=workers,
+        chunk_size=chunk_size,
+        cache=cache,
+    ).summary
 
 
 def run_monte_carlo_dynamic(
@@ -449,6 +467,8 @@ def run_monte_carlo_dynamic(
     faults: Sequence[Fault] = (),
     fallback_hold: bool = False,
     vibration: VibrationSpec | None = None,
+    chunk_size: int | None = None,
+    cache=None,
 ) -> MonteCarloSummary:
     """Repeat the dynamic (driving) protocol across seeds and aggregate.
 
@@ -480,12 +500,26 @@ def run_monte_carlo_dynamic(
     run, ``fallback_hold`` arms the dead-reckoning rung of the
     degradation ladder, and ``vibration`` overrides the rigs' default
     vibration environment (rough-road scenarios).
+
+    Like :func:`run_monte_carlo_static`, this is a thin shim over
+    :func:`repro.api.execute` with the uniform ``chunk_size`` and
+    ``cache`` knobs.
     """
-    engine_impl = _resolve_ensemble_engine(engine, workers)
-    if misalignment is None:
-        misalignment = EulerAngles.from_degrees(2.0, -1.5, 3.0)
-    trajectory = city_drive_profile(
-        duration=duration, rng=make_rng(route_seed)
+    # Imported lazily: repro.api sits on top of this module.
+    from repro.api import execute
+    from repro.scenarios.campaign import FaultSpec
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.service.requests import ScenarioRequest
+
+    scenario = ScenarioSpec(
+        name="dynamic_ensemble",
+        profile="city_drive",
+        duration=duration,
+        route_seed=route_seed,
+        moving=True,
+        measurement_sigma=measurement_sigma,
+        motion_gate_rate=motion_gate_rate,
+        vibration=vibration,
     )
     estimator_config = dynamic_estimator_config(
         measurement_sigma,
@@ -494,21 +528,25 @@ def run_monte_carlo_dynamic(
     )
     if fallback_hold:
         estimator_config = replace(estimator_config, fallback_hold=True)
-    jobs = [
-        EnsembleJob(
-            seed=base_seed + i,
-            trajectory=trajectory,
-            misalignment=misalignment,
-            estimator_config=estimator_config,
-            moving=True,
-            acc_dropout_time=(
-                acc_dropout.get(base_seed + i)
-                if acc_dropout is not None
-                else None
-            ),
-            faults=tuple(faults),
-            vibration=vibration,
-        )
-        for i in range(runs)
-    ]
-    return engine_impl(jobs, workers)
+    seeds = tuple(base_seed + i for i in range(runs))
+    dropout = () if acc_dropout is None else tuple(
+        (seed, acc_dropout[seed])
+        for seed in seeds
+        if acc_dropout.get(seed) is not None
+    )
+    request = ScenarioRequest(
+        scenario=scenario,
+        seeds=seeds,
+        fault=FaultSpec(name="injected", faults=tuple(faults)),
+        misalignment=misalignment,
+        estimator_config=estimator_config,
+        fallback_hold=fallback_hold,
+        acc_dropout=dropout,
+    )
+    return execute(
+        request,
+        engine=engine,
+        workers=workers,
+        chunk_size=chunk_size,
+        cache=cache,
+    ).summary

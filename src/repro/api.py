@@ -1,0 +1,197 @@
+"""``repro.api`` — the unified execution façade.
+
+One front door over every execution path the library grew: build a
+typed request, call :func:`execute`, get a typed result.
+
+- a :class:`~repro.service.requests.ScenarioRequest` routes to the
+  ``"ensemble"`` engine domain (serial oracle, process-parallel
+  oracle, or the chunked lockstep path) and returns a
+  :class:`~repro.service.requests.ScenarioResult`;
+- a :class:`~repro.scenarios.campaign.CampaignSpec` routes to the
+  ``"campaign"`` domain (grid execution with cache stitching) and
+  returns a :class:`~repro.scenarios.campaign.CampaignResult`.
+
+The execution knobs are uniform across both paths — and across the
+legacy entry points (:func:`~repro.analysis.montecarlo.run_monte_carlo_static`,
+:func:`~repro.analysis.montecarlo.run_monte_carlo_dynamic`,
+:func:`~repro.scenarios.campaign.run_campaign`), which are now thin
+shims over this module:
+
+``engine``
+    A registry name for the request's domain, or ``"auto"`` (pick the
+    lockstep path at ``workers=1``, the process-parallel oracle
+    otherwise for scenario requests; the fast sharded path for
+    campaigns).
+``workers``
+    Process parallelism; engines flagged ``single_process`` reject
+    ``workers != 1`` *before* any trajectory is materialized.
+``chunk_size``
+    Seed-block size for engines flagged ``accepts_chunk_size``; any
+    other engine rejects a non-``None`` value, again before compute.
+``cache``
+    A :class:`~repro.scenarios.cache.CampaignCache` consulted before
+    executing and updated after — scenario requests are cached whole,
+    campaign grids per cell.
+
+Many *concurrent* requests belong to the asyncio service
+(:class:`repro.service.ScenarioService`), which adds coalescing,
+backpressure and metrics on top of the same request/result types;
+:func:`execute` is the one-call blocking path.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.montecarlo import (
+    MonteCarloSummary,
+    _resolve_ensemble_engine,
+)
+from repro.engines import resolve_engine
+from repro.errors import ConfigurationError
+from repro.scenarios.cache import CampaignCache
+from repro.scenarios.campaign import (
+    CampaignResult,
+    CampaignSpec,
+)
+from repro.service.requests import ScenarioRequest, ScenarioResult
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "MonteCarloSummary",
+    "ScenarioRequest",
+    "ScenarioResult",
+    "execute",
+]
+
+
+def _require_chunkable(impl, engine: str, chunk_size: int | None) -> None:
+    """Reject ``chunk_size`` on engines that cannot stream chunks."""
+    if chunk_size is None:
+        return
+    if not getattr(impl, "accepts_chunk_size", False):
+        raise ConfigurationError(
+            f"engine={engine!r} does not take a chunk_size; seed-block "
+            "streaming belongs to the lockstep engines (engine='fast')"
+        )
+    if chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk_size must be >= 1, got {chunk_size}"
+        )
+
+
+def _execute_scenario(
+    request: ScenarioRequest,
+    engine: str,
+    workers: int,
+    chunk_size: int | None,
+    cache: CampaignCache | None,
+) -> ScenarioResult:
+    """One scenario request through an ``"ensemble"`` engine."""
+    if engine == "auto":
+        engine = "model" if workers > 1 else "fast"
+    impl = _resolve_ensemble_engine(engine, workers)
+    _require_chunkable(impl, engine, chunk_size)
+    started = time.perf_counter()
+    if cache is not None:
+        hit, summary = cache.lookup(request)
+        if hit:
+            return ScenarioResult(
+                request=request,
+                summary=summary,
+                cache_hit=True,
+                source="cache",
+                batch_size=0,
+                latency_seconds=time.perf_counter() - started,
+            )
+    kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+    summary = impl(request.jobs(), workers, **kwargs)
+    if cache is not None:
+        cache.store(request, summary)
+    return ScenarioResult(
+        request=request,
+        summary=summary,
+        cache_hit=False,
+        source="direct",
+        batch_size=1,
+        latency_seconds=time.perf_counter() - started,
+    )
+
+
+def _execute_campaign(
+    spec: CampaignSpec,
+    engine: str,
+    workers: int,
+    chunk_size: int | None,
+    cache: CampaignCache | None,
+) -> CampaignResult:
+    """Every cell of ``spec``, with cache stitching in cell order."""
+    from repro.errors import SimulationError
+
+    if engine == "auto":
+        engine = "fast"
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    impl = resolve_engine("campaign", engine)
+    if workers != 1 and getattr(impl, "single_process", False):
+        raise ConfigurationError(
+            f"engine={engine!r} is single-process; use workers=1 "
+            "(cell sharding belongs to engine='fast')"
+        )
+    _require_chunkable(impl, engine, chunk_size)
+    cells = spec.cells()
+    summaries: list[MonteCarloSummary | None] = [None] * len(cells)
+    if cache is None:
+        missing = list(range(len(cells)))
+    else:
+        missing = []
+        for index, cell in enumerate(cells):
+            hit, summary = cache.lookup(cell)
+            if hit:
+                summaries[index] = summary
+            else:
+                missing.append(index)
+    if missing:
+        kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+        fresh = impl([cells[i] for i in missing], workers, **kwargs)
+        if len(fresh) != len(missing):
+            raise SimulationError(
+                f"campaign engine returned {len(fresh)} summaries for "
+                f"{len(missing)} cells"
+            )
+        for index, summary in zip(missing, fresh):
+            summaries[index] = summary
+            if cache is not None:
+                cache.store(cells[index], summary)
+    return CampaignResult(
+        spec=spec, cells=cells, summaries=tuple(summaries)
+    )
+
+
+def execute(
+    request: ScenarioRequest | CampaignSpec,
+    *,
+    engine: str = "auto",
+    workers: int = 1,
+    chunk_size: int | None = None,
+    cache: CampaignCache | None = None,
+):
+    """Execute one typed request and return its typed result.
+
+    The single blocking entry point: dispatches on the request type
+    (see the module docstring for the routing and the knob semantics).
+    A :class:`~repro.service.requests.ScenarioRequest` whose every
+    seed diverges raises :class:`~repro.errors.ConfigurationError`
+    (the legacy ensemble behavior — the service and campaign paths
+    report ``None`` summaries instead, because they aggregate many
+    units).
+    """
+    if isinstance(request, ScenarioRequest):
+        return _execute_scenario(request, engine, workers, chunk_size, cache)
+    if isinstance(request, CampaignSpec):
+        return _execute_campaign(request, engine, workers, chunk_size, cache)
+    raise ConfigurationError(
+        f"execute() takes a ScenarioRequest or a CampaignSpec, got "
+        f"{type(request).__name__}"
+    )

@@ -541,6 +541,68 @@ register_probe("campaign", "fast")(_campaign_probe("fast"))
 
 
 # --------------------------------------------------------------------
+# service — one-request-at-a-time oracle vs the coalescing scenario
+# service.  Three compressed requests: two sharing a compatibility
+# group (so the fast path really merges them into one lockstep batch)
+# plus a fault-recipe outlier that must land in its own batch.  The
+# payload pins each request's full summary, in request order.
+# --------------------------------------------------------------------
+
+
+def _service_probe(name: str):
+    def probe(seed: int) -> dict:
+        from repro.scenarios.campaign import FaultSpec
+        from repro.scenarios.faults import SensorDropout
+        from repro.scenarios.spec import ScenarioSpec
+        from repro.service.requests import ScenarioRequest
+
+        base = 300 + (seed % 97)
+        bench = ScenarioSpec(
+            name="bench",
+            profile="static_tilt",
+            duration=80.0,
+            profile_args=(("dwell_time", 6.0), ("slew_time", 2.0)),
+            moving=False,
+            measurement_sigma=0.006,
+            motion_gate_rate=None,
+        )
+        dropout = FaultSpec(
+            name="dropout",
+            faults=(SensorDropout(sensor="acc", start=45.0, duration=10.0),),
+        )
+        requests = [
+            ScenarioRequest(scenario=bench, seeds=(base, base + 1)),
+            ScenarioRequest(scenario=bench, seeds=(base + 2,)),
+            ScenarioRequest(
+                scenario=bench, seeds=(base, base + 3), fault=dropout
+            ),
+        ]
+        impl = resolve_engine("service", name)
+        payload: dict = {}
+        for index, summary in enumerate(impl(requests, 1)):
+            if summary is None:
+                payload[f"request_{index}"] = None
+                continue
+            payload[f"request_{index}"] = {
+                "runs": summary.runs,
+                "rms_error_deg": summary.rms_error_deg,
+                "max_error_deg": summary.max_error_deg,
+                "coverage_3sigma": summary.coverage_3sigma,
+                "mean_exceedance": summary.mean_exceedance,
+                "anees": summary.anees,
+                "diverged_seeds": summary.diverged_seeds,
+                "fallback_states": summary.fallback_states,
+            }
+        return payload
+
+    return probe
+
+
+register_probe("service", "model")(_service_probe("model"))
+register_probe("service", "fast")(_service_probe("fast"))
+
+
+# --------------------------------------------------------------------
 # can — per-bit frame codec vs batched uint8 scans.  The payload pins
 # the stuffed wire bits, their lengths, and the decoded fields of a
 # mixed-DLC frame population.

@@ -83,6 +83,8 @@ _BUILTIN_MODULES: dict[tuple[str, str], str] = {
     ("ensemble", "chunked"): "repro.experiments.batch_protocol",
     ("campaign", "model"): "repro.scenarios.campaign",
     ("campaign", "fast"): "repro.scenarios.campaign",
+    ("service", "model"): "repro.service.service",
+    ("service", "fast"): "repro.service.service",
     ("can", "model"): "repro.comm.can",
     ("can", "fast"): "repro.comm.fast",
     ("uart", "model"): "repro.comm.uart",

@@ -62,6 +62,21 @@ class SimulationError(ReproError):
     """The discrete-event or cycle simulator reached an invalid state."""
 
 
+class ServiceError(ReproError):
+    """The scenario-execution service (:mod:`repro.service`) failed."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The service's bounded admission queue rejected a request.
+
+    Raised by :meth:`repro.service.ScenarioService.submit` when the
+    number of queued-but-unexecuted requests already sits at
+    ``max_pending`` — the backpressure signal callers are expected to
+    retry (or shed) on, instead of the queue growing without bound
+    under sustained overload.
+    """
+
+
 class SabreError(ReproError):
     """Errors from the Sabre soft-core subsystem."""
 

@@ -122,29 +122,34 @@ def iter_chunks(
         yield list(items[start : start + chunk_size])
 
 
-def run_ensemble_chunked(
+def iter_job_outcomes(
     jobs: Sequence,
     chunk_size: int | None = None,
     arena: StateArena | None = None,
-):
-    """Stream ``jobs`` through the lockstep engine in seed-block chunks.
+) -> Iterator[tuple[int, tuple | None]]:
+    """Yield ``(seed, outcome)`` per job, in job order, chunk by chunk.
 
-    The execution core behind the ``"ensemble"`` fast engine: each
-    chunk of jobs runs as one stacked lockstep ensemble drawing its
-    ``(R_chunk, …)`` scratch from a single shared ``arena``, and the
-    chunk's per-run outcome rows fold into an
-    :class:`~repro.analysis.montecarlo.OutcomeAccumulator` before the
-    next chunk overwrites the scratch.  The final summary is
-    bit-identical to the monolithic whole-``R`` run (and to the
-    serial oracle) at every ``chunk_size``.
+    The per-job view of the chunked lockstep core: each seed-block
+    chunk runs as one stacked ensemble drawing its ``(R_chunk, …)``
+    scratch from ``arena``, and every job's per-run outcome row — the
+    exact ``(error_deg, covered, exceedance, hold_ticks,
+    three_sigma_deg)`` tuple the serial oracle's ``_run_job`` produces,
+    bit for bit — is yielded before the next chunk overwrites the
+    scratch.  A diverged run yields ``(seed, None)``, mirroring the
+    serial engine's masking.
+
+    This is the splitting point the scenario service's request
+    coalescing rides on: because per-seed RNG trees are independent,
+    the rows of a merged many-request batch are identical to the rows
+    each request would produce alone, so regrouping them per request
+    is bit-exact by construction.
 
     Callers must have validated the job list already (homogeneity,
-    distinct seeds) — this function only partitions and reduces.
+    distinct seeds) — this function only partitions and executes.
     """
     # Imported lazily: batch_protocol sits on top of this module, and
     # montecarlo imports the protocol layer — a module-level import in
     # either direction would be circular at registry load.
-    from repro.analysis.montecarlo import OutcomeAccumulator
     from repro.experiments.batch_protocol import _ensemble_for_jobs
 
     if not jobs:
@@ -157,10 +162,44 @@ def run_ensemble_chunked(
         )
     if arena is None:
         arena = StateArena()
-    accumulator = OutcomeAccumulator()
     for chunk in iter_chunks(jobs, chunk_size):
         ensemble = _ensemble_for_jobs(chunk, arena=arena)
-        accumulator.extend(
-            ensemble.outcomes(), diverged_seeds=ensemble.diverged_seeds
-        )
+        rows = iter(ensemble.outcomes())
+        for r, seed in enumerate(ensemble.seeds):
+            if ensemble.result.diverged[r]:
+                yield seed, None
+            else:
+                yield seed, next(rows)
+
+
+def run_ensemble_chunked(
+    jobs: Sequence,
+    chunk_size: int | None = None,
+    arena: StateArena | None = None,
+):
+    """Stream ``jobs`` through the lockstep engine in seed-block chunks.
+
+    The execution core behind the ``"ensemble"`` fast engine: each
+    chunk of jobs runs as one stacked lockstep ensemble drawing its
+    ``(R_chunk, …)`` scratch from a single shared ``arena``
+    (:func:`iter_job_outcomes`), and the chunk's per-run outcome rows
+    fold into an
+    :class:`~repro.analysis.montecarlo.OutcomeAccumulator` before the
+    next chunk overwrites the scratch.  The final summary is
+    bit-identical to the monolithic whole-``R`` run (and to the
+    serial oracle) at every ``chunk_size``.
+
+    Callers must have validated the job list already (homogeneity,
+    distinct seeds) — this function only partitions and reduces.
+    """
+    from repro.analysis.montecarlo import OutcomeAccumulator
+
+    accumulator = OutcomeAccumulator()
+    for seed, outcome in iter_job_outcomes(
+        jobs, chunk_size=chunk_size, arena=arena
+    ):
+        if outcome is None:
+            accumulator.extend((), diverged_seeds=(seed,))
+        else:
+            accumulator.extend((outcome,))
     return accumulator.finalize()

@@ -32,6 +32,7 @@ stream, and the ensemble statistics compare against simulation truth.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -383,7 +384,7 @@ run_lockstep_jobs.accepts_chunk_size = True
     "chunked",
     description="the lockstep engine forced through >= 2 arena chunks",
 )
-def run_lockstep_jobs_chunked(jobs, workers: int = 1):
+def _run_lockstep_jobs_forced_chunks(jobs, workers: int = 1):
     """The lockstep engine with chunking forced on.
 
     Identical contract and (bit-identical) results to the ``"fast"``
@@ -397,7 +398,34 @@ def run_lockstep_jobs_chunked(jobs, workers: int = 1):
     )
 
 
-run_lockstep_jobs_chunked.single_process = True
+_run_lockstep_jobs_forced_chunks.single_process = True
+
+#: Set once the deprecation below has been voiced, so a loop over the
+#: legacy name nags exactly once per process rather than per call.
+_CHUNKED_DEPRECATION_WARNED = False
+
+
+def run_lockstep_jobs_chunked(jobs, workers: int = 1):
+    """Deprecated alias: call ``run_lockstep_jobs(chunk_size=...)``.
+
+    Chunking stopped being a separate engine surface when
+    :func:`run_lockstep_jobs` grew its ``chunk_size`` keyword — the
+    registered ``("ensemble", "chunked")`` entry survives only to pin
+    the chunk boundary under the registry harness.  This shim keeps
+    the old public name importable, emits a single
+    :class:`DeprecationWarning` per process, and forwards to the same
+    forced-chunk execution (bit-identical results).
+    """
+    global _CHUNKED_DEPRECATION_WARNED
+    if not _CHUNKED_DEPRECATION_WARNED:
+        _CHUNKED_DEPRECATION_WARNED = True
+        warnings.warn(
+            "run_lockstep_jobs_chunked is deprecated; use "
+            "run_lockstep_jobs(jobs, chunk_size=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return _run_lockstep_jobs_forced_chunks(jobs, workers)
 
 
 def run_static_ensemble(

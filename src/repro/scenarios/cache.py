@@ -26,8 +26,11 @@ stale).
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 import struct
 from dataclasses import fields, is_dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -107,33 +110,104 @@ def canonical_digest(value) -> str:
 
 
 class CampaignCache:
-    """In-memory memo of campaign cell summaries, keyed by digest.
+    """Memo of campaign cell summaries keyed by digest, optionally on disk.
 
-    Lookup is by :func:`canonical_digest` of the
-    :class:`~repro.scenarios.campaign.CampaignCell`, so a hit is only
-    possible when the scenario, fault recipe, seeds and ladder arming
-    are all identical down to the bit.  ``None`` summaries (every seed
-    diverged) are cached too — divergence is as deterministic as
-    convergence.
+    Lookup is by :func:`canonical_digest` of the keyed value (a
+    :class:`~repro.scenarios.campaign.CampaignCell`, a service
+    :class:`~repro.service.requests.ScenarioRequest` — any dataclass
+    tree the canonicalizer accepts), so a hit is only possible when
+    every field of the tree is identical down to the bit.  ``None``
+    summaries (every seed diverged) are cached too — divergence is as
+    deterministic as convergence.
+
+    ``cache_dir`` arms the **persistent tier**: every stored entry is
+    also written to ``<cache_dir>/<digest>.pkl`` (atomically, via a
+    same-directory temp file and rename), and an in-memory miss falls
+    through to the directory before being counted a miss.  Because the
+    filename *is* the bit-exact canonical digest, cross-process and
+    cross-session reuse is sound by the same argument as the in-memory
+    tier, and a stale hit would require a digest collision.  A corrupt,
+    truncated or version-mismatched file is treated as a miss (and the
+    fresh result overwrites it on the next store) — never as an error.
 
     Pass an instance to :func:`~repro.scenarios.campaign.run_campaign`
-    and reuse it across runs; ``hits``/``misses`` expose the economics.
+    or a :class:`~repro.service.ScenarioService` and reuse it across
+    runs; ``hits``/``misses``/``disk_hits`` expose the economics.
     """
 
     #: Distinguishes a cached ``None`` summary from an absent entry.
     _MISS = object()
 
-    def __init__(self) -> None:
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
         self._entries: dict[str, object] = {}
+        self._dir = Path(cache_dir) if cache_dir is not None else None
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Hits served from the persistent tier (a subset of ``hits``).
+        self.disk_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def cache_dir(self) -> Path | None:
+        """The persistent tier's directory; ``None`` = memory only."""
+        return self._dir
+
+    def _disk_path(self, digest: str) -> Path:
+        return self._dir / f"{digest}.pkl"
+
+    def _disk_load(self, digest: str):
+        """The disk entry for ``digest``, or ``_MISS`` if unusable.
+
+        Anything short of a well-formed, version-tagged pickle —
+        missing file, truncated write, garbage bytes, a payload from
+        an older digest scheme — reads as a miss: the cache must never
+        turn a damaged file into an exception or a wrong answer.
+        """
+        try:
+            raw = self._disk_path(digest).read_bytes()
+        except OSError:
+            return self._MISS
+        try:
+            payload = pickle.loads(raw)
+        except Exception:
+            return self._MISS
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != DIGEST_VERSION
+            or "summary" not in payload
+        ):
+            return self._MISS
+        return payload["summary"]
+
+    def _disk_store(self, digest: str, summary) -> None:
+        """Atomically persist ``digest`` -> ``summary``.
+
+        Written to a temp file in the same directory and renamed into
+        place, so a reader in another process sees either the complete
+        entry or none — a crash mid-write leaves a ``.tmp`` straggler,
+        never a truncated ``.pkl``.
+        """
+        path = self._disk_path(digest)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(
+            pickle.dumps({"version": DIGEST_VERSION, "summary": summary})
+        )
+        os.replace(tmp, path)
+
     def lookup(self, cell):
         """``(hit, summary)`` for ``cell``; counts the hit or miss."""
-        entry = self._entries.get(canonical_digest(cell), self._MISS)
+        digest = canonical_digest(cell)
+        entry = self._entries.get(digest, self._MISS)
+        if entry is self._MISS and self._dir is not None:
+            entry = self._disk_load(digest)
+            if entry is not self._MISS:
+                # Promote, so repeat lookups skip the file system.
+                self._entries[digest] = entry
+                self.disk_hits += 1
         if entry is self._MISS:
             self.misses += 1
             return False, None
@@ -142,8 +216,12 @@ class CampaignCache:
 
     def store(self, cell, summary) -> None:
         """Memoize ``cell``'s summary (``None`` = every seed diverged)."""
-        self._entries[canonical_digest(cell)] = summary
+        digest = canonical_digest(cell)
+        self._entries[digest] = summary
+        if self._dir is not None:
+            self._disk_store(digest, summary)
 
     def clear(self) -> None:
-        """Drop every entry; the hit/miss counters keep accumulating."""
+        """Drop every in-memory entry; the persistent tier and the
+        hit/miss counters keep accumulating."""
         self._entries.clear()

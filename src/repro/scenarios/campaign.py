@@ -26,6 +26,7 @@ classifies it ``"diverged"``.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -250,21 +251,28 @@ class CampaignResult:
         return {"name": self.spec.name, "cells": cells}
 
 
-def _run_cell(cell: CampaignCell, engine: str) -> MonteCarloSummary | None:
+def _run_cell(
+    cell: CampaignCell,
+    engine: str,
+    chunk_size: int | None = None,
+) -> MonteCarloSummary | None:
     """Run one cell through an ``"ensemble"`` engine; None = all diverged."""
     jobs = cell.jobs()
     impl = resolve_engine("ensemble", engine)
+    kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
     try:
-        return impl(jobs, 1)
+        return impl(jobs, 1, **kwargs)
     except ConfigurationError as exc:
         if "every run diverged" not in str(exc):
             raise
         return None
 
 
-def _run_cell_fast(cell: CampaignCell) -> MonteCarloSummary | None:
+def _run_cell_fast(
+    cell: CampaignCell, chunk_size: int | None = None
+) -> MonteCarloSummary | None:
     """Module-level shard worker (spawn must pickle it by name)."""
-    return _run_cell(cell, "fast")
+    return _run_cell(cell, "fast", chunk_size=chunk_size)
 
 
 @register_engine(
@@ -300,22 +308,27 @@ run_campaign_cells_serial.single_process = True
     description="lockstep cells, optionally sharded over worker processes",
 )
 def run_campaign_cells_sharded(
-    cells: list[CampaignCell], workers: int = 1
+    cells: list[CampaignCell],
+    workers: int = 1,
+    chunk_size: int | None = None,
 ) -> list[MonteCarloSummary | None]:
     """Lockstep cells, fanned over ``workers`` spawned shards.
 
     Each cell runs the lockstep ensemble engine (single-process, all
-    seeds stacked); ``workers > 1`` distributes whole cells over a
-    spawn pool.  Aggregation follows cell order regardless of shard
-    completion order, so the result is identical for any ``workers``.
+    seeds stacked, streaming ``chunk_size`` seed blocks); ``workers >
+    1`` distributes whole cells over a spawn pool.  Aggregation
+    follows cell order regardless of shard completion order, so the
+    result is identical for any ``workers`` — and for any
+    ``chunk_size``, by the chunked core's bit-identity contract.
     """
+    run_cell = functools.partial(_run_cell_fast, chunk_size=chunk_size)
     if workers > 1 and len(cells) > 1:
         context = multiprocessing.get_context("spawn")
         try:
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(cells)), mp_context=context
             ) as pool:
-                return list(pool.map(_run_cell_fast, cells))
+                return list(pool.map(run_cell, cells))
         except BrokenProcessPool as exc:
             raise SimulationError(
                 "campaign shard pool died; see the chained exception for "
@@ -323,7 +336,10 @@ def run_campaign_cells_sharded(
                 "the caller's __main__, which fails from REPL/stdin "
                 "contexts — there, use workers=1."
             ) from exc
-    return [_run_cell_fast(cell) for cell in cells]
+    return [run_cell(cell) for cell in cells]
+
+
+run_campaign_cells_sharded.accepts_chunk_size = True
 
 
 def run_campaign(
@@ -331,50 +347,30 @@ def run_campaign(
     engine: str = "fast",
     workers: int = 1,
     cache: CampaignCache | None = None,
+    chunk_size: int | None = None,
 ) -> CampaignResult:
     """Execute every cell of ``spec`` and collect the grid result.
 
-    ``engine`` selects the ``"campaign"`` backend (``"model"`` oracle
-    or the default ``"fast"`` lockstep path); ``workers > 1`` shards
-    cells over spawned processes on the fast engine.  Cell summaries
-    are bit-identical across engines and worker counts — which is what
-    makes ``cache`` (a :class:`~repro.scenarios.cache.CampaignCache`)
-    sound: cells whose canonical digest hits the cache are served
-    without running, only the missing cells go to the engine, and the
-    grid is stitched back in cell order.  Fresh results are stored
-    back, so iterating on one scenario re-runs only its cells.
+    A thin shim over :func:`repro.api.execute` (the knobs are the
+    uniform façade knobs): ``engine`` selects the ``"campaign"``
+    backend (``"model"`` oracle or the default ``"fast"`` lockstep
+    path); ``workers > 1`` shards cells over spawned processes on the
+    fast engine; ``chunk_size`` streams each cell's seeds in blocks
+    (fast engine only).  Cell summaries are bit-identical across
+    engines, worker counts and chunk sizes — which is what makes
+    ``cache`` (a :class:`~repro.scenarios.cache.CampaignCache`) sound:
+    cells whose canonical digest hits the cache are served without
+    running, only the missing cells go to the engine, and the grid is
+    stitched back in cell order.  Fresh results are stored back, so
+    iterating on one scenario re-runs only its cells.
     """
-    if workers < 1:
-        raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    impl = resolve_engine("campaign", engine)
-    if workers != 1 and getattr(impl, "single_process", False):
-        raise ConfigurationError(
-            f"engine={engine!r} is single-process; use workers=1 "
-            "(cell sharding belongs to engine='fast')"
-        )
-    cells = spec.cells()
-    summaries: list[MonteCarloSummary | None] = [None] * len(cells)
-    if cache is None:
-        missing = list(range(len(cells)))
-    else:
-        missing = []
-        for index, cell in enumerate(cells):
-            hit, summary = cache.lookup(cell)
-            if hit:
-                summaries[index] = summary
-            else:
-                missing.append(index)
-    if missing:
-        fresh = impl([cells[i] for i in missing], workers)
-        if len(fresh) != len(missing):
-            raise SimulationError(
-                f"campaign engine returned {len(fresh)} summaries for "
-                f"{len(missing)} cells"
-            )
-        for index, summary in zip(missing, fresh):
-            summaries[index] = summary
-            if cache is not None:
-                cache.store(cells[index], summary)
-    return CampaignResult(
-        spec=spec, cells=cells, summaries=tuple(summaries)
+    # Imported lazily: repro.api sits on top of this module.
+    from repro.api import execute
+
+    return execute(
+        spec,
+        engine=engine,
+        workers=workers,
+        chunk_size=chunk_size,
+        cache=cache,
     )

@@ -1,0 +1,110 @@
+"""Batch execution backends for the scenario service.
+
+Three ways to turn a merged lockstep job list into per-seed outcome
+rows, all producing the *same rows bit for bit* (the engine-registry
+contract, inherited from the chunked arena core and the serial
+oracle):
+
+- :func:`run_jobs_inline` — the chunked lockstep core in this
+  process, recycling a caller-owned :class:`~repro.experiments.arena.StateArena`
+  across batches;
+- :class:`WorkerPool` — the same function on a persistent spawn-worker
+  pool, so batch execution never blocks the service's event loop and
+  survives across many batches without per-batch spawn cost;
+- :func:`run_jobs_serial` — one serial rig per seed, the degraded
+  path the service falls back to when the pool dies.
+
+Rows are ``(seed, outcome | None)`` in job order; ``None`` marks a
+diverged seed, exactly like the engines' masking.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Sequence
+
+from repro.analysis.montecarlo import EnsembleJob, _run_job
+from repro.errors import ConfigurationError
+from repro.experiments.arena import StateArena, iter_job_outcomes
+
+#: The row type every backend produces: (seed, outcome tuple or None).
+Row = tuple
+
+
+def run_jobs_inline(
+    jobs: Sequence[EnsembleJob],
+    chunk_size: int | None = None,
+    arena: StateArena | None = None,
+) -> list[Row]:
+    """The chunked lockstep core, in this process."""
+    return list(
+        iter_job_outcomes(jobs, chunk_size=chunk_size, arena=arena)
+    )
+
+
+def run_jobs_serial(jobs: Sequence[EnsembleJob]) -> list[Row]:
+    """One serial rig per seed — the pool-death fallback path.
+
+    Bit-identical rows to the lockstep path (that is the ensemble
+    engine contract), just without the stacked-array throughput.
+    """
+    return [(job.seed, _run_job(job)) for job in jobs]
+
+
+def _pool_run_batch(
+    jobs: list[EnsembleJob], chunk_size: int | None
+) -> list[Row]:
+    """Worker-side batch entry point; module-level so spawn pickles it."""
+    return run_jobs_inline(jobs, chunk_size=chunk_size)
+
+
+class WorkerPool:
+    """A persistent spawn-process pool executing whole lockstep batches.
+
+    One pool outlives many batches — the service pays the spawn cost
+    once, not per batch.  :meth:`run` raises
+    :class:`~concurrent.futures.process.BrokenProcessPool` when the
+    pool has died (a worker was killed, the interpreter in it
+    crashed); the service catches that, marks the pool dead and
+    degrades to :func:`run_jobs_serial`.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ConfigurationError(
+                f"worker pool needs workers >= 1, got {workers}"
+            )
+        self.workers = workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        self._broken = False
+
+    @property
+    def broken(self) -> bool:
+        """Whether the pool has been marked dead."""
+        return self._broken
+
+    def run(
+        self, jobs: list[EnsembleJob], chunk_size: int | None = None
+    ) -> list[Row]:
+        """Execute one batch on a pool worker, blocking until done.
+
+        Called from an executor thread, never from the event loop.
+        """
+        if self._broken:
+            raise BrokenProcessPool("worker pool already marked dead")
+        try:
+            return self._pool.submit(
+                _pool_run_batch, list(jobs), chunk_size
+            ).result()
+        except BrokenProcessPool:
+            self._broken = True
+            raise
+
+    def shutdown(self) -> None:
+        """Release the worker processes (idempotent)."""
+        self._pool.shutdown(wait=True, cancel_futures=True)

@@ -197,6 +197,127 @@ class TestCampaignCacheUnit:
         assert not hit
 
 
+class TestDiskTier:
+    """The persistent tier: cross-instance reuse, corrupt files = misses."""
+
+    def _summary(self):
+        from repro.analysis.montecarlo import MonteCarloSummary
+
+        return MonteCarloSummary(
+            runs=2,
+            rms_error_deg=np.array([0.1, 0.2]),
+            max_error_deg=np.array([0.3, 0.4]),
+            coverage_3sigma=1.0,
+            mean_exceedance=0.0,
+            diverged_seeds=(901,),
+            fallback_states=("full", "degraded"),
+            anees=2.5,
+        )
+
+    def test_second_instance_reads_first_instances_entry(self, tmp_path):
+        cell = _base_cell()
+        summary = self._summary()
+        writer = CampaignCache(cache_dir=tmp_path)
+        writer.store(cell, summary)
+        reader = CampaignCache(cache_dir=tmp_path)
+        hit, loaded = reader.lookup(cell)
+        assert hit and loaded == summary
+        assert reader.disk_hits == 1 and reader.hits == 1
+        # Promoted to memory: the second lookup skips the file system.
+        hit, _ = reader.lookup(cell)
+        assert hit and reader.disk_hits == 1 and reader.hits == 2
+
+    def test_none_summary_round_trips_through_disk(self, tmp_path):
+        cell = _base_cell()
+        CampaignCache(cache_dir=tmp_path).store(cell, None)
+        hit, summary = CampaignCache(cache_dir=tmp_path).lookup(cell)
+        assert hit and summary is None
+
+    def test_memory_only_cache_has_no_disk_tier(self):
+        cache = CampaignCache()
+        assert cache.cache_dir is None
+        cache.store(_base_cell(), None)
+        assert CampaignCache().lookup(_base_cell()) == (False, None)
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            lambda raw: b"not a pickle at all",
+            lambda raw: raw[: len(raw) // 2],  # truncated write
+            lambda raw: b"",
+            # A well-formed pickle of the wrong shape.
+            lambda raw: __import__("pickle").dumps(["wrong", "shape"]),
+            # A well-formed payload from a different digest scheme.
+            lambda raw: __import__("pickle").dumps(
+                {"version": "campaign-cell-v0", "summary": None}
+            ),
+        ],
+        ids=["garbage", "truncated", "empty", "wrong-shape", "old-version"],
+    )
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path, corruption):
+        cell = _base_cell()
+        writer = CampaignCache(cache_dir=tmp_path)
+        writer.store(cell, self._summary())
+        path = writer._disk_path(canonical_digest(cell))
+        path.write_bytes(corruption(path.read_bytes()))
+        reader = CampaignCache(cache_dir=tmp_path)
+        hit, summary = reader.lookup(cell)
+        assert not hit and summary is None
+        assert reader.misses == 1 and reader.disk_hits == 0
+        # A fresh store overwrites the damaged entry and heals the tier.
+        reader.store(cell, self._summary())
+        hit, summary = CampaignCache(cache_dir=tmp_path).lookup(cell)
+        assert hit and summary == self._summary()
+
+    def test_stale_disk_hit_impossible_without_collision(self, tmp_path):
+        # The filename is the canonical digest, so an edited cell reads
+        # a different path — the stale-hit regression, disk edition.
+        cache = CampaignCache(cache_dir=tmp_path)
+        cache.store(_base_cell(), self._summary())
+        edited = _base_cell(fallback_hold=False)
+        assert CampaignCache(cache_dir=tmp_path).lookup(edited) == (
+            False,
+            None,
+        )
+
+    def test_clear_keeps_the_persistent_tier(self, tmp_path):
+        cell = _base_cell()
+        cache = CampaignCache(cache_dir=tmp_path)
+        cache.store(cell, None)
+        cache.clear()
+        hit, _ = cache.lookup(cell)
+        assert hit and cache.disk_hits == 1
+
+    def test_cross_process_reuse(self, tmp_path):
+        # A child process stores; this process reads — the digest and
+        # the pickled payload must be stable across interpreters.
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "from tests.test_campaign_cache import TestDiskTier, _base_cell\n"
+            "from repro.scenarios.cache import CampaignCache\n"
+            f"cache = CampaignCache(cache_dir={str(tmp_path)!r})\n"
+            "cache.store(_base_cell(), TestDiskTier()._summary())\n"
+        )
+        root = Path(__file__).resolve().parent.parent
+        env = {
+            "PYTHONPATH": f"{root / 'src'}:{root}",
+            "PATH": "/usr/bin:/bin",
+        }
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            cwd=root,
+            env=env,
+        )
+        reader = CampaignCache(cache_dir=tmp_path)
+        hit, summary = reader.lookup(_base_cell())
+        assert hit and reader.disk_hits == 1
+        assert summary == self._summary()
+
+
 def _spec(fault: FaultSpec) -> CampaignSpec:
     return CampaignSpec(
         name="cache_grid",
@@ -239,3 +360,15 @@ class TestRunCampaignWithCache:
         truth = run_campaign(_spec(edited))
         assert fresh.summaries == truth.summaries
         assert fresh.summaries[1] != stale.summaries[1]
+
+    def test_fresh_cache_instance_serves_campaign_from_disk(self, tmp_path):
+        # Session two of a campaign: a brand-new cache over the same
+        # directory serves every cell without compute.
+        spec = _spec(_base_cell().fault)
+        first = run_campaign(spec, cache=CampaignCache(cache_dir=tmp_path))
+        rerun_cache = CampaignCache(cache_dir=tmp_path)
+        second = run_campaign(spec, cache=rerun_cache)
+        assert rerun_cache.hits == len(spec.cells())
+        assert rerun_cache.disk_hits == len(spec.cells())
+        assert rerun_cache.misses == 0
+        assert first.summaries == second.summaries

@@ -44,9 +44,9 @@ class TestRegistryMechanics:
     def test_discovers_all_builtin_pairs(self):
         # The tentpole contract: every registered oracle/fast pair is
         # discovered — the eight historical domains, the comm stack
-        # (can/uart) that PR 5 vectorized, and the campaign grid
-        # engine this PR adds on top of the ensembles.
-        assert len(PAIRS) >= 11
+        # (can/uart) that PR 5 vectorized, the campaign grid engine,
+        # and the coalescing scenario service this PR puts on top.
+        assert len(PAIRS) >= 12
         discovered = {domain for domain, _, _ in PAIRS}
         assert {
             "kalman",
@@ -60,6 +60,7 @@ class TestRegistryMechanics:
             "can",
             "uart",
             "campaign",
+            "service",
         } <= discovered
 
     def test_every_domain_has_one_oracle(self):
@@ -75,6 +76,7 @@ class TestRegistryMechanics:
             "can",
             "uart",
             "campaign",
+            "service",
         ):
             assert domain in domains()
             oracle = oracle_name(domain)
@@ -124,7 +126,7 @@ class TestRegistryMechanics:
         # pair discovery skips the orphan domain and keeps covering
         # every healthy one.
         pairs = bit_exact_pairs()
-        assert len(pairs) >= 11
+        assert len(pairs) >= 12
         assert all(d != "registry-test-oracle-free" for d, _, _ in pairs)
 
     def test_empty_names_rejected(self):

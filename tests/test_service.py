@@ -1,0 +1,378 @@
+"""The async scenario-execution service: coalescing, backpressure, fallback.
+
+The tentpole contracts of :mod:`repro.service`:
+
+1. **Bit-identity under coalescing** — N concurrent requests, merged
+   into lockstep batches however the batcher groups them (shared
+   seeds, overlapping dropout schedules, multiple compatibility
+   groups), each receive a summary equal to running that request
+   *alone* through the serial one-at-a-time oracle.
+2. **Backpressure** — a full admission queue rejects with the typed
+   :class:`~repro.errors.ServiceOverloadError`; already-admitted
+   requests still complete.
+3. **Graceful degradation** — a dead worker pool flips the service to
+   serial per-request execution, recorded in the metrics, with
+   results still bit-identical.
+4. **Cache tier** — a repeated request is served from the result
+   cache without re-entering the batcher.
+
+The registry's ``"service"`` domain covers contract (1) again under
+the automatic oracle harness (``tests/test_engine_registry.py``);
+these tests pin the service-specific machinery around it.
+"""
+
+import asyncio
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.engines import resolve_engine
+from repro.errors import ConfigurationError, ServiceOverloadError
+from repro.scenarios.cache import CampaignCache
+from repro.scenarios.campaign import FaultSpec
+from repro.scenarios.faults import SensorDropout
+from repro.scenarios.spec import ScenarioSpec
+from repro.service import (
+    DynamicBatcher,
+    ScenarioRequest,
+    ScenarioService,
+    coalesce_requests,
+    execute_requests,
+    summarize_request,
+)
+from repro.service.metrics import percentile
+
+pytestmark = pytest.mark.service
+
+BENCH = ScenarioSpec(
+    name="bench",
+    profile="static_tilt",
+    duration=80.0,
+    profile_args=(("dwell_time", 6.0), ("slew_time", 2.0)),
+    moving=False,
+    measurement_sigma=0.006,
+    motion_gate_rate=None,
+)
+DRIVE = ScenarioSpec(
+    name="drive", profile="city_drive", duration=60.0, route_seed=50
+)
+DROPOUT_FAULT = FaultSpec(
+    name="dropout",
+    faults=(SensorDropout(sensor="acc", start=45.0, duration=10.0),),
+)
+
+
+def _mixed_requests(base: int = 300) -> list[ScenarioRequest]:
+    """Three compatibility groups with overlapping seeds inside them."""
+    return [
+        ScenarioRequest(scenario=BENCH, seeds=(base, base + 1)),
+        ScenarioRequest(scenario=BENCH, seeds=(base + 1, base + 2)),
+        ScenarioRequest(scenario=BENCH, seeds=(base,)),
+        ScenarioRequest(
+            scenario=BENCH, seeds=(base, base + 3), fault=DROPOUT_FAULT
+        ),
+        ScenarioRequest(scenario=DRIVE, seeds=(base + 10, base + 11)),
+        ScenarioRequest(
+            scenario=DRIVE,
+            seeds=(base + 10, base + 12),
+            acc_dropout=((base + 10, 30.0),),
+        ),
+    ]
+
+
+def _oracle(requests):
+    return resolve_engine("service", "model")(list(requests), 1)
+
+
+class TestRequestContract:
+    def test_seeds_validated(self):
+        with pytest.raises(ConfigurationError, match="needs seeds"):
+            ScenarioRequest(scenario=BENCH, seeds=())
+        with pytest.raises(ConfigurationError, match="distinct"):
+            ScenarioRequest(scenario=BENCH, seeds=(1, 1))
+
+    def test_dropout_schedule_validated(self):
+        with pytest.raises(ConfigurationError, match="not in the request"):
+            ScenarioRequest(
+                scenario=BENCH, seeds=(1, 2), acc_dropout=((3, 10.0),)
+            )
+        with pytest.raises(ConfigurationError, match="twice"):
+            ScenarioRequest(
+                scenario=BENCH,
+                seeds=(1, 2),
+                acc_dropout=((1, 10.0), (1, 20.0)),
+            )
+
+    def test_misalignment_defaults_to_campaign_default(self):
+        from repro.experiments.table1 import DEFAULT_MISALIGNMENT
+
+        request = ScenarioRequest(scenario=BENCH, seeds=(1,))
+        assert request.misalignment == DEFAULT_MISALIGNMENT
+
+    def test_group_key_ignores_seeds_and_dropout_only(self):
+        a = ScenarioRequest(scenario=BENCH, seeds=(1, 2))
+        b = ScenarioRequest(
+            scenario=BENCH, seeds=(7,), acc_dropout=((7, 5.0),)
+        )
+        assert a.group_key() == b.group_key()
+        for other in (
+            ScenarioRequest(scenario=DRIVE, seeds=(1,)),
+            ScenarioRequest(scenario=BENCH, seeds=(1,), fault=DROPOUT_FAULT),
+            ScenarioRequest(scenario=BENCH, seeds=(1,), fallback_hold=True),
+        ):
+            assert a.group_key() != other.group_key()
+
+    def test_jobs_share_one_materialization(self):
+        request = ScenarioRequest(scenario=BENCH, seeds=(1, 2, 3))
+        jobs = request.jobs()
+        assert [job.seed for job in jobs] == [1, 2, 3]
+        assert all(job.trajectory is jobs[0].trajectory for job in jobs)
+        assert all(
+            job.estimator_config is jobs[0].estimator_config for job in jobs
+        )
+
+
+class TestCoalescing:
+    def test_merges_shared_seeds_once(self):
+        requests = [
+            ScenarioRequest(scenario=BENCH, seeds=(1, 2)),
+            ScenarioRequest(scenario=BENCH, seeds=(2, 3)),
+        ]
+        jobs, merged, deferred = coalesce_requests(requests)
+        assert [job.seed for job in jobs] == [1, 2, 3]
+        assert merged == [0, 1]
+        assert deferred == []
+        assert all(job.trajectory is jobs[0].trajectory for job in jobs)
+
+    def test_agreeing_dropout_schedules_merge(self):
+        requests = [
+            ScenarioRequest(
+                scenario=DRIVE, seeds=(1, 2), acc_dropout=((1, 30.0),)
+            ),
+            ScenarioRequest(
+                scenario=DRIVE, seeds=(1, 3), acc_dropout=((1, 30.0),)
+            ),
+        ]
+        jobs, merged, deferred = coalesce_requests(requests)
+        assert merged == [0, 1]
+        assert deferred == []
+        by_seed = {job.seed: job.acc_dropout_time for job in jobs}
+        assert by_seed == {1: 30.0, 2: None, 3: None}
+
+    def test_conflicting_dropout_defers(self):
+        requests = [
+            ScenarioRequest(
+                scenario=DRIVE, seeds=(1, 2), acc_dropout=((1, 30.0),)
+            ),
+            ScenarioRequest(
+                scenario=DRIVE, seeds=(1,), acc_dropout=((1, 55.0),)
+            ),
+            ScenarioRequest(scenario=DRIVE, seeds=(4,)),
+        ]
+        jobs, merged, deferred = coalesce_requests(requests)
+        assert merged == [0, 2]
+        assert deferred == [1]
+        assert [job.seed for job in jobs] == [1, 2, 4]
+
+    def test_summarize_request_regroups_per_request(self):
+        # Synthetic rows: summarize_request must select this request's
+        # seeds in request order and mask the diverged ones.
+        import numpy as np
+
+        row = lambda v: (  # noqa: E731 - tiny local factory
+            np.array([v, v]),
+            2,
+            0.0,
+            0,
+            np.array([1.0, 1.0]),
+        )
+        outcome_by_seed = {1: row(0.1), 2: None, 3: row(0.3)}
+        request = ScenarioRequest(scenario=BENCH, seeds=(3, 2, 1))
+        summary = summarize_request(request, outcome_by_seed)
+        assert summary.runs == 2
+        assert summary.diverged_seeds == (2,)
+        all_dead = summarize_request(
+            ScenarioRequest(scenario=BENCH, seeds=(2,)), outcome_by_seed
+        )
+        assert all_dead is None
+
+
+class TestServiceBitIdentity:
+    def test_concurrent_requests_identical_to_isolated_serial(self):
+        requests = _mixed_requests()
+        oracle = _oracle(requests)
+        cache = CampaignCache()
+        service = ScenarioService(
+            workers=0, max_batch_size=16, max_wait=0.01, cache=cache
+        )
+        with service:
+            results = execute_requests(requests, service=service)
+        assert [r.request for r in results] == requests
+        for reference, result in zip(oracle, results):
+            assert result.summary == reference
+        # Compatible requests really shared batches: three groups (and
+        # one deferred conflict batch) served six requests.
+        assert service.metrics.batches < len(requests)
+        snapshot = service.snapshot()
+        assert snapshot["batch_occupancy"] > 1.0
+        assert snapshot["completed"] == len(requests)
+        assert snapshot["latency_p99_seconds"] >= snapshot[
+            "latency_p50_seconds"
+        ]
+
+    def test_warm_cache_serves_repeats_without_compute(self):
+        requests = _mixed_requests()
+        cache = CampaignCache()
+        first = execute_requests(requests, cache=cache)
+        service = ScenarioService(workers=0, cache=cache)
+        with service:
+            second = execute_requests(requests, service=service)
+        assert service.metrics.batches == 0
+        assert service.metrics.cache_hits == len(requests)
+        for a, b in zip(first, second):
+            assert b.cache_hit and b.source == "cache"
+            assert a.summary == b.summary
+
+    def test_all_diverged_request_reports_none(self):
+        request = ScenarioRequest(
+            scenario=DRIVE,
+            seeds=(800, 801),
+            acc_dropout=((800, 0.0), (801, 0.0)),
+        )
+        assert _oracle([request]) == [None]
+        results = execute_requests([request])
+        assert results[0].summary is None
+
+
+class TestBackpressure:
+    def test_admission_queue_overflow_rejects_typed(self):
+        async def scenario():
+            service = ScenarioService(
+                workers=0, max_pending=2, max_batch_size=64, max_wait=0.05
+            )
+            with service:
+                first = asyncio.ensure_future(
+                    service.submit(
+                        ScenarioRequest(scenario=BENCH, seeds=(300,))
+                    )
+                )
+                await asyncio.sleep(0)
+                second = asyncio.ensure_future(
+                    service.submit(
+                        ScenarioRequest(scenario=BENCH, seeds=(301,))
+                    )
+                )
+                await asyncio.sleep(0)
+                assert service.snapshot()["queue_depth"] == 2
+                with pytest.raises(ServiceOverloadError):
+                    await service.submit(
+                        ScenarioRequest(scenario=BENCH, seeds=(302,))
+                    )
+                results = await asyncio.gather(first, second)
+                assert all(r.summary is not None for r in results)
+                assert service.metrics.rejected == 1
+                return service.snapshot()
+
+        snapshot = asyncio.run(scenario())
+        assert snapshot["rejected"] == 1
+        assert snapshot["completed"] == 2
+
+    def test_batcher_bounds_are_validated(self):
+        flush = lambda batch: None  # noqa: E731 - never called
+        with pytest.raises(ValueError):
+            DynamicBatcher(flush, max_batch_size=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(flush, max_wait=-1.0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(flush, max_pending=0)
+
+
+class TestGracefulDegradation:
+    def test_pool_death_degrades_to_serial_and_is_recorded(self):
+        async def scenario():
+            service = ScenarioService(workers=1, max_wait=0.001)
+
+            def dead_run(jobs, chunk_size=None):
+                service._pool._broken = True
+                raise BrokenProcessPool("worker killed")
+
+            service._pool.run = dead_run
+            with service:
+                first = await service.submit(
+                    ScenarioRequest(scenario=BENCH, seeds=(300, 301))
+                )
+                # The pool is dead now; later batches skip it entirely.
+                second = await service.submit(
+                    ScenarioRequest(scenario=BENCH, seeds=(302,))
+                )
+            return service, first, second
+
+        service, first, second = asyncio.run(scenario())
+        assert first.source == "serial-fallback"
+        assert second.source == "serial-fallback"
+        assert service.metrics.pool_failures == 1
+        assert service.metrics.serial_fallback_batches == 2
+        oracle = _oracle([first.request, second.request])
+        assert [first.summary, second.summary] == oracle
+
+    def test_results_survive_pool_death_bit_identically(self):
+        # The degraded path is the serial oracle path, so the
+        # registry's bit-identity contract extends through the outage.
+        request = ScenarioRequest(scenario=BENCH, seeds=(310, 311, 312))
+
+        async def scenario():
+            service = ScenarioService(workers=2)
+            service._pool._broken = True
+            with service:
+                return await service.submit(request)
+
+        result = asyncio.run(scenario())
+        assert result.source == "serial-fallback"
+        assert result.summary == _oracle([request])[0]
+
+
+class TestServiceLifecycle:
+    def test_closed_service_rejects_submission(self):
+        service = ScenarioService(workers=0)
+        service.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            asyncio.run(
+                service.submit(ScenarioRequest(scenario=BENCH, seeds=(1,)))
+            )
+
+    def test_execute_requests_needs_requests(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            execute_requests([])
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            ScenarioService(workers=-1)
+
+    def test_registered_engines_validate_workers(self):
+        serial = resolve_engine("service", "model")
+        with pytest.raises(ConfigurationError, match="single-process"):
+            serial([ScenarioRequest(scenario=BENCH, seeds=(1,))], 2)
+        fast = resolve_engine("service", "fast")
+        with pytest.raises(ConfigurationError, match="workers"):
+            fast([ScenarioRequest(scenario=BENCH, seeds=(1,))], 0)
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(samples, 0.50) == 3.0
+        assert percentile(samples, 0.99) == 5.0
+        assert percentile(samples, 1.0) == 5.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile(samples, 0.0)
+
+    def test_fresh_snapshot_has_no_rates(self):
+        service = ScenarioService(workers=0)
+        with service:
+            snapshot = service.snapshot()
+        assert snapshot["batch_occupancy"] is None
+        assert snapshot["cache_hit_rate"] is None
+        assert snapshot["requests_per_second"] is None
+        assert snapshot["latency_p50_seconds"] is None
