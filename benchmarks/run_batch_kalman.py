@@ -50,6 +50,7 @@ def measure_batch_kalman(runs: int = 32, duration: float = 160.0) -> dict:
         "rms_error_deg": [float(v) for v in fast.rms_error_deg],
         "coverage_3sigma": fast.coverage_3sigma,
         "mean_exceedance": fast.mean_exceedance,
+        "anees": fast.anees,
     }
 
 

@@ -53,6 +53,7 @@ def measure_dynamic_ensemble(runs: int = 32, duration: float = 160.0) -> dict:
         "rms_error_deg": [float(v) for v in fast.rms_error_deg],
         "coverage_3sigma": fast.coverage_3sigma,
         "mean_exceedance": fast.mean_exceedance,
+        "anees": fast.anees,
         "diverged_seeds": list(fast.diverged_seeds),
     }
 

@@ -1,0 +1,196 @@
+"""Batched Sabre firmware engine benchmark runner.
+
+Times the serial firmware oracle (one :class:`~repro.sabre.cpu.SabreCpu`
+per instance, one instruction at a time) against the batched
+SIMD-over-instances engine on the demo firmware corpus and writes
+``BENCH_sabre.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/run_sabre.py
+
+The report carries:
+
+- the headline ``speedup`` at R = 512 on the boresight firmware (the
+  heaviest corpus program: CAN/ACC decoding + softfloat math), with
+  the serial oracle actually measured at that R — per-step Python
+  overhead amortizes over lanes, so speedup grows with R and the
+  headline sits where the batch is well into its scaling regime;
+- ``identical`` — full-payload bit-identity (registers, RAM, PC,
+  peripherals, sticky FPU flags, TX logs) across the *whole* corpus at
+  R = 256;
+- a ``series`` sweeping R = 32 → 1024.  The serial oracle is actually
+  measured up to ``SERIAL_CAP`` instances; beyond that one serial run
+  would take minutes for no extra information, so ``serial_seconds``
+  is linearly scaled from the per-instance cost at the cap and the
+  point is flagged ``"serial_scaled": true`` with
+  ``"serial_instances_measured"`` recording the honest sample size
+  (serial cost is embarrassingly linear in R — each instance is an
+  independent full simulation).
+
+``benchmarks/bench_sabre.py`` runs the smoke-scale version under
+pytest with the ≥10× gate for CI's sabre-smoke lane.
+"""
+
+import time
+
+from _emit import PeakRssTracker, REPO_ROOT, validate_scaling_series, write_report
+from repro.sabre.harness import (
+    FIRMWARE_CORPUS,
+    FirmwareRequest,
+    run_firmware_batched,
+    run_firmware_serial,
+)
+
+REPORT_PATH = REPO_ROOT / "BENCH_sabre.json"
+
+#: The R sweep of the scaling series.
+INSTANCE_SWEEP = (32, 64, 128, 256, 512, 1024)
+
+#: Largest R at which the serial oracle is actually run.
+SERIAL_CAP = 512
+
+#: Packets per instance (the default workload of the harness).
+PACKETS = 16
+
+
+def _payloads_equal(a, b) -> bool:
+    import numpy as np
+
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(
+            _payloads_equal(a[k], b[k]) for k in a
+        )
+    if isinstance(a, np.ndarray):
+        return a.dtype == b.dtype and np.array_equal(a, b)
+    if isinstance(a, (tuple, list)):
+        return len(a) == len(b) and all(
+            _payloads_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+def _request(program: str, instances: int) -> FirmwareRequest:
+    return FirmwareRequest(
+        program=program, instances=instances, packets=PACKETS, base_seed=0
+    )
+
+
+def measure_sabre(
+    instance_sweep=INSTANCE_SWEEP,
+    serial_cap: int = SERIAL_CAP,
+    identity_instances: int = 256,
+    headline_instances: int = 512,
+    program: str = "boresight",
+) -> dict:
+    """Measure the corpus and the R sweep; verify full bit-identity."""
+    # --- bit-identity across the whole corpus at identity_instances ---
+    identical = True
+    corpus_seconds = {}
+    for name in sorted(FIRMWARE_CORPUS):
+        request = _request(name, identity_instances)
+        start = time.perf_counter()
+        serial_payload = run_firmware_serial(request)
+        serial_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        batched_payload = run_firmware_batched(request)
+        fast_seconds = time.perf_counter() - start
+        identical &= _payloads_equal(serial_payload, batched_payload)
+        corpus_seconds[name] = {
+            "serial_seconds": serial_seconds,
+            "fast_seconds": fast_seconds,
+            "speedup": serial_seconds / fast_seconds,
+        }
+
+    # --- R sweep on the headline program -----------------------------
+    serial_per_instance = None
+    serial_measured_at = 0
+    series = []
+    for instances in instance_sweep:
+        request = _request(program, instances)
+        if program in FIRMWARE_CORPUS and instances == identity_instances:
+            # Reuse the corpus measurement instead of re-running the
+            # minutes-scale serial oracle.
+            serial_seconds = corpus_seconds[program]["serial_seconds"]
+            serial_scaled = False
+        elif instances <= serial_cap:
+            start = time.perf_counter()
+            run_firmware_serial(request)
+            serial_seconds = time.perf_counter() - start
+            serial_scaled = False
+        else:
+            serial_seconds = serial_per_instance * instances
+            serial_scaled = True
+        if not serial_scaled:
+            serial_per_instance = serial_seconds / instances
+            serial_measured_at = max(serial_measured_at, instances)
+
+        with PeakRssTracker() as tracker:
+            start = time.perf_counter()
+            payload = run_firmware_batched(request)
+            fast_seconds = time.perf_counter() - start
+        instructions = int(payload["instructions"].sum())
+        series.append(
+            {
+                "runs": instances,
+                "fast_seconds": fast_seconds,
+                "serial_seconds": serial_seconds,
+                "serial_scaled": serial_scaled,
+                "serial_instances_measured": (
+                    serial_measured_at if serial_scaled else instances
+                ),
+                "speedup": serial_seconds / fast_seconds,
+                "peak_rss_bytes": tracker.peak_bytes,
+                "instructions": instructions,
+                "batched_ns_per_instruction": 1e9 * fast_seconds / instructions,
+            }
+        )
+    validate_scaling_series(series)
+
+    headline = next(p for p in series if p["runs"] == headline_instances)
+    if headline["serial_scaled"]:
+        raise ValueError(
+            "the headline point must be honestly measured: raise "
+            f"serial_cap (= {serial_cap}) to at least "
+            f"{headline_instances} instances"
+        )
+    return {
+        "program": program,
+        "packets": PACKETS,
+        "identity_instances": identity_instances,
+        "instances": headline_instances,
+        "speedup": headline["speedup"],
+        "identical": identical,
+        # Both engines execute the identical instruction stream, so the
+        # headline point's count serves both rates.
+        "serial_ns_per_instruction": (
+            1e9 * headline["serial_seconds"] / headline["instructions"]
+        ),
+        "batched_ns_per_instruction": headline["batched_ns_per_instruction"],
+        "corpus": corpus_seconds,
+        "serial_cap": serial_cap,
+        "series": series,
+    }
+
+
+def main() -> None:
+    result = measure_sabre()
+    write_report(REPORT_PATH, result)
+    headline = next(
+        p for p in result["series"] if p["runs"] == result["instances"]
+    )
+    print(
+        f"R={result['instances']} {result['program']}: "
+        f"serial {headline['serial_seconds']:.1f}s vs batched "
+        f"{headline['fast_seconds']:.2f}s ({result['speedup']:.1f}x), "
+        f"identical={result['identical']}"
+    )
+    for point in result["series"]:
+        scaled = " (serial scaled)" if point["serial_scaled"] else ""
+        print(
+            f"  R={point['runs']:>5}: {point['speedup']:6.1f}x  "
+            f"{point['batched_ns_per_instruction']:7.1f} ns/instr{scaled}"
+        )
+    print(f"wrote {REPORT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,11 @@ typed request, call :func:`execute`, get a typed result.
   :class:`~repro.service.requests.ScenarioResult`;
 - a :class:`~repro.scenarios.campaign.CampaignSpec` routes to the
   ``"campaign"`` domain (grid execution with cache stitching) and
-  returns a :class:`~repro.scenarios.campaign.CampaignResult`.
+  returns a :class:`~repro.scenarios.campaign.CampaignResult`;
+- a :class:`~repro.sabre.harness.FirmwareRequest` routes to the
+  ``"sabre"`` domain (serial firmware oracle, or the batched
+  SIMD-over-instances CPU) and returns a
+  :class:`~repro.sabre.harness.FirmwareResult`.
 
 The execution knobs are uniform across both paths — and across the
 legacy entry points (:func:`~repro.analysis.montecarlo.run_monte_carlo_static`,
@@ -49,6 +53,7 @@ from repro.analysis.montecarlo import (
 )
 from repro.engines import resolve_engine
 from repro.errors import ConfigurationError
+from repro.sabre.harness import FirmwareRequest, FirmwareResult
 from repro.scenarios.cache import CampaignCache
 from repro.scenarios.campaign import (
     CampaignResult,
@@ -59,6 +64,8 @@ from repro.service.requests import ScenarioRequest, ScenarioResult
 __all__ = [
     "CampaignResult",
     "CampaignSpec",
+    "FirmwareRequest",
+    "FirmwareResult",
     "MonteCarloSummary",
     "ScenarioRequest",
     "ScenarioResult",
@@ -169,8 +176,52 @@ def _execute_campaign(
     )
 
 
+def _execute_firmware(
+    request: FirmwareRequest,
+    engine: str,
+    workers: int,
+    chunk_size: int | None,
+    cache: CampaignCache | None,
+) -> FirmwareResult:
+    """One firmware ensemble through a ``"sabre"`` engine."""
+    if engine == "auto":
+        engine = "fast"
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    impl = resolve_engine("sabre", engine)
+    if workers != 1 and getattr(impl, "single_process", False):
+        raise ConfigurationError(
+            f"engine={engine!r} is single-process; use workers=1 "
+            "(the batched engine already advances every instance per step)"
+        )
+    _require_chunkable(impl, engine, chunk_size)
+    started = time.perf_counter()
+    if cache is not None:
+        hit, payload = cache.lookup(request)
+        if hit:
+            return FirmwareResult(
+                request=request,
+                payload=payload,
+                cache_hit=True,
+                source="cache",
+                batch_size=0,
+                latency_seconds=time.perf_counter() - started,
+            )
+    payload = impl(request)
+    if cache is not None:
+        cache.store(request, payload)
+    return FirmwareResult(
+        request=request,
+        payload=payload,
+        cache_hit=False,
+        source="direct",
+        batch_size=request.instances,
+        latency_seconds=time.perf_counter() - started,
+    )
+
+
 def execute(
-    request: ScenarioRequest | CampaignSpec,
+    request: ScenarioRequest | CampaignSpec | FirmwareRequest,
     *,
     engine: str = "auto",
     workers: int = 1,
@@ -191,7 +242,9 @@ def execute(
         return _execute_scenario(request, engine, workers, chunk_size, cache)
     if isinstance(request, CampaignSpec):
         return _execute_campaign(request, engine, workers, chunk_size, cache)
+    if isinstance(request, FirmwareRequest):
+        return _execute_firmware(request, engine, workers, chunk_size, cache)
     raise ConfigurationError(
-        f"execute() takes a ScenarioRequest or a CampaignSpec, got "
-        f"{type(request).__name__}"
+        f"execute() takes a ScenarioRequest, a CampaignSpec or a "
+        f"FirmwareRequest, got {type(request).__name__}"
     )

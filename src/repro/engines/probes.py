@@ -699,3 +699,37 @@ def _uart_probe(name: str):
 
 register_probe("uart", "model")(_uart_probe("model"))
 register_probe("uart", "fast")(_uart_probe("fast"))
+
+
+# --------------------------------------------------------------------
+# sabre — serial firmware harness vs batched SIMD-over-instances CPU.
+# One probe body serves both engines (they share the FirmwareRequest
+# contract); the seed varies the corpus program, ensemble size and
+# stream length, and ``trace=True`` folds the full per-instance fetch-PC
+# trace into the payload so any control-flow divergence fails loudly.
+# --------------------------------------------------------------------
+
+
+def _sabre_request(seed: int):
+    from repro.sabre.harness import FIRMWARE_CORPUS, FirmwareRequest
+
+    programs = sorted(FIRMWARE_CORPUS)
+    return FirmwareRequest(
+        program=programs[seed % len(programs)],
+        instances=3 + seed % 3,
+        packets=5 + seed % 4,
+        base_seed=seed,
+        trace=True,
+    )
+
+
+def _sabre_probe(name: str):
+    def probe(seed: int) -> dict:
+        run = resolve_engine("sabre", name)
+        return run(_sabre_request(seed))
+
+    return probe
+
+
+register_probe("sabre", "model")(_sabre_probe("model"))
+register_probe("sabre", "fast")(_sabre_probe("fast"))

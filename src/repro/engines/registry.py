@@ -85,6 +85,8 @@ _BUILTIN_MODULES: dict[tuple[str, str], str] = {
     ("campaign", "fast"): "repro.scenarios.campaign",
     ("service", "model"): "repro.service.service",
     ("service", "fast"): "repro.service.service",
+    ("sabre", "model"): "repro.sabre.harness",
+    ("sabre", "fast"): "repro.sabre.harness",
     ("can", "model"): "repro.comm.can",
     ("can", "fast"): "repro.comm.fast",
     ("uart", "model"): "repro.comm.uart",

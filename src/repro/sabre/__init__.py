@@ -24,10 +24,18 @@ This package reproduces that stack at the ISA level:
   decoding, the fixed-gain boresight loop).
 - :mod:`repro.sabre.loader` — the "merge program into the FPGA
   configuration" flow of §10.
+- :mod:`repro.sabre.batch_cpu` — the batched SIMD-over-instances
+  engine: one vectorized fetch/decode/execute advancing R systems per
+  step, bit-identical to the serial CPU.
+- :mod:`repro.sabre.harness` — firmware-in-the-loop ensembles
+  (:class:`~repro.sabre.harness.FirmwareRequest`) behind the
+  ``"sabre"`` engine domain and :func:`repro.api.execute`.
 """
 
 from repro.sabre.assembler import assemble
-from repro.sabre.cpu import SabreCpu
+from repro.sabre.batch_cpu import BatchSabreCpu, link_batch_system
+from repro.sabre.cpu import MAX_INSTRUCTION_COST, SabreCpu
+from repro.sabre.harness import FirmwareRequest, FirmwareResult
 from repro.sabre.isa import Instruction, Opcode, decode, encode
 from repro.sabre.loader import SystemImage, link_system
 from repro.sabre.memory import BlockRam
@@ -35,6 +43,11 @@ from repro.sabre.memory import BlockRam
 __all__ = [
     "assemble",
     "SabreCpu",
+    "MAX_INSTRUCTION_COST",
+    "BatchSabreCpu",
+    "link_batch_system",
+    "FirmwareRequest",
+    "FirmwareResult",
     "Opcode",
     "Instruction",
     "encode",

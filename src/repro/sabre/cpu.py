@@ -32,6 +32,13 @@ from repro.sabre.memory import PROGRAM_BYTES, BlockRam
 
 _U32 = 0xFFFFFFFF
 
+#: The largest per-instruction cycle cost in the model (load/store,
+#: taken branch, jal/jalr).  Bounds the :meth:`SabreCpu.run_cycles`
+#: overshoot: a time slice never runs more than ``MAX_INSTRUCTION_COST
+#: - 1`` cycles past its budget.  The batched engine shares this
+#: constant and the contract test pins both engines to it.
+MAX_INSTRUCTION_COST = 2
+
 
 def _signed(value: int) -> int:
     value &= _U32
@@ -66,6 +73,13 @@ class SabreCpu:
         self.cycles = 0
         self.instructions = 0
         self.halted = False
+        #: Optional execution trace: when set to a list, every
+        #: attempted step appends the fetch PC (before execution,
+        #: faulting fetches included).  ``None`` (the default) keeps
+        #: the hot loop branch-cheap; the firmware harness and the
+        #: batched-engine equivalence probes enable it to pin the
+        #: per-instance PC trace bit-identical across engines.
+        self.pc_trace: list[int] | None = None
 
     def load_program(self, words: list[int]) -> None:
         """Initialize the program BlockRAM and reset the CPU."""
@@ -98,6 +112,8 @@ class SabreCpu:
         """Execute one instruction."""
         if self.halted:
             raise CpuFault("CPU is halted")
+        if self.pc_trace is not None:
+            self.pc_trace.append(self.pc)
         word = self.program.read_word(self.pc)
         inst = decode(word)
         op = inst.opcode
@@ -218,10 +234,20 @@ class SabreCpu:
         return self.instructions - start
 
     def run_cycles(self, budget: int) -> int:
-        """Run for roughly ``budget`` cycles (a scheduler time slice).
+        """Run one scheduler time slice; returns cycles actually used.
 
-        Stops at HALT or once the budget is consumed; returns cycles
-        actually used.
+        The budget contract (shared with the batched engine and pinned
+        by ``tests/test_sabre_batch.py``):
+
+        * ``budget <= 0`` or already halted → 0 cycles, no steps.
+        * Otherwise instructions execute whole: the slice ends at the
+          first boundary where used cycles ≥ ``budget`` (overshoot at
+          most ``MAX_INSTRUCTION_COST - 1``) or at HALT, whichever
+          comes first — so the return value is in
+          ``[1, budget + MAX_INSTRUCTION_COST - 1]``, below ``budget``
+          only when HALT lands mid-slice.
+        * Slicing is transparent: any partition of a run into slices
+          executes the identical instruction stream.
         """
         start = self.cycles
         while not self.halted and self.cycles - start < budget:

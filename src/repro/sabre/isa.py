@@ -22,6 +22,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SabreError
 
 #: Number of architectural registers.
@@ -200,6 +202,65 @@ def decode(word: int) -> Instruction:
             imm=_sign_extend_18(word & 0x3FFFF),
         )
     return Instruction(opcode=op)
+
+
+@dataclass(frozen=True)
+class DecodedProgram:
+    """Whole-program decode tables for the batched engine.
+
+    Program BlockRAM is immutable once loaded (stores go to the data
+    bus, never the instruction store), so the batched engine decodes
+    every word **once** into parallel field arrays and each step is a
+    pure gather by ``pc >> 2`` — no per-step :class:`Instruction`
+    objects.  Field extraction matches :func:`decode` exactly; words
+    whose opcode :func:`decode` would reject carry ``legal=False`` and
+    the raw opcode bits for the fault message.
+    """
+
+    #: Raw opcode bits ``word[31:26]`` (also for illegal words).
+    op: np.ndarray
+    #: Whether :func:`decode` would accept the word.
+    legal: np.ndarray
+    rd: np.ndarray
+    rs1: np.ndarray
+    rs2: np.ndarray
+    #: Sign-extended 18-bit immediate (int32; 0 for R-type/HALT).
+    imm: np.ndarray
+
+
+def decode_program(words: object) -> DecodedProgram:
+    """Vectorized :func:`decode` over a whole program image.
+
+    ``words`` is any uint32-compatible array (e.g. a program
+    :class:`~repro.sabre.memory.BlockRam`'s ``words`` view).  Returns
+    per-word field arrays bit-identical to calling :func:`decode` on
+    each legal word; illegal words are flagged instead of raising so
+    the engine can fault only the instances that actually fetch them.
+    """
+    w = np.ascontiguousarray(np.asarray(words, dtype=np.uint32))
+    op = (w >> np.uint32(26)).astype(np.uint8)
+    legal = np.isin(op, np.array([int(o) for o in Opcode], dtype=np.uint8))
+    r_type = np.isin(op, np.array([int(o) for o in R_TYPE], dtype=np.uint8))
+    b_type = np.isin(op, np.array([int(o) for o in B_TYPE], dtype=np.uint8))
+    i_type = np.isin(op, np.array([int(o) for o in I_TYPE], dtype=np.uint8))
+    f22 = ((w >> np.uint32(22)) & np.uint32(0xF)).astype(np.uint8)
+    f18 = ((w >> np.uint32(18)) & np.uint32(0xF)).astype(np.uint8)
+    f14 = ((w >> np.uint32(14)) & np.uint32(0xF)).astype(np.uint8)
+    zero8 = np.zeros_like(f22)
+    rd = np.where(r_type | i_type, f22, zero8)
+    rs1 = np.where(r_type | b_type | i_type, f18, zero8)
+    rs2 = np.where(r_type | b_type, f14, zero8)
+    imm18_i = (w & np.uint32(0x3FFFF)).astype(np.int32)
+    imm18_b = (
+        ((w >> np.uint32(22)) & np.uint32(0xF)) << np.uint32(14)
+        | (w & np.uint32(0x3FFF))
+    ).astype(np.int32)
+    raw = np.where(b_type, imm18_b, imm18_i)
+    signed = raw - ((raw & np.int32(0x20000)) << np.int32(1))
+    imm = np.where(b_type | i_type, signed, np.int32(0))
+    return DecodedProgram(
+        op=op, legal=legal, rd=rd, rs1=rs1, rs2=rs2, imm=imm
+    )
 
 
 def disassemble(word: int) -> str:

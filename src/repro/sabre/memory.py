@@ -29,6 +29,18 @@ class BlockRam:
         self.size = size_bytes
         self._words = np.zeros(size_bytes // 4, dtype=np.uint32)
 
+    @property
+    def words(self) -> np.ndarray:
+        """The backing uint32 word array (a live view, not a copy).
+
+        Exposed for whole-array consumers — the batched engine's
+        one-shot program decode and bulk RAM seeding — which would
+        otherwise round-trip every word through the scalar accessors.
+        Mutations bypass the bounds/value checks of
+        :meth:`write_word`; callers own that responsibility.
+        """
+        return self._words
+
     def _word_index(self, address: int) -> int:
         if address % 4 != 0:
             raise CpuFault(f"{self.name}: unaligned word access at {address:#x}")

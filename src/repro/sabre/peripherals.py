@@ -231,6 +231,26 @@ class FpuOp:
     NEG = 9
 
 
+def pack_fpu_flags(flag_state) -> int:
+    """Pack sticky IEEE flags into the FLAGS register layout.
+
+    Bit layout — invalid=1, divide_by_zero=2, overflow=4, underflow=8,
+    inexact=16 — deliberately equal to the per-element ``FLAG_*`` bits
+    of :mod:`repro.sabre.softfloat_array`, so the batched FPU's
+    per-instance uint8 flag masks *are* this register and the two
+    engines agree bit-for-bit.  Accepts any object with the five flag
+    attributes (:class:`repro.sabre.softfloat.Flags` or the array
+    path's ``ArrayFlags``).
+    """
+    return (
+        (1 if flag_state.invalid else 0)
+        | (2 if flag_state.divide_by_zero else 0)
+        | (4 if flag_state.overflow else 0)
+        | (8 if flag_state.underflow else 0)
+        | (16 if flag_state.inexact else 0)
+    )
+
+
 class SoftFloatFpu(Peripheral):
     """The memory-mapped softfloat unit.
 
@@ -257,13 +277,7 @@ class SoftFloatFpu(Peripheral):
         if offset == 0xC:
             return self.result
         if offset == 0x10:
-            packed = (
-                (1 if sf.flags.invalid else 0)
-                | (2 if sf.flags.divide_by_zero else 0)
-                | (4 if sf.flags.overflow else 0)
-                | (8 if sf.flags.underflow else 0)
-                | (16 if sf.flags.inexact else 0)
-            )
+            packed = pack_fpu_flags(sf.flags)
             sf.flags.clear()
             return packed
         raise CpuFault(f"FPU: bad offset {offset:#x}")

@@ -393,8 +393,8 @@ def f32_sqrt_array(a: object) -> np.ndarray:
     return f32_sqrt_flags_array(a)[0]
 
 
-def i32_to_f32_array(values: object) -> np.ndarray:
-    """Element-wise :func:`repro.sabre.softfloat.i32_to_f32`."""
+def i32_to_f32_flags_array(values: object) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`i32_to_f32_array` plus its per-element flag mask."""
     arr = np.asarray(values)
     if not np.issubdtype(arr.dtype, np.integer):
         raise SoftFloatError(f"not int32 values: dtype {arr.dtype}")
@@ -404,13 +404,18 @@ def i32_to_f32_array(values: object) -> np.ndarray:
     # Rounding is the only possible event: both the integer and the
     # rounded binary32 are exact in float64.
     inexact = arr.astype(np.float64) != _wide(result)
-    flags.accumulate(_pack_mask(inexact=inexact))
-    return result
+    mask = _pack_mask(inexact=inexact)
+    flags.accumulate(mask)
+    return result, mask
 
 
-def f32_to_i32_array(bits: object) -> np.ndarray:
-    """Element-wise :func:`repro.sabre.softfloat.f32_to_i32` (truncate
-    toward zero, saturate out-of-range, NaN → INT32_MIN)."""
+def i32_to_f32_array(values: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.i32_to_f32`."""
+    return i32_to_f32_flags_array(values)[0]
+
+
+def f32_to_i32_flags_array(bits: object) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`f32_to_i32_array` plus its per-element flag mask."""
     arr = _as_bits(bits)
     with np.errstate(invalid="ignore"):
         values = _floats(arr).astype(np.float64)
@@ -418,29 +423,48 @@ def f32_to_i32_array(bits: object) -> np.ndarray:
     truncated = np.trunc(np.where(nan, 0.0, values))
     invalid = nan | (truncated > _INT32_MAX) | (truncated < _INT32_MIN)
     inexact = ~invalid & (truncated != values)
-    flags.accumulate(_pack_mask(invalid=invalid, inexact=inexact))
+    mask = _pack_mask(invalid=invalid, inexact=inexact)
+    flags.accumulate(mask)
     clamped = np.clip(truncated, float(_INT32_MIN), float(_INT32_MAX))
     result = clamped.astype(np.int64)
-    return np.where(nan, np.int64(_INT32_MIN), result).astype(np.int64)
+    return np.where(nan, np.int64(_INT32_MIN), result).astype(np.int64), mask
+
+
+def f32_to_i32_array(bits: object) -> np.ndarray:
+    """Element-wise :func:`repro.sabre.softfloat.f32_to_i32` (truncate
+    toward zero, saturate out-of-range, NaN → INT32_MIN)."""
+    return f32_to_i32_flags_array(bits)[0]
+
+
+def f32_eq_flags_array(a: object, b: object) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`f32_eq_array` plus its per-element flag mask."""
+    a = _as_bits(a)
+    b = _as_bits(b)
+    invalid = is_signaling_nan_array(a) | is_signaling_nan_array(b)
+    mask = _pack_mask(invalid=invalid)
+    flags.accumulate(mask)
+    return _floats(a) == _floats(b), mask
 
 
 def f32_eq_array(a: object, b: object) -> np.ndarray:
     """Element-wise :func:`repro.sabre.softfloat.f32_eq` (boolean)."""
+    return f32_eq_flags_array(a, b)[0]
+
+
+def f32_lt_flags_array(a: object, b: object) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`f32_lt_array` plus its per-element flag mask."""
     a = _as_bits(a)
     b = _as_bits(b)
-    invalid = is_signaling_nan_array(a) | is_signaling_nan_array(b)
-    flags.accumulate(_pack_mask(invalid=invalid))
-    return _floats(a) == _floats(b)
+    invalid = is_nan_array(a) | is_nan_array(b)
+    mask = _pack_mask(invalid=invalid)
+    flags.accumulate(mask)
+    with np.errstate(invalid="ignore"):
+        return _floats(a) < _floats(b), mask
 
 
 def f32_lt_array(a: object, b: object) -> np.ndarray:
     """Element-wise :func:`repro.sabre.softfloat.f32_lt` (boolean)."""
-    a = _as_bits(a)
-    b = _as_bits(b)
-    invalid = is_nan_array(a) | is_nan_array(b)
-    flags.accumulate(_pack_mask(invalid=invalid))
-    with np.errstate(invalid="ignore"):
-        return _floats(a) < _floats(b)
+    return f32_lt_flags_array(a, b)[0]
 
 
 def f32_le_array(a: object, b: object) -> np.ndarray:

@@ -45,8 +45,9 @@ class TestRegistryMechanics:
         # The tentpole contract: every registered oracle/fast pair is
         # discovered — the eight historical domains, the comm stack
         # (can/uart) that PR 5 vectorized, the campaign grid engine,
-        # and the coalescing scenario service this PR puts on top.
-        assert len(PAIRS) >= 12
+        # the coalescing scenario service, and the batched Sabre
+        # firmware harness this PR puts on top.
+        assert len(PAIRS) >= 13
         discovered = {domain for domain, _, _ in PAIRS}
         assert {
             "kalman",
@@ -61,6 +62,7 @@ class TestRegistryMechanics:
             "uart",
             "campaign",
             "service",
+            "sabre",
         } <= discovered
 
     def test_every_domain_has_one_oracle(self):
@@ -77,6 +79,7 @@ class TestRegistryMechanics:
             "uart",
             "campaign",
             "service",
+            "sabre",
         ):
             assert domain in domains()
             oracle = oracle_name(domain)
@@ -126,7 +129,7 @@ class TestRegistryMechanics:
         # pair discovery skips the orphan domain and keeps covering
         # every healthy one.
         pairs = bit_exact_pairs()
-        assert len(pairs) >= 12
+        assert len(pairs) >= 13
         assert all(d != "registry-test-oracle-free" for d, _, _ in pairs)
 
     def test_empty_names_rejected(self):
