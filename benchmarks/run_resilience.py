@@ -1,0 +1,160 @@
+"""Resilience-layer benchmark runner.
+
+Two questions the supervised execution layer has to answer with
+numbers, persisted to ``BENCH_resilience.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/run_resilience.py
+
+1. **What does supervision cost when nothing goes wrong?**  The same
+   campaign grid runs plain and under a default
+   :class:`~repro.resilience.Supervisor` (attempt accounting, outcome
+   wrapping, quarantine plumbing — no faults injected, so no retries).
+   The clean-path overhead must stay within a few percent or nobody
+   arms the ladder; the report's ``speedup`` is
+   ``plain_seconds / supervised_seconds`` (~1.0) and the gate floors
+   it at 0.95 (<= ~5% overhead).  Both runs must be bit-identical —
+   supervision may never perturb results.
+
+2. **What does crash recovery cost?**  A campaign is simulated to die
+   after committing half its cells to the write-ahead journal + cache;
+   the resumed run must re-execute only the other half, and its
+   wall-clock is reported against the full supervised run
+   (``recovery_fraction`` ~= the un-run fraction of the grid).
+
+``BENCH_SMOKE=1`` shrinks the grid for CI smoke lanes.
+"""
+
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from _emit import REPO_ROOT, write_report
+from repro.resilience import Supervisor
+from repro.scenarios.cache import CampaignCache
+from repro.scenarios.campaign import CampaignSpec, FaultSpec, run_campaign
+from repro.scenarios.faults import SensorDropout
+from repro.scenarios.spec import ScenarioSpec
+
+REPORT_PATH = REPO_ROOT / "BENCH_resilience.json"
+
+_SCENARIO = ScenarioSpec(
+    name="resilience_bench",
+    profile="static_tilt",
+    duration=60.0,
+    profile_args=(("dwell_time", 3.0), ("slew_time", 1.5)),
+    moving=False,
+)
+
+
+def build_spec(cells: int, seeds_per_cell: int = 2) -> CampaignSpec:
+    """A grid of ``cells`` one-fault cells over a compact scenario."""
+    faults = [FaultSpec(name="nominal")]
+    for k in range(1, cells):
+        faults.append(
+            FaultSpec(
+                name=f"drop{k}",
+                faults=(
+                    SensorDropout(
+                        sensor="acc", start=8.0 + 4.0 * k, duration=4.0
+                    ),
+                ),
+            )
+        )
+    return CampaignSpec(
+        name="resilience_bench",
+        scenarios=(_SCENARIO,),
+        faults=tuple(faults),
+        seeds=tuple(range(8200, 8200 + seeds_per_cell)),
+    )
+
+
+def _best_of(rounds: int, fn):
+    """Best wall-clock of ``rounds`` runs (and the last run's value)."""
+    best = float("inf")
+    value = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def measure_resilience(cells: int = 6, rounds: int = 2) -> dict:
+    """Clean-path overhead and journal-resume recovery, one report."""
+    spec = build_spec(cells)
+
+    plain_seconds, plain = _best_of(rounds, lambda: run_campaign(spec))
+    supervised_seconds, supervised = _best_of(
+        rounds, lambda: run_campaign(spec, supervisor=Supervisor())
+    )
+    identical = supervised.summaries == plain.summaries
+    clean = supervised.resilience
+
+    # Crash simulation: a run over the first half of the grid commits
+    # those cells durably (journal + cache), exactly the state a
+    # SIGKILL'd full run leaves behind; the resume pays only for the
+    # other half.
+    half = max(1, cells // 2)
+    half_spec = build_spec(half)
+    tmp = Path(tempfile.mkdtemp(prefix="bench_resilience_"))
+    try:
+        journal = tmp / "journal.jsonl"
+        cache_dir = tmp / "cache"
+        run_campaign(
+            half_spec,
+            journal=journal,
+            cache=CampaignCache(cache_dir=cache_dir),
+        )
+        start = time.perf_counter()
+        resumed = run_campaign(
+            spec,
+            journal=journal,
+            cache=CampaignCache(cache_dir=cache_dir),
+        )
+        recovery_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    recovery = resumed.resilience
+    identical = bool(
+        identical and resumed.summaries == plain.summaries
+    )
+
+    return {
+        "cells": cells,
+        "seeds_per_cell": len(spec.seeds),
+        "plain_seconds": plain_seconds,
+        "supervised_seconds": supervised_seconds,
+        "speedup": plain_seconds / supervised_seconds,
+        "overhead_fraction": supervised_seconds / plain_seconds - 1.0,
+        "identical": identical,
+        "clean_retries": clean.retries,
+        "clean_quarantined": clean.quarantined,
+        "precompleted_cells": half,
+        "recovery_seconds": recovery_seconds,
+        "recovery_fraction": recovery_seconds / supervised_seconds,
+        "resumed_from_journal": recovery.resumed_from_journal,
+        "recovery_cells_run": recovery.cells_run,
+    }
+
+
+def main() -> None:
+    smoke = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+    result = measure_resilience(cells=4 if smoke else 6)
+    write_report(REPORT_PATH, result)
+    print(
+        f"{result['cells']} cells: plain {result['plain_seconds']:.2f}s, "
+        f"supervised {result['supervised_seconds']:.2f}s "
+        f"(overhead {result['overhead_fraction']*100:+.1f}%), "
+        f"identical={result['identical']}; resume after "
+        f"{result['precompleted_cells']} committed cells "
+        f"{result['recovery_seconds']:.2f}s "
+        f"({result['recovery_fraction']*100:.0f}% of a full run, "
+        f"{result['recovery_cells_run']} cells re-run)"
+    )
+    print(f"wrote {REPORT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -76,7 +76,7 @@ def degradation_report(result) -> str:
     fallback occupancy and the classification — plus a totals line.
     """
     rows = []
-    totals = {"absorbed": 0, "degraded": 0, "diverged": 0}
+    totals = {"absorbed": 0, "degraded": 0, "diverged": 0, "quarantined": 0}
     for cell, summary, label in zip(
         result.cells, result.summaries, result.classifications()
     ):
@@ -111,4 +111,8 @@ def degradation_report(result) -> str:
         f"cells: {len(rows)} — absorbed {totals['absorbed']}, "
         f"degraded {totals['degraded']}, diverged {totals['diverged']}"
     )
+    if totals["quarantined"]:
+        # Only supervised runs can quarantine; keep the unsupervised
+        # report line byte-stable.
+        summary_line += f", quarantined {totals['quarantined']}"
     return f"# Degradation report: {result.spec.name}\n\n{table}\n\n{summary_line}\n"

@@ -132,6 +132,8 @@ def _execute_campaign(
     workers: int,
     chunk_size: int | None,
     cache: CampaignCache | None,
+    supervisor=None,
+    journal=None,
 ) -> CampaignResult:
     """Every cell of ``spec``, with cache stitching in cell order."""
     from repro.errors import SimulationError
@@ -140,6 +142,31 @@ def _execute_campaign(
         engine = "fast"
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if supervisor is not None or journal is not None:
+        from repro.scenarios.campaign import _run_cells_supervised
+
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        cells = spec.cells()
+        summaries, statuses, faults, report = _run_cells_supervised(
+            list(cells),
+            engine=engine,
+            workers=workers,
+            chunk_size=chunk_size,
+            supervisor=supervisor,
+            journal=journal,
+            cache=cache,
+        )
+        return CampaignResult(
+            spec=spec,
+            cells=cells,
+            summaries=summaries,
+            statuses=statuses,
+            cell_faults=faults,
+            resilience=report,
+        )
     impl = resolve_engine("campaign", engine)
     if workers != 1 and getattr(impl, "single_process", False):
         raise ConfigurationError(
@@ -227,6 +254,8 @@ def execute(
     workers: int = 1,
     chunk_size: int | None = None,
     cache: CampaignCache | None = None,
+    supervisor=None,
+    journal=None,
 ):
     """Execute one typed request and return its typed result.
 
@@ -237,11 +266,33 @@ def execute(
     (the legacy ensemble behavior — the service and campaign paths
     report ``None`` summaries instead, because they aggregate many
     units).
+
+    ``supervisor``/``journal`` arm the resilience ladder on the
+    campaign path (per-cell deadlines, retry/backoff, quarantine,
+    crash-resumable journal — see :mod:`repro.resilience`); the other
+    request types reject them, like every knob an engine cannot honor.
     """
+    if isinstance(request, ScenarioRequest) or isinstance(
+        request, FirmwareRequest
+    ):
+        if supervisor is not None or journal is not None:
+            raise ConfigurationError(
+                f"{type(request).__name__} does not take supervisor/"
+                "journal; the supervised ladder belongs to campaign "
+                "grids (CampaignSpec) and to ScenarioService(supervisor=...)"
+            )
     if isinstance(request, ScenarioRequest):
         return _execute_scenario(request, engine, workers, chunk_size, cache)
     if isinstance(request, CampaignSpec):
-        return _execute_campaign(request, engine, workers, chunk_size, cache)
+        return _execute_campaign(
+            request,
+            engine,
+            workers,
+            chunk_size,
+            cache,
+            supervisor=supervisor,
+            journal=journal,
+        )
     if isinstance(request, FirmwareRequest):
         return _execute_firmware(request, engine, workers, chunk_size, cache)
     raise ConfigurationError(

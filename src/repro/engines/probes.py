@@ -538,6 +538,11 @@ def _campaign_probe(name: str):
 
 register_probe("campaign", "model")(_campaign_probe("model"))
 register_probe("campaign", "fast")(_campaign_probe("fast"))
+# The supervised variant runs the same grid per-cell under the
+# resilience supervisor's default retry policy, so the recovered-
+# results-stay-bit-identical guarantee is enforced by the registry's
+# automatic oracle sweep, not just by the chaos suite.
+register_probe("campaign", "supervised")(_campaign_probe("supervised"))
 
 
 # --------------------------------------------------------------------

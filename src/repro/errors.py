@@ -62,6 +62,36 @@ class SimulationError(ReproError):
     """The discrete-event or cycle simulator reached an invalid state."""
 
 
+class TransientError(ReproError):
+    """A failure that a pure replay of the same work may not reproduce.
+
+    The resilience supervisor (:mod:`repro.resilience`) retries tasks
+    that fail with a transient classification: killed workers, missed
+    deadlines, scheduler hiccups.  Because every task in this codebase
+    is a seed-deterministic pure function of its inputs, a retry that
+    succeeds produces the *same bits* the first attempt would have.
+    """
+
+
+class PermanentError(ReproError):
+    """A failure that retrying the identical work cannot fix.
+
+    The supervisor quarantines on the first permanent failure instead
+    of burning retries: the task is a deterministic function of its
+    inputs, so a permanent fault (bad configuration, poisoned input)
+    will recur on every replay.
+    """
+
+
+class TaskTimeoutError(TransientError):
+    """A supervised task ran past its per-task deadline.
+
+    Transient by classification: a deadline miss is usually load or a
+    hung worker, and the worker watchdog kills the stragglers so the
+    retry starts on a clean pool.
+    """
+
+
 class ServiceError(ReproError):
     """The scenario-execution service (:mod:`repro.service`) failed."""
 

@@ -1,0 +1,56 @@
+"""Supervised execution: deadlines, retry/backoff, quarantine, journal.
+
+The package turns the service/campaign failure handling from one blunt
+rung (``BrokenProcessPool`` -> serial fallback) into a ladder:
+
+1. **retry** — transient failures replay the same seed-deterministic
+   work (bit-identical on success) up to ``RetryPolicy.max_attempts``;
+2. **backoff** — deterministic exponential delay between attempts;
+3. **deadline** — per-task timeouts with a worker watchdog that kills
+   hung workers so the retry starts clean;
+4. **quarantine** — a task that exhausts its attempts (or fails
+   permanently) is recorded with its fault string instead of sinking
+   the whole run;
+5. **journal resume** — a write-ahead campaign journal lets a killed
+   ``run_campaign`` resume, re-running only non-completed cells.
+
+:mod:`repro.resilience.chaos` is the proof harness: seeded schedules
+that kill workers mid-flight, delay tasks past deadlines, raise
+transient/permanent faults, and corrupt cache files, so the test
+suite exercises every rung reproducibly.
+"""
+
+from repro.resilience.chaos import (
+    CHAOS_EVENTS,
+    ChaosPermanentError,
+    ChaosPool,
+    ChaosRunner,
+    ChaosSchedule,
+    ChaosTransientError,
+    corrupt_cache_file,
+    sample_chaos_schedule,
+)
+from repro.resilience.journal import CampaignJournal, JournalRecord
+from repro.resilience.supervisor import (
+    RetryPolicy,
+    SupervisedOutcome,
+    Supervisor,
+    classify_error,
+)
+
+__all__ = [
+    "CHAOS_EVENTS",
+    "CampaignJournal",
+    "ChaosPermanentError",
+    "ChaosPool",
+    "ChaosRunner",
+    "ChaosSchedule",
+    "ChaosTransientError",
+    "JournalRecord",
+    "RetryPolicy",
+    "SupervisedOutcome",
+    "Supervisor",
+    "classify_error",
+    "corrupt_cache_file",
+    "sample_chaos_schedule",
+]

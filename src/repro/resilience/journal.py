@@ -1,0 +1,167 @@
+"""Write-ahead campaign journal: crash-resumable `run_campaign`.
+
+Append-only JSONL, one record per line::
+
+    {"v": "campaign-journal-v1", "digest": "<sha256>",
+     "status": "started|completed|quarantined", "attempt": 1,
+     "summary_ref": "<sha256>|null", "fault": "<str>|null"}
+
+``digest`` is the cell's canonical digest from
+:func:`repro.scenarios.cache.canonical_digest` — the same key the
+:class:`~repro.scenarios.cache.CampaignCache` stores summaries under,
+so ``summary_ref`` (the digest again, when the summary was cached) is
+enough to rehydrate a completed cell without recomputing it.
+
+Durability over elegance: every record is flushed and ``fsync``'d
+before :meth:`CampaignJournal.record` returns, so a SIGKILL between
+records loses at most the record being written.  On load, a torn or
+garbage line (the tail of a crashed writer) is skipped and counted in
+``skipped_records`` rather than failing the resume — the worst case
+of a lost record is one cell re-running, and replays are
+bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+JOURNAL_VERSION = "campaign-journal-v1"
+
+#: Statuses a journal record may carry, in lifecycle order.
+STATUSES = ("started", "completed", "quarantined")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One parsed journal line."""
+
+    digest: str
+    status: str
+    attempt: int = 1
+    summary_ref: str | None = None
+    fault: str | None = None
+
+
+class CampaignJournal:
+    """Append-only, fsync'd, torn-tail-tolerant campaign journal."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.skipped_records = 0
+        self._records = self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        self._heal_torn_tail()
+
+    def _heal_torn_tail(self) -> None:
+        """Terminate a torn final line so the next append starts clean.
+
+        A writer killed mid-record leaves a line without its newline;
+        appending straight after it would weld the next record onto
+        the torn one, losing *both*.  One newline turns the torn tail
+        into exactly the malformed line :meth:`_load` already skips.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        if raw and not raw.endswith(b"\n"):
+            self._file.write(b"\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def _load(self) -> list[JournalRecord]:
+        records: list[JournalRecord] = []
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return records
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                record = JournalRecord(
+                    digest=payload["digest"],
+                    status=payload["status"],
+                    attempt=int(payload.get("attempt", 1)),
+                    summary_ref=payload.get("summary_ref"),
+                    fault=payload.get("fault"),
+                )
+                if payload.get("v") != JOURNAL_VERSION:
+                    raise ValueError(f"journal version {payload.get('v')!r}")
+                if record.status not in STATUSES:
+                    raise ValueError(f"journal status {record.status!r}")
+            except (ValueError, KeyError, TypeError):
+                # A torn tail from a killed writer, or plain garbage.
+                # Either way the cell just re-runs (bit-identically).
+                self.skipped_records += 1
+                continue
+            records.append(record)
+        return records
+
+    @property
+    def records(self) -> tuple[JournalRecord, ...]:
+        """Every valid record, in append order."""
+        return tuple(self._records)
+
+    def replay(self) -> dict[str, JournalRecord]:
+        """Latest record per cell digest — the resume state."""
+        state: dict[str, JournalRecord] = {}
+        for record in self._records:
+            state[record.digest] = record
+        return state
+
+    def record(
+        self,
+        digest: str,
+        status: str,
+        *,
+        attempt: int = 1,
+        summary_ref: str | None = None,
+        fault: str | None = None,
+    ) -> JournalRecord:
+        """Append one record; durable (flushed + fsync'd) on return."""
+        if status not in STATUSES:
+            raise ConfigurationError(
+                f"journal status must be one of {STATUSES}, got {status!r}"
+            )
+        entry = JournalRecord(
+            digest=digest,
+            status=status,
+            attempt=attempt,
+            summary_ref=summary_ref,
+            fault=fault,
+        )
+        line = json.dumps(
+            {
+                "v": JOURNAL_VERSION,
+                "digest": entry.digest,
+                "status": entry.status,
+                "attempt": entry.attempt,
+                "summary_ref": entry.summary_ref,
+                "fault": entry.fault,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._records.append(entry)
+        return entry
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> CampaignJournal:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

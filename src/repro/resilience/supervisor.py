@@ -1,0 +1,266 @@
+"""The resilience supervisor: deadlines, bounded retry, quarantine.
+
+A :class:`Supervisor` runs a task (any zero-argument callable) under a
+:class:`RetryPolicy`:
+
+- failures classified *transient* are retried after a deterministic
+  exponential backoff, up to ``max_attempts`` total attempts;
+- failures classified *permanent* quarantine immediately — the work is
+  a deterministic function of its inputs, so replaying a permanent
+  fault only burns time;
+- an optional per-attempt ``deadline`` is enforced by a watchdog
+  thread; a deadline miss raises
+  :class:`~repro.errors.TaskTimeoutError` (transient) and counts in
+  the outcome's ``timeouts``.
+
+The result is always a :class:`SupervisedOutcome` — ``completed`` with
+the task's value, or ``quarantined`` with the last fault string.  The
+supervisor never lets a task exception escape (``KeyboardInterrupt``
+and friends excepted): quarantining is the whole point, a poison task
+must not sink the run.
+
+Retries are pure replays of seed-deterministic work, so a recovered
+result is bit-identical to what the failed attempt would have
+produced — the registry harness pins this via the
+``("campaign", "supervised")`` engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import (
+    ConfigurationError,
+    PermanentError,
+    TaskTimeoutError,
+    TransientError,
+)
+
+#: Failure classes, as returned by :func:`classify_error`.
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+def classify_error(exc: BaseException) -> str:
+    """Classify an exception as ``"transient"`` or ``"permanent"``.
+
+    Explicitly permanent errors (:class:`~repro.errors.PermanentError`,
+    :class:`~repro.errors.ConfigurationError`) quarantine without
+    retries.  Everything else — including unknown exceptions — is
+    transient: infrastructure faults (killed workers, timeouts) earn
+    their retries, and a deterministic poison task still ends up
+    quarantined once its attempts are exhausted.
+    """
+    if isinstance(exc, (PermanentError, ConfigurationError)):
+        return PERMANENT
+    if isinstance(exc, (TransientError, BrokenProcessPool, TimeoutError)):
+        return TRANSIENT
+    return TRANSIENT
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the supervisor tries before quarantining.
+
+    ``backoff_delay(i)`` for retry index ``i`` (0 for the first retry)
+    is ``backoff_base * backoff_factor ** i`` capped at
+    ``backoff_cap`` — deterministic on purpose: no jitter, so a chaos
+    schedule replays the exact same timeline every run.
+    """
+
+    max_attempts: int = 3
+    deadline: float | None = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"retry policy needs max_attempts >= 1, got {self.max_attempts}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ConfigurationError(
+                f"retry policy deadline must be > 0 seconds, got {self.deadline}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_cap < 0:
+            raise ConfigurationError(
+                "retry policy backoff needs base >= 0, factor >= 1, cap >= 0; "
+                f"got base={self.backoff_base} factor={self.backoff_factor} "
+                f"cap={self.backoff_cap}"
+            )
+
+    def backoff_delay(self, retry_index: int) -> float:
+        """Deterministic delay before retry number ``retry_index`` (0-based)."""
+        if retry_index < 0:
+            raise ConfigurationError(
+                f"retry index must be >= 0, got {retry_index}"
+            )
+        return min(self.backoff_base * self.backoff_factor**retry_index, self.backoff_cap)
+
+
+@dataclass(frozen=True)
+class SupervisedOutcome:
+    """What became of one supervised task.
+
+    ``status`` is ``"completed"`` (``value`` holds the task's return)
+    or ``"quarantined"`` (``fault`` holds the last failure as
+    ``"ExcType: message"``).  ``attempts`` counts executions,
+    ``retries = attempts - 1`` of which were replays; ``timeouts``
+    counts the attempts that died on the deadline.
+    """
+
+    status: str
+    value: object = None
+    attempts: int = 1
+    retries: int = 0
+    timeouts: int = 0
+    fault: str | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+
+def format_fault(exc: BaseException) -> str:
+    """The canonical fault string recorded on quarantine."""
+    return f"{type(exc).__name__}: {exc}"
+
+
+def call_with_deadline(
+    task: Callable[[], object], deadline: float, label: str
+) -> object:
+    """Run ``task`` in a watchdog thread, failing after ``deadline`` seconds.
+
+    Raises :class:`~repro.errors.TaskTimeoutError` on a miss.  The
+    timed-out thread cannot be killed from Python — it is left to
+    finish in the background — so in-process tasks run under a
+    deadline must not share mutable state (the service passes
+    ``arena=None`` on supervised in-process batches for exactly this
+    reason).  Pool-backed tasks should instead self-enforce via
+    ``WorkerPool``'s ``timeout=``, whose watchdog *can* kill the
+    worker process.
+    """
+    box: dict[str, object] = {}
+    done = threading.Event()
+
+    def _runner() -> None:
+        try:
+            box["value"] = task()
+        except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+            box["error"] = exc
+        finally:
+            done.set()
+
+    thread = threading.Thread(
+        target=_runner, name=f"supervised-{label}", daemon=True
+    )
+    thread.start()
+    if not done.wait(deadline):
+        raise TaskTimeoutError(
+            f"{label}: exceeded {deadline:g}s deadline"
+        )
+    if "error" in box:
+        raise box["error"]  # type: ignore[misc]
+    return box["value"]
+
+
+class Supervisor:
+    """Runs tasks under a :class:`RetryPolicy`, quarantining poison.
+
+    Parameters
+    ----------
+    policy:
+        Retry/deadline/backoff knobs; defaults to ``RetryPolicy()``.
+    classify:
+        Maps an exception to ``"transient"``/``"permanent"``; defaults
+        to :func:`classify_error`.
+    sleep:
+        Injected backoff sleeper (tests pass a recorder to pin the
+        deterministic delay sequence without waiting it out).
+    pool_factory:
+        How the supervised campaign path builds its worker pool; the
+        chaos harness swaps in a :class:`~repro.resilience.chaos.ChaosPool`
+        wrapper here.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        *,
+        classify: Callable[[BaseException], str] = classify_error,
+        sleep: Callable[[float], None] = time.sleep,
+        pool_factory: Callable[[int], object] | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.classify = classify
+        self.sleep = sleep
+        if pool_factory is None:
+            from repro.service.executor import WorkerPool
+
+            pool_factory = WorkerPool
+        self.pool_factory = pool_factory
+
+    def backoff(self, retry_index: int) -> None:
+        """Sleep the deterministic backoff before retry ``retry_index``."""
+        delay = self.policy.backoff_delay(retry_index)
+        if delay > 0:
+            self.sleep(delay)
+
+    def run(
+        self,
+        task: Callable[[], object],
+        *,
+        label: str = "task",
+        repair: Callable[[], None] | None = None,
+        enforce_deadline: bool = True,
+    ) -> SupervisedOutcome:
+        """Run ``task`` to a :class:`SupervisedOutcome`, never raising.
+
+        ``repair`` (e.g. ``pool.restart``) runs before every retry.
+        ``enforce_deadline=False`` skips the in-process watchdog for
+        tasks that self-enforce their deadline (the pool path).
+        """
+        policy = self.policy
+        timeouts = 0
+        fault: str | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                if repair is not None:
+                    repair()
+                self.backoff(attempt - 2)
+            try:
+                if enforce_deadline and policy.deadline is not None:
+                    value = call_with_deadline(task, policy.deadline, label)
+                else:
+                    value = task()
+                return SupervisedOutcome(
+                    status="completed",
+                    value=value,
+                    attempts=attempt,
+                    retries=attempt - 1,
+                    timeouts=timeouts,
+                )
+            except Exception as exc:
+                fault = format_fault(exc)
+                if isinstance(exc, TaskTimeoutError):
+                    timeouts += 1
+                if self.classify(exc) == PERMANENT:
+                    return SupervisedOutcome(
+                        status="quarantined",
+                        attempts=attempt,
+                        retries=attempt - 1,
+                        timeouts=timeouts,
+                        fault=fault,
+                    )
+        return SupervisedOutcome(
+            status="quarantined",
+            attempts=policy.max_attempts,
+            retries=policy.max_attempts - 1,
+            timeouts=timeouts,
+            fault=fault,
+        )

@@ -29,6 +29,7 @@ import hashlib
 import os
 import pickle
 import struct
+import zlib
 from dataclasses import fields, is_dataclass
 from pathlib import Path
 
@@ -129,6 +130,11 @@ class CampaignCache:
     tier, and a stale hit would require a digest collision.  A corrupt,
     truncated or version-mismatched file is treated as a miss (and the
     fresh result overwrites it on the next store) — never as an error.
+    The unusable file itself is *quarantined*: renamed to
+    ``<digest>.corrupt`` (counted in ``corrupt_entries``) so it is
+    inspectable after the fact and never re-read — without the rename
+    a damaged entry would be deserialized again on every single
+    lookup, silently, forever.
 
     Pass an instance to :func:`~repro.scenarios.campaign.run_campaign`
     or a :class:`~repro.service.ScenarioService` and reuse it across
@@ -147,6 +153,8 @@ class CampaignCache:
         self.misses = 0
         #: Hits served from the persistent tier (a subset of ``hits``).
         self.disk_hits = 0
+        #: Unusable disk entries quarantined to ``<digest>.corrupt``.
+        self.corrupt_entries = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -165,7 +173,9 @@ class CampaignCache:
         Anything short of a well-formed, version-tagged pickle —
         missing file, truncated write, garbage bytes, a payload from
         an older digest scheme — reads as a miss: the cache must never
-        turn a damaged file into an exception or a wrong answer.
+        turn a damaged file into an exception or a wrong answer.  An
+        unusable *existing* file is quarantined via
+        :meth:`_quarantine` so the miss is paid once, not per lookup.
         """
         try:
             raw = self._disk_path(digest).read_bytes()
@@ -174,14 +184,46 @@ class CampaignCache:
         try:
             payload = pickle.loads(raw)
         except Exception:
+            self._quarantine(digest)
             return self._MISS
         if (
             not isinstance(payload, dict)
             or payload.get("version") != DIGEST_VERSION
             or "summary" not in payload
         ):
+            self._quarantine(digest)
             return self._MISS
-        return payload["summary"]
+        body = payload["summary"]
+        # The summary is stored as a CRC-guarded pickle-within-a-pickle:
+        # a bit flip inside the body can still *unpickle* cleanly (the
+        # damage lands in float payload bytes) — only the checksum
+        # catches silent media corruption rather than serving it as data.
+        if (
+            not isinstance(body, bytes)
+            or payload.get("crc") != zlib.crc32(body)
+        ):
+            self._quarantine(digest)
+            return self._MISS
+        try:
+            return pickle.loads(body)
+        except Exception:
+            self._quarantine(digest)
+            return self._MISS
+
+    def _quarantine(self, digest: str) -> None:
+        """Move an unusable entry aside as ``<digest>.corrupt``.
+
+        ``os.replace`` so a previous quarantine of the same digest is
+        overwritten; a failed rename (e.g. the file vanished under a
+        concurrent writer healing it) is ignored — quarantining is
+        bookkeeping, never an error source.
+        """
+        path = self._disk_path(digest)
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        self.corrupt_entries += 1
 
     def _disk_store(self, digest: str, summary) -> None:
         """Atomically persist ``digest`` -> ``summary``.
@@ -193,8 +235,15 @@ class CampaignCache:
         """
         path = self._disk_path(digest)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        body = pickle.dumps(summary)
         tmp.write_bytes(
-            pickle.dumps({"version": DIGEST_VERSION, "summary": summary})
+            pickle.dumps(
+                {
+                    "version": DIGEST_VERSION,
+                    "summary": body,
+                    "crc": zlib.crc32(body),
+                }
+            )
         )
         os.replace(tmp, path)
 

@@ -28,19 +28,28 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.analysis.montecarlo import EnsembleJob, MonteCarloSummary
-from repro.engines import register_engine, resolve_engine
-from repro.errors import ConfigurationError, SimulationError
+from repro.engines import engine_spec, register_engine, resolve_engine
+from repro.errors import (
+    ConfigurationError,
+    SimulationError,
+    TaskTimeoutError,
+)
 from repro.experiments.table1 import DEFAULT_MISALIGNMENT
-from repro.scenarios.cache import CampaignCache
+from repro.scenarios.cache import CampaignCache, canonical_digest
 from repro.scenarios.faults import (
     CanBusErrorStorm,
     ClockSkew,
     Fault,
+    FaultMatrix,
     LossyLinkBurst,
     SensorDropout,
     StuckAxis,
@@ -200,26 +209,66 @@ def smoke_campaign_spec(seeds: tuple[int, ...] = tuple(range(900, 908))):
 
 
 @dataclass(frozen=True)
+class ResilienceReport:
+    """What the supervised campaign path did to finish the grid."""
+
+    #: Cell attempts replayed after a transient failure.
+    retries: int = 0
+    #: Cell attempts that died on the per-cell deadline.
+    timeouts: int = 0
+    #: Cells recorded with a fault string after exhausting retries.
+    quarantined: int = 0
+    #: Cells rehydrated from the journal + cache instead of re-run.
+    resumed_from_journal: int = 0
+    #: Cells actually executed this run.
+    cells_run: int = 0
+    #: Cells served from the cache without a journal record.
+    cells_cached: int = 0
+
+
+@dataclass(frozen=True)
 class CampaignResult:
     """Cell-by-cell outcome of a campaign run.
 
     ``summaries`` aligns with ``cells``; an entry is ``None`` when
     every seed of that cell diverged.  Classification and reporting
     live in :mod:`repro.analysis.reporting`.
+
+    Supervised runs (``run_campaign(supervisor=...)`` or
+    ``journal=...``) also carry per-cell ``statuses`` (``"completed"``,
+    ``"cached"``, ``"resumed"``, ``"quarantined"``), the matching
+    ``cell_faults`` strings (``None`` except for quarantined cells)
+    and a :class:`ResilienceReport`; unsupervised runs leave all three
+    empty so existing golden artifacts stay byte-identical.
     """
 
     spec: CampaignSpec
     cells: tuple[CampaignCell, ...]
     summaries: tuple[MonteCarloSummary | None, ...]
+    statuses: tuple[str, ...] = ()
+    cell_faults: tuple[str | None, ...] = ()
+    resilience: ResilienceReport | None = None
 
     def classifications(self) -> list[str]:
-        """Per-cell ``absorbed`` / ``degraded`` / ``diverged`` labels."""
+        """Per-cell ``absorbed``/``degraded``/``diverged``/``quarantined``.
+
+        A quarantined cell has no summary, which would misread as
+        ``"diverged"`` — the supervised statuses take precedence so
+        an execution-stack casualty is never booked as a model one.
+        """
         from repro.analysis.reporting import classify_cell
 
-        return [
-            classify_cell(summary, expected_runs=len(cell.seeds))
-            for cell, summary in zip(self.cells, self.summaries)
-        ]
+        labels = []
+        for index, (cell, summary) in enumerate(
+            zip(self.cells, self.summaries)
+        ):
+            if self.statuses and self.statuses[index] == "quarantined":
+                labels.append("quarantined")
+            else:
+                labels.append(
+                    classify_cell(summary, expected_runs=len(cell.seeds))
+                )
+        return labels
 
     def to_golden(self) -> dict:
         """The platform-stable golden form of this result.
@@ -342,12 +391,312 @@ def run_campaign_cells_sharded(
 run_campaign_cells_sharded.accepts_chunk_size = True
 
 
+def _run_cells_supervised(
+    cells: list[CampaignCell],
+    *,
+    engine: str = "fast",
+    workers: int = 1,
+    chunk_size: int | None = None,
+    supervisor=None,
+    journal=None,
+    cache: CampaignCache | None = None,
+    cell_runner: Callable | None = None,
+):
+    """Cells under the resilience supervisor, optionally journaled.
+
+    Returns ``(summaries, statuses, faults, report)`` — the supervised
+    half of :func:`repro.api.execute`'s campaign path.  Semantics:
+
+    - every cell is keyed by its canonical digest (the cache key);
+      with a ``journal`` (a :class:`~repro.resilience.CampaignJournal`
+      or a path), a ``started`` record lands before execution and a
+      terminal ``completed``/``quarantined`` record after, fsync'd, so
+      a killed process resumes by rehydrating ``completed`` cells from
+      the cache and re-running only in-flight ones;
+    - ``workers == 1`` runs cells sequentially in-process under
+      :meth:`Supervisor.run` (watchdog deadline, backoff, quarantine);
+      ``cell_runner`` swaps the per-cell callable — the in-process
+      chaos hook;
+    - ``workers > 1`` submits waves of cells to a pool built by
+      ``supervisor.pool_factory`` (the pool-level chaos hook) with
+      per-cell deadlines measured from wave start; a failed or
+      timed-out cell is re-queued with deterministic backoff until its
+      attempts are exhausted, and the pool is restarted between waves
+      when broken.
+
+    Retries replay seed-deterministic work, so every recovered summary
+    is bit-identical to the fault-free serial oracle's.
+    """
+    from repro.resilience.journal import CampaignJournal
+    from repro.resilience.supervisor import Supervisor
+
+    if supervisor is None:
+        supervisor = Supervisor()
+    owns_journal = journal is not None and not isinstance(
+        journal, CampaignJournal
+    )
+    if owns_journal:
+        journal = CampaignJournal(journal)
+    campaign_engine = engine_spec("campaign", engine)
+    if getattr(campaign_engine.obj, "single_process", False) and workers != 1:
+        raise ConfigurationError(
+            "the campaign oracle is single-process; cell sharding "
+            "belongs to engine='fast'"
+        )
+    ensemble_engine = "model" if campaign_engine.oracle else "fast"
+    if chunk_size is not None and not getattr(
+        campaign_engine.obj, "accepts_chunk_size", False
+    ):
+        raise ConfigurationError(
+            "engine='model' does not take a chunk_size; seed-block "
+            "streaming belongs to the lockstep engines (engine='fast')"
+        )
+    digests = [canonical_digest(cell) for cell in cells]
+    summaries: list[MonteCarloSummary | None] = [None] * len(cells)
+    statuses: list[str] = ["pending"] * len(cells)
+    faults: list[str | None] = [None] * len(cells)
+    counts = {
+        "retries": 0,
+        "timeouts": 0,
+        "quarantined": 0,
+        "resumed_from_journal": 0,
+        "cells_run": 0,
+        "cells_cached": 0,
+    }
+    replay = journal.replay() if journal is not None else {}
+    to_run: list[int] = []
+    for index, cell in enumerate(cells):
+        record = replay.get(digests[index])
+        if record is not None and record.status == "quarantined":
+            # Sticky: a quarantined cell stays quarantined on resume;
+            # clearing it is an operator decision (new journal).
+            statuses[index] = "quarantined"
+            faults[index] = record.fault
+            counts["quarantined"] += 1
+            continue
+        if cache is not None:
+            hit, summary = cache.lookup(cell)
+            if hit:
+                summaries[index] = summary
+                if record is not None and record.status == "completed":
+                    statuses[index] = "resumed"
+                    counts["resumed_from_journal"] += 1
+                else:
+                    statuses[index] = "cached"
+                    counts["cells_cached"] += 1
+                continue
+        to_run.append(index)
+
+    def note_completed(index: int, summary, attempt: int) -> None:
+        summaries[index] = summary
+        statuses[index] = "completed"
+        counts["cells_run"] += 1
+        summary_ref = None
+        if cache is not None:
+            cache.store(cells[index], summary)
+            summary_ref = digests[index]
+        if journal is not None:
+            journal.record(
+                digests[index],
+                "completed",
+                attempt=attempt,
+                summary_ref=summary_ref,
+            )
+
+    def note_quarantined(index: int, fault: str, attempt: int) -> None:
+        statuses[index] = "quarantined"
+        faults[index] = fault
+        counts["quarantined"] += 1
+        if journal is not None:
+            journal.record(
+                digests[index], "quarantined", attempt=attempt, fault=fault
+            )
+
+    try:
+        if workers == 1:
+            runner = cell_runner if cell_runner is not None else _run_cell
+            for index in to_run:
+                if journal is not None:
+                    journal.record(digests[index], "started", attempt=1)
+                outcome = supervisor.run(
+                    functools.partial(
+                        runner, cells[index], ensemble_engine, chunk_size
+                    ),
+                    label=f"cell-{index}",
+                )
+                counts["retries"] += outcome.retries
+                counts["timeouts"] += outcome.timeouts
+                if outcome.completed:
+                    note_completed(index, outcome.value, outcome.attempts)
+                else:
+                    note_quarantined(index, outcome.fault, outcome.attempts)
+        elif to_run:
+            _run_wave_pool(
+                to_run,
+                cells,
+                digests,
+                chunk_size,
+                supervisor,
+                journal,
+                counts,
+                note_completed,
+                note_quarantined,
+                workers,
+            )
+    finally:
+        if owns_journal:
+            journal.close()
+    report = ResilienceReport(**counts)
+    return tuple(summaries), tuple(statuses), tuple(faults), report
+
+
+def _run_wave_pool(
+    to_run: list[int],
+    cells: list[CampaignCell],
+    digests: list[str],
+    chunk_size: int | None,
+    supervisor,
+    journal,
+    counts: dict,
+    note_completed: Callable,
+    note_quarantined: Callable,
+    workers: int,
+) -> None:
+    """Pool half of the supervised path: waves, deadlines, requeues."""
+    from repro.resilience.supervisor import PERMANENT, format_fault
+
+    policy = supervisor.policy
+    pool = supervisor.pool_factory(workers)
+    attempts = {index: 0 for index in to_run}
+    pending = deque(to_run)
+    backoff = 0.0
+
+    def failed(index: int, exc: Exception) -> None:
+        nonlocal backoff
+        fault = format_fault(exc)
+        if (
+            supervisor.classify(exc) == PERMANENT
+            or attempts[index] >= policy.max_attempts
+        ):
+            note_quarantined(index, fault, attempts[index])
+        else:
+            counts["retries"] += 1
+            backoff = max(backoff, policy.backoff_delay(attempts[index] - 1))
+            pending.append(index)
+
+    try:
+        while pending:
+            if pool.broken:
+                pool.restart()
+            if backoff > 0:
+                supervisor.sleep(backoff)
+                backoff = 0.0
+            wave = [
+                pending.popleft()
+                for _ in range(min(workers, len(pending)))
+            ]
+            futures = {}
+            for index in wave:
+                attempts[index] += 1
+                if journal is not None:
+                    journal.record(
+                        digests[index], "started", attempt=attempts[index]
+                    )
+                try:
+                    futures[index] = pool.submit(
+                        _run_cell_fast, cells[index], chunk_size
+                    )
+                except BrokenProcessPool as exc:
+                    failed(index, exc)
+            started_at = time.monotonic()
+            for index in wave:
+                if index not in futures:
+                    continue
+                remaining = None
+                if policy.deadline is not None:
+                    # Per-cell deadline from wave start: the wave's
+                    # cells run concurrently, so they share a clock.
+                    remaining = max(
+                        0.01,
+                        policy.deadline - (time.monotonic() - started_at),
+                    )
+                try:
+                    summary = futures[index].result(timeout=remaining)
+                except FutureTimeoutError:
+                    # The watchdog: a hung worker is killed, not waited
+                    # on; collateral cells fail BrokenProcessPool and
+                    # retry on the restarted pool.
+                    pool.kill_workers()
+                    counts["timeouts"] += 1
+                    failed(
+                        index,
+                        TaskTimeoutError(
+                            f"campaign cell exceeded {policy.deadline:g}s "
+                            "deadline"
+                        ),
+                    )
+                except Exception as exc:
+                    failed(index, exc)
+                else:
+                    note_completed(index, summary, attempts[index])
+    finally:
+        pool.shutdown()
+
+
+@register_engine(
+    "campaign",
+    "supervised",
+    description="cells one at a time under the resilience supervisor "
+    "(deadline watchdog, retry/backoff, poison quarantine)",
+)
+def run_campaign_cells_supervised(
+    cells: list[CampaignCell],
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> list[MonteCarloSummary | None]:
+    """The supervised in-process path under the registry contract.
+
+    Runs every cell through :func:`_run_cells_supervised` with the
+    default :class:`~repro.resilience.RetryPolicy` and no journal.  On
+    a clean run nothing retries, so the registry harness pins the
+    supervised path bit-identical to the oracle — the guarantee that
+    makes retry-recovered results trustworthy.  A quarantined cell
+    raises here (the registry contract has no fault channel); the
+    full-ladder surface is ``run_campaign(supervisor=...)``.
+    """
+    if workers != 1:
+        raise ConfigurationError(
+            "the supervised registry engine is single-process; pooled "
+            "waves belong to run_campaign(supervisor=..., workers>1)"
+        )
+    summaries, statuses, faults, _ = _run_cells_supervised(
+        list(cells), engine="fast", workers=1, chunk_size=chunk_size
+    )
+    quarantined = [
+        (index, fault)
+        for index, (status, fault) in enumerate(zip(statuses, faults))
+        if status == "quarantined"
+    ]
+    if quarantined:
+        index, fault = quarantined[0]
+        raise SimulationError(
+            f"cell {index} quarantined under the default policy: {fault}"
+        )
+    return list(summaries)
+
+
+run_campaign_cells_supervised.single_process = True
+run_campaign_cells_supervised.accepts_chunk_size = True
+
+
 def run_campaign(
     spec: CampaignSpec,
     engine: str = "fast",
     workers: int = 1,
     cache: CampaignCache | None = None,
     chunk_size: int | None = None,
+    supervisor=None,
+    journal=None,
 ) -> CampaignResult:
     """Execute every cell of ``spec`` and collect the grid result.
 
@@ -363,6 +712,17 @@ def run_campaign(
     running, only the missing cells go to the engine, and the grid is
     stitched back in cell order.  Fresh results are stored back, so
     iterating on one scenario re-runs only its cells.
+
+    ``supervisor`` (a :class:`~repro.resilience.Supervisor`) and/or
+    ``journal`` (a :class:`~repro.resilience.CampaignJournal` or a
+    path) switch execution to the supervised per-cell path: per-cell
+    deadlines with a worker watchdog, deterministic retry/backoff,
+    poison quarantine (reported on
+    :attr:`CampaignResult.statuses`/``cell_faults`` instead of
+    raising) and — with a journal — crash resume that re-runs only
+    cells without a durable ``completed`` record.  Passing either arms
+    the path; a bare ``journal=`` uses the default
+    :class:`~repro.resilience.RetryPolicy`.
     """
     # Imported lazily: repro.api sits on top of this module.
     from repro.api import execute
@@ -373,4 +733,46 @@ def run_campaign(
         workers=workers,
         chunk_size=chunk_size,
         cache=cache,
+        supervisor=supervisor,
+        journal=journal,
+    )
+
+
+def matrix_fault_specs(matrix: FaultMatrix) -> dict[int, FaultSpec]:
+    """A fault matrix's per-seed recipes as campaign ``FaultSpec``s.
+
+    Recipe names embed the matrix name and seed
+    (``"<matrix>/seed<k>"``), so specs from different seeds or
+    matrices never collide in a campaign's duplicate-name check.
+    """
+    return {
+        seed: FaultSpec(
+            name=f"{matrix.name}/seed{seed}", faults=recipe
+        )
+        for seed, recipe in matrix.recipes
+    }
+
+
+def matrix_campaign_cells(
+    scenario: ScenarioSpec,
+    matrix: FaultMatrix,
+    fallback_hold: bool = True,
+) -> tuple[CampaignCell, ...]:
+    """One single-seed cell per matrix entry, in matrix order.
+
+    The per-seed shape is the point of a sampled matrix — every seed
+    carries its *own* drawn recipe, so cells cannot share a fault spec
+    the way grid campaigns do.  The cells are plain
+    :class:`CampaignCell`\\ s: digestible, cacheable, journal-able and
+    valid under every campaign engine.
+    """
+    specs = matrix_fault_specs(matrix)
+    return tuple(
+        CampaignCell(
+            scenario=scenario,
+            fault=specs[seed],
+            seeds=(seed,),
+            fallback_hold=fallback_hold,
+        )
+        for seed, _ in matrix.recipes
     )

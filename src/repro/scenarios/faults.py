@@ -379,6 +379,168 @@ class DriftRamp(Fault):
                     target[:, axis] += ramp
 
 
+#: Fault families :func:`sample_fault_matrix` can draw, with the
+#: parameters that may carry a ``(low, high)`` uniform range.  Integer
+#: parameters (axis indices) are drawn inclusive of both endpoints.
+_MATRIX_FAMILIES: dict[str, type] = {
+    "sensor_dropout": SensorDropout,
+    "stuck_axis": StuckAxis,
+    "saturated_axis": SaturatedAxis,
+    "clock_skew": ClockSkew,
+    "can_bus_error_storm": CanBusErrorStorm,
+    "lossy_link_burst": LossyLinkBurst,
+    "drift_ramp": DriftRamp,
+}
+
+_MATRIX_INT_PARAMS = frozenset({"axis", "salt"})
+
+
+@dataclass(frozen=True)
+class FaultDraw:
+    """One fault family's sampling declaration for a fault matrix.
+
+    ``family`` names a :data:`_MATRIX_FAMILIES` entry.  ``params``
+    maps constructor fields to either a fixed value or a ``(low,
+    high)`` tuple drawn uniformly per seed (integer fields — axis
+    indices, salts — draw integers, inclusive of both ends).
+    ``probability`` gates whether the fault appears in a given seed's
+    recipe at all.
+    """
+
+    family: str
+    probability: float = 1.0
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.family not in _MATRIX_FAMILIES:
+            raise ConfigurationError(
+                f"unknown fault family {self.family!r}; expected one of "
+                f"{sorted(_MATRIX_FAMILIES)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"draw probability must be within [0, 1], got "
+                f"{self.probability}"
+            )
+        object.__setattr__(self, "params", tuple(self.params))
+
+    def draw(self, rng: np.random.Generator) -> Fault | None:
+        """One seed's realization of this declaration, or ``None``.
+
+        The RNG is always consumed in the same order (gate first, then
+        every ranged parameter in declaration order) regardless of the
+        gate's outcome, so one family's draw never shifts another's.
+        """
+        gate = float(rng.uniform())
+        kwargs = {}
+        for name, value in self.params:
+            if isinstance(value, tuple) and len(value) == 2:
+                low, high = value
+                if name in _MATRIX_INT_PARAMS:
+                    kwargs[name] = int(
+                        rng.integers(int(low), int(high), endpoint=True)
+                    )
+                else:
+                    kwargs[name] = float(rng.uniform(float(low), float(high)))
+            else:
+                kwargs[name] = value
+        if gate >= self.probability:
+            return None
+        return _MATRIX_FAMILIES[self.family](**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultMatrix:
+    """Per-seed fault recipes drawn from declared distributions.
+
+    The product of :func:`sample_fault_matrix`: for every seed a
+    *fixed* tuple of concrete :class:`Fault` instances — plain frozen
+    dataclasses with plain floats/ints, so each recipe is picklable,
+    digest-stable under
+    :func:`repro.scenarios.cache.canonical_digest`, and replayable
+    bit-identically forever after, no matter when or where the matrix
+    was sampled.  The campaign adapter
+    (:func:`repro.scenarios.campaign.matrix_campaign_cells`) turns one
+    into single-seed campaign cells.
+    """
+
+    name: str
+    rng_seed: int
+    recipes: tuple[tuple[int, tuple[Fault, ...]], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "recipes",
+            tuple(
+                (int(seed), tuple(faults)) for seed, faults in self.recipes
+            ),
+        )
+        seeds = [seed for seed, _ in self.recipes]
+        if len(set(seeds)) != len(seeds):
+            raise ConfigurationError(
+                f"fault matrix seeds must be distinct, got {seeds}"
+            )
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return tuple(seed for seed, _ in self.recipes)
+
+    def recipe_for(self, seed: int) -> tuple[Fault, ...]:
+        """The fixed recipe drawn for ``seed``."""
+        for matrix_seed, faults in self.recipes:
+            if matrix_seed == int(seed):
+                return faults
+        raise ConfigurationError(
+            f"seed {seed} is not in fault matrix {self.name!r}"
+        )
+
+
+def sample_fault_matrix(
+    rng_seed: int,
+    distribution: tuple[FaultDraw, ...] | list[FaultDraw],
+    seeds: tuple[int, ...] | list[int],
+    name: str = "matrix",
+) -> FaultMatrix:
+    """Draw one fixed fault recipe per seed from ``distribution``.
+
+    Each seed's draws come from a dedicated generator on the
+    ``(0xFA117, seed)`` spawn key of ``rng_seed`` — deterministic per
+    ``(rng_seed, seed)`` pair and independent of seed order, the other
+    seeds, and every instrument/fault stream (which live on other
+    spawn keys).  Sampling happens exactly once, here: the returned
+    :class:`FaultMatrix` holds concrete fault instances, so campaigns
+    built from it are as digest-stable and bit-replayable as
+    hand-written recipes.  This closes the ROADMAP's "fault matrices
+    drawn from distributions" remainder at its minimal useful size.
+    """
+    distribution = tuple(distribution)
+    if not distribution:
+        raise ConfigurationError("a fault matrix needs at least one draw")
+    for draw in distribution:
+        if not isinstance(draw, FaultDraw):
+            raise ConfigurationError(
+                f"distribution entries must be FaultDraw, got "
+                f"{type(draw).__name__}"
+            )
+    seeds = tuple(int(seed) for seed in seeds)
+    if not seeds:
+        raise ConfigurationError("a fault matrix needs seeds")
+    recipes = []
+    for seed in seeds:
+        seq = np.random.SeedSequence(
+            entropy=int(rng_seed), spawn_key=(0xFA117, seed)
+        )
+        rng = np.random.Generator(np.random.PCG64(seq))
+        faults = tuple(
+            fault
+            for fault in (draw.draw(rng) for draw in distribution)
+            if fault is not None
+        )
+        recipes.append((seed, faults))
+    return FaultMatrix(name=name, rng_seed=int(rng_seed), recipes=tuple(recipes))
+
+
 def apply_faults(
     faults: tuple[Fault, ...], streams: RunStreams, seed: int
 ) -> None:

@@ -11,6 +11,9 @@ compatible pending requests into lockstep batches through a
 before ever scheduling compute, and executes batches through the
 chunked arena core — in-process or across a persistent spawn-worker
 pool, degrading to serial per-request execution when the pool dies.
+Passing a :class:`~repro.resilience.Supervisor` arms the full
+resilience ladder (deadlines, retry/backoff, pool restart, poison
+quarantine) on top of that single-rung fallback.
 
 Per-request results are bit-identical to executing the same request
 alone through the serial oracle: per-seed RNG trees are independent,

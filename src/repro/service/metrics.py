@@ -56,6 +56,15 @@ class ServiceMetrics:
     pool_failures: int = 0
     #: Batches executed on the degraded serial per-seed path.
     serial_fallback_batches: int = 0
+    #: Supervised attempts replayed after a transient failure.
+    retries: int = 0
+    #: Supervised attempts that died on their per-task deadline.
+    timeouts: int = 0
+    #: Batches/cells quarantined after exhausting the retry ladder.
+    quarantined: int = 0
+    #: Campaign cells rehydrated from the write-ahead journal + cache
+    #: on a resumed run instead of being recomputed.
+    resumed_from_journal: int = 0
     #: perf_counter of the first admission; None until then.
     first_request_at: float | None = None
     #: perf_counter of the latest completion; None until then.
@@ -68,6 +77,13 @@ class ServiceMetrics:
         self.requests += 1
         if self.first_request_at is None:
             self.first_request_at = now
+
+    def note_supervised(self, outcome) -> None:
+        """Fold one :class:`~repro.resilience.SupervisedOutcome` in."""
+        self.retries += outcome.retries
+        self.timeouts += outcome.timeouts
+        if outcome.status == "quarantined":
+            self.quarantined += 1
 
     def note_completed(self, latency: float, now: float) -> None:
         """Count a completion with its wall latency."""
@@ -109,6 +125,10 @@ class ServiceMetrics:
             "batched_jobs": self.batched_jobs,
             "pool_failures": self.pool_failures,
             "serial_fallback_batches": self.serial_fallback_batches,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "resumed_from_journal": self.resumed_from_journal,
             "requests_per_second": throughput,
             "latency_p50_seconds": (
                 percentile(self.latencies, 0.50) if self.latencies else None

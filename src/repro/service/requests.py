@@ -170,9 +170,13 @@ class ScenarioResult:
     (the campaign-cell convention).  ``source`` names the execution
     path: ``"cache"``, ``"coalesced"`` (in-process lockstep batch),
     ``"pool"`` (spawn-worker batch), ``"serial-fallback"`` (degraded
-    per-seed execution after a pool failure) or ``"direct"``
+    per-seed execution after a pool failure), ``"quarantined"`` (a
+    supervised service exhausted the retry ladder — ``summary`` is
+    ``None`` and ``fault`` carries the last failure) or ``"direct"``
     (:func:`repro.api.execute`'s blocking path).  ``batch_size`` counts
     the requests merged into the executing batch (0 for a cache hit).
+    ``attempts`` counts supervised executions of the serving batch
+    (1 on the unsupervised paths).
     """
 
     request: ScenarioRequest
@@ -181,6 +185,13 @@ class ScenarioResult:
     source: str = "direct"
     batch_size: int = 1
     latency_seconds: float = 0.0
+    attempts: int = 1
+    fault: str | None = None
+
+    @property
+    def quarantined(self) -> bool:
+        """Whether the retry ladder gave up on this request's batch."""
+        return self.source == "quarantined"
 
 
 def summarize_request(

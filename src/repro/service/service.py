@@ -41,6 +41,7 @@ from repro.analysis.montecarlo import MonteCarloSummary
 from repro.engines import register_engine, resolve_engine
 from repro.errors import ConfigurationError
 from repro.experiments.arena import StateArena
+from repro.resilience.supervisor import Supervisor
 from repro.scenarios.cache import CampaignCache
 from repro.service.batcher import DynamicBatcher, PendingRequest
 from repro.service.executor import (
@@ -68,6 +69,16 @@ class ScenarioService:
     execution; share one instance (or one ``cache_dir``) across
     services to reuse results across sessions and processes.
 
+    ``supervisor`` (opt-in) arms the resilience ladder: batch
+    execution runs under its :class:`~repro.resilience.RetryPolicy` —
+    per-attempt deadlines, deterministic backoff between retries, pool
+    restart between pool attempts, serial fallback when the pool rung
+    quarantines, and finally a *quarantined* result (``summary=None``,
+    ``source="quarantined"``, fault string attached) instead of the
+    batch's exception sinking every request in it.  Without a
+    supervisor the service keeps the original single-attempt ladder
+    (pool → permanent serial fallback on ``BrokenProcessPool``).
+
     Use as a context manager or call :meth:`close` — the dispatch
     threads and the worker pool are real OS resources.
     """
@@ -80,6 +91,7 @@ class ScenarioService:
         max_pending: int = 256,
         chunk_size: int | None = None,
         cache: CampaignCache | None = None,
+        supervisor: Supervisor | None = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(
@@ -87,6 +99,7 @@ class ScenarioService:
             )
         self.metrics = ServiceMetrics()
         self._cache = cache
+        self._supervisor = supervisor
         self._chunk_size = chunk_size
         self._arena = StateArena()
         self._pool = WorkerPool(workers) if workers >= 1 else None
@@ -168,17 +181,22 @@ class ScenarioService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _run_batch_sync(self, jobs: list) -> tuple[list, str]:
+    def _run_batch_sync(self, jobs: list) -> tuple[list | None, str, int, str | None]:
         """Execute one merged batch on the dispatch thread.
 
-        Returns ``(rows, source)``.  Pool path first when a live pool
-        exists; a :class:`BrokenProcessPool` marks it dead and the
-        batch (and all later ones) degrades to serial per-seed
-        execution rather than failing the requests.
+        Returns ``(rows, source, attempts, fault)``; ``rows`` is
+        ``None`` only with ``source="quarantined"`` (supervised
+        services, after the whole ladder failed).  Unsupervised: pool
+        path first when a live pool exists; a
+        :class:`BrokenProcessPool` marks it dead and the batch (and
+        all later ones) degrades to serial per-seed execution rather
+        than failing the requests.
         """
+        if self._supervisor is not None:
+            return self._run_batch_supervised(jobs)
         if self._pool is not None and not self._pool.broken:
             try:
-                return self._pool.run(jobs, self._chunk_size), "pool"
+                return self._pool.run(jobs, self._chunk_size), "pool", 1, None
             except BrokenProcessPool:
                 self.metrics.pool_failures += 1
         elif self._pool is None:
@@ -187,9 +205,80 @@ class ScenarioService:
             rows = run_jobs_inline(
                 jobs, chunk_size=self._chunk_size, arena=self._arena
             )
-            return rows, "coalesced"
+            return rows, "coalesced", 1, None
         self.metrics.serial_fallback_batches += 1
-        return run_jobs_serial(jobs), "serial-fallback"
+        return run_jobs_serial(jobs), "serial-fallback", 1, None
+
+    def _repair_pool(self) -> None:
+        """Between-attempts repair hook: rebuild a dead worker pool."""
+        if self._pool is not None and self._pool.broken:
+            self._pool.restart()
+
+    def _run_batch_supervised(
+        self, jobs: list
+    ) -> tuple[list | None, str, int, str | None]:
+        """The resilience ladder for one batch.
+
+        Primary rung (pool or in-process lockstep) retried under the
+        supervisor's policy; if it quarantines, the serial per-seed
+        rung gets its own supervised attempts (deadline off — the last
+        resort optimizes for completing, and retries stay
+        bit-identical replays either way); if that quarantines too,
+        the batch is reported quarantined instead of raising.
+        """
+        supervisor = self._supervisor
+        deadline = supervisor.policy.deadline
+        if self._pool is not None:
+
+            def primary() -> list:
+                try:
+                    # The pool self-enforces the deadline: its watchdog
+                    # can actually kill a hung worker.
+                    return self._pool.run(
+                        jobs, self._chunk_size, timeout=deadline
+                    )
+                except BrokenProcessPool:
+                    self.metrics.pool_failures += 1
+                    raise
+
+            outcome = supervisor.run(
+                primary,
+                label="pool-batch",
+                repair=self._repair_pool,
+                enforce_deadline=False,
+            )
+            primary_source = "pool"
+        else:
+
+            def primary() -> list:
+                # Under a deadline the watchdog thread survives a
+                # timeout; a fresh arena per attempt keeps a zombie
+                # attempt from racing the retry's buffers.
+                arena = self._arena if deadline is None else None
+                return run_jobs_inline(
+                    jobs, chunk_size=self._chunk_size, arena=arena
+                )
+
+            outcome = supervisor.run(primary, label="batch")
+            primary_source = "coalesced"
+        self.metrics.retries += outcome.retries
+        self.metrics.timeouts += outcome.timeouts
+        if outcome.completed:
+            return outcome.value, primary_source, outcome.attempts, None
+        attempts = outcome.attempts
+        self.metrics.serial_fallback_batches += 1
+        fallback = supervisor.run(
+            lambda: run_jobs_serial(jobs),
+            label="serial-batch",
+            enforce_deadline=False,
+        )
+        self.metrics.retries += fallback.retries
+        self.metrics.timeouts += fallback.timeouts
+        attempts += fallback.attempts
+        if fallback.completed:
+            return fallback.value, "serial-fallback", attempts, None
+        self.metrics.quarantined += 1
+        return None, "quarantined", attempts, fallback.fault or outcome.fault
 
     async def _execute_batch(self, batch: list[PendingRequest]) -> None:
         """Flush callback: run one compatibility group's batch."""
@@ -206,17 +295,23 @@ class ScenarioService:
         self.metrics.batched_requests += len(merged)
         self.metrics.batched_jobs += len(jobs)
         try:
-            rows, source = await loop.run_in_executor(
+            rows, source, attempts, fault = await loop.run_in_executor(
                 self._dispatch, self._run_batch_sync, jobs
             )
-            outcome_by_seed = dict(rows)
+            outcome_by_seed = dict(rows) if rows is not None else {}
             for index in merged:
                 entry = batch[index]
-                summary = summarize_request(
-                    entry.request, outcome_by_seed
-                )
-                if self._cache is not None:
-                    self._cache.store(entry.request, summary)
+                if rows is None:
+                    # Quarantined: no summary exists and none may be
+                    # cached — a quarantine is an execution-stack
+                    # verdict, not a property of the request.
+                    summary = None
+                else:
+                    summary = summarize_request(
+                        entry.request, outcome_by_seed
+                    )
+                    if self._cache is not None:
+                        self._cache.store(entry.request, summary)
                 now = time.perf_counter()
                 latency = now - entry.admitted_at
                 self.metrics.note_completed(latency, now)
@@ -229,6 +324,8 @@ class ScenarioService:
                             source=source,
                             batch_size=len(merged),
                             latency_seconds=latency,
+                            attempts=attempts,
+                            fault=fault,
                         )
                     )
         except Exception as exc:
@@ -249,6 +346,7 @@ def execute_requests(
     chunk_size: int | None = None,
     cache: CampaignCache | None = None,
     service: ScenarioService | None = None,
+    supervisor: Supervisor | None = None,
 ) -> list[ScenarioResult]:
     """Submit ``requests`` concurrently and block for all results.
 
@@ -273,6 +371,12 @@ def execute_requests(
             max_pending=len(requests),
             chunk_size=chunk_size,
             cache=cache,
+            supervisor=supervisor,
+        )
+    elif supervisor is not None:
+        raise ConfigurationError(
+            "pass the supervisor when constructing the service, not "
+            "alongside a reused instance"
         )
 
     async def _session() -> list[ScenarioResult]:

@@ -269,6 +269,43 @@ class TestDiskTier:
         hit, summary = CampaignCache(cache_dir=tmp_path).lookup(cell)
         assert hit and summary == self._summary()
 
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip"])
+    def test_corrupt_entry_is_quarantined_not_rereread(self, tmp_path, mode):
+        # Satellite regression: a damaged entry is renamed to
+        # <digest>.corrupt (inspectable, never deserialized again) and
+        # counted — a truncated file breaks the outer pickle, a single
+        # flipped bit unpickles cleanly and only the CRC catches it.
+        from repro.resilience import corrupt_cache_file
+
+        cell = _base_cell()
+        writer = CampaignCache(cache_dir=tmp_path)
+        writer.store(cell, self._summary())
+        digest = canonical_digest(cell)
+        corrupt_cache_file(tmp_path, digest, mode=mode)
+        reader = CampaignCache(cache_dir=tmp_path)
+        hit, summary = reader.lookup(cell)
+        assert not hit and summary is None
+        assert reader.corrupt_entries == 1
+        assert not (tmp_path / f"{digest}.pkl").exists()
+        assert (tmp_path / f"{digest}.corrupt").exists()
+        # The miss is paid once: with the damaged file moved aside, the
+        # next lookup is a plain missing-file miss, not a second
+        # quarantine.
+        hit, _ = reader.lookup(cell)
+        assert not hit and reader.corrupt_entries == 1
+        # A fresh store heals the tier without touching the evidence.
+        reader.store(cell, self._summary())
+        healed = CampaignCache(cache_dir=tmp_path)
+        hit, summary = healed.lookup(cell)
+        assert hit and summary == self._summary()
+        assert (tmp_path / f"{digest}.corrupt").exists()
+
+    def test_missing_entry_is_not_quarantined(self, tmp_path):
+        cache = CampaignCache(cache_dir=tmp_path)
+        hit, _ = cache.lookup(_base_cell())
+        assert not hit and cache.corrupt_entries == 0
+        assert list(tmp_path.glob("*.corrupt")) == []
+
     def test_stale_disk_hit_impossible_without_collision(self, tmp_path):
         # The filename is the canonical digest, so an edited cell reads
         # a different path — the stale-hit regression, disk edition.

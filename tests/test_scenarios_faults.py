@@ -369,3 +369,135 @@ class TestDegradationLadder:
             runs=3, duration=80.0, base_seed=710, engine="fast"
         )
         assert nominal.fallback_states == ("full",) * 3
+
+
+class TestFaultMatrix:
+    """Sampled fault matrices: drawn once, digest-stable forever."""
+
+    def _distribution(self):
+        from repro.scenarios.faults import FaultDraw
+
+        return (
+            FaultDraw(
+                family="sensor_dropout",
+                probability=0.5,
+                params=(
+                    ("sensor", "acc"),
+                    ("start", (10.0, 30.0)),
+                    ("duration", (2.0, 8.0)),
+                ),
+            ),
+            FaultDraw(
+                family="clock_skew",
+                probability=1.0,
+                params=(("sensor", "gyro"), ("ppm", (-200.0, 200.0))),
+            ),
+            FaultDraw(
+                family="stuck_axis",
+                probability=0.0,
+                params=(("sensor", "acc"), ("axis", (0, 2)), ("start", 5.0)),
+            ),
+        )
+
+    def test_sampling_is_deterministic(self):
+        from repro.scenarios.faults import sample_fault_matrix
+
+        a = sample_fault_matrix(42, self._distribution(), seeds=range(8))
+        b = sample_fault_matrix(42, self._distribution(), seeds=range(8))
+        assert a == b
+        assert sample_fault_matrix(43, self._distribution(), seeds=range(8)) != a
+
+    def test_recipes_are_digest_stable(self):
+        from repro.scenarios.cache import canonical_digest
+        from repro.scenarios.faults import sample_fault_matrix
+
+        a = sample_fault_matrix(7, self._distribution(), seeds=(1, 2, 3))
+        b = sample_fault_matrix(7, self._distribution(), seeds=(1, 2, 3))
+        assert canonical_digest(a) == canonical_digest(b)
+
+    def test_per_seed_draws_are_order_independent(self):
+        # Each seed samples from its own (rng_seed, seed) spawn key, so
+        # a seed's recipe does not depend on which other seeds were in
+        # the matrix or in what order.
+        from repro.scenarios.faults import sample_fault_matrix
+
+        wide = sample_fault_matrix(11, self._distribution(), seeds=(1, 2, 3, 4))
+        narrow = sample_fault_matrix(11, self._distribution(), seeds=(3,))
+        assert narrow.recipe_for(3) == wide.recipe_for(3)
+        shuffled = sample_fault_matrix(11, self._distribution(), seeds=(4, 1))
+        assert shuffled.recipe_for(4) == wide.recipe_for(4)
+
+    def test_probability_gates(self):
+        # probability=1 always appears, probability=0 never does, and a
+        # 0.5 gate over enough seeds lands strictly between.
+        from repro.scenarios.faults import (
+            ClockSkew,
+            SensorDropout,
+            StuckAxis,
+            sample_fault_matrix,
+        )
+
+        matrix = sample_fault_matrix(
+            5, self._distribution(), seeds=range(64)
+        )
+        recipes = [matrix.recipe_for(seed) for seed in matrix.seeds]
+        assert all(
+            any(isinstance(f, ClockSkew) for f in recipe)
+            for recipe in recipes
+        )
+        assert not any(
+            isinstance(f, StuckAxis) for recipe in recipes for f in recipe
+        )
+        dropouts = sum(
+            any(isinstance(f, SensorDropout) for f in recipe)
+            for recipe in recipes
+        )
+        assert 0 < dropouts < 64
+
+    def test_ranged_params_stay_in_bounds(self):
+        from repro.scenarios.faults import SensorDropout, sample_fault_matrix
+
+        matrix = sample_fault_matrix(
+            9, self._distribution(), seeds=range(64)
+        )
+        for seed in matrix.seeds:
+            for fault in matrix.recipe_for(seed):
+                if isinstance(fault, SensorDropout):
+                    assert 10.0 <= fault.start <= 30.0
+                    assert 2.0 <= fault.duration <= 8.0
+
+    def test_unknown_family_and_bad_probability_rejected(self):
+        from repro.scenarios.faults import FaultDraw, sample_fault_matrix
+
+        with pytest.raises(ConfigurationError, match="unknown fault family"):
+            FaultDraw(family="meteor_strike")
+        with pytest.raises(ConfigurationError, match="probability"):
+            FaultDraw(family="clock_skew", probability=1.5)
+        with pytest.raises(ConfigurationError, match="at least one draw"):
+            sample_fault_matrix(1, (), seeds=(1,))
+        with pytest.raises(ConfigurationError, match="needs seeds"):
+            sample_fault_matrix(1, self._distribution(), seeds=())
+        with pytest.raises(ConfigurationError, match="distinct"):
+            sample_fault_matrix(1, self._distribution(), seeds=(1, 1))
+
+    def test_matrix_campaign_cells_adapter(self):
+        from repro.scenarios.campaign import matrix_campaign_cells
+        from repro.scenarios.faults import sample_fault_matrix
+        from repro.scenarios.spec import ScenarioSpec
+
+        scenario = ScenarioSpec(
+            name="matrix_static",
+            profile="static_tilt",
+            duration=60.0,
+            profile_args=(("dwell_time", 3.0), ("slew_time", 1.5)),
+            moving=False,
+        )
+        matrix = sample_fault_matrix(
+            3, self._distribution(), seeds=(30, 31, 32), name="mx"
+        )
+        cells = matrix_campaign_cells(scenario, matrix)
+        assert len(cells) == 3
+        for cell, seed in zip(cells, (30, 31, 32)):
+            assert cell.seeds == (seed,)
+            assert cell.fault.name == f"mx/seed{seed}"
+            assert cell.fault.faults == matrix.recipe_for(seed)

@@ -315,6 +315,51 @@ class TestGracefulDegradation:
         oracle = _oracle([first.request, second.request])
         assert [first.summary, second.summary] == oracle
 
+    def test_midbatch_worker_kill_falls_back_bit_identically(self):
+        # A real SIGKILL, not a monkeypatched raise: the workers die
+        # while a coalesced batch is executing, the in-flight future
+        # surfaces BrokenProcessPool, and the service re-runs the batch
+        # on the serial rung — bit-identical to the oracle, with the
+        # outage on the books.
+        import threading
+        import time
+
+        requests = [
+            ScenarioRequest(scenario=BENCH, seeds=(320, 321)),
+            ScenarioRequest(scenario=BENCH, seeds=(321, 322)),
+        ]
+
+        def kill_when_spawned(pool):
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                processes = list((pool._pool._processes or {}).values())
+                if processes:
+                    time.sleep(0.2)  # let the batch reach the workers
+                    for process in processes:
+                        process.kill()
+                    return
+                time.sleep(0.01)
+
+        async def scenario():
+            service = ScenarioService(workers=2, max_wait=0.05)
+            killer = threading.Thread(
+                target=kill_when_spawned, args=(service._pool,), daemon=True
+            )
+            killer.start()
+            with service:
+                results = await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+            killer.join(timeout=30.0)
+            return service, results
+
+        service, results = asyncio.run(scenario())
+        assert all(r.source == "serial-fallback" for r in results)
+        assert service.metrics.pool_failures >= 1
+        assert service.metrics.serial_fallback_batches >= 1
+        oracle = _oracle(requests)
+        assert [r.summary for r in results] == oracle
+
     def test_results_survive_pool_death_bit_identically(self):
         # The degraded path is the serial oracle path, so the
         # registry's bit-identity contract extends through the outage.
